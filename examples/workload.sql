@@ -1,0 +1,13 @@
+-- The paper's Section 1.1 example as a workload script.
+-- Run with: dune exec bin/main.exe -- workload examples/workload.sql
+
+CREATE TABLE partsupp (
+  PartKey    INT,
+  SuppKey    INT,
+  AvailQty   INT,
+  SupplyCost DECIMAL,
+  Comment    VARCHAR(199)
+) ROWS 8000000;
+
+SELECT PartKey, SuppKey, AvailQty, SupplyCost FROM partsupp;
+SELECT AvailQty, SupplyCost, Comment FROM partsupp;
