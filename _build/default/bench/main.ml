@@ -1,0 +1,112 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 6 + appendix) in order, then runs a
+   Bechamel microbenchmark of the algorithms' optimization times — one
+   grouped test per TPC-H table, one case per algorithm.
+
+   Environment knobs:
+     VP_SKIP_SLOW=1       skip the storage-simulator experiment (table7)
+                          and the bechamel section (useful in CI).
+     VP_RESULTS_DIR=dir   additionally write each experiment's output to
+                          dir/<id>.txt (the directory must exist). *)
+
+open Vp_core
+
+let skip_slow = Sys.getenv_opt "VP_SKIP_SLOW" = Some "1"
+
+let results_dir = Sys.getenv_opt "VP_RESULTS_DIR"
+
+let save_result id text =
+  match results_dir with
+  | None -> ()
+  | Some dir ->
+      let path = Filename.concat dir (id ^ ".txt") in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc text)
+
+let run_experiments () =
+  List.iter
+    (fun (e : Vp_experiments.Registry.experiment) ->
+      if skip_slow && e.id = "table7" then
+        print_endline
+          (Vp_experiments.Common.heading
+             (Printf.sprintf "%s [%s] — skipped (VP_SKIP_SLOW)" e.paper_ref e.id))
+      else begin
+        print_string
+          (Vp_experiments.Common.heading
+             (Printf.sprintf "%s [%s] — %s" e.paper_ref e.id e.description));
+        let text = e.run () in
+        print_endline text;
+        save_result e.id text;
+        flush stdout
+      end)
+    Vp_experiments.Registry.all
+
+(* --- Bechamel microbenchmarks: optimization time per algorithm, one
+   grouped test per TPC-H table. --- *)
+
+let bechamel_section () =
+  let open Bechamel in
+  let open Toolkit in
+  let disk = Vp_experiments.Common.disk in
+  let algorithms =
+    List.filter
+      (fun (a : Partitioner.t) -> a.Partitioner.name <> "BruteForce")
+      (Vp_experiments.Common.algorithms disk)
+  in
+  let tests =
+    List.map
+      (fun table_name ->
+        let workload =
+          Vp_benchmarks.Tpch.workload ~sf:Vp_experiments.Common.sf table_name
+        in
+        let cases =
+          List.map
+            (fun (a : Partitioner.t) ->
+              Test.make ~name:a.Partitioner.name
+                (Staged.stage (fun () ->
+                     let oracle = Vp_cost.Io_model.oracle disk workload in
+                     ignore (a.run workload oracle))))
+            algorithms
+        in
+        Test.make_grouped ~name:table_name cases)
+      Vp_benchmarks.Tpch.table_names
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  print_string
+    (Vp_experiments.Common.heading
+       "Bechamel: optimization time per algorithm (ns/run, monotonic clock)");
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-30s %12.0f ns/run\n" name est
+          | Some _ | None -> Printf.printf "  %-30s (no estimate)\n" name)
+        results;
+      flush stdout)
+    tests
+
+let () =
+  print_endline
+    "Reproduction of 'A Comparison of Knives for Bread Slicing' (VLDB 2013)";
+  print_endline
+    (Printf.sprintf
+       "Unified setting: TPC-H SF %g, %s"
+       Vp_experiments.Common.sf
+       (Format.asprintf "%a" Vp_cost.Disk.pp Vp_experiments.Common.disk));
+  run_experiments ();
+  if not skip_slow then bechamel_section ();
+  print_endline "\nAll experiments completed."

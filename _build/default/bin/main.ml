@@ -1,0 +1,410 @@
+(* vp — the command-line front end.
+
+   Subcommands:
+     vp partition  -b tpch -t customer -a hillclimb   run one algorithm
+     vp compare    -b tpch [-t lineitem]              all algorithms side by side
+     vp layouts    -b tpch                            Figure 14-style grids
+     vp experiment fig3                               one paper experiment
+     vp simulate   -t customer --codec varlen         storage-simulator run
+     vp list                                          algorithms + experiments *)
+
+open Vp_core
+open Cmdliner
+
+(* --- shared options --- *)
+
+let benchmark_conv = Arg.enum [ ("tpch", `Tpch); ("ssb", `Ssb) ]
+
+let benchmark_arg =
+  Arg.(
+    value
+    & opt benchmark_conv `Tpch
+    & info [ "b"; "benchmark" ] ~docv:"BENCH" ~doc:"Benchmark: tpch or ssb.")
+
+let sf_arg =
+  Arg.(
+    value
+    & opt float 10.0
+    & info [ "sf"; "scale-factor" ] ~docv:"SF" ~doc:"TPC-H/SSB scale factor.")
+
+let buffer_mb_arg =
+  Arg.(
+    value
+    & opt float 8.0
+    & info [ "buffer" ] ~docv:"MB" ~doc:"Database I/O buffer size in MiB.")
+
+let model_arg =
+  Arg.(
+    value
+    & opt (enum [ ("hdd", `Hdd); ("mm", `Mm) ]) `Hdd
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:"Cost model: hdd (disk I/O) or mm (main-memory).")
+
+let oracle_of model disk w =
+  match model with
+  | `Hdd -> Vp_cost.Io_model.oracle disk w
+  | `Mm -> Vp_cost.Memory_model.oracle Vp_cost.Memory_model.default w
+
+let table_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "t"; "table" ] ~docv:"TABLE" ~doc:"Table name (default: all).")
+
+let disk_of buffer_mb =
+  Vp_cost.Disk.with_buffer_size Vp_cost.Disk.default
+    (Vp_cost.Disk.mb buffer_mb)
+
+let workloads_of benchmark sf table =
+  let all =
+    match benchmark with
+    | `Tpch -> Vp_benchmarks.Tpch.workloads ~sf
+    | `Ssb -> Vp_benchmarks.Ssb.workloads ~sf
+  in
+  match table with
+  | None -> all
+  | Some name -> (
+      match
+        List.find_opt (fun w -> Table.name (Workload.table w) = name) all
+      with
+      | Some w -> [ w ]
+      | None ->
+          Fmt.failwith "unknown table %S (try: %s)" name
+            (String.concat ", "
+               (List.map (fun w -> Table.name (Workload.table w)) all)))
+
+let algorithm_of disk name =
+  if String.lowercase_ascii name = "bruteforce" then
+    Vp_experiments.Common.brute_force disk
+  else
+    match Vp_algorithms.Registry.find name with
+    | a -> a
+    | exception Not_found ->
+        Fmt.failwith "unknown algorithm %S (try: %s)" name
+          (String.concat ", " Vp_algorithms.Registry.names)
+
+(* --- vp partition --- *)
+
+let partition_cmd =
+  let algo_arg =
+    Arg.(
+      value
+      & opt string "HillClimb"
+      & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc:"Algorithm name.")
+  in
+  let run benchmark sf buffer_mb table algo_name =
+    let disk = disk_of buffer_mb in
+    let algo = algorithm_of disk algo_name in
+    List.iter
+      (fun w ->
+        let tbl = Workload.table w in
+        let oracle = Vp_cost.Io_model.oracle disk w in
+        let r = algo.Partitioner.run w oracle in
+        Format.printf "@[<v>%s on %s (%d rows, %d queries):@,  layout: %a@,"
+          algo.Partitioner.name (Table.name tbl) (Table.row_count tbl)
+          (Workload.query_count w)
+          (Partitioning.pp_named tbl)
+          r.Partitioner.partitioning;
+        Format.printf
+          "  cost: %.3f s   opt time: %s   cost calls: %d   candidates: %d@,"
+          r.Partitioner.cost
+          (Vp_report.Ascii.seconds r.Partitioner.stats.Partitioner.elapsed_seconds)
+          r.Partitioner.stats.Partitioner.cost_calls
+          r.Partitioner.stats.Partitioner.candidates;
+        Format.printf "  unnecessary read: %s   avg joins: %s@,@]"
+          (Vp_report.Ascii.percent
+             (Vp_metrics.Measures.unnecessary_data_read disk w
+                r.Partitioner.partitioning))
+          (Vp_report.Ascii.float3
+             (Vp_metrics.Measures.avg_tuple_reconstruction_joins w
+                r.Partitioner.partitioning)))
+      (workloads_of benchmark sf table);
+    0
+  in
+  Cmd.v
+    (Cmd.info "partition" ~doc:"Run one vertical partitioning algorithm")
+    Term.(const run $ benchmark_arg $ sf_arg $ buffer_mb_arg $ table_arg
+          $ algo_arg)
+
+(* --- vp compare --- *)
+
+let compare_cmd =
+  let run benchmark sf buffer_mb table model =
+    let disk = disk_of buffer_mb in
+    let workloads = workloads_of benchmark sf table in
+    let algos =
+      match model with
+      | `Hdd -> Vp_experiments.Common.algorithms_with_baselines disk
+      | `Mm ->
+          (* BruteForce needs the matching admissible bound. *)
+          Vp_algorithms.Registry.six
+          @ [
+              Vp_algorithms.Brute_force.make
+                ~lower_bound:(fun w ->
+                  Vp_cost.Bounds.memory_brute_force
+                    Vp_cost.Memory_model.default w)
+                ();
+            ]
+          @ Vp_algorithms.Registry.baselines
+    in
+    let runs =
+      List.map
+        (fun (algo : Partitioner.t) ->
+          let per_table =
+            List.map
+              (fun workload ->
+                let oracle = oracle_of model disk workload in
+                {
+                  Vp_experiments.Common.workload;
+                  result = algo.run workload oracle;
+                })
+              workloads
+          in
+          {
+            Vp_experiments.Common.algo;
+            per_table;
+            total_cost =
+              List.fold_left
+                (fun acc (r : Vp_experiments.Common.table_run) ->
+                  acc +. r.result.Partitioner.cost)
+                0.0 per_table;
+            optimization_time =
+              List.fold_left
+                (fun acc (r : Vp_experiments.Common.table_run) ->
+                  acc +. r.result.Partitioner.stats.Partitioner.elapsed_seconds)
+                0.0 per_table;
+          })
+        algos
+    in
+    let rows =
+      List.map
+        (fun (r : Vp_experiments.Common.algo_run) ->
+          let entries = Vp_experiments.Common.entries_of r in
+          [
+            r.algo.Partitioner.name;
+            Printf.sprintf "%.3f" r.total_cost;
+            Vp_report.Ascii.seconds r.optimization_time;
+            Vp_report.Ascii.percent
+              (Vp_metrics.Measures.Aggregate.unnecessary_data_read disk entries);
+            Vp_report.Ascii.float3
+              (Vp_metrics.Measures.Aggregate.avg_tuple_reconstruction_joins
+                 entries);
+          ])
+        runs
+    in
+    print_endline
+      (Vp_report.Ascii.table
+         ~title:
+           (Printf.sprintf "All algorithms on %s (SF %g, buffer %g MiB)"
+              (match table with Some t -> t | None -> "all tables")
+              sf buffer_mb)
+         ~headers:
+           [ "Algorithm"; "Cost (s)"; "Opt time"; "Unnecessary"; "Avg joins" ]
+         rows);
+    0
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare all algorithms on a benchmark")
+    Term.(const run $ benchmark_arg $ sf_arg $ buffer_mb_arg $ table_arg
+          $ model_arg)
+
+(* --- vp layouts --- *)
+
+let layouts_cmd =
+  let run () =
+    print_endline (Vp_experiments.Exp_layouts.fig14 ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "layouts" ~doc:"Print the computed layouts (Figure 14 grids)")
+    Term.(const run $ const ())
+
+(* --- vp experiment --- *)
+
+let experiment_cmd =
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id (see `vp list`).")
+  in
+  let run id =
+    match Vp_experiments.Registry.find id with
+    | e ->
+        print_endline (e.Vp_experiments.Registry.run ());
+        0
+    | exception Not_found ->
+        Fmt.epr "unknown experiment %S; known: %s@." id
+          (String.concat ", " Vp_experiments.Registry.ids);
+        1
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate one paper table/figure")
+    Term.(const run $ id_arg)
+
+(* --- vp simulate --- *)
+
+let simulate_cmd =
+  let codec_conv =
+    Arg.enum
+      [
+        ("plain", Vp_storage.Codec.Plain);
+        ("dictionary", Vp_storage.Codec.Dictionary);
+        ("varlen", Vp_storage.Codec.Varlen);
+      ]
+  in
+  let codec_arg =
+    Arg.(
+      value
+      & opt codec_conv Vp_storage.Codec.Plain
+      & info [ "codec" ] ~docv:"CODEC" ~doc:"plain, dictionary or varlen.")
+  in
+  let algo_arg =
+    Arg.(
+      value
+      & opt string "HillClimb"
+      & info [ "a"; "algorithm" ]
+          ~docv:"ALGO" ~doc:"Layout algorithm (or Row/Column).")
+  in
+  let run benchmark sf buffer_mb table codec algo_name =
+    let disk = disk_of buffer_mb in
+    let algo = algorithm_of disk algo_name in
+    let gen = Vp_datagen.Rowgen.create () in
+    List.iter
+      (fun w ->
+        let tbl = Workload.table w in
+        let rows = Vp_datagen.Rowgen.rows gen tbl in
+        let oracle = Vp_cost.Io_model.oracle disk w in
+        let layout = (algo.Partitioner.run w oracle).Partitioner.partitioning in
+        let db = Vp_storage.Database.build ~disk ~codec tbl rows layout in
+        let results, total = Vp_storage.Database.run_workload db w in
+        Format.printf "@[<v>%s via %s codec, layout %a@," (Table.name tbl)
+          (Vp_storage.Codec.kind_name codec)
+          (Partitioning.pp_named tbl) layout;
+        Format.printf "  on disk: %s   simulated workload time: %.4f s@,"
+          (Vp_report.Ascii.bytes (float_of_int (Vp_storage.Database.bytes_on_disk db)))
+          total;
+        List.iteri
+          (fun i (r : Vp_storage.Database.query_result) ->
+            Format.printf
+              "  %-6s io=%.4fs cpu=%.5fs seeks=%d blocks=%d partitions=%d@,"
+              (Query.name (Workload.query w i))
+              r.io.Vp_storage.Device.elapsed r.cpu_seconds
+              r.io.Vp_storage.Device.seeks r.io.Vp_storage.Device.blocks_read
+              r.partitions_read)
+          results;
+        Format.printf "@]@.")
+      (workloads_of benchmark sf table);
+    0
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Generate data and execute the workload in the storage simulator")
+    Term.(const run $ benchmark_arg $ sf_arg $ buffer_mb_arg $ table_arg
+          $ codec_arg $ algo_arg)
+
+(* --- vp analyze --- *)
+
+let analyze_cmd =
+  let run benchmark sf table =
+    List.iter
+      (fun w ->
+        print_string (Vp_report.Workload_view.summary w);
+        print_endline (Vp_report.Workload_view.usage_matrix w);
+        print_endline (Vp_report.Workload_view.affinity_matrix w))
+      (workloads_of benchmark sf table);
+    0
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Show a workload's usage matrix, affinity matrix and structure")
+    Term.(const run $ benchmark_arg $ sf_arg $ table_arg)
+
+(* --- vp workload --- *)
+
+let workload_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Workload script (CREATE TABLE + SELECT).")
+  in
+  let algo_arg =
+    Arg.(
+      value
+      & opt string "HillClimb"
+      & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc:"Algorithm name.")
+  in
+  let ddl_arg =
+    Arg.(
+      value & flag
+      & info [ "ddl" ]
+          ~doc:"Also emit CREATE TABLE / CREATE VIEW DDL for the layout.")
+  in
+  let run buffer_mb algo_name ddl file =
+    let disk = disk_of buffer_mb in
+    let algo = algorithm_of disk algo_name in
+    match Vp_parser.Workload_parser.parse_file file with
+    | Error e ->
+        Fmt.epr "%s: %a@." file Vp_parser.Workload_parser.pp_error e;
+        1
+    | Ok workloads ->
+        List.iter
+          (fun w ->
+            let tbl = Workload.table w in
+            if Workload.query_count w = 0 then
+              Format.printf "%s: no queries, skipped@." (Table.name tbl)
+            else begin
+              let oracle = Vp_cost.Io_model.oracle disk w in
+              let r = algo.Partitioner.run w oracle in
+              let n = Table.attribute_count tbl in
+              Format.printf
+                "@[<v>%s (%d rows, %d queries):@,  %s layout: %a@,  cost \
+                 %.4f s   row %.4f s   column %.4f s@,@]"
+                (Table.name tbl) (Table.row_count tbl) (Workload.query_count w)
+                algo.Partitioner.name
+                (Partitioning.pp_named tbl)
+                r.Partitioner.partitioning r.Partitioner.cost
+                (oracle (Partitioning.row n))
+                (oracle (Partitioning.column n));
+              if ddl then
+                print_string
+                  (Vp_report.Ddl.emit tbl r.Partitioner.partitioning)
+            end)
+          workloads;
+        0
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Partition tables described by a SQL-flavoured workload script")
+    Term.(const run $ buffer_mb_arg $ algo_arg $ ddl_arg $ file_arg)
+
+(* --- vp list --- *)
+
+let list_cmd =
+  let run () =
+    print_endline "Algorithms:";
+    List.iter (fun n -> Printf.printf "  %s\n" n) Vp_algorithms.Registry.names;
+    print_endline "\nExperiments (vp experiment <id>):";
+    List.iter
+      (fun (e : Vp_experiments.Registry.experiment) ->
+        Printf.printf "  %-8s %-10s %s\n" e.id e.paper_ref e.description)
+      Vp_experiments.Registry.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List algorithms and experiments")
+    Term.(const run $ const ())
+
+let main_cmd =
+  let doc =
+    "vertical partitioning algorithms under a unified cost model (VLDB'13 \
+     reproduction)"
+  in
+  Cmd.group
+    (Cmd.info "vp" ~version:"1.0.0" ~doc)
+    [
+      partition_cmd; compare_cmd; layouts_cmd; experiment_cmd; simulate_cmd;
+      workload_cmd; analyze_cmd; list_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/buffer_tuning.ml: Array Format List Partitioner Partitioning Printf Sys Table Vp_algorithms Vp_benchmarks Vp_core Vp_cost Workload

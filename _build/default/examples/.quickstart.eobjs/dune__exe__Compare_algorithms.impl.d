@@ -1,0 +1,1 @@
+examples/compare_algorithms.ml: Array Format List Partitioner Partitioning Printf Sys Table Vp_algorithms Vp_benchmarks Vp_core Vp_cost Vp_metrics Vp_report Workload

@@ -1,0 +1,1 @@
+examples/online_partitioning.ml: Format List Partitioner Partitioning Query Table Vp_algorithms Vp_benchmarks Vp_core Vp_cost Workload

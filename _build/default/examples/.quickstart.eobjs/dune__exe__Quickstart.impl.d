@@ -1,0 +1,1 @@
+examples/quickstart.ml: Attribute Format Partitioner Partitioning Query Table Vp_algorithms Vp_core Vp_cost Vp_metrics Vp_report Workload

@@ -1,0 +1,1 @@
+examples/simulate_execution.ml: Array Format List Partitioner Partitioning Sys Table Vp_algorithms Vp_benchmarks Vp_core Vp_cost Vp_datagen Vp_report Vp_storage Workload

@@ -1,0 +1,1 @@
+examples/simulate_execution.mli:

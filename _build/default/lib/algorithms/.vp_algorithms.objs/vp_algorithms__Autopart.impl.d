@@ -1,0 +1,1 @@
+lib/algorithms/autopart.ml: Merge_search Partitioner Table Vp_core Workload

@@ -1,0 +1,1 @@
+lib/algorithms/autopart.mli: Vp_core

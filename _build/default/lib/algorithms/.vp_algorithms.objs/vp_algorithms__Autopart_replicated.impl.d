@@ -1,0 +1,1 @@
+lib/algorithms/autopart_replicated.ml: Array Attr_set List Table Vp_core Vp_cost Workload

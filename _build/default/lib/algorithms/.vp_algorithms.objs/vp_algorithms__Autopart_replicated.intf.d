@@ -1,0 +1,1 @@
+lib/algorithms/autopart_replicated.mli: Vp_core Vp_cost Workload

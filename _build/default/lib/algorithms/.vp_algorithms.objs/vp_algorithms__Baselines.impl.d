@@ -1,0 +1,1 @@
+lib/algorithms/baselines.ml: Partitioner Partitioning Table Vp_core Workload

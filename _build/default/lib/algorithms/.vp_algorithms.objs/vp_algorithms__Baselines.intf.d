@@ -1,0 +1,1 @@
+lib/algorithms/baselines.mli: Vp_core

@@ -1,0 +1,1 @@
+lib/algorithms/bond_energy.ml: Affinity Array Vp_core

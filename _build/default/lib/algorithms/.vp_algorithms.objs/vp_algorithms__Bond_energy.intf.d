@@ -1,0 +1,1 @@
+lib/algorithms/bond_energy.mli: Affinity Vp_core

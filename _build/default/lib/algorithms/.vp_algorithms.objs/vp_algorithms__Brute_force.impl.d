@@ -1,0 +1,1 @@
+lib/algorithms/brute_force.ml: Array Attr_set Enumeration List Merge_search Option Partitioner Partitioning Printf Table Vp_core Workload

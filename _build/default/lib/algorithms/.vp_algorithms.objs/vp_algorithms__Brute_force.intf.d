@@ -1,0 +1,1 @@
+lib/algorithms/brute_force.mli: Attr_set Partitioner Vp_core Workload

@@ -1,0 +1,1 @@
+lib/algorithms/graph_partition.ml: Array List

@@ -1,0 +1,1 @@
+lib/algorithms/hillclimb.ml: Array Attr_set Hashtbl List Merge_search Partitioner Partitioning Table Vp_core Workload

@@ -1,0 +1,1 @@
+lib/algorithms/hillclimb.mli: Vp_core

@@ -1,0 +1,1 @@
+lib/algorithms/hyrise.ml: Array Attr_set Graph_partition Merge_search Partitioner Partitioning Printf Query Table Vp_core Workload

@@ -1,0 +1,1 @@
+lib/algorithms/hyrise.mli: Partitioner Vp_core

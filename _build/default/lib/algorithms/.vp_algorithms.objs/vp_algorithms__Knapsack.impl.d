@@ -1,0 +1,1 @@
+lib/algorithms/knapsack.ml: Array Attr_set Hashtbl List Vp_core

@@ -1,0 +1,1 @@
+lib/algorithms/knapsack.mli: Attr_set Vp_core

@@ -1,0 +1,1 @@
+lib/algorithms/merge_search.ml: Array Attr_set List Partitioner Partitioning Vp_core

@@ -1,0 +1,1 @@
+lib/algorithms/merge_search.mli: Attr_set Partitioner Partitioning Vp_core

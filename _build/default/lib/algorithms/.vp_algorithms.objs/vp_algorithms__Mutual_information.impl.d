@@ -1,0 +1,1 @@
+lib/algorithms/mutual_information.ml: Array Attr_set List Query Vp_core Workload

@@ -1,0 +1,1 @@
+lib/algorithms/mutual_information.mli: Attr_set Vp_core Workload

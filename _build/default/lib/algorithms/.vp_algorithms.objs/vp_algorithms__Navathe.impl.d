@@ -1,0 +1,1 @@
+lib/algorithms/navathe.ml: Affinity Array Attr_set Bond_energy List Partitioner Partitioning Table Vp_core Workload

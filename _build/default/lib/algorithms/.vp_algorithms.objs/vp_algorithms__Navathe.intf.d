@@ -1,0 +1,1 @@
+lib/algorithms/navathe.mli: Vp_core

@@ -1,0 +1,1 @@
+lib/algorithms/o2p.ml: Affinity Array Attr_set Bond_energy Fun Hashtbl List Navathe Partitioner Partitioning Query Table Vp_core Workload

@@ -1,0 +1,1 @@
+lib/algorithms/o2p.mli: Partitioner Partitioning Vp_core Workload

@@ -1,0 +1,1 @@
+lib/algorithms/query_grouping.ml: Array Attr_set List Query Vp_core Workload

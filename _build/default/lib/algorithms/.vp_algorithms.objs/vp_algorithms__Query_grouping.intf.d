@@ -1,0 +1,1 @@
+lib/algorithms/query_grouping.mli: Query Vp_core Workload

@@ -1,0 +1,1 @@
+lib/algorithms/registry.ml: Autopart Baselines Brute_force Hillclimb Hyrise List Navathe O2p Partitioner String Trojan Vp_core

@@ -1,0 +1,1 @@
+lib/algorithms/registry.mli: Partitioner Vp_core

@@ -1,0 +1,1 @@
+lib/algorithms/replication.ml: Array List Partitioner Partitioning Query_grouping Vp_core Workload

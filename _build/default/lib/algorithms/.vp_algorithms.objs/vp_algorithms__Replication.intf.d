@@ -1,0 +1,1 @@
+lib/algorithms/replication.mli: Partitioner Partitioning Vp_core Workload

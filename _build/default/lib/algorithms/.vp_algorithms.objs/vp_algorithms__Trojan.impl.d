@@ -1,0 +1,1 @@
+lib/algorithms/trojan.ml: Array Attr_set Knapsack List Mutual_information Partitioner Partitioning Printf Table Vp_core Workload

@@ -1,0 +1,1 @@
+lib/algorithms/trojan.mli: Partitioner Vp_core

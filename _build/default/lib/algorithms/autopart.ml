@@ -1,0 +1,8 @@
+open Vp_core
+
+let algorithm =
+  Partitioner.timed_run ~name:"AutoPart" ~short_name:"AP"
+    (fun workload oracle ->
+      let n = Table.attribute_count (Workload.table workload) in
+      let atomic_fragments = Workload.primary_partitions workload in
+      Merge_search.climb ~n oracle atomic_fragments)

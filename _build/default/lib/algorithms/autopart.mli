@@ -1,0 +1,17 @@
+(** AutoPart (Papadomanolakis & Ailamaki, SSDBM 2004), adapted to the
+    paper's unified setting (no data replication).
+
+    AutoPart starts from the {e atomic fragments} — maximal groups of
+    attributes accessed by exactly the same set of queries — and grows
+    composite fragments bottom-up: in each iteration it considers extending
+    the current fragments by merging them pairwise (composite x atomic and
+    composite x composite) and commits the extension with the best cost
+    improvement, stopping when none improves. With replication disabled,
+    fragments stay disjoint, so each extension is a merge of two groups of
+    the current partitioning.
+
+    The original also partitions the table horizontally by selection
+    predicates first; the unified setting strips selections, so that step
+    is a no-op here (one horizontal partition accessed by all queries). *)
+
+val algorithm : Vp_core.Partitioner.t

@@ -1,0 +1,72 @@
+open Vp_core
+
+type result = {
+  layout : Vp_cost.Overlap_model.t;
+  cost : float;
+  storage_factor : float;
+  iterations : int;
+}
+
+type move = Merge of Attr_set.t * Attr_set.t | Replicate of Attr_set.t * Attr_set.t
+
+let apply_move ~n fragments = function
+  | Merge (a, b) ->
+      Attr_set.union a b
+      :: List.filter
+           (fun f -> not (Attr_set.equal f a || Attr_set.equal f b))
+           fragments
+      |> Vp_cost.Overlap_model.of_fragments ~n
+  | Replicate (a, b) ->
+      (* Keep both originals, add the union (unless it already exists). *)
+      let union = Attr_set.union a b in
+      if List.exists (Attr_set.equal union) fragments then
+        Vp_cost.Overlap_model.of_fragments ~n fragments
+      else Vp_cost.Overlap_model.of_fragments ~n (union :: fragments)
+
+let run ?(space_budget = 1.5) disk workload =
+  if space_budget < 1.0 then
+    invalid_arg "Autopart_replicated.run: space_budget < 1.0";
+  let table = Workload.table workload in
+  let n = Table.attribute_count table in
+  let budget_bytes =
+    int_of_float (space_budget *. float_of_int (Table.row_size table))
+  in
+  let cost layout = Vp_cost.Overlap_model.workload_cost disk workload layout in
+  let rec iterate layout current_cost iterations =
+    let fragments = Vp_cost.Overlap_model.fragments layout in
+    let arr = Array.of_list fragments in
+    let k = Array.length arr in
+    let best = ref None in
+    for i = 0 to k - 2 do
+      for j = i + 1 to k - 1 do
+        List.iter
+          (fun move ->
+            let candidate = apply_move ~n fragments move in
+            if
+              Vp_cost.Overlap_model.storage_bytes table candidate
+              <= budget_bytes
+              && not (Vp_cost.Overlap_model.equal candidate layout)
+            then begin
+              let c = cost candidate in
+              match !best with
+              | Some (_, bc) when bc <= c -> ()
+              | _ -> best := Some (candidate, c)
+            end)
+          [ Merge (arr.(i), arr.(j)); Replicate (arr.(i), arr.(j)) ]
+      done
+    done;
+    match !best with
+    | Some (candidate, c) when c < current_cost ->
+        iterate candidate c (iterations + 1)
+    | Some _ | None -> (layout, current_cost, iterations)
+  in
+  let start =
+    Vp_cost.Overlap_model.of_fragments ~n (Workload.primary_partitions workload)
+  in
+  let layout, final_cost, iterations = iterate start (cost start) 0 in
+  {
+    layout;
+    cost = final_cost;
+    storage_factor = Vp_cost.Overlap_model.storage_factor table layout;
+    iterations;
+  }

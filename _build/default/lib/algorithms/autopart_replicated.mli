@@ -1,0 +1,33 @@
+open Vp_core
+
+(** AutoPart with partial replication — the original algorithm's full form
+    (Papadomanolakis & Ailamaki 2004), which the unified comparison
+    disabled. Restored here as an extension.
+
+    Bottom-up over the atomic fragments, with two kinds of candidate moves
+    per iteration:
+
+    - {e merge}: replace two fragments by their union (the non-replicated
+      move, as in the unified AutoPart);
+    - {e replicate}: add the union of two fragments as a {e new} fragment
+      while keeping both originals — some attributes now live in several
+      fragments, letting different queries read different physical
+      copies.
+
+    The best cost-improving move (under the overlapping-layout cost oracle,
+    which includes greedy per-query fragment selection) is committed each
+    iteration, subject to a storage budget: total stored bytes may not
+    exceed [space_budget] times the table's row size. *)
+
+type result = {
+  layout : Vp_cost.Overlap_model.t;
+  cost : float;
+  storage_factor : float;
+  iterations : int;
+}
+
+val run :
+  ?space_budget:float -> Vp_cost.Disk.t -> Workload.t -> result
+(** [space_budget] defaults to 1.5 (at most 50% extra storage), mirroring
+    AutoPart's replication-bound parameter.
+    @raise Invalid_argument if [space_budget < 1.0]. *)

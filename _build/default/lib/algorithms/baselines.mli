@@ -1,0 +1,9 @@
+(** The two trivial layouts the paper uses as baselines. They are exposed
+    through the same {!Vp_core.Partitioner.t} interface so they can be run
+    alongside the real algorithms. *)
+
+val row : Vp_core.Partitioner.t
+(** No vertical partitioning: all attributes in one partition. *)
+
+val column : Vp_core.Partitioner.t
+(** Full vertical partitioning: one partition per attribute. *)

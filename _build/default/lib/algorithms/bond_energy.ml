@@ -1,0 +1,49 @@
+open Vp_core
+
+let bond m x y =
+  let n = Affinity.size m in
+  let acc = ref 0.0 in
+  for k = 0 to n - 1 do
+    acc := !acc +. (Affinity.get m x k *. Affinity.get m y k)
+  done;
+  !acc
+
+(* Net bond contribution of placing [a] between [left] and [right]
+   (either side may be absent at the ends of the order). *)
+let contribution m ~left ~right a =
+  let b l r =
+    match (l, r) with Some x, Some y -> bond m x y | None, _ | _, None -> 0.0
+  in
+  (2.0 *. b left (Some a)) +. (2.0 *. b (Some a) right) -. (2.0 *. b left right)
+
+let insert m order a =
+  if Array.exists (fun x -> x = a) order then
+    invalid_arg "Bond_energy.insert: attribute already placed";
+  let len = Array.length order in
+  if len = 0 then [| a |]
+  else begin
+    (* Candidate positions 0..len: before order.(0), between pairs, after
+       order.(len-1). *)
+    let best_pos = ref 0 and best_gain = ref neg_infinity in
+    for pos = 0 to len do
+      let left = if pos = 0 then None else Some order.(pos - 1) in
+      let right = if pos = len then None else Some order.(pos) in
+      let gain = contribution m ~left ~right a in
+      if gain > !best_gain then begin
+        best_gain := gain;
+        best_pos := pos
+      end
+    done;
+    let out = Array.make (len + 1) a in
+    Array.blit order 0 out 0 !best_pos;
+    Array.blit order !best_pos out (!best_pos + 1) (len - !best_pos);
+    out
+  end
+
+let order m =
+  let n = Affinity.size m in
+  let placed = ref [| 0 |] in
+  for a = 1 to n - 1 do
+    placed := insert m !placed a
+  done;
+  !placed

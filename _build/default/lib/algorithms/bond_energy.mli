@@ -1,0 +1,25 @@
+open Vp_core
+
+(** The Bond Energy Algorithm (McCormick, Schweitzer & White 1972), used by
+    Navathe's algorithm and O2P to cluster the attribute affinity matrix:
+    it produces a linear order of the attributes in which attributes with
+    high mutual affinity end up adjacent.
+
+    Attributes are placed one at a time; each new attribute is inserted at
+    the position maximising the net bond contribution
+    [2*bond(left, a) + 2*bond(a, right) - 2*bond(left, right)], where
+    [bond(x, y) = sum_k aff(x, k) * aff(y, k)]. *)
+
+val order : Affinity.t -> int array
+(** Clustered order of all [size matrix] attributes; a permutation of
+    [0 .. n-1]. Deterministic: ties are broken towards the leftmost
+    insertion position and the lowest attribute index. *)
+
+val insert : Affinity.t -> int array -> int -> int array
+(** [insert m order a] extends an existing clustered order (a permutation of
+    a subset of attributes, [a] not among them) with attribute [a] at its
+    best position — the incremental step O2P performs per new attribute.
+    @raise Invalid_argument if [a] already occurs in [order]. *)
+
+val bond : Affinity.t -> int -> int -> float
+(** [bond m x y = sum_k aff(x,k) * aff(y,k)]. *)

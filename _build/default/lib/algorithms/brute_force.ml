@@ -1,0 +1,82 @@
+open Vp_core
+
+type lower_bound = blocks:Attr_set.t list -> remaining:Attr_set.t -> float
+
+let search ~atoms ~lower_bound ~max_candidates workload oracle =
+  let n = Table.attribute_count (Workload.table workload) in
+  let atom_arr = Array.of_list atoms in
+  (* Wide atoms first: placing bulky attribute groups early lets the lower
+     bound detect costly co-locations near the root of the search tree. *)
+  let table = Workload.table workload in
+  Array.sort
+    (fun a b -> compare (Table.subset_size table b) (Table.subset_size table a))
+    atom_arr;
+  let m = Array.length atom_arr in
+  (match lower_bound with
+  | Some _ -> ()
+  | None ->
+      let space = if m <= 22 then Enumeration.bell_exact m else max_int in
+      if space > max_candidates then
+        invalid_arg
+          (Printf.sprintf
+             "Brute_force: search space B(%d) = %d exceeds %d candidates and \
+              no lower bound was provided"
+             m space max_candidates));
+  (* Seed the incumbent with a greedy bottom-up merge of the atoms. *)
+  let seed, _ = Merge_search.climb ~n oracle (Array.to_list atom_arr) in
+  let best = ref seed in
+  let best_cost = ref (Partitioner.Counted.cost oracle seed) in
+  (* remaining.(i) = union of atoms i..m-1. *)
+  let remaining = Array.make (m + 1) Attr_set.empty in
+  for i = m - 1 downto 0 do
+    remaining.(i) <- Attr_set.union remaining.(i + 1) atom_arr.(i)
+  done;
+  let blocks = Array.make m Attr_set.empty in
+  let rec assign i used =
+    if i = m then begin
+      let groups = Array.to_list (Array.sub blocks 0 used) in
+      let candidate = Partitioning.of_groups ~n groups in
+      let cost = Partitioner.Counted.cost oracle candidate in
+      if cost < !best_cost then begin
+        best_cost := cost;
+        best := candidate
+      end
+    end
+    else
+      (* Atom [i] joins one of the [used] blocks or opens block [used]. *)
+      for j = 0 to used do
+        let saved = blocks.(j) in
+        blocks.(j) <- Attr_set.union saved atom_arr.(i);
+        let used' = if j = used then used + 1 else used in
+        let prune =
+          match lower_bound with
+          | None -> false
+          | Some lb ->
+              let partial =
+                Array.to_list (Array.sub blocks 0 used')
+              in
+              lb ~blocks:partial ~remaining:remaining.(i + 1) >= !best_cost
+        in
+        if not prune then assign (i + 1) used';
+        blocks.(j) <- saved
+      done
+  in
+  assign 0 0;
+  (!best, m)
+
+let make ?(use_atoms = true) ?(max_candidates = 5_000_000) ?lower_bound () =
+  Partitioner.timed_run ~name:"BruteForce" ~short_name:"BF"
+    (fun workload oracle ->
+      let atoms =
+        if use_atoms then Workload.primary_partitions workload
+        else
+          List.init
+            (Table.attribute_count (Workload.table workload))
+            Attr_set.singleton
+      in
+      let lower_bound =
+        Option.map (fun factory -> factory workload) lower_bound
+      in
+      search ~atoms ~lower_bound ~max_candidates workload oracle)
+
+let algorithm = make ()

@@ -1,0 +1,174 @@
+type search_strategy = Brute_force_search | Top_down | Bottom_up
+
+type starting_point = Whole_workload | Attribute_subset | Query_subset
+
+type pruning = No_pruning | Threshold_based
+
+type classification = {
+  algorithm : string;
+  strategy : search_strategy;
+  start : starting_point;
+  pruning : pruning;
+}
+
+type granularity = Data_page | Database_block | File
+
+type hardware = Hard_disk | Main_memory
+
+type workload_kind = Offline | Online
+
+type replication = Partial | Full | None_
+
+type system = Open_source | Cost_model_only | Custom
+
+type setting = {
+  algorithm : string;
+  granularity : granularity;
+  hardware : hardware;
+  workload : workload_kind;
+  replication : replication;
+  system : system;
+}
+
+let table1 =
+  [
+    {
+      algorithm = "AutoPart";
+      strategy = Bottom_up;
+      start = Whole_workload;
+      pruning = No_pruning;
+    };
+    {
+      algorithm = "HillClimb";
+      strategy = Bottom_up;
+      start = Whole_workload;
+      pruning = No_pruning;
+    };
+    {
+      algorithm = "HYRISE";
+      strategy = Bottom_up;
+      start = Attribute_subset;
+      pruning = No_pruning;
+    };
+    {
+      algorithm = "Navathe";
+      strategy = Top_down;
+      start = Whole_workload;
+      pruning = No_pruning;
+    };
+    {
+      algorithm = "O2P";
+      strategy = Top_down;
+      start = Whole_workload;
+      pruning = No_pruning;
+    };
+    {
+      algorithm = "Trojan";
+      strategy = Bottom_up;
+      start = Query_subset;
+      pruning = Threshold_based;
+    };
+    {
+      algorithm = "BruteForce";
+      strategy = Brute_force_search;
+      start = Whole_workload;
+      pruning = No_pruning;
+    };
+  ]
+
+let table2 =
+  [
+    {
+      algorithm = "AutoPart";
+      granularity = File;
+      hardware = Hard_disk;
+      workload = Offline;
+      replication = Partial;
+      system = Open_source;
+    };
+    {
+      algorithm = "HillClimb";
+      granularity = Data_page;
+      hardware = Hard_disk;
+      workload = Offline;
+      replication = None_;
+      system = Cost_model_only;
+    };
+    {
+      algorithm = "HYRISE";
+      granularity = Data_page;
+      hardware = Main_memory;
+      workload = Offline;
+      replication = None_;
+      system = Custom;
+    };
+    {
+      algorithm = "Navathe";
+      granularity = File;
+      hardware = Hard_disk;
+      workload = Offline;
+      replication = None_;
+      system = Cost_model_only;
+    };
+    {
+      algorithm = "O2P";
+      granularity = File;
+      hardware = Hard_disk;
+      workload = Online;
+      replication = None_;
+      system = Open_source;
+    };
+    {
+      algorithm = "Trojan";
+      granularity = Database_block;
+      hardware = Hard_disk;
+      workload = Offline;
+      replication = Full;
+      system = Custom;
+    };
+    {
+      algorithm = "Unified setting";
+      granularity = File;
+      hardware = Hard_disk;
+      workload = Offline;
+      replication = None_;
+      system = Cost_model_only;
+    };
+  ]
+
+let string_of_strategy = function
+  | Brute_force_search -> "brute force"
+  | Top_down -> "top-down"
+  | Bottom_up -> "bottom-up"
+
+let string_of_start = function
+  | Whole_workload -> "whole workload"
+  | Attribute_subset -> "attribute subset"
+  | Query_subset -> "query subset"
+
+let string_of_pruning = function
+  | No_pruning -> "no pruning"
+  | Threshold_based -> "threshold-based"
+
+let string_of_granularity = function
+  | Data_page -> "data page"
+  | Database_block -> "database block"
+  | File -> "file"
+
+let string_of_hardware = function
+  | Hard_disk -> "hard disk"
+  | Main_memory -> "main memory"
+
+let string_of_workload_kind = function
+  | Offline -> "offline"
+  | Online -> "online"
+
+let string_of_replication = function
+  | Partial -> "partial"
+  | Full -> "full"
+  | None_ -> "none"
+
+let string_of_system = function
+  | Open_source -> "open source"
+  | Cost_model_only -> "cost model"
+  | Custom -> "custom"

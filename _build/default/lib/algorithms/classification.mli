@@ -1,0 +1,59 @@
+(** The paper's two taxonomy tables as data: Table 1 (classification of the
+    algorithms along search strategy, starting point and candidate pruning)
+    and Table 2 (the original settings each algorithm was proposed in,
+    versus the unified setting). *)
+
+type search_strategy = Brute_force_search | Top_down | Bottom_up
+
+type starting_point = Whole_workload | Attribute_subset | Query_subset
+
+type pruning = No_pruning | Threshold_based
+
+type classification = {
+  algorithm : string;
+  strategy : search_strategy;
+  start : starting_point;
+  pruning : pruning;
+}
+
+type granularity = Data_page | Database_block | File
+
+type hardware = Hard_disk | Main_memory
+
+type workload_kind = Offline | Online
+
+type replication = Partial | Full | None_
+
+type system = Open_source | Cost_model_only | Custom
+
+type setting = {
+  algorithm : string;
+  granularity : granularity;
+  hardware : hardware;
+  workload : workload_kind;
+  replication : replication;
+  system : system;
+}
+
+val table1 : classification list
+(** One row per algorithm of the paper's Table 1 (plus BruteForce). *)
+
+val table2 : setting list
+(** One row per algorithm of the paper's Table 2, ending with the unified
+    setting used by this library. *)
+
+val string_of_strategy : search_strategy -> string
+
+val string_of_start : starting_point -> string
+
+val string_of_pruning : pruning -> string
+
+val string_of_granularity : granularity -> string
+
+val string_of_hardware : hardware -> string
+
+val string_of_workload_kind : workload_kind -> string
+
+val string_of_replication : replication -> string
+
+val string_of_system : system -> string

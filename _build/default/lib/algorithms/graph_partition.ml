@@ -1,0 +1,70 @@
+type edge = { a : int; b : int; weight : float }
+
+(* Union-find with component sizes. *)
+type uf = { parent : int array; size : int array }
+
+let uf_create n = { parent = Array.init n (fun i -> i); size = Array.make n 1 }
+
+let rec uf_find u i =
+  let p = u.parent.(i) in
+  if p = i then i
+  else begin
+    let root = uf_find u p in
+    u.parent.(i) <- root;
+    root
+  end
+
+let uf_union u i j =
+  let ri = uf_find u i and rj = uf_find u j in
+  if ri = rj then ()
+  else begin
+    let big, small = if u.size.(ri) >= u.size.(rj) then (ri, rj) else (rj, ri) in
+    u.parent.(small) <- big;
+    u.size.(big) <- u.size.(big) + u.size.(small)
+  end
+
+let partition ~node_count ~max_size edges =
+  if node_count <= 0 then invalid_arg "Graph_partition: node_count <= 0";
+  if max_size <= 0 then invalid_arg "Graph_partition: max_size <= 0";
+  List.iter
+    (fun e ->
+      if e.a < 0 || e.a >= node_count || e.b < 0 || e.b >= node_count then
+        invalid_arg "Graph_partition: edge endpoint out of range")
+    edges;
+  let u = uf_create node_count in
+  let sorted =
+    List.stable_sort
+      (fun e1 e2 ->
+        let c = compare e2.weight e1.weight in
+        if c <> 0 then c else compare (e1.a, e1.b) (e2.a, e2.b))
+      edges
+  in
+  List.iter
+    (fun e ->
+      if e.a <> e.b then begin
+        let ra = uf_find u e.a and rb = uf_find u e.b in
+        if ra <> rb && u.size.(ra) + u.size.(rb) <= max_size then uf_union u e.a e.b
+      end)
+    sorted;
+  (* Relabel components densely in order of first node occurrence. *)
+  let labels = Array.make node_count (-1) in
+  let next = ref 0 in
+  let result = Array.make node_count 0 in
+  for i = 0 to node_count - 1 do
+    let r = uf_find u i in
+    if labels.(r) < 0 then begin
+      labels.(r) <- !next;
+      incr next
+    end;
+    result.(i) <- labels.(r)
+  done;
+  result
+
+let components labels =
+  let n = Array.length labels in
+  let max_label = Array.fold_left max (-1) labels in
+  let buckets = Array.make (max_label + 1) [] in
+  for i = n - 1 downto 0 do
+    buckets.(labels.(i)) <- i :: buckets.(labels.(i))
+  done;
+  Array.to_list buckets

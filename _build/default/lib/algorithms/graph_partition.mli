@@ -1,0 +1,22 @@
+(** A small k-way graph partitioner: splits a weighted undirected graph into
+    components of bounded size, keeping heavy edges inside components.
+    HYRISE uses it to cut the primary-partition affinity graph into
+    subproblems of at most K nodes.
+
+    The strategy is greedy heavy-edge contraction (the coarsening phase of
+    multilevel partitioners like METIS): edges are processed in decreasing
+    weight order and two components are united whenever their combined size
+    stays within the bound. *)
+
+type edge = { a : int; b : int; weight : float }
+
+val partition : node_count:int -> max_size:int -> edge list -> int array
+(** [partition ~node_count ~max_size edges] returns a component label per
+    node (labels are dense, starting at 0, numbered by first node
+    occurrence). Every component has at most [max_size] nodes; isolated
+    nodes get their own component.
+    @raise Invalid_argument if [node_count <= 0], [max_size <= 0], or an
+    edge endpoint is out of range. *)
+
+val components : int array -> int list list
+(** Groups node indices by component label, ordered by label. *)

@@ -1,0 +1,19 @@
+(** HillClimb (Hankins & Patel, "Data Morphing", VLDB 2003), as adapted by
+    the paper: a bottom-up algorithm that starts from column layout and in
+    each iteration merges the two partitions whose union yields the best
+    improvement in expected workload cost, stopping when no merge improves.
+
+    The paper notes that the original algorithm precomputes a dictionary of
+    all column-group costs, which grows to gigabytes for wide tables, and
+    that dropping the dictionary dramatically improves the runtime; the
+    default {!algorithm} is that improved, dictionary-free version.
+    {!with_dictionary} implements the original behaviour (cost per column
+    group cached across iterations) for the ablation benchmark. *)
+
+val algorithm : Vp_core.Partitioner.t
+(** The paper's improved HillClimb (no column-group cost dictionary). *)
+
+val with_dictionary : Vp_core.Partitioner.t
+(** Original HillClimb: memoises candidate partitioning costs in a
+    dictionary keyed by the partitioning. Finds the same layouts; exists to
+    quantify the memory/time trade-off the paper mentions. *)

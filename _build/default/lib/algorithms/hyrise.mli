@@ -1,0 +1,25 @@
+open Vp_core
+
+(** HYRISE layouting (Grund et al., PVLDB 2010), adapted from its
+    main-memory setting to the unified cost model.
+
+    Three phases:
+    + compute the {e primary partitions} (attribute groups always accessed
+      together — identical to AutoPart's atomic fragments);
+    + build the primary-partition affinity graph (edge weight = total
+      weight of queries accessing both endpoints) and cut it into subgraphs
+      of at most [k] primary partitions with a k-way graph partitioner;
+    + within each subgraph, greedily merge the primary partitions that give
+      the maximum cost improvement until none improves, and finally try to
+      combine partitions {e across} subgraphs the same way.
+
+    Bounding the subproblem size with [k] is what makes HYRISE scale to
+    very wide tables, at the price of missing merges the final cross-graph
+    pass cannot recover. *)
+
+val algorithm : Partitioner.t
+(** HYRISE with the default subproblem bound [k = 4]. *)
+
+val with_k : int -> Partitioner.t
+(** HYRISE with an explicit subproblem bound (ablation benchmark).
+    @raise Invalid_argument if [k <= 0]. *)

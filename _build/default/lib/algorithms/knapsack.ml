@@ -1,0 +1,53 @@
+open Vp_core
+
+type item = { group : Attr_set.t; benefit : float }
+
+let solve ~n items =
+  if n <= 0 || n > Attr_set.max_attributes then
+    invalid_arg "Knapsack.solve: n out of range";
+  let full = Attr_set.full n in
+  List.iter
+    (fun { group; benefit } ->
+      if Attr_set.is_empty group then invalid_arg "Knapsack.solve: empty group";
+      if not (Attr_set.subset group full) then
+        invalid_arg "Knapsack.solve: group out of range";
+      if benefit < 0.0 then invalid_arg "Knapsack.solve: negative benefit")
+    items;
+  (* Bucket the candidate groups by their lowest attribute so the DFS can
+     enumerate exactly the groups able to cover the lowest uncovered
+     attribute. *)
+  let by_lowest = Array.make n [] in
+  List.iter
+    (fun it -> by_lowest.(Attr_set.min_elt it.group) <- it :: by_lowest.(Attr_set.min_elt it.group))
+    items;
+  (* memo: uncovered mask -> (best benefit, chosen groups) *)
+  let memo : (int, float * Attr_set.t list) Hashtbl.t = Hashtbl.create 1024 in
+  let rec best uncovered =
+    if Attr_set.is_empty uncovered then (0.0, [])
+    else
+      match Hashtbl.find_opt memo (Attr_set.to_mask uncovered) with
+      | Some r -> r
+      | None ->
+          let lowest = Attr_set.min_elt uncovered in
+          (* Option 1: cover [lowest] with a zero-benefit singleton. *)
+          let single = Attr_set.singleton lowest in
+          let b0, g0 = best (Attr_set.diff uncovered single) in
+          let acc = ref (b0, single :: g0) in
+          (* Option 2: any candidate group containing [lowest] that fits in
+             the uncovered set. *)
+          List.iter
+            (fun it ->
+              if Attr_set.subset it.group uncovered then begin
+                let b, g = best (Attr_set.diff uncovered it.group) in
+                let total = b +. it.benefit in
+                if total > fst !acc then acc := (total, it.group :: g)
+              end)
+            by_lowest.(lowest);
+          Hashtbl.add memo (Attr_set.to_mask uncovered) !acc;
+          !acc
+  in
+  let benefit, groups = best full in
+  let canonical =
+    List.sort (fun a b -> compare (Attr_set.min_elt a) (Attr_set.min_elt b)) groups
+  in
+  (canonical, benefit)

@@ -1,0 +1,21 @@
+open Vp_core
+
+(** Exact-cover selection of column groups — the "0-1 knapsack" step of the
+    Trojan layouts algorithm: given a universe of attributes and a
+    collection of candidate column groups with benefit values, choose
+    pairwise-disjoint groups whose union is the whole universe and whose
+    total benefit is maximum. Attributes not covered by any candidate are
+    padded with zero-benefit singletons, so a solution always exists.
+
+    Solved exactly by depth-first search over the lowest uncovered
+    attribute with memoisation on the uncovered-set bit mask; for the paper
+    workloads (at most 17 attributes) this is at most 2^17 states. *)
+
+type item = { group : Attr_set.t; benefit : float }
+
+val solve : n:int -> item list -> Attr_set.t list * float
+(** [solve ~n items] returns the optimal disjoint cover of [{0..n-1}] (in
+    canonical order) and its total benefit. Singleton groups of benefit 0
+    are implicitly available for every attribute.
+    @raise Invalid_argument if [n <= 0], [n] exceeds the bit-mask width, an
+    item group is empty or out of range, or a benefit is negative. *)

@@ -1,0 +1,51 @@
+open Vp_core
+
+type merge = {
+  merged : Partitioning.t;
+  merged_cost : float;
+  group_a : Attr_set.t;
+  group_b : Attr_set.t;
+}
+
+let best_pair_merge ?(allowed = fun _ _ -> true) ~n oracle groups =
+  let arr = Array.of_list groups in
+  let k = Array.length arr in
+  if k < 2 then None
+  else begin
+    let best = ref None in
+    for i = 0 to k - 2 do
+      for j = i + 1 to k - 1 do
+        if allowed arr.(i) arr.(j) then begin
+          let candidate_groups =
+            Attr_set.union arr.(i) arr.(j)
+            :: (Array.to_list arr |> List.filteri (fun x _ -> x <> i && x <> j))
+          in
+          let candidate = Partitioning.of_groups ~n candidate_groups in
+          let cost = Partitioner.Counted.cost oracle candidate in
+          match !best with
+          | Some m when m.merged_cost <= cost -> ()
+          | _ ->
+              best :=
+                Some
+                  {
+                    merged = candidate;
+                    merged_cost = cost;
+                    group_a = arr.(i);
+                    group_b = arr.(j);
+                  }
+        end
+      done
+    done;
+    !best
+  end
+
+let climb ?(allowed = fun _ _ -> true) ~n oracle groups =
+  let rec go groups current current_cost iterations =
+    match best_pair_merge ~allowed ~n oracle groups with
+    | Some m when m.merged_cost < current_cost ->
+        go (Partitioning.groups m.merged) m.merged m.merged_cost (iterations + 1)
+    | Some _ | None -> (current, iterations)
+  in
+  let start = Partitioning.of_groups ~n groups in
+  let start_cost = Partitioner.Counted.cost oracle start in
+  go groups start start_cost 0

@@ -1,0 +1,34 @@
+open Vp_core
+
+(** Shared bottom-up search step: among all pairwise merges of the current
+    groups, find the one with the lowest cost. Used by HillClimb, AutoPart
+    and HYRISE. *)
+
+type merge = {
+  merged : Partitioning.t;  (** Partitioning after the merge. *)
+  merged_cost : float;
+  group_a : Attr_set.t;  (** The two groups that were merged. *)
+  group_b : Attr_set.t;
+}
+
+val best_pair_merge :
+  ?allowed:(Attr_set.t -> Attr_set.t -> bool) ->
+  n:int ->
+  Partitioner.Counted.oracle ->
+  Attr_set.t list ->
+  merge option
+(** [best_pair_merge ~n oracle groups] evaluates every pair of groups and
+    returns the cheapest resulting partitioning, or [None] when fewer than
+    two groups remain. [allowed] filters candidate pairs (HYRISE uses it to
+    restrict merging within a subgraph). Ties go to the earliest pair in
+    canonical group order. *)
+
+val climb :
+  ?allowed:(Attr_set.t -> Attr_set.t -> bool) ->
+  n:int ->
+  Partitioner.Counted.oracle ->
+  Attr_set.t list ->
+  Partitioning.t * int
+(** Greedy merging to a local optimum: repeatedly apply the best pairwise
+    merge while it strictly improves the cost. Returns the final
+    partitioning and the number of merge iterations performed. *)

@@ -1,0 +1,46 @@
+(** Navathe's vertical partitioning algorithm (Navathe, Ceri, Wiederhold &
+    Dou, ACM TODS 1984), adapted to the paper's unified setting.
+
+    A top-down algorithm that never consults the I/O cost model — its
+    decisions are purely affinity-driven, which is precisely why its layouts
+    fare worse than the cost-guided algorithms in the unified comparison:
+
+    + build the attribute affinity matrix from the workload;
+    + cluster it with the bond energy algorithm into a linear attribute
+      order (attributes with high affinity become adjacent);
+    + recursively split the ordered sequence. The cut of a segment is
+      chosen by Navathe's objective computed on the clustered-matrix
+      quadrants, [z = CT * CB - CTB^2], where CT (resp. CB) sums the
+      affinities inside the top (resp. bottom) sub-matrix and CTB sums the
+      affinities crossing the cut. A segment is split while the cut is
+      clean ([z >= 0]) or the segment is not a {e strong affinity clique}
+      (see {!is_affinity_clique}); strong cliques with only dirty cuts
+      stay whole.
+
+    Every split preserves the clustered order, so the result is a set of
+    contiguous runs of the bond-energy order. The calibration of the
+    clique rule against the paper's measured Navathe results is documented
+    in DESIGN.md section 6. *)
+
+val algorithm : Vp_core.Partitioner.t
+
+val clustered_order : Vp_core.Workload.t -> int array
+(** The bond-energy attribute order Navathe splits (exposed for tests). *)
+
+val best_z_split : Vp_core.Workload.t -> Vp_core.Attr_set.t list -> int array -> int -> int -> (int * float) option
+(** [best_z_split w _groups order start len] is the best split point of the
+    segment [order.(start .. start+len-1)] and its [z] value, or [None] for
+    unit segments. Exposed for O2P and tests; the group list argument is
+    unused (kept for signature stability). *)
+
+val is_affinity_clique :
+  ?reference:[ `Mean_positive | `Mean_all | `Any_positive ] ->
+  Vp_core.Affinity.t ->
+  Vp_core.Attr_set.t ->
+  bool
+(** [true] iff every attribute pair in the set has affinity at least the
+    reference mean of the matrix ([`Mean_positive], the default, averages
+    the co-accessed pairs only; [`Mean_all] averages all pairs;
+    [`Any_positive] accepts any co-accessed pair — the crude reference
+    O2P's online analysis uses, yielding its coarser fragments). Navathe's
+    recursion stops only on such strong cliques. *)

@@ -1,0 +1,31 @@
+open Vp_core
+
+(** O2P — One-dimensional Online Partitioning (Jindal & Dittrich, BIRTE
+    2011): Navathe's algorithm transformed into an online algorithm.
+
+    Differences from Navathe: (i) the affinity matrix and its bond-energy
+    clustering are maintained {e incrementally} — each query updates the
+    matrix and newly-referenced attributes are inserted into the existing
+    clustered order without re-clustering the attributes already placed, so
+    the order depends on the query arrival sequence and generally differs
+    from the offline bond-energy order; (ii) the partitioning analysis is
+    greedy — one best split (by Navathe's [z] objective) per step, with the
+    [z] values of the non-best segments remembered across steps (dynamic
+    programming), which makes each step cheap enough for an online setting.
+
+    Like Navathe, O2P never consults the I/O cost model. *)
+
+val algorithm : Partitioner.t
+(** Offline entry point matching the common interface: replays the workload
+    queries in order as an arrival stream and returns the layout O2P holds
+    after the last query. *)
+
+val online :
+  Workload.t ->
+  (Workload.t -> Partitioner.cost_fn) ->
+  (int * Partitioning.t * float) list
+(** True online simulation: returns, after each query arrival,
+    [(queries_seen, partitioning, prefix_cost)] where [prefix_cost] is the
+    cost of the current layout on the queries seen so far under the cost
+    model produced by the factory (instrumentation only — O2P itself never
+    reads it). *)

@@ -1,0 +1,52 @@
+open Vp_core
+
+let jaccard q1 q2 =
+  let r1 = Query.references q1 and r2 = Query.references q2 in
+  let union = Attr_set.cardinal (Attr_set.union r1 r2) in
+  if union = 0 then 0.0
+  else float_of_int (Attr_set.cardinal (Attr_set.inter r1 r2)) /. float_of_int union
+
+let group workload ~k =
+  if k <= 0 then invalid_arg "Query_grouping.group: k <= 0";
+  let queries = Workload.queries workload in
+  let n = Array.length queries in
+  if n = 0 then []
+  else begin
+    (* clusters: list of query-index lists. *)
+    let clusters = ref (List.init n (fun i -> [ i ])) in
+    let similarity c1 c2 =
+      let total = ref 0.0 and count = ref 0 in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun j ->
+              total := !total +. jaccard queries.(i) queries.(j);
+              incr count)
+            c2)
+        c1;
+      !total /. float_of_int !count
+    in
+    while List.length !clusters > k do
+      (* Find the most similar pair of clusters. *)
+      let best = ref None in
+      let rec scan = function
+        | [] | [ _ ] -> ()
+        | c1 :: rest ->
+            List.iter
+              (fun c2 ->
+                let s = similarity c1 c2 in
+                match !best with
+                | Some (_, _, bs) when bs >= s -> ()
+                | _ -> best := Some (c1, c2, s))
+              rest;
+            scan rest
+      in
+      scan !clusters;
+      match !best with
+      | Some (c1, c2, _) ->
+          clusters :=
+            (c1 @ c2) :: List.filter (fun c -> c != c1 && c != c2) !clusters
+      | None -> assert false
+    done;
+    List.map (List.sort compare) !clusters |> List.sort compare
+  end

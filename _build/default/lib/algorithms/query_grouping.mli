@@ -1,0 +1,20 @@
+open Vp_core
+
+(** Query grouping for replicated layouts (the Trojan layouts algorithm's
+    first step in its native HDFS setting): partition the workload's
+    queries into [k] groups of similar access patterns, so each group can
+    get its own vertical partitioning on its own data replica.
+
+    Similarity is the Jaccard coefficient of the attribute footprints;
+    grouping is greedy agglomerative clustering: start from singleton
+    clusters and repeatedly merge the pair with the highest average
+    inter-cluster similarity until [k] clusters remain. *)
+
+val jaccard : Query.t -> Query.t -> float
+(** |refs1 ∩ refs2| / |refs1 ∪ refs2|. *)
+
+val group : Workload.t -> k:int -> int list list
+(** [group w ~k] partitions the query indices [0 .. query_count-1] into at
+    most [k] non-empty groups (fewer when the workload has fewer queries).
+    Indices within a group and the groups themselves are sorted.
+    @raise Invalid_argument if [k <= 0]. *)

@@ -1,0 +1,26 @@
+open Vp_core
+
+let six =
+  [
+    Autopart.algorithm;
+    Hillclimb.algorithm;
+    Hyrise.algorithm;
+    Navathe.algorithm;
+    O2p.algorithm;
+    Trojan.algorithm;
+  ]
+
+let with_brute_force ?(brute_force = Brute_force.algorithm) () =
+  six @ [ brute_force ]
+
+let baselines = [ Baselines.row; Baselines.column ]
+
+let all = six @ [ Brute_force.algorithm ] @ baselines
+
+let find name =
+  let target = String.lowercase_ascii name in
+  List.find
+    (fun (p : Partitioner.t) -> String.lowercase_ascii p.name = target)
+    all
+
+let names = List.map (fun (p : Partitioner.t) -> p.name) all

@@ -1,0 +1,23 @@
+open Vp_core
+
+(** The standard line-up of algorithms, in the order the paper's figures
+    list them. *)
+
+val six : Partitioner.t list
+(** The six surveyed heuristics: AutoPart, HillClimb, HYRISE, Navathe, O2P,
+    Trojan. *)
+
+val with_brute_force : ?brute_force:Partitioner.t -> unit -> Partitioner.t list
+(** The six plus BruteForce (pass a {!Brute_force.make} wired with a
+    cost-model lower bound to make wide tables tractable; defaults to
+    {!Brute_force.algorithm}). *)
+
+val baselines : Partitioner.t list
+(** Row and Column. *)
+
+val find : string -> Partitioner.t
+(** Look up any algorithm (the six, BruteForce, Row, Column) by
+    case-insensitive name. @raise Not_found on unknown names. *)
+
+val names : string list
+(** All names accepted by {!find}. *)

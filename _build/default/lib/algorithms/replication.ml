@@ -1,0 +1,35 @@
+open Vp_core
+
+type t = { groups : (int list * Partitioning.t) list }
+
+let sub_workload workload indices =
+  let queries = Workload.queries workload in
+  Workload.make (Workload.table workload)
+    (List.map (fun i -> queries.(i)) indices)
+
+let build ~replicas ~algorithm ~cost_factory workload =
+  if replicas <= 0 then invalid_arg "Replication.build: replicas <= 0";
+  let groups = Query_grouping.group workload ~k:replicas in
+  let laid_out =
+    List.map
+      (fun indices ->
+        let sub = sub_workload workload indices in
+        let oracle = cost_factory sub in
+        let result = algorithm.Partitioner.run sub oracle in
+        (indices, result.Partitioner.partitioning))
+      groups
+  in
+  { groups = laid_out }
+
+let workload_cost ~cost_factory workload t =
+  List.fold_left
+    (fun acc (indices, partitioning) ->
+      let sub = sub_workload workload indices in
+      acc +. cost_factory sub partitioning)
+    0.0 t.groups
+
+let storage_factor _workload t = float_of_int (List.length t.groups)
+
+let replica_count t = List.length t.groups
+
+let layouts t = List.map snd t.groups

@@ -1,0 +1,1 @@
+lib/benchmarks/ssb.ml: Attribute Float List Query Table Vp_core Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/ssb.mli: Table Vp_core Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/synthetic.ml: Array Attr_set Attribute List Printf Query Table Vp_core Vp_datagen Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/synthetic.mli: Vp_core Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/tpch.ml: Attribute Float List Query Table Vp_core Workload

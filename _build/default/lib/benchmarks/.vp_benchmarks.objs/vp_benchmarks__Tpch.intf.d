@@ -1,0 +1,1 @@
+lib/benchmarks/tpch.mli: Table Vp_core Workload

@@ -1,0 +1,239 @@
+open Vp_core
+
+let int = Attribute.Int32
+
+let chr n = Attribute.Char n
+
+let vchr n = Attribute.Varchar n
+
+let schemas =
+  [
+    ( "customer",
+      30_000,
+      true,
+      [
+        ("CustKey", int);
+        ("Name", vchr 25);
+        ("Address", vchr 25);
+        ("City", chr 10);
+        ("Nation", chr 15);
+        ("Region", chr 12);
+        ("Phone", chr 15);
+        ("MktSegment", chr 10);
+      ] );
+    ( "date",
+      2_556,
+      false,
+      [
+        ("DateKey", int);
+        ("Date", chr 18);
+        ("DayOfWeek", chr 9);
+        ("Month", chr 9);
+        ("Year", int);
+        ("YearMonthNum", int);
+        ("YearMonth", chr 7);
+        ("DayNumInWeek", int);
+        ("DayNumInMonth", int);
+        ("DayNumInYear", int);
+        ("MonthNumInYear", int);
+        ("WeekNumInYear", int);
+        ("SellingSeason", vchr 12);
+        ("LastDayInWeekFl", chr 1);
+        ("LastDayInMonthFl", chr 1);
+        ("HolidayFl", chr 1);
+        ("WeekdayFl", chr 1);
+      ] );
+    ( "lineorder",
+      6_000_000,
+      true,
+      [
+        ("OrderKey", int);
+        ("LineNumber", int);
+        ("CustKey", int);
+        ("PartKey", int);
+        ("SuppKey", int);
+        ("OrderDate", int);
+        ("OrderPriority", chr 15);
+        ("ShipPriority", chr 1);
+        ("Quantity", int);
+        ("ExtendedPrice", int);
+        ("OrdTotalPrice", int);
+        ("Discount", int);
+        ("Revenue", int);
+        ("SupplyCost", int);
+        ("Tax", int);
+        ("CommitDate", int);
+        ("ShipMode", chr 10);
+      ] );
+    ( "part",
+      200_000,
+      true,
+      [
+        ("PartKey", int);
+        ("Name", vchr 22);
+        ("Mfgr", chr 6);
+        ("Category", chr 7);
+        ("Brand1", chr 9);
+        ("Color", vchr 11);
+        ("Type", vchr 25);
+        ("Size", int);
+        ("Container", chr 10);
+      ] );
+    ( "supplier",
+      2_000,
+      true,
+      [
+        ("SuppKey", int);
+        ("Name", chr 25);
+        ("Address", vchr 25);
+        ("City", chr 10);
+        ("Nation", chr 15);
+        ("Region", chr 12);
+        ("Phone", chr 15);
+      ] );
+  ]
+
+let table_names = List.map (fun (n, _, _, _) -> n) schemas
+
+let table ~sf name =
+  if sf <= 0.0 then invalid_arg "Ssb.table: sf <= 0";
+  let _, base, scales, attrs =
+    List.find (fun (n, _, _, _) -> n = name) schemas
+  in
+  (* SSB's part table grows as 200,000 * (1 + floor(log2 sf)); customer,
+     supplier and lineorder scale linearly; date is fixed. *)
+  let row_count =
+    if not scales then base
+    else if name = "part" then
+      let log2_sf = if sf < 2.0 then 0.0 else Float.round (log sf /. log 2.0) in
+      int_of_float (200_000.0 *. (1.0 +. log2_sf))
+    else int_of_float (Float.round (float_of_int base *. sf))
+  in
+  Table.make ~name
+    ~attributes:(List.map (fun (an, ty) -> Attribute.make an ty) attrs)
+    ~row_count
+
+let tables ~sf = List.map (fun n -> table ~sf n) table_names
+
+let footprints : (string * (string * string list) list) list =
+  [
+    ( "Q1.1",
+      [
+        ( "lineorder",
+          [ "ExtendedPrice"; "Discount"; "OrderDate"; "Quantity" ] );
+        ("date", [ "DateKey"; "Year" ]);
+      ] );
+    ( "Q1.2",
+      [
+        ( "lineorder",
+          [ "ExtendedPrice"; "Discount"; "OrderDate"; "Quantity" ] );
+        ("date", [ "DateKey"; "YearMonthNum" ]);
+      ] );
+    ( "Q1.3",
+      [
+        ( "lineorder",
+          [ "ExtendedPrice"; "Discount"; "OrderDate"; "Quantity" ] );
+        ("date", [ "DateKey"; "WeekNumInYear"; "Year" ]);
+      ] );
+    ( "Q2.1",
+      [
+        ("lineorder", [ "Revenue"; "OrderDate"; "PartKey"; "SuppKey" ]);
+        ("date", [ "DateKey"; "Year" ]);
+        ("part", [ "PartKey"; "Category"; "Brand1" ]);
+        ("supplier", [ "SuppKey"; "Region" ]);
+      ] );
+    ( "Q2.2",
+      [
+        ("lineorder", [ "Revenue"; "OrderDate"; "PartKey"; "SuppKey" ]);
+        ("date", [ "DateKey"; "Year" ]);
+        ("part", [ "PartKey"; "Brand1" ]);
+        ("supplier", [ "SuppKey"; "Region" ]);
+      ] );
+    ( "Q2.3",
+      [
+        ("lineorder", [ "Revenue"; "OrderDate"; "PartKey"; "SuppKey" ]);
+        ("date", [ "DateKey"; "Year" ]);
+        ("part", [ "PartKey"; "Brand1" ]);
+        ("supplier", [ "SuppKey"; "Region" ]);
+      ] );
+    ( "Q3.1",
+      [
+        ("lineorder", [ "CustKey"; "SuppKey"; "OrderDate"; "Revenue" ]);
+        ("customer", [ "CustKey"; "Region"; "Nation" ]);
+        ("supplier", [ "SuppKey"; "Region"; "Nation" ]);
+        ("date", [ "DateKey"; "Year" ]);
+      ] );
+    ( "Q3.2",
+      [
+        ("lineorder", [ "CustKey"; "SuppKey"; "OrderDate"; "Revenue" ]);
+        ("customer", [ "CustKey"; "Nation"; "City" ]);
+        ("supplier", [ "SuppKey"; "Nation"; "City" ]);
+        ("date", [ "DateKey"; "Year" ]);
+      ] );
+    ( "Q3.3",
+      [
+        ("lineorder", [ "CustKey"; "SuppKey"; "OrderDate"; "Revenue" ]);
+        ("customer", [ "CustKey"; "City" ]);
+        ("supplier", [ "SuppKey"; "City" ]);
+        ("date", [ "DateKey"; "Year" ]);
+      ] );
+    ( "Q3.4",
+      [
+        ("lineorder", [ "CustKey"; "SuppKey"; "OrderDate"; "Revenue" ]);
+        ("customer", [ "CustKey"; "City" ]);
+        ("supplier", [ "SuppKey"; "City" ]);
+        ("date", [ "DateKey"; "YearMonth" ]);
+      ] );
+    ( "Q4.1",
+      [
+        ( "lineorder",
+          [ "CustKey"; "SuppKey"; "PartKey"; "OrderDate"; "Revenue"; "SupplyCost" ]
+        );
+        ("customer", [ "CustKey"; "Region"; "Nation" ]);
+        ("supplier", [ "SuppKey"; "Region" ]);
+        ("part", [ "PartKey"; "Mfgr" ]);
+        ("date", [ "DateKey"; "Year" ]);
+      ] );
+    ( "Q4.2",
+      [
+        ( "lineorder",
+          [ "CustKey"; "SuppKey"; "PartKey"; "OrderDate"; "Revenue"; "SupplyCost" ]
+        );
+        ("customer", [ "CustKey"; "Region" ]);
+        ("supplier", [ "SuppKey"; "Region"; "Nation" ]);
+        ("part", [ "PartKey"; "Mfgr"; "Category" ]);
+        ("date", [ "DateKey"; "Year" ]);
+      ] );
+    ( "Q4.3",
+      [
+        ( "lineorder",
+          [ "CustKey"; "SuppKey"; "PartKey"; "OrderDate"; "Revenue"; "SupplyCost" ]
+        );
+        ("customer", [ "CustKey"; "Region" ]);
+        ("supplier", [ "SuppKey"; "Nation"; "City" ]);
+        ("part", [ "PartKey"; "Category"; "Brand1" ]);
+        ("date", [ "DateKey"; "Year" ]);
+      ] );
+  ]
+
+let query_names = List.map fst footprints
+
+let query_footprint name = List.assoc name footprints
+
+let workload ~sf name =
+  let tbl = table ~sf name in
+  let queries =
+    List.filter_map
+      (fun (qname, per_table) ->
+        match List.assoc_opt name per_table with
+        | None -> None
+        | Some attr_names ->
+            Some
+              (Query.make ~name:qname
+                 ~references:(Table.attr_set_of_names tbl attr_names)
+                 ()))
+      footprints
+  in
+  Workload.make tbl queries
+
+let workloads ~sf = List.map (fun n -> workload ~sf n) table_names

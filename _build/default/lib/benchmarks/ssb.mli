@@ -1,0 +1,25 @@
+open Vp_core
+
+(** The Star Schema Benchmark (O'Neil et al.) reduced to its vertical
+    partitioning footprint: five table schemas and the 13 queries' per-table
+    referenced-attribute sets. Used for the paper's Table 5 (SSB has less
+    fragmented access patterns than TPC-H, so wider column groups pay
+    off slightly more). *)
+
+val table_names : string list
+(** customer, date, lineorder, part, supplier. *)
+
+val table : sf:float -> string -> Table.t
+(** @raise Not_found on an unknown name.
+    @raise Invalid_argument if [sf <= 0]. *)
+
+val tables : sf:float -> Table.t list
+
+val query_names : string list
+(** Q1.1 .. Q4.3 in benchmark order. *)
+
+val query_footprint : string -> (string * string list) list
+
+val workload : sf:float -> string -> Workload.t
+
+val workloads : sf:float -> Workload.t list

@@ -1,0 +1,69 @@
+open Vp_core
+
+let workload ?(seed = 1337L) ?(rows = 1_000_000) ~attributes ~clusters
+    ~queries ~scatter () =
+  if attributes < 1 || attributes > Attr_set.max_attributes then
+    invalid_arg "Synthetic.workload: attributes out of range";
+  if clusters < 1 || clusters > attributes then
+    invalid_arg "Synthetic.workload: clusters out of range";
+  if queries <= 0 then invalid_arg "Synthetic.workload: queries <= 0";
+  if scatter < 0.0 || scatter > 1.0 then
+    invalid_arg "Synthetic.workload: scatter outside [0, 1]";
+  let attrs =
+    List.init attributes (fun i ->
+        Attribute.make
+          (Printf.sprintf "a%02d" i)
+          (match i mod 4 with
+          | 0 -> Attribute.Int32
+          | 1 -> Attribute.Decimal
+          | 2 -> Attribute.Date
+          | _ -> Attribute.Varchar (10 + (3 * i))))
+  in
+  let table =
+    Table.make ~name:"synthetic" ~attributes:attrs ~row_count:rows
+  in
+  (* Cluster c owns the contiguous attribute range [lo, hi). *)
+  let cluster_range c =
+    let per = attributes / clusters and extra = attributes mod clusters in
+    let lo = (c * per) + min c extra in
+    let size = per + if c < extra then 1 else 0 in
+    (lo, max 1 size)
+  in
+  let base = Vp_datagen.Prng.create seed in
+  let query qi =
+    let g = Vp_datagen.Prng.split base qi in
+    let home = Vp_datagen.Prng.int g clusters in
+    let lo, size = cluster_range home in
+    let refs = ref Attr_set.empty in
+    for k = 0 to size - 1 do
+      let attr =
+        if Vp_datagen.Prng.float g 1.0 < scatter then
+          Vp_datagen.Prng.int g attributes
+        else lo + k
+      in
+      refs := Attr_set.add attr !refs
+    done;
+    Query.make ~name:(Printf.sprintf "s%d" qi) ~references:!refs ()
+  in
+  Workload.make table (List.init queries query)
+
+let fragmentation w =
+  let queries = Workload.queries w in
+  let n = Array.length queries in
+  if n < 2 then 0.0
+  else begin
+    let total = ref 0.0 and pairs = ref 0 in
+    for i = 0 to n - 2 do
+      for j = i + 1 to n - 1 do
+        let ri = Query.references queries.(i)
+        and rj = Query.references queries.(j) in
+        let union = Attr_set.cardinal (Attr_set.union ri rj) in
+        let inter = Attr_set.cardinal (Attr_set.inter ri rj) in
+        if union > 0 then begin
+          total := !total +. (float_of_int inter /. float_of_int union);
+          incr pairs
+        end
+      done
+    done;
+    if !pairs = 0 then 0.0 else 1.0 -. (!total /. float_of_int !pairs)
+  end

@@ -1,0 +1,42 @@
+open Vp_core
+
+(** Synthetic workloads with controllable access-pattern fragmentation.
+
+    The paper explains lesson 4 ("column layouts are often good enough")
+    by TPC-H's fragmented access patterns: the 22 queries share few exact
+    column groups, so no grouping satisfies most of them. This generator
+    makes that explanation testable: it produces workloads whose queries
+    are drawn from [clusters] latent attribute groups, with a [scatter]
+    parameter controlling how often a query strays outside its cluster.
+
+    - [scatter = 0.0]: every query references exactly its cluster's
+      attributes — perfectly regular access patterns, the ideal case for
+      vertical partitioning (each cluster becomes a partition and every
+      query reads exactly what it needs).
+    - [scatter = 1.0]: every query references a uniformly random attribute
+      subset — maximal fragmentation, where the paper predicts column
+      layout is unbeatable.
+
+    Everything is deterministic in the seed. *)
+
+val workload :
+  ?seed:int64 ->
+  ?rows:int ->
+  attributes:int ->
+  clusters:int ->
+  queries:int ->
+  scatter:float ->
+  unit ->
+  Workload.t
+(** [workload ~attributes ~clusters ~queries ~scatter ()] builds a table of
+    [attributes] mixed-type columns and [queries] queries. Each query picks
+    a home cluster; each referenced attribute is, with probability
+    [scatter], replaced by a uniformly random attribute.
+    @raise Invalid_argument if [attributes] is not in
+    [1 .. Attr_set.max_attributes], [clusters] is not in [1 .. attributes],
+    [queries <= 0], or [scatter] is outside [[0, 1]]. *)
+
+val fragmentation : Workload.t -> float
+(** A fragmentation score in [[0, 1]]: 1 minus the mean pairwise Jaccard
+    similarity of the query footprints. Near 0 for highly regular
+    workloads, near 1 when queries share almost nothing. *)

@@ -1,0 +1,326 @@
+open Vp_core
+
+let int = Attribute.Int32
+
+let dec = Attribute.Decimal
+
+let date = Attribute.Date
+
+let chr n = Attribute.Char n
+
+let vchr n = Attribute.Varchar n
+
+(* (table, base row count at SF 1, scales?, attributes) *)
+let schemas =
+  [
+    ( "customer",
+      150_000,
+      true,
+      [
+        ("CustKey", int);
+        ("Name", vchr 25);
+        ("Address", vchr 40);
+        ("NationKey", int);
+        ("Phone", chr 15);
+        ("AcctBal", dec);
+        ("MktSegment", chr 10);
+        ("Comment", vchr 117);
+      ] );
+    ( "lineitem",
+      6_000_000,
+      true,
+      [
+        ("OrderKey", int);
+        ("PartKey", int);
+        ("SuppKey", int);
+        ("LineNumber", int);
+        ("Quantity", dec);
+        ("ExtendedPrice", dec);
+        ("Discount", dec);
+        ("Tax", dec);
+        ("ReturnFlag", chr 1);
+        ("LineStatus", chr 1);
+        ("ShipDate", date);
+        ("CommitDate", date);
+        ("ReceiptDate", date);
+        ("ShipInstruct", chr 25);
+        ("ShipMode", chr 10);
+        ("Comment", vchr 44);
+      ] );
+    ( "nation",
+      25,
+      false,
+      [
+        ("NationKey", int);
+        ("Name", chr 25);
+        ("RegionKey", int);
+        ("Comment", vchr 152);
+      ] );
+    ( "orders",
+      1_500_000,
+      true,
+      [
+        ("OrderKey", int);
+        ("CustKey", int);
+        ("OrderStatus", chr 1);
+        ("TotalPrice", dec);
+        ("OrderDate", date);
+        ("OrderPriority", chr 15);
+        ("Clerk", chr 15);
+        ("ShipPriority", int);
+        ("Comment", vchr 79);
+      ] );
+    ( "part",
+      200_000,
+      true,
+      [
+        ("PartKey", int);
+        ("Name", vchr 55);
+        ("Mfgr", chr 25);
+        ("Brand", chr 10);
+        ("Type", vchr 25);
+        ("Size", int);
+        ("Container", chr 10);
+        ("RetailPrice", dec);
+        ("Comment", vchr 23);
+      ] );
+    ( "partsupp",
+      800_000,
+      true,
+      [
+        ("PartKey", int);
+        ("SuppKey", int);
+        ("AvailQty", int);
+        ("SupplyCost", dec);
+        ("Comment", vchr 199);
+      ] );
+    ("region", 5, false, [ ("RegionKey", int); ("Name", chr 25); ("Comment", vchr 152) ]);
+    ( "supplier",
+      10_000,
+      true,
+      [
+        ("SuppKey", int);
+        ("Name", chr 25);
+        ("Address", vchr 40);
+        ("NationKey", int);
+        ("Phone", chr 15);
+        ("AcctBal", dec);
+        ("Comment", vchr 101);
+      ] );
+  ]
+
+let table_names = List.map (fun (n, _, _, _) -> n) schemas
+
+let table ~sf name =
+  if sf <= 0.0 then invalid_arg "Tpch.table: sf <= 0";
+  let _, base, scales, attrs =
+    List.find (fun (n, _, _, _) -> n = name) schemas
+  in
+  let row_count =
+    if scales then
+      int_of_float (Float.round (float_of_int base *. sf))
+    else base
+  in
+  Table.make ~name
+    ~attributes:(List.map (fun (an, ty) -> Attribute.make an ty) attrs)
+    ~row_count
+
+let tables ~sf = List.map (fun n -> table ~sf n) table_names
+
+(* Scan/projection attribute footprints of the 22 TPC-H queries. An
+   attribute is referenced if it appears anywhere in the query: SELECT list,
+   aggregates, WHERE predicates (incl. join keys), GROUP BY or ORDER BY. *)
+let footprints : (string * (string * string list) list) list =
+  [
+    ( "Q1",
+      [
+        ( "lineitem",
+          [
+            "Quantity";
+            "ExtendedPrice";
+            "Discount";
+            "Tax";
+            "ReturnFlag";
+            "LineStatus";
+            "ShipDate";
+          ] );
+      ] );
+    ( "Q2",
+      [
+        ("part", [ "PartKey"; "Mfgr"; "Size"; "Type" ]);
+        ( "supplier",
+          [
+            "SuppKey"; "Name"; "Address"; "NationKey"; "Phone"; "AcctBal"; "Comment";
+          ] );
+        ("partsupp", [ "PartKey"; "SuppKey"; "SupplyCost" ]);
+        ("nation", [ "NationKey"; "Name"; "RegionKey" ]);
+        ("region", [ "RegionKey"; "Name" ]);
+      ] );
+    ( "Q3",
+      [
+        ("customer", [ "CustKey"; "MktSegment" ]);
+        ("orders", [ "OrderKey"; "CustKey"; "OrderDate"; "ShipPriority" ]);
+        ("lineitem", [ "OrderKey"; "ExtendedPrice"; "Discount"; "ShipDate" ]);
+      ] );
+    ( "Q4",
+      [
+        ("orders", [ "OrderKey"; "OrderDate"; "OrderPriority" ]);
+        ("lineitem", [ "OrderKey"; "CommitDate"; "ReceiptDate" ]);
+      ] );
+    ( "Q5",
+      [
+        ("customer", [ "CustKey"; "NationKey" ]);
+        ("orders", [ "OrderKey"; "CustKey"; "OrderDate" ]);
+        ("lineitem", [ "OrderKey"; "SuppKey"; "ExtendedPrice"; "Discount" ]);
+        ("supplier", [ "SuppKey"; "NationKey" ]);
+        ("nation", [ "NationKey"; "RegionKey"; "Name" ]);
+        ("region", [ "RegionKey"; "Name" ]);
+      ] );
+    ( "Q6",
+      [ ("lineitem", [ "Quantity"; "ExtendedPrice"; "Discount"; "ShipDate" ]) ]
+    );
+    ( "Q7",
+      [
+        ("supplier", [ "SuppKey"; "NationKey" ]);
+        ( "lineitem",
+          [ "OrderKey"; "SuppKey"; "ExtendedPrice"; "Discount"; "ShipDate" ] );
+        ("orders", [ "OrderKey"; "CustKey" ]);
+        ("customer", [ "CustKey"; "NationKey" ]);
+        ("nation", [ "NationKey"; "Name" ]);
+      ] );
+    ( "Q8",
+      [
+        ("part", [ "PartKey"; "Type" ]);
+        ("supplier", [ "SuppKey"; "NationKey" ]);
+        ( "lineitem",
+          [ "PartKey"; "SuppKey"; "OrderKey"; "ExtendedPrice"; "Discount" ] );
+        ("orders", [ "OrderKey"; "CustKey"; "OrderDate" ]);
+        ("customer", [ "CustKey"; "NationKey" ]);
+        ("nation", [ "NationKey"; "RegionKey"; "Name" ]);
+        ("region", [ "RegionKey"; "Name" ]);
+      ] );
+    ( "Q9",
+      [
+        ("part", [ "PartKey"; "Name" ]);
+        ("supplier", [ "SuppKey"; "NationKey" ]);
+        ( "lineitem",
+          [
+            "PartKey"; "SuppKey"; "OrderKey"; "ExtendedPrice"; "Discount"; "Quantity";
+          ] );
+        ("partsupp", [ "PartKey"; "SuppKey"; "SupplyCost" ]);
+        ("orders", [ "OrderKey"; "OrderDate" ]);
+        ("nation", [ "NationKey"; "Name" ]);
+      ] );
+    ( "Q10",
+      [
+        ( "customer",
+          [
+            "CustKey"; "Name"; "AcctBal"; "Address"; "Phone"; "Comment"; "NationKey";
+          ] );
+        ("orders", [ "OrderKey"; "CustKey"; "OrderDate" ]);
+        ("lineitem", [ "OrderKey"; "ExtendedPrice"; "Discount"; "ReturnFlag" ]);
+        ("nation", [ "NationKey"; "Name" ]);
+      ] );
+    ( "Q11",
+      [
+        ("partsupp", [ "PartKey"; "SuppKey"; "AvailQty"; "SupplyCost" ]);
+        ("supplier", [ "SuppKey"; "NationKey" ]);
+        ("nation", [ "NationKey"; "Name" ]);
+      ] );
+    ( "Q12",
+      [
+        ("orders", [ "OrderKey"; "OrderPriority" ]);
+        ( "lineitem",
+          [ "OrderKey"; "ShipMode"; "CommitDate"; "ShipDate"; "ReceiptDate" ] );
+      ] );
+    ( "Q13",
+      [
+        ("customer", [ "CustKey" ]);
+        ("orders", [ "OrderKey"; "CustKey"; "Comment" ]);
+      ] );
+    ( "Q14",
+      [
+        ("lineitem", [ "PartKey"; "ExtendedPrice"; "Discount"; "ShipDate" ]);
+        ("part", [ "PartKey"; "Type" ]);
+      ] );
+    ( "Q15",
+      [
+        ("supplier", [ "SuppKey"; "Name"; "Address"; "Phone" ]);
+        ("lineitem", [ "SuppKey"; "ExtendedPrice"; "Discount"; "ShipDate" ]);
+      ] );
+    ( "Q16",
+      [
+        ("partsupp", [ "PartKey"; "SuppKey" ]);
+        ("part", [ "PartKey"; "Brand"; "Type"; "Size" ]);
+        ("supplier", [ "SuppKey"; "Comment" ]);
+      ] );
+    ( "Q17",
+      [
+        ("lineitem", [ "PartKey"; "Quantity"; "ExtendedPrice" ]);
+        ("part", [ "PartKey"; "Brand"; "Container" ]);
+      ] );
+    ( "Q18",
+      [
+        ("customer", [ "CustKey"; "Name" ]);
+        ("orders", [ "OrderKey"; "CustKey"; "OrderDate"; "TotalPrice" ]);
+        ("lineitem", [ "OrderKey"; "Quantity" ]);
+      ] );
+    ( "Q19",
+      [
+        ( "lineitem",
+          [
+            "PartKey";
+            "Quantity";
+            "ExtendedPrice";
+            "Discount";
+            "ShipInstruct";
+            "ShipMode";
+          ] );
+        ("part", [ "PartKey"; "Brand"; "Container"; "Size" ]);
+      ] );
+    ( "Q20",
+      [
+        ("supplier", [ "SuppKey"; "Name"; "Address"; "NationKey" ]);
+        ("nation", [ "NationKey"; "Name" ]);
+        ("partsupp", [ "PartKey"; "SuppKey"; "AvailQty" ]);
+        ("part", [ "PartKey"; "Name" ]);
+        ("lineitem", [ "PartKey"; "SuppKey"; "Quantity"; "ShipDate" ]);
+      ] );
+    ( "Q21",
+      [
+        ("supplier", [ "SuppKey"; "Name"; "NationKey" ]);
+        ("lineitem", [ "OrderKey"; "SuppKey"; "CommitDate"; "ReceiptDate" ]);
+        ("orders", [ "OrderKey"; "OrderStatus" ]);
+        ("nation", [ "NationKey"; "Name" ]);
+      ] );
+    ( "Q22",
+      [
+        ("customer", [ "CustKey"; "Phone"; "AcctBal" ]);
+        ("orders", [ "CustKey" ]);
+      ] );
+  ]
+
+let query_names = List.map fst footprints
+
+let query_footprint name = List.assoc name footprints
+
+let queries_for_table tbl footprint_list =
+  List.filter_map
+    (fun (qname, per_table) ->
+      match List.assoc_opt (Table.name tbl) per_table with
+      | None -> None
+      | Some attr_names ->
+          let references = Table.attr_set_of_names tbl attr_names in
+          Some (Query.make ~name:qname ~references ()))
+    footprint_list
+
+let workload ~sf name =
+  let tbl = table ~sf name in
+  Workload.make tbl (queries_for_table tbl footprints)
+
+let workloads ~sf = List.map (fun n -> workload ~sf n) table_names
+
+let workload_prefix ~sf ~k name =
+  let tbl = table ~sf name in
+  let prefix_footprints = List.filteri (fun i _ -> i < k) footprints in
+  Workload.make tbl (queries_for_table tbl prefix_footprints)

@@ -1,0 +1,44 @@
+open Vp_core
+
+(** The TPC-H benchmark reduced to its vertical-partitioning footprint:
+    the eight table schemas (attribute types, byte widths, row counts as a
+    function of the scale factor) and, for each of the 22 queries, the set
+    of attributes it references in each table (its scan/projection
+    footprint — selections, joins and aggregates all count as references,
+    matching the paper's Section 4 "scan and projection operators only").
+
+    Variable-width text columns are charged at their declared capacity,
+    mirroring a fixed-slot row store. *)
+
+val table_names : string list
+(** The eight TPC-H tables, in alphabetical order:
+    customer, lineitem, nation, orders, part, partsupp, region, supplier. *)
+
+val table : sf:float -> string -> Table.t
+(** Schema of the named table with row counts at the given scale factor
+    (Nation and Region do not scale).
+    @raise Not_found on an unknown name.
+    @raise Invalid_argument if [sf <= 0]. *)
+
+val tables : sf:float -> Table.t list
+
+val query_names : string list
+(** ["Q1"; ...; "Q22"], in benchmark order (the paper's "first k queries"
+    prefixes follow this order). *)
+
+val query_footprint : string -> (string * string list) list
+(** [query_footprint "Q3"] lists, per referenced table, the attribute names
+    the query touches, e.g.
+    [("customer", ["CustKey"; "MktSegment"]); ...].
+    @raise Not_found on an unknown query name. *)
+
+val workload : sf:float -> string -> Workload.t
+(** Per-table workload: the named table plus the footprints of every query
+    that references it, in query order. *)
+
+val workloads : sf:float -> Workload.t list
+(** One workload per table, in {!table_names} order. *)
+
+val workload_prefix : sf:float -> k:int -> string -> Workload.t
+(** Like {!workload} but restricted to the first [k] queries of the
+    benchmark (queries among Q1..Qk that reference the table). *)

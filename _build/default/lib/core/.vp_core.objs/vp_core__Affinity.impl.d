@@ -1,0 +1,1 @@
+lib/core/affinity.ml: Array Attr_set Format List Query Table Workload

@@ -1,0 +1,1 @@
+lib/core/attr_set.ml: Format Hashtbl List Printf Stdlib Sys

@@ -1,0 +1,1 @@
+lib/core/attribute.ml: Format Printf String

@@ -1,0 +1,1 @@
+lib/core/attribute.mli: Format

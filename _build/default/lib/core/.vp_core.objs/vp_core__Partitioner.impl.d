@@ -1,0 +1,1 @@
+lib/core/partitioner.ml: Partitioning Unix Workload

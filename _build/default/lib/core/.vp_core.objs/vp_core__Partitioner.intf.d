@@ -1,0 +1,1 @@
+lib/core/partitioner.mli: Partitioning Workload

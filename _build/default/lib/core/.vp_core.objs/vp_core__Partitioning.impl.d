@@ -1,0 +1,1 @@
+lib/core/partitioning.ml: Array Attr_set Format Hashtbl List Printf String Table

@@ -1,0 +1,1 @@
+lib/core/partitioning.mli: Attr_set Format Table

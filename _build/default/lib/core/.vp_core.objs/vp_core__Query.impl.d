@@ -1,0 +1,1 @@
+lib/core/query.ml: Attr_set Format Printf

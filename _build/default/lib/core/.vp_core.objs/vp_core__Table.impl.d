@@ -1,0 +1,1 @@
+lib/core/table.ml: Array Attr_set Attribute Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/core/workload.ml: Array Attr_set Format Hashtbl List Printf Query Table

@@ -1,0 +1,52 @@
+type t = { n : int; cells : float array }
+(* Row-major n*n symmetric matrix. *)
+
+let create n =
+  if n <= 0 then invalid_arg "Affinity.create: n <= 0";
+  { n; cells = Array.make (n * n) 0.0 }
+
+let size m = m.n
+
+let get m i j =
+  if i < 0 || i >= m.n || j < 0 || j >= m.n then
+    invalid_arg "Affinity.get: index out of range";
+  m.cells.((i * m.n) + j)
+
+let set m i j v = m.cells.((i * m.n) + j) <- v
+
+let add_query m q =
+  let refs = Attr_set.to_list (Query.references q) in
+  let w = Query.weight q in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j -> set m i j (m.cells.((i * m.n) + j) +. w))
+        refs)
+    refs
+
+let of_workload w =
+  let m = create (Table.attribute_count (Workload.table w)) in
+  Array.iter (fun q -> add_query m q) (Workload.queries w);
+  m
+
+let copy m = { n = m.n; cells = Array.copy m.cells }
+
+let equal a b = a.n = b.n && a.cells = b.cells
+
+let column_similarity m ~order i j =
+  let ai = order.(i) and aj = order.(j) in
+  let acc = ref 0.0 in
+  for k = 0 to m.n - 1 do
+    acc := !acc +. (get m ai k *. get m aj k)
+  done;
+  !acc
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.n - 1 do
+    for j = 0 to m.n - 1 do
+      Format.fprintf ppf "%6.1f " (get m i j)
+    done;
+    Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

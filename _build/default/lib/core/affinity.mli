@@ -1,0 +1,33 @@
+(** Attribute affinity matrices (Navathe et al. 1984).
+
+    Cell (i, j) holds the affinity of attributes [i] and [j]: the total
+    weight of workload queries that reference both. The diagonal holds each
+    attribute's total access weight. The matrix is symmetric. O2P maintains
+    the same matrix incrementally, one query at a time. *)
+
+type t
+
+val create : int -> t
+(** All-zero matrix for [n] attributes. @raise Invalid_argument if [n <= 0]. *)
+
+val of_workload : Workload.t -> t
+(** Affinity matrix of a complete workload. *)
+
+val size : t -> int
+
+val get : t -> int -> int -> float
+
+val add_query : t -> Query.t -> unit
+(** Incrementally accounts for one more query (O2P's online update):
+    increases cell (i, j) by the query weight for every referenced pair. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+val column_similarity : t -> order:int array -> int -> int -> float
+(** Bond between the attributes at positions [i] and [j] of [order]:
+    [sum_k aff(order.(i), k) * aff(order.(j), k)] — the "bond" used by the
+    bond energy algorithm. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+type datatype = Int32 | Decimal | Date | Char of int | Varchar of int
+
+type t = { name : string; datatype : datatype }
+
+let width_of_datatype = function
+  | Int32 -> 4
+  | Decimal -> 8
+  | Date -> 4
+  | Char n -> n
+  | Varchar n -> n
+
+let make name datatype =
+  if String.length name = 0 then invalid_arg "Attribute.make: empty name";
+  (match datatype with
+  | Char n | Varchar n ->
+      if n <= 0 then
+        invalid_arg
+          (Printf.sprintf "Attribute.make: non-positive width %d for %s" n name)
+  | Int32 | Decimal | Date -> ());
+  { name; datatype }
+
+let name a = a.name
+
+let datatype a = a.datatype
+
+let width a = width_of_datatype a.datatype
+
+let equal a b = a.name = b.name && a.datatype = b.datatype
+
+let pp_datatype ppf = function
+  | Int32 -> Format.pp_print_string ppf "int32"
+  | Decimal -> Format.pp_print_string ppf "decimal"
+  | Date -> Format.pp_print_string ppf "date"
+  | Char n -> Format.fprintf ppf "char(%d)" n
+  | Varchar n -> Format.fprintf ppf "varchar(~%d)" n
+
+let pp ppf a = Format.fprintf ppf "%s:%a" a.name pp_datatype a.datatype

@@ -1,0 +1,37 @@
+(** Table attributes (columns) and their physical datatypes.
+
+    The cost model only needs the on-disk byte width of each attribute, but
+    the storage simulator and the data generator also need the logical type,
+    so attributes carry a {!datatype}. Variable-length fields use their
+    average width (as the paper does for TPC-H text columns). *)
+
+(** Physical datatype of an attribute. Widths follow common TPC-H
+    implementations: 4-byte integers and dates, 8-byte decimals, fixed-width
+    or average-width strings. *)
+type datatype =
+  | Int32  (** 4-byte signed integer (keys, quantities). *)
+  | Decimal  (** 8-byte fixed-point decimal. *)
+  | Date  (** 4-byte day number. *)
+  | Char of int  (** Fixed-width string of the given byte length. *)
+  | Varchar of int
+      (** Variable-width string; the argument is the {e average} stored
+          length in bytes, used as the row-size contribution. *)
+
+type t = private { name : string; datatype : datatype }
+
+val make : string -> datatype -> t
+(** @raise Invalid_argument on an empty name or a non-positive string width. *)
+
+val name : t -> string
+
+val datatype : t -> datatype
+
+val width : t -> int
+(** On-disk width in bytes (average width for [Varchar]). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [name:type(width)]. *)
+
+val pp_datatype : Format.formatter -> datatype -> unit

@@ -1,0 +1,99 @@
+let bell n =
+  if n < 0 || n > 120 then invalid_arg "Enumeration.bell: n out of range";
+  (* Bell triangle in floats. *)
+  let prev = ref [| 1.0 |] in
+  for _row = 1 to n do
+    let p = !prev in
+    let len = Array.length p in
+    let cur = Array.make (len + 1) 0.0 in
+    cur.(0) <- p.(len - 1);
+    for i = 1 to len do
+      cur.(i) <- cur.(i - 1) +. p.(i - 1)
+    done;
+    prev := cur
+  done;
+  !prev.(0)
+
+let bell_exact n =
+  if n < 0 || n > 22 then invalid_arg "Enumeration.bell_exact: n out of range";
+  let prev = ref [| 1 |] in
+  for _row = 1 to n do
+    let p = !prev in
+    let len = Array.length p in
+    let cur = Array.make (len + 1) 0 in
+    cur.(0) <- p.(len - 1);
+    for i = 1 to len do
+      cur.(i) <- cur.(i - 1) + p.(i - 1)
+    done;
+    prev := cur
+  done;
+  !prev.(0)
+
+let stirling2 n k =
+  if n < 0 || k < 0 then invalid_arg "Enumeration.stirling2: negative argument";
+  if k > n then 0.0
+  else if n = 0 then 1.0 (* n = 0, k = 0 *)
+  else if k = 0 then 0.0
+  else begin
+    (* row-by-row DP: S(n,k) = k*S(n-1,k) + S(n-1,k-1) *)
+    let row = Array.make (k + 1) 0.0 in
+    row.(0) <- 1.0;
+    (* represents S(0, * ) *)
+    for i = 1 to n do
+      (* update right-to-left so row.(j-1) is still S(i-1, j-1) *)
+      for j = min i k downto 1 do
+        row.(j) <- (float_of_int j *. row.(j)) +. row.(j - 1)
+      done;
+      row.(0) <- 0.0
+    done;
+    row.(k)
+  end
+
+let iter_rgs n f =
+  if n <= 0 then invalid_arg "Enumeration.iter_rgs: n <= 0";
+  let a = Array.make n 0 in
+  (* b.(i) = 1 + max(a.(0..i-1)); b.(0) = 0 by convention. *)
+  let b = Array.make n 0 in
+  let rec next () =
+    f a;
+    (* Find rightmost position that can be incremented. *)
+    let rec find i = if i <= 0 then -1 else if a.(i) < b.(i) then i else find (i - 1) in
+    let i = find (n - 1) in
+    if i >= 0 then begin
+      a.(i) <- a.(i) + 1;
+      for j = i + 1 to n - 1 do
+        a.(j) <- 0;
+        b.(j) <- max b.(j - 1) (a.(j - 1) + 1)
+      done;
+      next ()
+    end
+  in
+  (* initialise b *)
+  for j = 1 to n - 1 do
+    b.(j) <- max b.(j - 1) (a.(j - 1) + 1)
+  done;
+  next ()
+
+let iter_partitions n f =
+  iter_rgs n (fun a -> f (Partitioning.of_assignment a))
+
+let count_partitions n =
+  let c = ref 0 in
+  iter_rgs n (fun _ -> incr c);
+  !c
+
+let fold_rgs n ~init ~f =
+  let acc = ref init in
+  iter_rgs n (fun a -> acc := f !acc a);
+  !acc
+
+let random_partitioning rand n =
+  if n <= 0 then invalid_arg "Enumeration.random_partitioning: n <= 0";
+  let a = Array.make n 0 in
+  let blocks = ref 1 in
+  for i = 1 to n - 1 do
+    let pick = rand (!blocks + 1) in
+    a.(i) <- pick;
+    if pick = !blocks then incr blocks
+  done;
+  Partitioning.of_assignment a

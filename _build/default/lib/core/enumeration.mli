@@ -1,0 +1,50 @@
+(** Combinatorics of set partitions: Bell numbers, Stirling numbers of the
+    second kind, and exhaustive enumeration via restricted growth strings
+    (RGS) — the machinery behind the paper's BruteForce algorithm.
+
+    An RGS for [n] elements is an array [a] with [a.(0) = 0] and
+    [a.(i) <= 1 + max(a.(0..i-1))]; it assigns element [i] to block
+    [a.(i)]. RGSs are in bijection with set partitions. *)
+
+val bell : int -> float
+(** [bell n] is the n-th Bell number B(n) (number of set partitions of an
+    n-element set) as a float: B(0) = 1, B(8) = 4140, B(16) = 10,480,142,147.
+    Note the paper quotes "10.5 million" for 16 attributes, which is B(16)
+    truncated differently; see {!bell_exact} for exact integers.
+    @raise Invalid_argument if [n < 0] or [n > 120]. *)
+
+val bell_exact : int -> int
+(** Exact Bell number; valid while it fits in a native int ([n <= 22] is
+    safe on 64-bit). @raise Invalid_argument if [n < 0] or [n > 22]. *)
+
+val stirling2 : int -> int -> float
+(** [stirling2 n k] is the Stirling number of the second kind {n k}: the
+    number of ways to partition [n] elements into exactly [k] non-empty
+    blocks. [stirling2 0 0 = 1.]. @raise Invalid_argument on negative
+    arguments. *)
+
+val iter_rgs : int -> (int array -> unit) -> unit
+(** [iter_rgs n f] calls [f] once per set partition of [n] elements, passing
+    the RGS array. The array is reused between calls — callers must copy it
+    if they retain it. Partitions are produced in lexicographic RGS order,
+    starting with the all-zero string (row layout) and ending with
+    [0,1,...,n-1] (column layout).
+    @raise Invalid_argument if [n <= 0]. *)
+
+val iter_partitions : int -> (Partitioning.t -> unit) -> unit
+(** Like {!iter_rgs} but materialises each {!Partitioning.t}. Slower;
+    intended for small [n] (tests). *)
+
+val count_partitions : int -> int
+(** Counts partitions by running the enumerator — used to cross-check
+    {!bell_exact} in tests. Intended for [n <= 13]. *)
+
+val fold_rgs : int -> init:'a -> f:('a -> int array -> 'a) -> 'a
+(** Folding variant of {!iter_rgs}; the array is reused between calls. *)
+
+val random_partitioning : (int -> int) -> int -> Partitioning.t
+(** [random_partitioning rand n] draws a uniformly random-ish partitioning of
+    [n] attributes using [rand] (a [bound -> value] generator, e.g.
+    [Random.int]): each attribute joins an existing block or a new one with
+    probability proportional to a Chinese-restaurant-process scheme. Used by
+    property tests. *)

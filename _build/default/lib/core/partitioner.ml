@@ -1,0 +1,53 @@
+type cost_fn = Partitioning.t -> float
+
+type stats = {
+  cost_calls : int;
+  candidates : int;
+  iterations : int;
+  elapsed_seconds : float;
+}
+
+type result = { partitioning : Partitioning.t; cost : float; stats : stats }
+
+type t = {
+  name : string;
+  short_name : string;
+  run : Workload.t -> cost_fn -> result;
+}
+
+module Counted = struct
+  type oracle = { f : cost_fn; mutable calls : int; mutable candidates : int }
+
+  let make f = { f; calls = 0; candidates = 0 }
+
+  let cost o p =
+    o.calls <- o.calls + 1;
+    o.candidates <- o.candidates + 1;
+    o.f p
+
+  let note_candidate o = o.candidates <- o.candidates + 1
+
+  let calls o = o.calls
+
+  let candidates o = o.candidates
+end
+
+let timed_run ~name ~short_name body =
+  let run workload cost_fn =
+    let oracle = Counted.make cost_fn in
+    let t0 = Unix.gettimeofday () in
+    let partitioning, iterations = body workload oracle in
+    let elapsed_seconds = Unix.gettimeofday () -. t0 in
+    {
+      partitioning;
+      cost = cost_fn partitioning;
+      stats =
+        {
+          cost_calls = Counted.calls oracle;
+          candidates = Counted.candidates oracle;
+          iterations;
+          elapsed_seconds;
+        };
+    }
+  in
+  { name; short_name; run }

@@ -1,0 +1,60 @@
+(** The common interface every vertical partitioning algorithm implements,
+    plus instrumentation shared by all of them.
+
+    Algorithms receive a {!Workload.t} and a cost oracle, and return a
+    {!Partitioning.t} with run statistics. The cost oracle abstracts the
+    cost model (disk I/O or main-memory), so the same algorithm code runs
+    under every model — the paper's "unified setting". *)
+
+type cost_fn = Partitioning.t -> float
+(** Estimated workload cost of a candidate partitioning. Lower is better.
+    Must be deterministic for the duration of a run. *)
+
+type stats = {
+  cost_calls : int;  (** Number of cost-oracle invocations. *)
+  candidates : int;  (** Candidate partitionings considered. *)
+  iterations : int;  (** Algorithm-specific outer iterations. *)
+  elapsed_seconds : float;  (** Wall-clock optimization time. *)
+}
+
+type result = {
+  partitioning : Partitioning.t;
+  cost : float;  (** Cost of [partitioning] under the supplied oracle. *)
+  stats : stats;
+}
+
+type t = {
+  name : string;
+  short_name : string;  (** e.g. "HC" for HillClimb, used in layout grids. *)
+  run : Workload.t -> cost_fn -> result;
+}
+(** A named algorithm. [run] must return a valid partitioning of the
+    workload's table. *)
+
+(** A counting wrapper around a cost oracle, used by algorithm
+    implementations to fill in {!stats} without threading counters
+    manually. *)
+module Counted : sig
+  type oracle
+
+  val make : cost_fn -> oracle
+
+  val cost : oracle -> Partitioning.t -> float
+  (** Evaluates and counts one cost call. *)
+
+  val note_candidate : oracle -> unit
+  (** Records a candidate that was considered without a (new) cost call. *)
+
+  val calls : oracle -> int
+
+  val candidates : oracle -> int
+end
+
+val timed_run :
+  name:string ->
+  short_name:string ->
+  (Workload.t -> Counted.oracle -> Partitioning.t * int) ->
+  t
+(** Builds a {!t} from an implementation body that returns the chosen
+    partitioning and its iteration count; timing, final-cost evaluation and
+    statistics are handled here. *)

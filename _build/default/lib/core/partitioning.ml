@@ -1,0 +1,172 @@
+type t = { n : int; groups : Attr_set.t array }
+(* Invariants: groups are non-empty, pairwise disjoint, union = full n,
+   sorted by minimum element. *)
+
+let canonicalize groups =
+  let arr = Array.of_list groups in
+  Array.sort (fun a b -> compare (Attr_set.min_elt a) (Attr_set.min_elt b)) arr;
+  arr
+
+let of_groups ~n groups =
+  if n <= 0 || n > Attr_set.max_attributes then
+    invalid_arg (Printf.sprintf "Partitioning.of_groups: bad n = %d" n);
+  List.iter
+    (fun g ->
+      if Attr_set.is_empty g then
+        invalid_arg "Partitioning.of_groups: empty group")
+    groups;
+  let union, sum =
+    List.fold_left
+      (fun (u, s) g -> (Attr_set.union u g, s + Attr_set.cardinal g))
+      (Attr_set.empty, 0) groups
+  in
+  let full = Attr_set.full n in
+  if not (Attr_set.equal union full) || sum <> n then
+    invalid_arg
+      "Partitioning.of_groups: groups must form a disjoint cover of 0..n-1";
+  { n; groups = canonicalize groups }
+
+let of_assignment assignment =
+  let n = Array.length assignment in
+  if n = 0 then invalid_arg "Partitioning.of_assignment: empty array";
+  let tbl = Hashtbl.create 8 in
+  Array.iteri
+    (fun i label ->
+      let cur =
+        match Hashtbl.find_opt tbl label with
+        | Some s -> s
+        | None -> Attr_set.empty
+      in
+      Hashtbl.replace tbl label (Attr_set.add i cur))
+    assignment;
+  let groups = Hashtbl.fold (fun _ g acc -> g :: acc) tbl [] in
+  of_groups ~n groups
+
+let row n = of_groups ~n [ Attr_set.full n ]
+
+let column n =
+  of_groups ~n (List.init n (fun i -> Attr_set.singleton i))
+
+let attribute_count p = p.n
+
+let group_count p = Array.length p.groups
+
+let groups p = Array.to_list p.groups
+
+let group_array p = Array.copy p.groups
+
+let group_of p i =
+  if i < 0 || i >= p.n then
+    invalid_arg (Printf.sprintf "Partitioning.group_of: %d out of range" i);
+  let k = Array.length p.groups in
+  let rec go gi =
+    if gi >= k then assert false
+    else if Attr_set.mem i p.groups.(gi) then p.groups.(gi)
+    else go (gi + 1)
+  in
+  go 0
+
+let group_index_of p i =
+  if i < 0 || i >= p.n then
+    invalid_arg
+      (Printf.sprintf "Partitioning.group_index_of: %d out of range" i);
+  let k = Array.length p.groups in
+  let rec go gi =
+    if gi >= k then assert false
+    else if Attr_set.mem i p.groups.(gi) then gi
+    else go (gi + 1)
+  in
+  go 0
+
+let referenced_groups p refs =
+  Array.fold_left
+    (fun acc g -> if Attr_set.intersects g refs then g :: acc else acc)
+    [] p.groups
+  |> List.rev
+
+let referenced_group_count p refs =
+  Array.fold_left
+    (fun acc g -> if Attr_set.intersects g refs then acc + 1 else acc)
+    0 p.groups
+
+let find_group_index p g =
+  let k = Array.length p.groups in
+  let rec go i =
+    if i >= k then
+      invalid_arg
+        (Printf.sprintf "Partitioning: %s is not a group" (Attr_set.to_string g))
+    else if Attr_set.equal p.groups.(i) g then i
+    else go (i + 1)
+  in
+  go 0
+
+let merge_groups p g1 g2 =
+  let i1 = find_group_index p g1 and i2 = find_group_index p g2 in
+  if i1 = i2 then invalid_arg "Partitioning.merge_groups: same group";
+  let rest =
+    Array.to_list p.groups
+    |> List.filteri (fun i _ -> i <> i1 && i <> i2)
+  in
+  of_groups ~n:p.n (Attr_set.union g1 g2 :: rest)
+
+let split_group p g sub =
+  let gi = find_group_index p g in
+  if Attr_set.is_empty sub then
+    invalid_arg "Partitioning.split_group: empty subset";
+  if not (Attr_set.subset sub g) then
+    invalid_arg "Partitioning.split_group: not a subset of the group";
+  if Attr_set.equal sub g then
+    invalid_arg "Partitioning.split_group: subset equals the group";
+  let rest = Array.to_list p.groups |> List.filteri (fun i _ -> i <> gi) in
+  of_groups ~n:p.n (sub :: Attr_set.diff g sub :: rest)
+
+let equal a b =
+  a.n = b.n
+  && Array.length a.groups = Array.length b.groups
+  && Array.for_all2 Attr_set.equal a.groups b.groups
+
+let compare a b =
+  let c = compare a.n b.n in
+  if c <> 0 then c
+  else
+    let c = compare (Array.length a.groups) (Array.length b.groups) in
+    if c <> 0 then c
+    else
+      let rec go i =
+        if i >= Array.length a.groups then 0
+        else
+          let c = Attr_set.compare a.groups.(i) b.groups.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+
+let is_refinement fine coarse =
+  fine.n = coarse.n
+  && Array.for_all
+       (fun g ->
+         Array.exists (fun cg -> Attr_set.subset g cg) coarse.groups)
+       fine.groups
+
+let of_names table name_groups =
+  let groups = List.map (Table.attr_set_of_names table) name_groups in
+  of_groups ~n:(Table.attribute_count table) groups
+
+let pp ppf p =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf '|')
+       Attr_set.pp)
+    (Array.to_seq p.groups)
+
+let pp_named table ppf p =
+  let pp_group ppf g =
+    Format.pp_print_string ppf
+      (String.concat "," (Table.names_of_attr_set table g))
+  in
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+       pp_group)
+    (Array.to_seq p.groups)
+
+let to_string p = Format.asprintf "%a" pp p

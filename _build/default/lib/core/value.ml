@@ -1,0 +1,36 @@
+type t = Int of int | Num of float | Str of string
+
+let matches datatype v =
+  match (datatype, v) with
+  | (Attribute.Int32 | Attribute.Date), Int _ -> true
+  | Attribute.Decimal, Num _ -> true
+  | (Attribute.Char _ | Attribute.Varchar _), Str _ -> true
+  | (Attribute.Int32 | Attribute.Date), (Num _ | Str _) -> false
+  | Attribute.Decimal, (Int _ | Str _) -> false
+  | (Attribute.Char _ | Attribute.Varchar _), (Int _ | Num _) -> false
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Num x, Num y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Int _, (Num _ | Str _) | Num _, (Int _ | Str _) | Str _, (Int _ | Num _)
+    ->
+      false
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Stdlib.compare x y
+  | Num x, Num y -> Stdlib.compare x y
+  | Str x, Str y -> String.compare x y
+  | Int _, (Num _ | Str _) -> -1
+  | Num _, Int _ -> 1
+  | Num _, Str _ -> -1
+  | Str _, (Int _ | Num _) -> 1
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Num f -> Printf.sprintf "%.2f" f
+  | Str s -> s
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

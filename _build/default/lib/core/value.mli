@@ -1,0 +1,20 @@
+(** Runtime values: the data-model bridge between the data generator and
+    the storage simulator. Each value corresponds to one attribute of one
+    row. *)
+
+type t =
+  | Int of int  (** [Int32] and [Date] attributes (dates as day numbers). *)
+  | Num of float  (** [Decimal] attributes. *)
+  | Str of string  (** [Char]/[Varchar] attributes. *)
+
+val matches : Attribute.datatype -> t -> bool
+(** Does the value inhabit the datatype? ([Str] lengths are not checked
+    against [Char] widths; storage pads or truncates.) *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

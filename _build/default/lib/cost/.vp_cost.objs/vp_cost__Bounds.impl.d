@@ -1,0 +1,1 @@
+lib/cost/bounds.ml: Array Attr_set Disk List Memory_model Query Table Vp_core Workload

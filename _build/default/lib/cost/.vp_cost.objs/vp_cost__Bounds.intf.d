@@ -1,0 +1,1 @@
+lib/cost/bounds.mli: Attr_set Disk Memory_model Vp_core Workload

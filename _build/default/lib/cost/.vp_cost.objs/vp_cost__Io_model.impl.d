@@ -1,0 +1,1 @@
+lib/cost/io_model.ml: Array Disk List Partitioning Query Table Vp_core Workload

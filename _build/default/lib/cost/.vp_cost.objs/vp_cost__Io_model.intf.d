@@ -1,0 +1,1 @@
+lib/cost/io_model.mli: Disk Partitioner Partitioning Query Table Vp_core Workload

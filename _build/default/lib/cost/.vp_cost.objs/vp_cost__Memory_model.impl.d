@@ -1,0 +1,1 @@
+lib/cost/memory_model.ml: Array List Partitioning Query Table Vp_core Workload

@@ -1,0 +1,1 @@
+lib/cost/memory_model.mli: Partitioner Partitioning Query Table Vp_core Workload

@@ -1,0 +1,1 @@
+lib/cost/overlap_model.ml: Array Attr_set Disk Io_model List Partitioning Query Table Vp_core Workload

@@ -1,0 +1,1 @@
+lib/cost/overlap_model.mli: Attr_set Disk Partitioning Query Table Vp_core Workload

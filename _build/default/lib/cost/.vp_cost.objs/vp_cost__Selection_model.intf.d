@@ -1,0 +1,1 @@
+lib/cost/selection_model.mli: Attr_set Disk Partitioner Partitioning Query Table Vp_core Workload

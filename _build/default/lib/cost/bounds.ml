@@ -1,0 +1,29 @@
+open Vp_core
+
+let per_query_bound ~seek_unit ~byte_rate workload ~blocks ~remaining:_ =
+  let table = Workload.table workload in
+  let rows = float_of_int (Table.row_count table) in
+  Array.fold_left
+    (fun acc q ->
+      let refs = Query.references q in
+      let referenced_blocks =
+        List.filter (fun b -> Attr_set.intersects b refs) blocks
+      in
+      let seeks = float_of_int (List.length referenced_blocks) in
+      let needed = float_of_int (Table.subset_size table refs) in
+      let colocated =
+        List.fold_left
+          (fun w b -> w + Table.subset_size table (Attr_set.diff b refs))
+          0 referenced_blocks
+      in
+      let bytes = rows *. (needed +. float_of_int colocated) in
+      acc +. (Query.weight q *. ((seek_unit *. seeks) +. (bytes /. byte_rate))))
+    0.0 (Workload.queries workload)
+
+let io_brute_force (disk : Disk.t) workload ~blocks ~remaining =
+  per_query_bound ~seek_unit:disk.seek_time ~byte_rate:disk.read_bandwidth
+    workload ~blocks ~remaining
+
+let memory_brute_force (m : Memory_model.t) workload ~blocks ~remaining =
+  per_query_bound ~seek_unit:0.0 ~byte_rate:m.bandwidth workload ~blocks
+    ~remaining

@@ -1,0 +1,42 @@
+type t = {
+  block_size : int;
+  buffer_size : int;
+  read_bandwidth : float;
+  write_bandwidth : float;
+  seek_time : float;
+}
+
+let mb x = int_of_float (x *. 1024.0 *. 1024.0)
+
+let validate d =
+  if d.block_size <= 0 then invalid_arg "Disk: block_size <= 0";
+  if d.buffer_size < d.block_size then
+    invalid_arg "Disk: buffer smaller than one block";
+  if d.read_bandwidth <= 0.0 then invalid_arg "Disk: read_bandwidth <= 0";
+  if d.write_bandwidth <= 0.0 then invalid_arg "Disk: write_bandwidth <= 0";
+  if d.seek_time < 0.0 then invalid_arg "Disk: negative seek_time";
+  d
+
+let make ?(block_size = 8 * 1024) ?(buffer_size = mb 8.0)
+    ?(read_bandwidth = 90.07 *. 1024.0 *. 1024.0)
+    ?(write_bandwidth = 64.37 *. 1024.0 *. 1024.0) ?(seek_time = 4.84e-3) () =
+  validate
+    { block_size; buffer_size; read_bandwidth; write_bandwidth; seek_time }
+
+let default = make ()
+
+let with_buffer_size d buffer_size = validate { d with buffer_size }
+
+let with_block_size d block_size = validate { d with block_size }
+
+let with_read_bandwidth d read_bandwidth = validate { d with read_bandwidth }
+
+let with_seek_time d seek_time = validate { d with seek_time }
+
+let pp ppf d =
+  Format.fprintf ppf
+    "disk{block=%dB, buffer=%dB, read=%.2fMB/s, write=%.2fMB/s, seek=%.2fms}"
+    d.block_size d.buffer_size
+    (d.read_bandwidth /. (1024.0 *. 1024.0))
+    (d.write_bandwidth /. (1024.0 *. 1024.0))
+    (d.seek_time *. 1000.0)

@@ -1,0 +1,42 @@
+(** Disk profiles: the hardware/software parameters of the paper's common
+    setting (Section 4).
+
+    The defaults are the paper's measured testbed characteristics (Bonnie++
+    on the 1.5 TB HDD): 8 KB blocks, 8 MB database buffer, 90.07 MB/s read
+    bandwidth, 64.37 MB/s write bandwidth, 4.84 ms average seek. *)
+
+type t = private {
+  block_size : int;  (** Disk block size in bytes. *)
+  buffer_size : int;  (** Database I/O buffer in bytes. *)
+  read_bandwidth : float;  (** Sequential read bandwidth, bytes/second. *)
+  write_bandwidth : float;  (** Sequential write bandwidth, bytes/second. *)
+  seek_time : float;  (** Average seek time in seconds. *)
+}
+
+val make :
+  ?block_size:int ->
+  ?buffer_size:int ->
+  ?read_bandwidth:float ->
+  ?write_bandwidth:float ->
+  ?seek_time:float ->
+  unit ->
+  t
+(** Missing fields default to the paper's testbed values.
+    @raise Invalid_argument on non-positive values or a buffer smaller than
+    one block. *)
+
+val default : t
+(** The paper's testbed profile. *)
+
+val mb : float -> int
+(** [mb x] is [x] binary megabytes in bytes, rounded down. *)
+
+val with_buffer_size : t -> int -> t
+
+val with_block_size : t -> int -> t
+
+val with_read_bandwidth : t -> float -> t
+
+val with_seek_time : t -> float -> t
+
+val pp : Format.formatter -> t -> unit

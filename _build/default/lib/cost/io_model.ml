@@ -1,0 +1,144 @@
+open Vp_core
+
+type query_breakdown = {
+  seek_cost : float;
+  scan_cost : float;
+  seeks : int;
+  blocks_read : int;
+  bytes_read : float;
+  bytes_needed : float;
+  partitions_read : int;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let partition_blocks (disk : Disk.t) ~rows ~row_size =
+  if rows = 0 then 0
+  else
+    let b = disk.block_size in
+    let per_block = b / row_size in
+    if per_block >= 1 then ceil_div rows per_block
+    else ceil_div (rows * row_size) b
+
+(* Seek + scan cost of reading one partition of row size [s] when the total
+   referenced row size is [total_s] (governs the buffer share). *)
+let partition_read_cost (disk : Disk.t) ~rows ~row_size:s ~total_row_size:total_s
+    =
+  let blocks = partition_blocks disk ~rows ~row_size:s in
+  if blocks = 0 then (0.0, 0.0, 0, 0)
+  else begin
+    let buff_share = disk.buffer_size * s / total_s in
+    let blocks_buff = max 1 (buff_share / disk.block_size) in
+    let refills = ceil_div blocks blocks_buff in
+    let seek = disk.seek_time *. float_of_int refills in
+    let scan =
+      float_of_int blocks *. float_of_int disk.block_size /. disk.read_bandwidth
+    in
+    (seek, scan, refills, blocks)
+  end
+
+let query_breakdown disk table partitioning query =
+  let refs = Query.references query in
+  let referenced = Partitioning.referenced_groups partitioning refs in
+  let rows = Table.row_count table in
+  let total_s =
+    List.fold_left (fun acc g -> acc + Table.subset_size table g) 0 referenced
+  in
+  let init =
+    {
+      seek_cost = 0.0;
+      scan_cost = 0.0;
+      seeks = 0;
+      blocks_read = 0;
+      bytes_read = 0.0;
+      bytes_needed = float_of_int (rows * Table.subset_size table refs);
+      partitions_read = List.length referenced;
+    }
+  in
+  List.fold_left
+    (fun acc g ->
+      let s = Table.subset_size table g in
+      let seek, scan, refills, blocks =
+        partition_read_cost disk ~rows ~row_size:s ~total_row_size:total_s
+      in
+      {
+        acc with
+        seek_cost = acc.seek_cost +. seek;
+        scan_cost = acc.scan_cost +. scan;
+        seeks = acc.seeks + refills;
+        blocks_read = acc.blocks_read + blocks;
+        bytes_read = acc.bytes_read +. float_of_int (rows * s);
+      })
+    init referenced
+
+let query_cost disk table partitioning query =
+  let refs = Query.references query in
+  let referenced = Partitioning.referenced_groups partitioning refs in
+  let rows = Table.row_count table in
+  let total_s =
+    List.fold_left (fun acc g -> acc + Table.subset_size table g) 0 referenced
+  in
+  List.fold_left
+    (fun acc g ->
+      let s = Table.subset_size table g in
+      let seek, scan, _, _ =
+        partition_read_cost disk ~rows ~row_size:s ~total_row_size:total_s
+      in
+      acc +. seek +. scan)
+    0.0 referenced
+
+let workload_cost disk workload partitioning =
+  let table = Workload.table workload in
+  Array.fold_left
+    (fun acc q ->
+      acc +. (Query.weight q *. query_cost disk table partitioning q))
+    0.0
+    (Workload.queries workload)
+
+let oracle disk workload = workload_cost disk workload
+
+let pmv_cost disk workload =
+  let table = Workload.table workload in
+  let rows = Table.row_count table in
+  Array.fold_left
+    (fun acc q ->
+      let s = Table.subset_size table (Query.references q) in
+      let seek, scan, _, _ =
+        partition_read_cost disk ~rows ~row_size:s ~total_row_size:s
+      in
+      acc +. (Query.weight q *. (seek +. scan)))
+    0.0
+    (Workload.queries workload)
+
+let creation_time (disk : Disk.t) table partitioning =
+  let rows = Table.row_count table in
+  let row_s = Table.row_size table in
+  (* Streams sharing the buffer: the row-layout read stream plus one write
+     stream per partition. Buffer shares are proportional to row sizes, with
+     the read stream counted at the full row size. *)
+  let groups = Partitioning.groups partitioning in
+  let total_s =
+    row_s + List.fold_left (fun acc g -> acc + Table.subset_size table g) 0 groups
+  in
+  let read_seek, read_scan, _, _ =
+    partition_read_cost disk ~rows ~row_size:row_s ~total_row_size:total_s
+  in
+  let write_cost =
+    List.fold_left
+      (fun acc g ->
+        let s = Table.subset_size table g in
+        let blocks = partition_blocks disk ~rows ~row_size:s in
+        if blocks = 0 then acc
+        else begin
+          let buff_share = disk.buffer_size * s / total_s in
+          let blocks_buff = max 1 (buff_share / disk.block_size) in
+          let refills = (blocks + blocks_buff - 1) / blocks_buff in
+          acc
+          +. (disk.seek_time *. float_of_int refills)
+          +. float_of_int blocks
+             *. float_of_int disk.block_size
+             /. disk.write_bandwidth
+        end)
+      0.0 groups
+  in
+  read_seek +. read_scan +. write_cost

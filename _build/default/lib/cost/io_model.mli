@@ -1,0 +1,65 @@
+open Vp_core
+
+(** The paper's disk I/O cost model (Section 4, "Common System").
+
+    A query reads every vertical partition containing at least one referenced
+    attribute. All referenced partitions are read concurrently into the
+    shared I/O buffer, which is divided among them in proportion to their
+    row sizes. Each buffer refill of a partition costs one seek; scanning
+    costs bytes / bandwidth:
+
+    - [buff_i   = floor(Buff * s_i / S)]
+    - [blocksbuff_i = floor(buff_i / b)]  (clamped to at least 1)
+    - [blocks_i = ceil(N / floor(b / s_i))]
+    - [cost_seek_i = ts * ceil(blocks_i / blocksbuff_i)]
+    - [cost_scan_i = blocks_i * b / BW]
+    - [cost_Q  = sum over referenced partitions (seek + scan)]
+
+    where [s_i] is the row size of partition i, [S] the total row size of
+    all partitions referenced by the query, [N] the table row count, [b] the
+    block size, [Buff] the buffer size, [ts] the seek time and [BW] the read
+    bandwidth.
+
+    Two guards generalise the formulas beyond the paper's parameter ranges:
+    a partition whose rows are wider than a block stores
+    [ceil(N * s_i / b)] blocks, and a partition allotted less than one
+    block of buffer still progresses one block per refill. *)
+
+type query_breakdown = {
+  seek_cost : float;  (** Seconds spent seeking. *)
+  scan_cost : float;  (** Seconds spent scanning. *)
+  seeks : int;  (** Number of buffer refills across partitions. *)
+  blocks_read : int;  (** Total blocks fetched. *)
+  bytes_read : float;  (** Payload bytes of all referenced partitions. *)
+  bytes_needed : float;  (** Payload bytes of just the referenced attributes. *)
+  partitions_read : int;  (** Number of referenced partitions. *)
+}
+(** Per-query accounting used by the paper's quality metrics (Figures 4-6). *)
+
+val partition_blocks : Disk.t -> rows:int -> row_size:int -> int
+(** Number of disk blocks a partition occupies. *)
+
+val query_breakdown :
+  Disk.t -> Table.t -> Partitioning.t -> Query.t -> query_breakdown
+(** Full accounting for one (unweighted) execution of the query. *)
+
+val query_cost : Disk.t -> Table.t -> Partitioning.t -> Query.t -> float
+(** [seek_cost + scan_cost] for one execution. *)
+
+val workload_cost : Disk.t -> Workload.t -> Partitioning.t -> float
+(** Weighted sum of query costs over the workload. *)
+
+val oracle : Disk.t -> Workload.t -> Partitioner.cost_fn
+(** Cost oracle closure for feeding algorithms. *)
+
+val pmv_cost : Disk.t -> Workload.t -> float
+(** Cost of the perfect-materialized-views layout: each query reads one
+    dedicated partition containing exactly its referenced attributes, with
+    the whole buffer to itself. *)
+
+val creation_time : Disk.t -> Table.t -> Partitioning.t -> float
+(** Estimated time to transform the table from row layout into the given
+    partitioning: sequentially read the row-layout table once and write
+    every partition file, with one seek per buffer refill on each stream
+    (read stream + one write stream per partition, sharing the buffer
+    proportionally). *)

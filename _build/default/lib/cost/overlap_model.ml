@@ -1,0 +1,130 @@
+open Vp_core
+
+type t = { fragments : Attr_set.t list }
+
+let of_fragments ~n fragments =
+  if fragments = [] then invalid_arg "Overlap_model: no fragments";
+  List.iter
+    (fun f ->
+      if Attr_set.is_empty f then invalid_arg "Overlap_model: empty fragment")
+    fragments;
+  let union = List.fold_left Attr_set.union Attr_set.empty fragments in
+  if not (Attr_set.equal union (Attr_set.full n)) then
+    invalid_arg "Overlap_model: fragments do not cover all attributes";
+  (* Canonical order; duplicates are meaningless, drop them. *)
+  let sorted =
+    List.sort_uniq Attr_set.compare fragments
+    |> List.sort (fun a b -> compare (Attr_set.min_elt a, a) (Attr_set.min_elt b, b))
+  in
+  { fragments = sorted }
+
+let of_partitioning p =
+  { fragments = Partitioning.groups p }
+
+let fragments t = t.fragments
+
+let storage_bytes table t =
+  List.fold_left (fun acc f -> acc + Table.subset_size table f) 0 t.fragments
+
+let storage_factor table t =
+  float_of_int (storage_bytes table t) /. float_of_int (Table.row_size table)
+
+(* Standalone read cost of one fragment (full buffer), used as the greedy
+   selection weight. *)
+let solo_cost disk table f =
+  let rows = Table.row_count table in
+  let s = Table.subset_size table f in
+  let blocks = Io_model.partition_blocks disk ~rows ~row_size:s in
+  if blocks = 0 then 0.0
+  else begin
+    let blocks_buff = max 1 (disk.Disk.buffer_size / disk.Disk.block_size) in
+    let refills = (blocks + blocks_buff - 1) / blocks_buff in
+    (disk.Disk.seek_time *. float_of_int refills)
+    +. (float_of_int blocks *. float_of_int disk.Disk.block_size
+       /. disk.Disk.read_bandwidth)
+  end
+
+let select_fragments disk table t refs =
+  (* Greedy weighted set cover: cheapest cost per newly covered attribute.
+     Ties break towards smaller fragments (less unnecessary data). *)
+  let rec go uncovered chosen =
+    if Attr_set.is_empty uncovered then List.rev chosen
+    else begin
+      let best = ref None in
+      List.iter
+        (fun f ->
+          let gain = Attr_set.cardinal (Attr_set.inter f uncovered) in
+          if gain > 0 then begin
+            let weight = solo_cost disk table f /. float_of_int gain in
+            match !best with
+            | Some (_, bw, bsize)
+              when bw < weight
+                   || (bw = weight && bsize <= Attr_set.cardinal f) ->
+                ()
+            | _ -> best := Some (f, weight, Attr_set.cardinal f)
+          end)
+        t.fragments;
+      match !best with
+      | Some (f, _, _) -> go (Attr_set.diff uncovered f) (f :: chosen)
+      | None ->
+          invalid_arg "Overlap_model: query footprint not covered by fragments"
+    end
+  in
+  let chosen = go refs [] in
+  (* Redundancy pruning: the greedy pass can select a cheap narrow fragment
+     first and still need a wider one that alone covers the narrow one's
+     contribution. Drop any fragment whose needed attributes are covered by
+     the other selected fragments (most expensive first, so wide leftovers
+     are preferred for removal only when truly redundant). *)
+  let prune kept =
+    List.fold_left
+      (fun kept f ->
+        let others =
+          List.fold_left
+            (fun acc g -> if Attr_set.equal g f then acc else Attr_set.union acc g)
+            Attr_set.empty kept
+        in
+        if Attr_set.subset (Attr_set.inter f refs) others then
+          List.filter (fun g -> not (Attr_set.equal g f)) kept
+        else kept)
+      kept
+      (List.sort
+         (fun a b ->
+           compare (solo_cost disk table b) (solo_cost disk table a))
+         kept)
+  in
+  prune chosen
+
+let query_cost disk table t query =
+  let refs = Query.references query in
+  let chosen = select_fragments disk table t refs in
+  let rows = Table.row_count table in
+  let total_s =
+    List.fold_left (fun acc f -> acc + Table.subset_size table f) 0 chosen
+  in
+  List.fold_left
+    (fun acc f ->
+      let s = Table.subset_size table f in
+      let blocks = Io_model.partition_blocks disk ~rows ~row_size:s in
+      if blocks = 0 then acc
+      else begin
+        let buff_share = disk.Disk.buffer_size * s / total_s in
+        let blocks_buff = max 1 (buff_share / disk.Disk.block_size) in
+        let refills = (blocks + blocks_buff - 1) / blocks_buff in
+        acc
+        +. (disk.Disk.seek_time *. float_of_int refills)
+        +. (float_of_int blocks *. float_of_int disk.Disk.block_size
+           /. disk.Disk.read_bandwidth)
+      end)
+    0.0 chosen
+
+let workload_cost disk workload t =
+  let table = Workload.table workload in
+  Array.fold_left
+    (fun acc q -> acc +. (Query.weight q *. query_cost disk table t q))
+    0.0
+    (Workload.queries workload)
+
+let equal a b =
+  List.length a.fragments = List.length b.fragments
+  && List.for_all2 Attr_set.equal a.fragments b.fragments

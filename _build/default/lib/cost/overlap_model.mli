@@ -1,0 +1,44 @@
+open Vp_core
+
+(** Cost model for {e overlapping} layouts — AutoPart's partial replication,
+    where an attribute may live in several fragments.
+
+    An overlapping layout is a set of fragments covering all attributes but
+    not necessarily disjoint. At query time the engine must {e select}
+    which fragments to read — the paper notes this partition-selection
+    problem "is as difficult a problem as vertical partitioning itself";
+    we use the standard greedy weighted set cover (pick the fragment with
+    the lowest read-cost per newly covered referenced attribute until the
+    footprint is covered), then price the chosen fragments exactly like the
+    base model prices referenced partitions (proportional buffer split,
+    seek per refill + scan). *)
+
+type t = private { fragments : Attr_set.t list }
+(** A validated overlapping layout. *)
+
+val of_fragments : n:int -> Attr_set.t list -> t
+(** @raise Invalid_argument if fragments are empty, any fragment is empty,
+    or their union does not cover [{0..n-1}]. *)
+
+val of_partitioning : Partitioning.t -> t
+(** Every disjoint layout is a valid overlapping layout. *)
+
+val fragments : t -> Attr_set.t list
+
+val storage_bytes : Table.t -> t -> int
+(** Total stored bytes per row summed over fragments (>= the table's row
+    size; the excess is the replication overhead). *)
+
+val storage_factor : Table.t -> t -> float
+(** [storage_bytes / row_size] — 1.0 for disjoint layouts. *)
+
+val select_fragments : Disk.t -> Table.t -> t -> Attr_set.t -> Attr_set.t list
+(** The greedy fragment selection for a query footprint: fragments actually
+    read, in selection order.
+    @raise Invalid_argument if the footprint is not covered. *)
+
+val query_cost : Disk.t -> Table.t -> t -> Query.t -> float
+
+val workload_cost : Disk.t -> Workload.t -> t -> float
+
+val equal : t -> t -> bool

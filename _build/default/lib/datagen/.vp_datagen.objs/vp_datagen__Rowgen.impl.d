@@ -1,0 +1,1 @@
+lib/datagen/rowgen.ml: Array Attribute Hashtbl Printf Prng Table Text Value Vp_core

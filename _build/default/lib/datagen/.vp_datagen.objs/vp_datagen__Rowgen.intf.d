@@ -1,0 +1,1 @@
+lib/datagen/rowgen.mli: Table Value Vp_core

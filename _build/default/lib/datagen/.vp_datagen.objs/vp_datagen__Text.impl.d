@@ -1,0 +1,1 @@
+lib/datagen/text.ml: Array Buffer Printf Prng String

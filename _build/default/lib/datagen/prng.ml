@@ -1,0 +1,37 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.add seed golden_gamma) }
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g salt =
+  let derived =
+    mix (Int64.add g.state (Int64.mul (Int64.of_int (salt + 1)) 0xD1B54A32D192ED03L))
+  in
+  { state = derived }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound <= 0";
+  let raw = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+  raw mod bound
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: hi < lo";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  let raw = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  bound *. raw /. 9007199254740992.0 (* 2^53 *)
+
+let choice g arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choice: empty array";
+  arr.(int g (Array.length arr))

@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every generator is a pure function of its seed, so generated datasets
+    are reproducible across runs and machines — a requirement for
+    regenerating the paper's experiments bit-for-bit. *)
+
+type t
+
+val create : int64 -> t
+(** A fresh generator from a seed. *)
+
+val split : t -> int -> t
+(** [split g salt] derives an independent stream — used to give every
+    (table, row) pair its own generator so rows can be produced in any
+    order. Does not advance [g]. *)
+
+val next_int64 : t -> int64
+(** Advances the state. *)
+
+val int : t -> int -> int
+(** [int g bound] draws uniformly from [0 .. bound-1].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] draws uniformly from [lo .. hi] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** Uniform in [[0, bound)]. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

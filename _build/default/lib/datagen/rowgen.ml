@@ -1,0 +1,139 @@
+open Vp_core
+
+type t = { seed : int64 }
+
+let create ?(seed = 42L) () = { seed }
+
+(* Scale factor implied by a table's row count, from the TPC-H / SSB base
+   cardinalities; 1.0 for unknown or fixed-size tables. *)
+let implied_sf table =
+  let base =
+    match Table.name table with
+    | "customer" -> Some 150_000
+    | "lineitem" | "lineorder" -> Some 6_000_000
+    | "orders" -> Some 1_500_000
+    | "part" -> Some 200_000
+    | "partsupp" -> Some 800_000
+    | "supplier" -> Some 10_000
+    | _ -> None
+  in
+  match base with
+  | Some b -> max 1e-6 (float_of_int (Table.row_count table) /. float_of_int b)
+  | None -> 1.0
+
+let scaled sf base = max 1 (int_of_float (float_of_int base *. sf))
+
+let epoch_lo = 8036 (* 1992-01-01 as days since 1970 *)
+
+let epoch_hi = 10591 (* 1998-12-31 *)
+
+let date g = Value.Int (Prng.int_in g epoch_lo epoch_hi)
+
+let generic g (attr : Attribute.t) =
+  match Attribute.datatype attr with
+  | Attribute.Int32 -> Value.Int (Prng.int_in g 0 999_999)
+  | Attribute.Decimal -> Value.Num (Prng.float g 100_000.0)
+  | Attribute.Date -> date g
+  | Attribute.Char n | Attribute.Varchar n ->
+      Value.Str (Text.sentence g ~max_len:n)
+
+(* Column generators keyed by (table, attribute) name; [key] is the 0-based
+   row index (primary keys are sequential, as in dbgen). *)
+let special g table attr key =
+  let sf = implied_sf table in
+  let customers = scaled sf 150_000 in
+  let parts = scaled sf 200_000 in
+  let suppliers = scaled sf 10_000 in
+  match (Table.name table, Attribute.name attr) with
+  (* --- shared key columns --- *)
+  | ("customer", "CustKey" | "supplier", "SuppKey" | "part", "PartKey") ->
+      Some (Value.Int (key + 1))
+  | "orders", "OrderKey" -> Some (Value.Int (key + 1))
+  | "nation", "NationKey" | "region", "RegionKey" -> Some (Value.Int key)
+  | "lineitem", "OrderKey" ->
+      (* ~4 lines per order, lines of one order adjacent *)
+      Some (Value.Int ((key / 4) + 1))
+  | "lineitem", "LineNumber" -> Some (Value.Int ((key mod 4) + 1))
+  | "partsupp", "PartKey" -> Some (Value.Int ((key / 4) + 1))
+  | "partsupp", "SuppKey" ->
+      Some (Value.Int (1 + ((key + (key / 4)) mod suppliers)))
+  | (("lineitem" | "lineorder"), "PartKey") ->
+      Some (Value.Int (Prng.int_in g 1 parts))
+  | (("lineitem" | "lineorder"), "SuppKey") ->
+      Some (Value.Int (Prng.int_in g 1 suppliers))
+  | (("orders" | "lineorder"), "CustKey") ->
+      Some (Value.Int (Prng.int_in g 1 customers))
+  | ("customer" | "supplier"), "NationKey" -> Some (Value.Int (Prng.int g 25))
+  | "nation", "RegionKey" -> Some (Value.Int (key / 5))
+  (* --- names and enumerations --- *)
+  | "customer", "Name" -> Some (Value.Str (Text.name g ~prefix:"Customer" (key + 1)))
+  | "supplier", "Name" -> Some (Value.Str (Text.name g ~prefix:"Supplier" (key + 1)))
+  | "nation", "Name" -> Some (Value.Str Text.nations.(key mod 25))
+  | "region", "Name" -> Some (Value.Str Text.regions.(key mod 5))
+  | "customer", "MktSegment" -> Some (Value.Str (Prng.choice g Text.segments))
+  | (("orders" | "lineorder"), "OrderPriority") ->
+      Some (Value.Str (Prng.choice g Text.priorities))
+  | "orders", "OrderStatus" ->
+      Some (Value.Str (Prng.choice g [| "F"; "O"; "P" |]))
+  | "orders", "Clerk" -> Some (Value.Str (Text.name g ~prefix:"Clerk" (1 + Prng.int g 1000)))
+  | "orders", "ShipPriority" -> Some (Value.Int 0)
+  | (("lineitem" | "lineorder"), "ShipMode") ->
+      Some (Value.Str (Prng.choice g Text.ship_modes))
+  | "lineitem", "ShipInstruct" ->
+      Some (Value.Str (Prng.choice g Text.instructions))
+  | "lineitem", "ReturnFlag" ->
+      Some (Value.Str (Prng.choice g [| "A"; "N"; "R" |]))
+  | "lineitem", "LineStatus" -> Some (Value.Str (Prng.choice g [| "F"; "O" |]))
+  | ("part", "Brand" | "part", "Brand1") ->
+      Some (Value.Str (Prng.choice g Text.brands))
+  | "part", "Container" -> Some (Value.Str (Prng.choice g Text.containers))
+  | "part", "Type" -> Some (Value.Str (Prng.choice g Text.types))
+  | "part", "Mfgr" ->
+      Some (Value.Str (Printf.sprintf "Manufacturer#%d" (Prng.int_in g 1 5)))
+  | ("customer" | "supplier"), "Phone" -> Some (Value.Str (Text.phone g))
+  | ("customer" | "supplier"), "Address" ->
+      Some (Value.Str (Text.address g ~max_len:38))
+  (* --- measures --- *)
+  | (("lineitem" | "lineorder"), "Quantity") ->
+      Some
+        (match Attribute.datatype attr with
+        | Attribute.Decimal -> Value.Num (float_of_int (Prng.int_in g 1 50))
+        | _ -> Value.Int (Prng.int_in g 1 50))
+  | "lineitem", "ExtendedPrice" ->
+      Some (Value.Num (Prng.float g 100_000.0 +. 900.0))
+  | "lineitem", "Discount" ->
+      Some (Value.Num (float_of_int (Prng.int_in g 0 10) /. 100.0))
+  | "lineitem", "Tax" ->
+      Some (Value.Num (float_of_int (Prng.int_in g 0 8) /. 100.0))
+  | ("customer" | "supplier"), "AcctBal" ->
+      Some (Value.Num (Prng.float g 10_999.0 -. 999.0))
+  | "orders", "TotalPrice" -> Some (Value.Num (Prng.float g 400_000.0 +. 1_000.0))
+  | "partsupp", "AvailQty" -> Some (Value.Int (Prng.int_in g 1 9_999))
+  | "partsupp", "SupplyCost" -> Some (Value.Num (Prng.float g 999.0 +. 1.0))
+  | "part", "Size" -> Some (Value.Int (Prng.int_in g 1 50))
+  | "part", "RetailPrice" -> Some (Value.Num (900.0 +. Prng.float g 1_200.0))
+  | _, "OrderKey" -> Some (Value.Int ((key / 4) + 1))
+  | _ -> None
+
+let attr_salt table_name attr_name =
+  Hashtbl.hash (table_name, attr_name) land 0xFFFF
+
+let row gen table i =
+  if i < 0 || i >= Table.row_count table then
+    invalid_arg
+      (Printf.sprintf "Rowgen.row: index %d out of range for %s" i
+         (Table.name table));
+  let table_name = Table.name table in
+  let base = Prng.create gen.seed in
+  let table_stream = Prng.split base (Hashtbl.hash table_name land 0xFFFF) in
+  let row_stream = Prng.split table_stream i in
+  Array.mapi
+    (fun _c attr ->
+      let g = Prng.split row_stream (attr_salt table_name (Attribute.name attr)) in
+      match special g table attr i with
+      | Some v -> v
+      | None -> generic g attr)
+    (Table.attributes table)
+
+let rows gen table =
+  Array.init (Table.row_count table) (fun i -> row gen table i)

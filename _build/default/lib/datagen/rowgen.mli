@@ -1,0 +1,24 @@
+open Vp_core
+
+(** Deterministic row generation for the TPC-H and SSB schemas.
+
+    Rows are generated independently of each other — [row table i] derives
+    a private PRNG stream from (seed, table name, i) — so any subset of a
+    table can be produced in any order, which the storage simulator uses to
+    build partition files column group by column group without holding the
+    whole table in memory. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+(** Default seed 42. *)
+
+val row : t -> Table.t -> int -> Value.t array
+(** [row gen table i] is row [i] (0-based, [i < Table.row_count table]) of
+    the named TPC-H or SSB table; values align with the table's attribute
+    order and datatypes. Unknown tables get generic type-driven values.
+    @raise Invalid_argument if [i] is out of range. *)
+
+val rows : t -> Table.t -> Value.t array array
+(** All rows of the table (intended for the scaled-down datasets used in
+    tests and storage experiments). *)

@@ -1,0 +1,74 @@
+let vocabulary =
+  [|
+    "the"; "furiously"; "quickly"; "slyly"; "carefully"; "blithely"; "even";
+    "final"; "ironic"; "regular"; "special"; "pending"; "express"; "bold";
+    "silent"; "unusual"; "deposits"; "requests"; "accounts"; "packages";
+    "instructions"; "foxes"; "pinto"; "beans"; "theodolites"; "platelets";
+    "asymptotes"; "dependencies"; "ideas"; "excuses"; "sleep"; "wake";
+    "haggle"; "nag"; "cajole"; "boost"; "detect"; "integrate"; "engage";
+    "among"; "across"; "against"; "above"; "along"; "according"; "to";
+  |]
+
+let sentence g ~max_len =
+  let buf = Buffer.create max_len in
+  let rec fill () =
+    let word = Prng.choice g vocabulary in
+    if Buffer.length buf = 0 then begin
+      Buffer.add_string buf word;
+      fill ()
+    end
+    else if Buffer.length buf + 1 + String.length word <= max_len then begin
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf word;
+      fill ()
+    end
+  in
+  if max_len > 0 then fill ();
+  let s = Buffer.contents buf in
+  if String.length s > max_len then String.sub s 0 max_len else s
+
+let name _g ~prefix key = Printf.sprintf "%s#%09d" prefix key
+
+let phone g =
+  Printf.sprintf "%02d-%03d-%03d-%04d" (Prng.int_in g 10 34)
+    (Prng.int_in g 100 999) (Prng.int_in g 100 999) (Prng.int_in g 1000 9999)
+
+let address g ~max_len =
+  let base = Printf.sprintf "%d %s" (Prng.int_in g 1 9999) (sentence g ~max_len) in
+  if String.length base > max_len then String.sub base 0 max_len else base
+
+let segments =
+  [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "HOUSEHOLD"; "MACHINERY" |]
+
+let priorities =
+  [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+
+let ship_modes = [| "AIR"; "FOB"; "MAIL"; "RAIL"; "REG AIR"; "SHIP"; "TRUCK" |]
+
+let instructions =
+  [| "COLLECT COD"; "DELIVER IN PERSON"; "NONE"; "TAKE BACK RETURN" |]
+
+let containers =
+  [|
+    "SM CASE"; "SM BOX"; "SM PACK"; "SM PKG"; "MED BAG"; "MED BOX"; "MED PKG";
+    "LG CASE"; "LG BOX"; "LG PACK"; "JUMBO JAR"; "WRAP DRUM";
+  |]
+
+let brands = Array.init 25 (fun i -> Printf.sprintf "Brand#%d%d" (1 + (i / 5)) (1 + (i mod 5)))
+
+let types =
+  [|
+    "STANDARD ANODIZED TIN"; "SMALL PLATED COPPER"; "MEDIUM BURNISHED NICKEL";
+    "LARGE BRUSHED STEEL"; "ECONOMY POLISHED BRASS"; "PROMO ANODIZED STEEL";
+    "STANDARD BURNISHED BRASS"; "SMALL POLISHED TIN"; "ECONOMY BRUSHED COPPER";
+  |]
+
+let nations =
+  [|
+    "ALGERIA"; "ARGENTINA"; "BRAZIL"; "CANADA"; "EGYPT"; "ETHIOPIA"; "FRANCE";
+    "GERMANY"; "INDIA"; "INDONESIA"; "IRAN"; "IRAQ"; "JAPAN"; "JORDAN";
+    "KENYA"; "MOROCCO"; "MOZAMBIQUE"; "PERU"; "CHINA"; "ROMANIA";
+    "SAUDI ARABIA"; "VIETNAM"; "RUSSIA"; "UNITED KINGDOM"; "UNITED STATES";
+  |]
+
+let regions = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]

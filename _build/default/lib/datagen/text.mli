@@ -1,0 +1,34 @@
+(** Text fragments in the spirit of TPC-H dbgen: pseudo-sentences built
+    from a fixed vocabulary, market segments, priorities, ship modes, and
+    formatted phone numbers. All deterministic through the supplied
+    generator. *)
+
+val sentence : Prng.t -> max_len:int -> string
+(** Space-separated words, truncated to at most [max_len] bytes. *)
+
+val name : Prng.t -> prefix:string -> int -> string
+(** ["Customer#000000042"]-style names. *)
+
+val phone : Prng.t -> string
+(** ["27-918-335-1736"]-style phone numbers. *)
+
+val address : Prng.t -> max_len:int -> string
+
+val segments : string array
+(** TPC-H market segments. *)
+
+val priorities : string array
+
+val ship_modes : string array
+
+val instructions : string array
+
+val containers : string array
+
+val brands : string array
+
+val types : string array
+
+val nations : string array
+
+val regions : string array

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Lazy List Partitioner Printf String Vp_algorithms Vp_benchmarks Vp_core Vp_cost Vp_metrics Workload

@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Partitioner Vp_core Vp_cost Vp_metrics Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablations.ml: Array Common Fun List Partitioner Partitioning Printf Query String Table Vp_algorithms Vp_benchmarks Vp_core Vp_cost Vp_report Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_classification.ml: List Vp_algorithms Vp_report

@@ -1,0 +1,1 @@
+lib/experiments/exp_dbms.ml: Array List Partitioner Partitioning Printf Query Table Vp_algorithms Vp_benchmarks Vp_core Vp_cost Vp_datagen Vp_report Vp_storage Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_fragility.ml: Buffer Common List Partitioner Printf Vp_core Vp_cost Vp_metrics Vp_report Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_layouts.ml: Attribute Buffer Common Fun List Partitioner Partitioning Printf String Table Vp_core Vp_report Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_models.ml: Common List Partitioner Partitioning Table Vp_algorithms Vp_benchmarks Vp_core Vp_cost Vp_report Workload

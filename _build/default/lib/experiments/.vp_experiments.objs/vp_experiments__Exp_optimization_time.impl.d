@@ -1,0 +1,1 @@
+lib/experiments/exp_optimization_time.ml: Common List Partitioner Printf Vp_benchmarks Vp_core Vp_cost Vp_report Workload

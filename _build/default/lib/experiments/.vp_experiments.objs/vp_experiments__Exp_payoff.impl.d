@@ -1,0 +1,1 @@
+lib/experiments/exp_payoff.ml: Common List Partitioner Partitioning Table Vp_core Vp_metrics Vp_report Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_quality.ml: Common List Partitioner Printf Vp_core Vp_metrics Vp_report

@@ -1,0 +1,1 @@
+lib/experiments/exp_selection.ml: Attr_set Common List Partitioner Partitioning Printf Query Table Vp_algorithms Vp_benchmarks Vp_core Vp_cost Vp_report Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_workload_size.ml: Common List Partitioner Partitioning Printf Table Vp_algorithms Vp_benchmarks Vp_core Vp_cost Vp_metrics Vp_report Workload

@@ -1,0 +1,42 @@
+(** E01/E02 — the paper's Tables 1 and 2 (static taxonomies). *)
+
+open Vp_algorithms.Classification
+
+let table1 () =
+  let rows =
+    List.map
+      (fun (c : classification) ->
+        [
+          c.algorithm;
+          string_of_strategy c.strategy;
+          string_of_start c.start;
+          string_of_pruning c.pruning;
+        ])
+      table1
+  in
+  Vp_report.Ascii.table
+    ~title:
+      "Table 1: Classification of the evaluated vertical partitioning \
+       algorithms"
+    ~headers:[ "Algorithm"; "Search strategy"; "Starting point"; "Pruning" ]
+    rows
+
+let table2 () =
+  let rows =
+    List.map
+      (fun (s : setting) ->
+        [
+          s.algorithm;
+          string_of_granularity s.granularity;
+          string_of_hardware s.hardware;
+          string_of_workload_kind s.workload;
+          string_of_replication s.replication;
+          string_of_system s.system;
+        ])
+      table2
+  in
+  Vp_report.Ascii.table
+    ~title:"Table 2: Settings for different vertical partitioning algorithms"
+    ~headers:
+      [ "Algorithm"; "Granularity"; "Hardware"; "Workload"; "Replication"; "System" ]
+    rows

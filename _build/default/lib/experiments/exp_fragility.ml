@@ -1,0 +1,123 @@
+(** E12/E18 — Figure 8 (fragility to buffer size) and Figure 11 (fragility
+    to block size, disk bandwidth and seek time): layouts are optimized
+    once under the default profile, then the profile changes at query time
+    without re-optimizing. Also the Section 6.3 workload-change check. *)
+
+open Vp_core
+
+let layouts_under_default name =
+  let run = Common.find_run name in
+  List.map
+    (fun (r : Common.table_run) ->
+      (r.workload, r.result.Partitioner.partitioning))
+    run.per_table
+
+let subjects = [ "HillClimb"; "Navathe"; "Column"; "Row" ]
+
+let fragility_table ~title ~format_value variants =
+  let headers = "Setting" :: subjects in
+  let rows =
+    List.map
+      (fun (label, new_disk) ->
+        label
+        :: List.map
+             (fun name ->
+               format_value
+                 (Vp_metrics.Fragility.aggregate ~old_disk:Common.disk
+                    ~new_disk (layouts_under_default name)))
+             subjects)
+      variants
+  in
+  Vp_report.Ascii.table ~title ~headers rows
+
+let fig8 () =
+  let variants =
+    List.map
+      (fun mb ->
+        ( Printf.sprintf "%g MB" mb,
+          Vp_cost.Disk.with_buffer_size Common.disk (Vp_cost.Disk.mb mb) ))
+      [ 0.08; 0.8; 8.0; 80.0; 800.0; 8000.0 ]
+  in
+  fragility_table
+    ~title:
+      "Figure 8: Fragility — change in workload runtime when the buffer \
+       size changes at query time (factor)\n\
+       (paper: up to 24x at 0.08 MB; ~0 for larger buffers)"
+    ~format_value:Vp_report.Ascii.factor variants
+
+let fig11a () =
+  let variants =
+    List.map
+      (fun kb ->
+        ( Printf.sprintf "%g KB" kb,
+          Vp_cost.Disk.with_block_size Common.disk (int_of_float (kb *. 1024.)) ))
+      [ 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0 ]
+  in
+  fragility_table
+    ~title:
+      "Figure 11(a): Fragility to block size (paper: < 1% everywhere)"
+    ~format_value:Vp_report.Ascii.percent variants
+
+let fig11b () =
+  let variants =
+    List.map
+      (fun mbps ->
+        ( Printf.sprintf "%g MB/s" mbps,
+          Vp_cost.Disk.with_read_bandwidth Common.disk
+            (mbps *. 1024.0 *. 1024.0) ))
+      [ 60.0; 70.0; 80.0; 90.0; 100.0; 110.0; 120.0 ]
+  in
+  fragility_table
+    ~title:
+      "Figure 11(b): Fragility to disk read bandwidth (paper: up to ~42%)"
+    ~format_value:Vp_report.Ascii.percent variants
+
+let fig11c () =
+  let variants =
+    List.map
+      (fun ms ->
+        ( Printf.sprintf "%g ms" ms,
+          Vp_cost.Disk.with_seek_time Common.disk (ms /. 1000.0) ))
+      [ 3.5; 4.0; 4.5; 4.84; 5.0; 5.5; 6.0 ]
+  in
+  fragility_table
+    ~title:"Figure 11(c): Fragility to seek time (paper: < 5%)"
+    ~format_value:Vp_report.Ascii.percent variants
+
+let workload_change () =
+  (* Optimize on the full 22 queries, evaluate on a half workload (the
+     paper: costs change by only ~14% for up to 50% workload change). *)
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "Workload-change fragility: layouts optimized on all 22 queries,\n\
+     evaluated on the first 11 only (cost per remaining query vs original \
+     cost per query):\n";
+  List.iter
+    (fun name ->
+      let entries = layouts_under_default name in
+      let deltas =
+        List.filter_map
+          (fun (w, p) ->
+            let half = Workload.prefix w (Workload.query_count w / 2) in
+            if Workload.query_count half = 0 then None
+            else begin
+              let per_query_old =
+                Vp_cost.Io_model.workload_cost Common.disk w p
+                /. float_of_int (Workload.query_count w)
+              in
+              let per_query_new =
+                Vp_cost.Io_model.workload_cost Common.disk half p
+                /. float_of_int (Workload.query_count half)
+              in
+              Some ((per_query_new -. per_query_old) /. per_query_old)
+            end)
+          entries
+      in
+      let avg =
+        List.fold_left ( +. ) 0.0 deltas /. float_of_int (List.length deltas)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-10s avg per-query cost change: %s\n" name
+           (Vp_report.Ascii.percent avg)))
+    subjects;
+  Buffer.contents buf

@@ -1,0 +1,56 @@
+(** E21 — Figure 14: the computed vertical partitions for every TPC-H
+    table, per algorithm. Attributes sharing a letter belong to the same
+    partition (the textual equivalent of the paper's colour grid). *)
+
+open Vp_core
+
+let algo_order =
+  [ "AutoPart"; "HillClimb"; "HYRISE"; "Navathe"; "O2P"; "Trojan"; "BruteForce" ]
+
+let letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+let grid_for workload results =
+  let table = Workload.table workload in
+  let n = Table.attribute_count table in
+  let headers =
+    "Algorithm" :: List.map (fun i -> Attribute.name (Table.attribute table i)) (List.init n Fun.id)
+  in
+  let rows =
+    List.map
+      (fun (name, (p : Partitioning.t)) ->
+        name
+        :: List.map
+             (fun i ->
+               let gi = Partitioning.group_index_of p i in
+               String.make 1 letters.[gi mod String.length letters])
+             (List.init n Fun.id))
+      results
+  in
+  Vp_report.Ascii.table
+    ~title:(Printf.sprintf "%s:" (Table.name table))
+    ~headers rows
+
+let fig14 () =
+  let runs = Common.tpch_runs () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Figure 14: Computed partitions for the TPC-H workload (same letter = \
+     same vertical partition)\n\n";
+  let first_run = List.find (fun (r : Common.algo_run) -> r.algo.Partitioner.name = "HillClimb") runs in
+  List.iteri
+    (fun ti (tr : Common.table_run) ->
+      let results =
+        List.map
+          (fun name ->
+            let run = Common.find_run name in
+            let table_result = List.nth run.per_table ti in
+            (name, table_result.result.Partitioner.partitioning))
+          algo_order
+      in
+      Buffer.add_string buf (grid_for tr.workload results);
+      Buffer.add_char buf '\n')
+    first_run.per_table;
+  Buffer.add_string buf
+    "(paper: AutoPart/HillClimb/HYRISE/Trojan/BruteForce form one layout \
+     class; Navathe and O2P form a clearly different second class)\n";
+  Buffer.contents buf

@@ -1,0 +1,55 @@
+(** E17/E22 — Figure 10: pay-off of vertical partitioning over Row (a) and
+    Column (b): the fraction (or multiple) of the TPC-H workload after
+    which the optimization + layout-creation investment is recovered. *)
+
+open Vp_core
+
+let algo_order =
+  [ "AutoPart"; "HillClimb"; "HYRISE"; "Navathe"; "O2P"; "Trojan"; "BruteForce" ]
+
+let payoff_against baseline_of (run : Common.algo_run) =
+  let entries =
+    List.map
+      (fun (r : Common.table_run) ->
+        let n = Table.attribute_count (Workload.table r.workload) in
+        (r.workload, baseline_of n, r.result.Partitioner.partitioning))
+      run.per_table
+  in
+  Vp_metrics.Payoff.aggregate Common.disk
+    ~optimization_time:run.optimization_time entries
+
+let render_factor (p : Vp_metrics.Payoff.t) =
+  if p.factor = infinity then "never"
+  else if p.factor < 0.0 then "negative"
+  else if p.factor < 1.0 then Vp_report.Ascii.percent p.factor
+  else Vp_report.Ascii.factor p.factor
+
+let fig10 () =
+  let rows =
+    List.map
+      (fun name ->
+        let run = Common.find_run name in
+        let over_row = payoff_against Partitioning.row run in
+        let over_col = payoff_against Partitioning.column run in
+        [
+          name;
+          Vp_report.Ascii.seconds run.optimization_time;
+          Vp_report.Ascii.seconds over_row.creation_time;
+          render_factor over_row;
+          render_factor over_col;
+        ])
+      algo_order
+  in
+  Vp_report.Ascii.table
+    ~title:
+      "Figure 10: Pay-off of the workload-runtime improvement over the \
+       optimization + creation investment\n\
+       (paper: all algorithms pay off over Row after ~25% of the workload; \
+       over Column AutoPart pays off earliest at 44.5x, HYRISE last at \
+       101x, Navathe/O2P never)"
+    ~headers:
+      [
+        "Algorithm"; "Opt. time"; "Creation time"; "Pay-off over Row";
+        "Pay-off over Column";
+      ]
+    rows

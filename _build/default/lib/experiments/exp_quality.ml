@@ -1,0 +1,102 @@
+(** E05-E08 — Figures 3-6: estimated workload runtime, unnecessary data
+    read, tuple-reconstruction joins, and distance from perfect
+    materialized views, for every algorithm plus Row/Column. *)
+
+open Vp_core
+
+let order =
+  [
+    "AutoPart"; "HillClimb"; "HYRISE"; "Navathe"; "O2P"; "Trojan"; "BruteForce";
+    "Column"; "Row";
+  ]
+
+let runs_in_order () =
+  List.map (fun name -> Common.find_run name) order
+
+let fig3 () =
+  let runs = runs_in_order () in
+  let rows =
+    List.map
+      (fun (r : Common.algo_run) ->
+        [ r.algo.Partitioner.name; Printf.sprintf "%.0f" r.total_cost ])
+      runs
+  in
+  Vp_report.Ascii.table
+    ~title:
+      "Figure 3: Estimated workload runtime for different algorithms (s)\n\
+       (paper: AutoPart 393, HillClimb 381, HYRISE 381, Navathe 506, O2P \
+       481, Trojan 387, BruteForce 381, Column ~400, Row 2058)"
+    ~headers:[ "Algorithm"; "Est. workload runtime (s)" ]
+    rows
+
+let fig4 () =
+  let runs = runs_in_order () in
+  let rows =
+    List.map
+      (fun (r : Common.algo_run) ->
+        let entries = Common.entries_of r in
+        [
+          r.algo.Partitioner.name;
+          Vp_report.Ascii.percent
+            (Vp_metrics.Measures.Aggregate.unnecessary_data_read Common.disk
+               entries);
+        ])
+      runs
+  in
+  Vp_report.Ascii.table
+    ~title:
+      "Figure 4: Fraction of unnecessary data read\n\
+       (paper: HillClimb-class ~0.8%, HYRISE 0%, Navathe 25.4%, O2P 21.3%, \
+       Row 83.8%, Column 0%)"
+    ~headers:[ "Algorithm"; "Unnecessary data read" ]
+    rows
+
+let fig5 () =
+  let runs = runs_in_order () in
+  let rows =
+    List.map
+      (fun (r : Common.algo_run) ->
+        let entries = Common.entries_of r in
+        [
+          r.algo.Partitioner.name;
+          Vp_report.Ascii.float3
+            (Vp_metrics.Measures.Aggregate.avg_tuple_reconstruction_joins
+               entries);
+        ])
+      runs
+  in
+  Vp_report.Ascii.table
+    ~title:
+      "Figure 5: Average tuple-reconstruction joins per tuple\n\
+       (paper: vertically partitioned layouts perform >= 72% of Column's \
+       joins; Row 0)"
+    ~headers:[ "Algorithm"; "Avg joins" ]
+    rows
+
+let fig6 () =
+  let runs = runs_in_order () in
+  let workloads =
+    List.map (fun (r : Common.table_run) -> r.workload)
+      (List.hd runs).per_table
+  in
+  let pmv =
+    Vp_metrics.Measures.Aggregate.total_pmv_cost Common.disk workloads
+  in
+  let rows =
+    List.map
+      (fun (r : Common.algo_run) ->
+        [
+          r.algo.Partitioner.name;
+          Vp_report.Ascii.percent ((r.total_cost -. pmv) /. pmv);
+        ])
+      runs
+  in
+  Vp_report.Ascii.table
+    ~title:
+      (Printf.sprintf
+         "Figure 6: Distance from perfect materialized views (PMV cost = \
+          %.0f s)\n\
+          (paper: HillClimb/AutoPart ~18%%, Navathe 49%%, O2P 56%%, Row 517%%)"
+         pmv)
+    ~headers:[ "Algorithm"; "Distance from PMV" ]
+    rows

@@ -1,0 +1,177 @@
+type experiment = {
+  id : string;
+  paper_ref : string;
+  description : string;
+  run : unit -> string;
+}
+
+let all =
+  [
+    {
+      id = "table1";
+      paper_ref = "Table 1";
+      description = "Classification of the evaluated algorithms";
+      run = Exp_classification.table1;
+    };
+    {
+      id = "table2";
+      paper_ref = "Table 2";
+      description = "Original settings vs the unified setting";
+      run = Exp_classification.table2;
+    };
+    {
+      id = "fig1";
+      paper_ref = "Figure 1";
+      description = "Optimization time per algorithm (log scale)";
+      run = Exp_optimization_time.fig1;
+    };
+    {
+      id = "fig2";
+      paper_ref = "Figure 2";
+      description = "Optimization time over varying workload size";
+      run = Exp_optimization_time.fig2;
+    };
+    {
+      id = "fig3";
+      paper_ref = "Figure 3";
+      description = "Estimated workload runtime per algorithm";
+      run = Exp_quality.fig3;
+    };
+    {
+      id = "fig4";
+      paper_ref = "Figure 4";
+      description = "Fraction of unnecessary data read";
+      run = Exp_quality.fig4;
+    };
+    {
+      id = "fig5";
+      paper_ref = "Figure 5";
+      description = "Average tuple-reconstruction joins";
+      run = Exp_quality.fig5;
+    };
+    {
+      id = "fig6";
+      paper_ref = "Figure 6";
+      description = "Distance from perfect materialized views";
+      run = Exp_quality.fig6;
+    };
+    {
+      id = "fig7";
+      paper_ref = "Figure 7";
+      description = "Improvement over Column for the first k queries";
+      run = Exp_workload_size.fig7;
+    };
+    {
+      id = "table3";
+      paper_ref = "Table 3";
+      description = "Unnecessary reads over Lineitem for the first k queries";
+      run = Exp_workload_size.table3;
+    };
+    {
+      id = "table4";
+      paper_ref = "Table 4";
+      description = "Tuple-reconstruction joins over Lineitem for first k";
+      run = Exp_workload_size.table4;
+    };
+    {
+      id = "fig8";
+      paper_ref = "Figure 8";
+      description = "Fragility to buffer-size changes at query time";
+      run = Exp_fragility.fig8;
+    };
+    {
+      id = "fig9";
+      paper_ref = "Figure 9";
+      description = "Cost vs Column when re-optimizing per buffer size";
+      run = Exp_sweet_spots.fig9;
+    };
+    {
+      id = "table5";
+      paper_ref = "Table 5";
+      description = "Improvement over Column: TPC-H vs SSB";
+      run = Exp_models.table5;
+    };
+    {
+      id = "table6";
+      paper_ref = "Table 6";
+      description = "Improvement over Column: HDD vs main-memory cost model";
+      run = Exp_models.table6;
+    };
+    {
+      id = "table7";
+      paper_ref = "Table 7";
+      description = "Workload runtime in a column-grouping DBMS (simulated)";
+      run = Exp_dbms.table7;
+    };
+    {
+      id = "fig10";
+      paper_ref = "Figure 10";
+      description = "Pay-off over Row and over Column";
+      run = Exp_payoff.fig10;
+    };
+    {
+      id = "fig11";
+      paper_ref = "Figure 11";
+      description = "Fragility to block size, bandwidth, seek time";
+      run =
+        (fun () ->
+          Exp_fragility.fig11a () ^ "\n" ^ Exp_fragility.fig11b () ^ "\n"
+          ^ Exp_fragility.fig11c () ^ "\n"
+          ^ Exp_fragility.workload_change ());
+    };
+    {
+      id = "fig12";
+      paper_ref = "Figure 12";
+      description = "Runtime when re-optimizing per disk parameter";
+      run =
+        (fun () ->
+          Exp_sweet_spots.fig12a () ^ "\n" ^ Exp_sweet_spots.fig12b () ^ "\n"
+          ^ Exp_sweet_spots.fig12c ());
+    };
+    {
+      id = "fig13";
+      paper_ref = "Figure 13";
+      description = "Buffer-size x dataset-scale sweet spots";
+      run = Exp_sweet_spots.fig13;
+    };
+    {
+      id = "fig14";
+      paper_ref = "Figure 14";
+      description = "Computed partitions for every TPC-H table";
+      run = Exp_layouts.fig14;
+    };
+    {
+      id = "selection";
+      paper_ref = "Section 7";
+      description =
+        "Selectivity extension: when do selection attributes change layouts";
+      run = Exp_selection.run;
+    };
+    {
+      id = "replication";
+      paper_ref = "Sections 3-4";
+      description =
+        "Replication extension: per-replica layouts from query groups";
+      run = Exp_replication.run;
+    };
+    {
+      id = "fragmentation";
+      paper_ref = "Lesson 4";
+      description =
+        "Fragmentation extension: improvement over Column vs access-pattern \
+         regularity";
+      run = Exp_fragmentation.run;
+    };
+    {
+      id = "ablations";
+      paper_ref = "DESIGN.md section 5";
+      description = "Ablations: HillClimb dictionary, HYRISE K, Trojan threshold, clustering order";
+      run = Exp_ablations.all;
+    };
+  ]
+
+let find id =
+  let target = String.lowercase_ascii id in
+  List.find (fun e -> String.lowercase_ascii e.id = target) all
+
+let ids = List.map (fun e -> e.id) all

@@ -1,0 +1,19 @@
+(** The experiment catalogue: every table and figure of the paper's
+    evaluation, addressable by id. Ids follow DESIGN.md's experiment
+    index. *)
+
+type experiment = {
+  id : string;  (** e.g. "fig3" or "table5". *)
+  paper_ref : string;  (** e.g. "Figure 3". *)
+  description : string;
+  run : unit -> string;  (** Produces the rendered report. *)
+}
+
+val all : experiment list
+(** In presentation order (Tables 1-2, Figures 1-14, Tables 3-7,
+    ablations). *)
+
+val find : string -> experiment
+(** Case-insensitive lookup by id. @raise Not_found on unknown ids. *)
+
+val ids : string list

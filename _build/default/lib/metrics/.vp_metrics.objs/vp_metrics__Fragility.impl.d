@@ -1,0 +1,1 @@
+lib/metrics/fragility.ml: List Vp_cost

@@ -1,0 +1,1 @@
+lib/metrics/measures.ml: Array List Partitioning Query Vp_core Vp_cost Workload

@@ -1,0 +1,1 @@
+lib/metrics/measures.mli: Partitioning Vp_core Vp_cost Workload

@@ -1,0 +1,1 @@
+lib/metrics/payoff.ml: List Vp_core Vp_cost Workload

@@ -1,0 +1,20 @@
+
+let fragility ~old_disk ~new_disk workload partitioning =
+  let old_cost = Vp_cost.Io_model.workload_cost old_disk workload partitioning in
+  let new_cost = Vp_cost.Io_model.workload_cost new_disk workload partitioning in
+  if old_cost <= 0.0 then 0.0 else (new_cost -. old_cost) /. old_cost
+
+let aggregate ~old_disk ~new_disk entries =
+  let old_cost, new_cost =
+    List.fold_left
+      (fun (o, n) (w, p) ->
+        ( o +. Vp_cost.Io_model.workload_cost old_disk w p,
+          n +. Vp_cost.Io_model.workload_cost new_disk w p ))
+      (0.0, 0.0) entries
+  in
+  if old_cost <= 0.0 then 0.0 else (new_cost -. old_cost) /. old_cost
+
+let workload_change disk ~old_workload ~new_workload partitioning =
+  let old_cost = Vp_cost.Io_model.workload_cost disk old_workload partitioning in
+  let new_cost = Vp_cost.Io_model.workload_cost disk new_workload partitioning in
+  if old_cost <= 0.0 then 0.0 else (new_cost -. old_cost) /. old_cost

@@ -1,0 +1,33 @@
+open Vp_core
+
+(** The paper's third metric (Section 5, Figures 8 and 11): how does a
+    layout computed under one disk profile behave if the profile changes at
+    query time, without re-optimizing?
+
+    [Fragility = (cost under new profile - cost under old profile)
+                 / cost under old profile]
+
+    A fragility of 0 means the layout's runtime is unaffected by the
+    change; 24 means it became 24x slower (the paper's worst buffer-size
+    case). *)
+
+val fragility :
+  old_disk:Vp_cost.Disk.t ->
+  new_disk:Vp_cost.Disk.t ->
+  Workload.t ->
+  Partitioning.t ->
+  float
+
+(** Aggregated over several tables (whole-benchmark fragility). *)
+val aggregate :
+  old_disk:Vp_cost.Disk.t ->
+  new_disk:Vp_cost.Disk.t ->
+  (Workload.t * Partitioning.t) list ->
+  float
+
+val workload_change :
+  Vp_cost.Disk.t -> old_workload:Workload.t -> new_workload:Workload.t ->
+  Partitioning.t -> float
+(** Fragility to workload change (Section 6.3's closing experiment): cost
+    of the layout under a changed workload relative to the original
+    workload, [(new - old) / old]. *)

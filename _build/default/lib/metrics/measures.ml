@@ -1,0 +1,79 @@
+open Vp_core
+
+let workload_cost = Vp_cost.Io_model.workload_cost
+
+let read_and_needed disk workload partitioning =
+  let table = Workload.table workload in
+  Array.fold_left
+    (fun (read, needed) q ->
+      let b = Vp_cost.Io_model.query_breakdown disk table partitioning q in
+      let w = Query.weight q in
+      (read +. (w *. b.bytes_read), needed +. (w *. b.bytes_needed)))
+    (0.0, 0.0)
+    (Workload.queries workload)
+
+let unnecessary_data_read disk workload partitioning =
+  let read, needed = read_and_needed disk workload partitioning in
+  if read <= 0.0 then 0.0 else (read -. needed) /. read
+
+let joins_and_weight workload partitioning =
+  Array.fold_left
+    (fun (joins, weight) q ->
+      let touched =
+        Partitioning.referenced_group_count partitioning (Query.references q)
+      in
+      let w = Query.weight q in
+      (joins +. (w *. float_of_int (touched - 1)), weight +. w))
+    (0.0, 0.0)
+    (Workload.queries workload)
+
+let avg_tuple_reconstruction_joins workload partitioning =
+  let joins, weight = joins_and_weight workload partitioning in
+  if weight <= 0.0 then 0.0 else joins /. weight
+
+let distance_from_pmv disk workload partitioning =
+  let pmv = Vp_cost.Io_model.pmv_cost disk workload in
+  if pmv <= 0.0 then 0.0
+  else (workload_cost disk workload partitioning -. pmv) /. pmv
+
+let improvement_of_costs ~baseline cost =
+  if baseline = 0.0 then 0.0 else (baseline -. cost) /. baseline
+
+let improvement_over disk workload ~baseline partitioning =
+  improvement_of_costs
+    ~baseline:(workload_cost disk workload baseline)
+    (workload_cost disk workload partitioning)
+
+module Aggregate = struct
+  type per_table = { workload : Workload.t; partitioning : Partitioning.t }
+
+  let total_cost disk entries =
+    List.fold_left
+      (fun acc e -> acc +. workload_cost disk e.workload e.partitioning)
+      0.0 entries
+
+  let unnecessary_data_read disk entries =
+    let read, needed =
+      List.fold_left
+        (fun (r, n) e ->
+          let r', n' = read_and_needed disk e.workload e.partitioning in
+          (r +. r', n +. n'))
+        (0.0, 0.0) entries
+    in
+    if read <= 0.0 then 0.0 else (read -. needed) /. read
+
+  let avg_tuple_reconstruction_joins entries =
+    let joins, weight =
+      List.fold_left
+        (fun (j, w) e ->
+          let j', w' = joins_and_weight e.workload e.partitioning in
+          (j +. j', w +. w'))
+        (0.0, 0.0) entries
+    in
+    if weight <= 0.0 then 0.0 else joins /. weight
+
+  let total_pmv_cost disk workloads =
+    List.fold_left
+      (fun acc w -> acc +. Vp_cost.Io_model.pmv_cost disk w)
+      0.0 workloads
+end

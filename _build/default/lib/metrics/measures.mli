@@ -1,0 +1,60 @@
+open Vp_core
+
+(** The paper's quality measures (Section 6.2): derived quantities that
+    explain {e why} a layout is good or bad, all computed from the I/O cost
+    model's per-query accounting. *)
+
+val workload_cost : Vp_cost.Disk.t -> Workload.t -> Partitioning.t -> float
+(** Re-export of {!Vp_cost.Io_model.workload_cost} for convenience. *)
+
+val unnecessary_data_read :
+  Vp_cost.Disk.t -> Workload.t -> Partitioning.t -> float
+(** Fraction (in [[0,1]]) of payload bytes read that no query needed:
+    [(read - needed) / read], aggregated over the weighted workload
+    (Figure 4). Zero when every partition read contains only referenced
+    attributes. *)
+
+val avg_tuple_reconstruction_joins : Workload.t -> Partitioning.t -> float
+(** Average over queries (weighted) of
+    [partitions accessed by the query - 1] — the per-tuple reconstruction
+    joins of Figure 5 and Table 4. Independent of the disk profile. *)
+
+val distance_from_pmv :
+  Vp_cost.Disk.t -> Workload.t -> Partitioning.t -> float
+(** [(cost(layout) - cost(PMV)) / cost(PMV)], the Figure 6 measure, where
+    PMV is the perfect-materialized-views layout (one dedicated partition
+    per query). *)
+
+val improvement_over :
+  Vp_cost.Disk.t ->
+  Workload.t ->
+  baseline:Partitioning.t ->
+  Partitioning.t ->
+  float
+(** [(cost(baseline) - cost(layout)) / cost(baseline)] — positive when the
+    layout beats the baseline (Figure 7, Tables 5-6). *)
+
+val improvement_of_costs : baseline:float -> float -> float
+(** Same formula from already-computed costs. *)
+
+(** Multi-table aggregation: the paper reports whole-benchmark numbers by
+    summing per-table workload costs (each TPC-H table is partitioned
+    independently). *)
+module Aggregate : sig
+  type per_table = {
+    workload : Workload.t;
+    partitioning : Partitioning.t;
+  }
+
+  val total_cost : Vp_cost.Disk.t -> per_table list -> float
+
+  val unnecessary_data_read : Vp_cost.Disk.t -> per_table list -> float
+  (** Bytes-weighted across tables. *)
+
+  val avg_tuple_reconstruction_joins : per_table list -> float
+  (** Averaged over all (query, table) pairs, weighted by query weight —
+      each query contributes once per table it touches, mirroring the
+      paper's per-table partitioning view. *)
+
+  val total_pmv_cost : Vp_cost.Disk.t -> Workload.t list -> float
+end

@@ -1,0 +1,41 @@
+open Vp_core
+
+type t = {
+  optimization_time : float;
+  creation_time : float;
+  improvement : float;
+  factor : float;
+}
+
+let finish ~optimization_time ~creation_time ~improvement =
+  let invested = optimization_time +. creation_time in
+  let factor =
+    if improvement > 0.0 then invested /. improvement
+    else if improvement = 0.0 then infinity
+    else -.(invested /. -.improvement)
+  in
+  { optimization_time; creation_time; improvement; factor }
+
+let compute disk workload ~optimization_time ~baseline partitioning =
+  let creation_time =
+    Vp_cost.Io_model.creation_time disk (Workload.table workload) partitioning
+  in
+  let improvement =
+    Vp_cost.Io_model.workload_cost disk workload baseline
+    -. Vp_cost.Io_model.workload_cost disk workload partitioning
+  in
+  finish ~optimization_time ~creation_time ~improvement
+
+let aggregate disk ~optimization_time entries =
+  let creation_time, improvement =
+    List.fold_left
+      (fun (c, i) (workload, baseline, partitioning) ->
+        ( c
+          +. Vp_cost.Io_model.creation_time disk (Workload.table workload)
+               partitioning,
+          i
+          +. Vp_cost.Io_model.workload_cost disk workload baseline
+          -. Vp_cost.Io_model.workload_cost disk workload partitioning ))
+      (0.0, 0.0) entries
+  in
+  finish ~optimization_time ~creation_time ~improvement

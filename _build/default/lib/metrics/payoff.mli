@@ -1,0 +1,40 @@
+open Vp_core
+
+(** The paper's pay-off measure (Appendix A.1, Figure 10): how much of the
+    workload must run before the time invested in vertical partitioning
+    (optimization + layout creation) is recovered by the runtime
+    improvement over a baseline layout.
+
+    [Pay-off = (optimization time + creation time)
+               / (baseline workload cost - layout workload cost)]
+
+    A pay-off of 0.25 means 25% of one workload execution amortises the
+    investment; 44.5 means the workload must run 44.5 times. Negative
+    values mean the layout never pays off (it is worse than the
+    baseline). *)
+
+type t = {
+  optimization_time : float;  (** Seconds spent by the algorithm. *)
+  creation_time : float;  (** Estimated row->partitioned transform time. *)
+  improvement : float;  (** Baseline cost - layout cost (seconds/run). *)
+  factor : float;
+      (** Workload executions needed to pay off; [infinity] when the
+          improvement is zero, negative when the layout is worse. *)
+}
+
+val compute :
+  Vp_cost.Disk.t ->
+  Workload.t ->
+  optimization_time:float ->
+  baseline:Partitioning.t ->
+  Partitioning.t ->
+  t
+(** Pay-off of a layout against a baseline on one table. *)
+
+val aggregate :
+  Vp_cost.Disk.t ->
+  optimization_time:float ->
+  (Workload.t * Partitioning.t * Partitioning.t) list ->
+  t
+(** Whole-benchmark pay-off: [(workload, baseline, layout)] per table;
+    creation times and improvements are summed. *)

@@ -1,0 +1,1 @@
+lib/parser/workload_parser.ml: Attr_set Attribute Format In_channel List Printf Query String Table Vp_core Workload

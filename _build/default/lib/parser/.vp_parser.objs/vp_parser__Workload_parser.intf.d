@@ -1,0 +1,1 @@
+lib/parser/workload_parser.mli: Format Vp_core Workload

@@ -1,0 +1,38 @@
+open Vp_core
+
+(** A small SQL-flavoured workload description language, so tables and
+    query footprints can be fed to the library as plain text instead of
+    OCaml code:
+
+    {v
+    -- the paper's Section 1.1 example
+    CREATE TABLE partsupp (
+      PartKey INT, SuppKey INT, AvailQty INT,
+      SupplyCost DECIMAL, Comment VARCHAR(199)
+    ) ROWS 8000000;
+
+    SELECT PartKey, SuppKey, AvailQty, SupplyCost FROM partsupp;
+    SELECT AvailQty, SupplyCost, Comment FROM partsupp WEIGHT 2.5;
+    SELECT * FROM partsupp WHERE AvailQty > 100;
+    v}
+
+    Semantics match the paper's unified setting: a query contributes its
+    {e attribute footprint} — every table column mentioned anywhere in the
+    SELECT list, WHERE, GROUP BY or ORDER BY clauses ([*] means all
+    columns). Predicates are not evaluated; WHERE only adds references.
+    [WEIGHT] sets the query frequency (default 1). Identifiers are
+    case-sensitive for columns, case-insensitive for keywords; [--] starts
+    a line comment. *)
+
+type error = { line : int; message : string }
+
+val parse : string -> (Workload.t list, error) result
+(** Parses a whole script: any number of CREATE TABLE and SELECT
+    statements, in any order as long as every SELECT's table exists. One
+    workload is returned per created table (tables without queries yield
+    empty workloads), in creation order. *)
+
+val parse_file : string -> (Workload.t list, error) result
+(** Reads and parses a file. I/O errors are reported as line 0. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,1 @@
+lib/report/ascii.ml: Array Buffer Float List Printf String

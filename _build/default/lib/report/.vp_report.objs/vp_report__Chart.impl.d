@@ -1,0 +1,1 @@
+lib/report/chart.ml: Ascii Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/report/ddl.ml: Attr_set Attribute Buffer List Partitioning Printf String Table Vp_core

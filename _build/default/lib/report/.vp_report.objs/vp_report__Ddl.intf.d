@@ -1,0 +1,1 @@
+lib/report/ddl.mli: Attribute Partitioning Table Vp_core

@@ -1,0 +1,1 @@
+lib/report/workload_view.ml: Affinity Array Ascii Attr_set Attribute Buffer List Printf Query String Table Vp_core Workload

@@ -1,0 +1,1 @@
+lib/report/workload_view.mli: Vp_core

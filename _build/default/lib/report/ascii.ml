@@ -1,0 +1,76 @@
+let table ?title ~headers rows =
+  let cols = List.length headers in
+  List.iteri
+    (fun i row ->
+      if List.length row <> cols then
+        invalid_arg
+          (Printf.sprintf "Ascii.table: row %d has %d cells, expected %d" i
+             (List.length row) cols))
+    rows;
+  let widths = Array.of_list (List.map String.length headers) in
+  List.iter
+    (List.iteri (fun c cell -> widths.(c) <- max widths.(c) (String.length cell)))
+    rows;
+  let pad align width s =
+    let fill = width - String.length s in
+    match align with
+    | `Left -> s ^ String.make fill ' '
+    | `Right -> String.make fill ' ' ^ s
+  in
+  let render_row cells =
+    let padded =
+      List.mapi
+        (fun c cell -> pad (if c = 0 then `Left else `Right) widths.(c) cell)
+        cells
+    in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let sep =
+    "+"
+    ^ String.concat "+"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let buf = Buffer.create 1024 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_row headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf sep;
+  Buffer.contents buf
+
+let seconds s =
+  let abs = Float.abs s in
+  if abs = 0.0 then "0 s"
+  else if abs < 1e-3 then Printf.sprintf "%.0f us" (s *. 1e6)
+  else if abs < 1.0 then Printf.sprintf "%.2f ms" (s *. 1e3)
+  else if abs < 120.0 then Printf.sprintf "%.2f s" s
+  else if abs < 7200.0 then Printf.sprintf "%.1f min" (s /. 60.0)
+  else Printf.sprintf "%.1f h" (s /. 3600.0)
+
+let percent f = Printf.sprintf "%.2f%%" (f *. 100.0)
+
+let factor f =
+  if Float.is_nan f || f = infinity || f = neg_infinity then "-"
+  else Printf.sprintf "%.2fx" f
+
+let float3 f = Printf.sprintf "%.3f" f
+
+let bytes b =
+  let abs = Float.abs b in
+  if abs < 1024.0 then Printf.sprintf "%.0f B" b
+  else if abs < 1024.0 ** 2.0 then Printf.sprintf "%.1f KB" (b /. 1024.0)
+  else if abs < 1024.0 ** 3.0 then Printf.sprintf "%.1f MB" (b /. (1024.0 ** 2.0))
+  else Printf.sprintf "%.2f GB" (b /. (1024.0 ** 3.0))

@@ -1,0 +1,22 @@
+(** Plain-text rendering of result tables, used by the CLI, the examples
+    and the benchmark harness. *)
+
+val table : ?title:string -> headers:string list -> string list list -> string
+(** Renders a boxed table. Columns are sized to their widest cell; the
+    first column is left-aligned, the rest right-aligned (numbers).
+    @raise Invalid_argument if a row's length differs from the headers'. *)
+
+val seconds : float -> string
+(** Human scale: ["873 us"], ["1.24 s"], ["3.2 min"], ["1.1 h"]. *)
+
+val percent : float -> string
+(** [percent 0.0371 = "3.71%"]. Input is a fraction. *)
+
+val factor : float -> string
+(** [factor 24.23 = "24.23x"]; infinity prints as ["-"]. *)
+
+val float3 : float -> string
+(** Fixed 3-decimal rendering, e.g. ["2.058"]. *)
+
+val bytes : float -> string
+(** ["1.5 GB"], ["88 KB"], ... (binary units). *)

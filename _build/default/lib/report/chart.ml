@@ -1,0 +1,59 @@
+let bar ?title ?(width = 50) ?(log_scale = false) ~unit entries =
+  let buf = Buffer.create 512 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  if entries <> [] then begin
+    let label_width =
+      List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries
+    in
+    let scale v =
+      if log_scale then begin
+        if v <= 0.0 then
+          invalid_arg "Chart.bar: log scale requires positive values";
+        log10 v
+      end
+      else v
+    in
+    let scaled = List.map (fun (l, v) -> (l, v, scale v)) entries in
+    let lo = List.fold_left (fun acc (_, _, s) -> min acc s) infinity scaled in
+    let hi =
+      List.fold_left (fun acc (_, _, s) -> max acc s) neg_infinity scaled
+    in
+    let base = if log_scale then min lo 0.0 else 0.0 in
+    let span = hi -. base in
+    List.iter
+      (fun (label, v, s) ->
+        let len =
+          if span <= 0.0 then width
+          else
+            int_of_float
+              (Float.round (float_of_int width *. (s -. base) /. span))
+        in
+        let len = max 0 (min width len) in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-*s |%s%s %g %s\n" label_width label
+             (String.make len '#')
+             (String.make (width - len) ' ')
+             v unit))
+      scaled
+  end;
+  Buffer.contents buf
+
+let series ?title ~x_label ~xs series_list =
+  List.iter
+    (fun (name, values) ->
+      if List.length values <> List.length xs then
+        invalid_arg
+          (Printf.sprintf "Chart.series: series %S length mismatch" name))
+    series_list;
+  let headers = x_label :: List.map fst series_list in
+  let columns = List.map snd series_list in
+  let rows =
+    List.mapi
+      (fun i x -> x :: List.map (fun col -> Printf.sprintf "%g" (List.nth col i)) columns)
+      xs
+  in
+  Ascii.table ?title ~headers rows

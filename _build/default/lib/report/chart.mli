@@ -1,0 +1,25 @@
+(** Terminal "figures": horizontal bar charts (optionally log-scaled, for
+    the paper's order-of-magnitude comparisons) and multi-series line data
+    rendered as aligned columns. *)
+
+val bar :
+  ?title:string ->
+  ?width:int ->
+  ?log_scale:bool ->
+  unit:string ->
+  (string * float) list ->
+  string
+(** One labelled bar per entry; [width] (default 50) is the maximum bar
+    length in characters. With [log_scale], bar lengths are proportional to
+    [log10] of the value (all values must be positive). The numeric value
+    is printed after each bar with the given unit. *)
+
+val series :
+  ?title:string ->
+  x_label:string ->
+  xs:string list ->
+  (string * float list) list ->
+  string
+(** Renders series as a table with one row per x value and one column per
+    series — the textual equivalent of the paper's line plots.
+    @raise Invalid_argument if any series' length differs from [xs]. *)

@@ -1,0 +1,14 @@
+(** Minimal CSV emission (RFC-4180 quoting) so every experiment can dump
+    machine-readable results alongside its textual rendering. *)
+
+val escape : string -> string
+(** Quotes a field if it contains a comma, quote or newline. *)
+
+val line : string list -> string
+(** One CSV record, without the trailing newline. *)
+
+val to_string : string list list -> string
+(** All records, newline-terminated. *)
+
+val write : path:string -> string list list -> unit
+(** Writes records to a file, creating or truncating it. *)

@@ -1,0 +1,48 @@
+open Vp_core
+
+let sql_type = function
+  | Attribute.Int32 -> "INT"
+  | Attribute.Decimal -> "DECIMAL(12,2)"
+  | Attribute.Date -> "DATE"
+  | Attribute.Char n -> Printf.sprintf "CHAR(%d)" n
+  | Attribute.Varchar n -> Printf.sprintf "VARCHAR(%d)" n
+
+let emit table partitioning =
+  let buf = Buffer.create 1024 in
+  let groups = Partitioning.groups partitioning in
+  let part_name i = Printf.sprintf "%s_p%d" (Table.name table) (i + 1) in
+  List.iteri
+    (fun i group ->
+      Buffer.add_string buf (Printf.sprintf "CREATE TABLE %s (\n" (part_name i));
+      Buffer.add_string buf "  row_id BIGINT PRIMARY KEY";
+      Attr_set.iter
+        (fun a ->
+          let attr = Table.attribute table a in
+          Buffer.add_string buf
+            (Printf.sprintf ",\n  %s %s" (Attribute.name attr)
+               (sql_type (Attribute.datatype attr))))
+        group;
+      Buffer.add_string buf "\n);\n\n")
+    groups;
+  (match groups with
+  | [ _ ] -> () (* row layout: the single partition is the table *)
+  | _ ->
+      Buffer.add_string buf
+        (Printf.sprintf "CREATE VIEW %s AS\nSELECT " (Table.name table));
+      let columns =
+        List.init (Table.attribute_count table) (fun a ->
+            let gi = Partitioning.group_index_of partitioning a in
+            Printf.sprintf "%s.%s" (part_name gi)
+              (Attribute.name (Table.attribute table a)))
+      in
+      Buffer.add_string buf (String.concat ",\n       " columns);
+      Buffer.add_string buf
+        (Printf.sprintf "\nFROM %s" (part_name 0));
+      List.iteri
+        (fun i _ ->
+          if i > 0 then
+            Buffer.add_string buf
+              (Printf.sprintf "\nJOIN %s USING (row_id)" (part_name i)))
+        groups;
+      Buffer.add_string buf ";\n");
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+open Vp_core
+
+(** DDL emission: turn a computed vertical partitioning into the SQL a row
+    store needs to materialise it — one physical table per partition (each
+    carrying the row identifier used for tuple reconstruction) plus a view
+    that reassembles the logical table, which is exactly how the paper
+    says practitioners deploy vertical partitioning in legacy row stores
+    ("the standard practice to create a separate table for each vertical
+    partition"). *)
+
+val emit : Table.t -> Partitioning.t -> string
+(** [emit table p] renders:
+    - one [CREATE TABLE <table>_p<i> (row_id BIGINT PRIMARY KEY, ...)] per
+      partition, columns in table order with their SQL types;
+    - a [CREATE VIEW <table> AS SELECT ... FROM ... JOIN ... USING (row_id)]
+      reconstructing the original schema (omitted when the layout is the
+      row layout, where the single partition is the table). *)
+
+val sql_type : Attribute.datatype -> string
+(** [INT], [DECIMAL(12,2)], [DATE], [CHAR(n)] or [VARCHAR(n)]. *)

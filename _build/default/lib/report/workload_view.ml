@@ -1,0 +1,97 @@
+open Vp_core
+
+let attribute_names table =
+  List.init (Table.attribute_count table) (fun i ->
+      Attribute.name (Table.attribute table i))
+
+let usage_matrix w =
+  let table = Workload.table w in
+  let names = attribute_names table in
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun q ->
+           Query.name q
+           :: List.mapi
+                (fun i _ -> if Query.references_attr q i then "x" else "")
+                names)
+         (Workload.queries w))
+  in
+  Ascii.table
+    ~title:(Printf.sprintf "Attribute usage matrix of %s" (Table.name table))
+    ~headers:("Query" :: names) rows
+
+let affinity_matrix w =
+  let table = Workload.table w in
+  let names = attribute_names table in
+  let m = Affinity.of_workload w in
+  let rows =
+    List.mapi
+      (fun i name ->
+        name
+        :: List.mapi (fun j _ -> Printf.sprintf "%g" (Affinity.get m i j)) names)
+      names
+  in
+  Ascii.table
+    ~title:(Printf.sprintf "Attribute affinity matrix of %s" (Table.name table))
+    ~headers:("" :: names) rows
+
+let summary w =
+  let table = Workload.table w in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s: %d rows, %d attributes, %d bytes/row, %d queries\n"
+       (Table.name table) (Table.row_count table)
+       (Table.attribute_count table) (Table.row_size table)
+       (Workload.query_count w));
+  let unreferenced = Workload.unreferenced_attributes w in
+  Buffer.add_string buf
+    (Printf.sprintf "  unreferenced attributes: %s\n"
+       (if Attr_set.is_empty unreferenced then "none"
+        else String.concat ", " (Table.names_of_attr_set table unreferenced)));
+  let primaries = Workload.primary_partitions w in
+  Buffer.add_string buf
+    (Printf.sprintf "  primary partitions (%d): %s\n" (List.length primaries)
+       (String.concat " | "
+          (List.map
+             (fun g -> String.concat "," (Table.names_of_attr_set table g))
+             primaries)));
+  let avg_footprint =
+    let qs = Workload.queries w in
+    if Array.length qs = 0 then 0.0
+    else
+      Array.fold_left
+        (fun acc q ->
+          acc +. float_of_int (Attr_set.cardinal (Query.references q)))
+        0.0 qs
+      /. float_of_int (Array.length qs)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "  average query footprint: %.1f attributes\n" avg_footprint);
+  (* Fragmentation: 1 - mean pairwise Jaccard similarity of footprints. *)
+  let fragmentation =
+    let qs = Workload.queries w in
+    let n = Array.length qs in
+    if n < 2 then 0.0
+    else begin
+      let total = ref 0.0 and pairs = ref 0 in
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          let ri = Query.references qs.(i) and rj = Query.references qs.(j) in
+          let union = Attr_set.cardinal (Attr_set.union ri rj) in
+          if union > 0 then begin
+            total :=
+              !total
+              +. float_of_int (Attr_set.cardinal (Attr_set.inter ri rj))
+                 /. float_of_int union;
+            incr pairs
+          end
+        done
+      done;
+      if !pairs = 0 then 0.0 else 1.0 -. (!total /. float_of_int !pairs)
+    end
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "  fragmentation score: %.3f (0 = regular, 1 = fragmented)\n"
+       fragmentation);
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Diagnostic views of a workload: the classic attribute usage matrix
+    (queries x attributes), the clustered affinity matrix, and a summary of
+    the structural quantities the partitioning algorithms feed on. *)
+
+val usage_matrix : Vp_core.Workload.t -> string
+(** One row per query, one column per attribute; [x] marks a reference.
+    The textual form of Navathe's attribute usage matrix. *)
+
+val affinity_matrix : Vp_core.Workload.t -> string
+(** The attribute affinity matrix (co-access counts), attribute names on
+    both axes. *)
+
+val summary : Vp_core.Workload.t -> string
+(** Table name, row count and width, query count, referenced/unreferenced
+    attributes, primary partitions, and the fragmentation score. *)

@@ -1,0 +1,1 @@
+lib/storage/codec.ml: Array Attribute Buffer Bytes Char Hashtbl Int64 List Printf String Value Vp_core

@@ -1,0 +1,1 @@
+lib/storage/creation.ml: Attr_set Codec Device List Partitioning Pfile Table Vp_core Vp_cost

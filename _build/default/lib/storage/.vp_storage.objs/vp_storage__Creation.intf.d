@@ -1,0 +1,1 @@
+lib/storage/creation.mli: Device Partitioning Table Value Vp_core Vp_cost

@@ -1,0 +1,1 @@
+lib/storage/database.ml: Array Attr_set Codec Device Float Hashtbl List Partitioning Pfile Query Table Value Vp_core Vp_cost Workload

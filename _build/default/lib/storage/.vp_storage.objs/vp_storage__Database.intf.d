@@ -1,0 +1,1 @@
+lib/storage/database.mli: Codec Device Partitioning Pfile Query Table Value Vp_core Vp_cost Workload

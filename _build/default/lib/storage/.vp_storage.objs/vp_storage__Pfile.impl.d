@@ -1,0 +1,1 @@
+lib/storage/pfile.ml: Array Attr_set Buffer Bytes Codec List Printf Table Vp_core

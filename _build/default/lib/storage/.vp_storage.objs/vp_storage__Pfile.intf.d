@@ -1,0 +1,1 @@
+lib/storage/pfile.mli: Attr_set Codec Table Value Vp_core

@@ -1,0 +1,66 @@
+open Vp_core
+
+type result = {
+  io : Device.stats;
+  source_blocks : int;
+  written_blocks : int;
+}
+
+let transform ~disk table rows partitioning =
+  let n = Table.attribute_count table in
+  let source =
+    Pfile.build ~block_size:disk.Vp_cost.Disk.block_size ~codec_kind:Codec.Plain
+      table ~group:(Attr_set.full n) rows
+  in
+  let targets =
+    List.map
+      (fun group ->
+        Pfile.build ~block_size:disk.Vp_cost.Disk.block_size
+          ~codec_kind:Codec.Plain table ~group rows)
+      (Partitioning.groups partitioning)
+  in
+  let device = Device.create disk in
+  (* Buffer shares proportional to row sizes; the read stream participates
+     at the full row size (mirrors Io_model.creation_time). *)
+  let row_s = Table.row_size table in
+  let total_s =
+    row_s
+    + List.fold_left
+        (fun acc f -> acc + Table.subset_size table (Pfile.group f))
+        0 targets
+  in
+  let stream_requests ~row_size ~blocks =
+    if blocks = 0 then []
+    else begin
+      let share = disk.Vp_cost.Disk.buffer_size * row_size / total_s in
+      let per_request = max 1 (share / disk.Vp_cost.Disk.block_size) in
+      let rec go first acc =
+        if first >= blocks then List.rev acc
+        else
+          let count = min per_request (blocks - first) in
+          go (first + count) ((first, count) :: acc)
+      in
+      go 0 []
+    end
+  in
+  (* Issue the read refills of the source and the write flushes of every
+     target; with the per-request seek rule the interleaving order does not
+     change the accounted time. *)
+  List.iter
+    (fun (first, count) -> Device.read device ~file:0 ~first_block:first ~count)
+    (stream_requests ~row_size:row_s ~blocks:(Pfile.block_count source));
+  List.iteri
+    (fun i f ->
+      List.iter
+        (fun (first, count) ->
+          Device.write device ~file:(i + 1) ~first_block:first ~count)
+        (stream_requests
+           ~row_size:(Table.subset_size table (Pfile.group f))
+           ~blocks:(Pfile.block_count f)))
+    targets;
+  {
+    io = Device.stats device;
+    source_blocks = Pfile.block_count source;
+    written_blocks =
+      List.fold_left (fun acc f -> acc + Pfile.block_count f) 0 targets;
+  }

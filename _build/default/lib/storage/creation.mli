@@ -1,0 +1,26 @@
+open Vp_core
+
+(** Layout creation in the simulator: transform a table stored in row
+    layout into a vertically partitioned layout, with full device
+    accounting. Validates {!Vp_cost.Io_model.creation_time} — the quantity
+    the pay-off metric (Figure 10) charges for.
+
+    The transform streams the row-layout file once and writes one file per
+    partition concurrently; the I/O buffer is shared among the read stream
+    and all write streams in proportion to their row sizes, and every
+    sub-buffer refill or flush is one buffered request (seek +
+    transfer). *)
+
+type result = {
+  io : Device.stats;
+  source_blocks : int;  (** Blocks of the row-layout source file. *)
+  written_blocks : int;  (** Blocks across all partition files. *)
+}
+
+val transform :
+  disk:Vp_cost.Disk.t ->
+  Table.t ->
+  Value.t array array ->
+  Partitioning.t ->
+  result
+(** Simulates the row-to-partitioned transform of the given rows. *)

@@ -1,0 +1,200 @@
+open Vp_core
+
+type t = {
+  table : Table.t;
+  partitioning : Partitioning.t;
+  disk : Vp_cost.Disk.t;
+  files : Pfile.t array;
+  load : Device.stats;
+}
+
+let build ?device ~disk ~codec table rows partitioning =
+  let device = match device with Some d -> d | None -> Device.create disk in
+  let before = Device.stats device in
+  let files =
+    Array.of_list
+      (List.mapi
+         (fun i group ->
+           let f =
+             Pfile.build ~block_size:disk.Vp_cost.Disk.block_size
+               ~codec_kind:codec table ~group rows
+           in
+           Device.write device ~file:i ~first_block:0 ~count:(Pfile.block_count f);
+           f)
+         (Partitioning.groups partitioning))
+  in
+  let after = Device.stats device in
+  let load =
+    {
+      Device.elapsed = after.elapsed -. before.elapsed;
+      seeks = after.seeks - before.seeks;
+      blocks_read = after.blocks_read - before.blocks_read;
+      blocks_written = after.blocks_written - before.blocks_written;
+    }
+  in
+  { table; partitioning; disk; files; load }
+
+let table db = db.table
+
+let partitioning db = db.partitioning
+
+let pfiles db = Array.to_list db.files
+
+let load_stats db = db.load
+
+let bytes_on_disk db =
+  Array.fold_left (fun acc f -> acc + Pfile.bytes_on_disk f) 0 db.files
+
+type query_result = {
+  rows_out : int;
+  io : Device.stats;
+  cpu_seconds : float;
+  partitions_read : int;
+  values_decoded : int;
+  checksum : int;
+}
+
+let join_ns_per_tuple = 5.0
+
+(* One scan stream over a partition file with a bounded sub-buffer. *)
+type stream = {
+  file_id : int;
+  pfile : Pfile.t;
+  sub_buffer_blocks : int;
+  refs_in_group : int array;  (** positions within the group's column order
+                                  that the query projects *)
+  in_group : bool;  (** group has attributes beyond the projected ones or
+                        more than one column (stride decoding) *)
+  mutable buffered : Value.t array array;  (** decoded rows of the buffer *)
+  mutable buffered_first : int;
+  mutable next_block : int;
+}
+
+(* Commutative (order-independent) digest: layouts deliver projected values
+   in partition order, which differs per layout, so the digest must not
+   depend on it. *)
+let checksum_value acc = function
+  | Value.Int i -> acc + Hashtbl.hash i
+  | Value.Num f -> acc + Hashtbl.hash (Float.round (f *. 100.0))
+  | Value.Str s -> acc + Hashtbl.hash s
+
+let run_query db query =
+  let device = Device.create db.disk in
+  let refs = Query.references query in
+  let rows = Table.row_count db.table in
+  let streams =
+    Array.to_list db.files
+    |> List.mapi (fun i f -> (i, f))
+    |> List.filter (fun (_, f) -> Attr_set.intersects (Pfile.group f) refs)
+  in
+  let total_width =
+    List.fold_left
+      (fun acc (_, f) -> acc +. Codec.avg_row_width (Pfile.codec f))
+      0.0 streams
+  in
+  let make_stream (i, f) =
+    let width = Codec.avg_row_width (Pfile.codec f) in
+    let share =
+      if total_width <= 0.0 then db.disk.Vp_cost.Disk.buffer_size
+      else
+        int_of_float
+          (float_of_int db.disk.Vp_cost.Disk.buffer_size *. width /. total_width)
+    in
+    let sub_buffer_blocks = max 1 (share / db.disk.Vp_cost.Disk.block_size) in
+    let group_positions = Attr_set.to_list (Pfile.group f) in
+    let refs_in_group =
+      List.filteri (fun _ p -> Attr_set.mem p refs) group_positions
+      |> List.map (fun p ->
+             let rec index k = function
+               | [] -> assert false
+               | q :: _ when q = p -> k
+               | _ :: rest -> index (k + 1) rest
+             in
+             index 0 group_positions)
+      |> Array.of_list
+    in
+    {
+      file_id = i;
+      pfile = f;
+      sub_buffer_blocks;
+      refs_in_group;
+      in_group = List.length group_positions > 1;
+      buffered = [||];
+      buffered_first = 0;
+      next_block = 0;
+    }
+  in
+  let streams = List.map make_stream streams in
+  let cpu_ns = ref 0.0 in
+  let values_decoded = ref 0 in
+  let checksum = ref 0 in
+  (* Refill a stream's sub-buffer: read the next window of blocks and
+     decode the rows they cover, starting at [from_row]. *)
+  let refill s ~from_row =
+    let total_blocks = Pfile.block_count s.pfile in
+    if s.next_block < total_blocks then begin
+      let count = min s.sub_buffer_blocks (total_blocks - s.next_block) in
+      Device.read device ~file:s.file_id ~first_block:s.next_block ~count;
+      let last_block = s.next_block + count - 1 in
+      let rows_covered =
+        if last_block + 1 >= total_blocks then Pfile.row_count s.pfile - from_row
+        else begin
+          (* rows strictly before the first row of the next window *)
+          let next_first =
+            (* first row stored in block last_block+1 *)
+            let rec find r =
+              if Pfile.block_of_row s.pfile r > last_block then r else find (r + 1)
+            in
+            (* exponential then linear is overkill; rows per block are
+               small, walk forward from from_row *)
+            find from_row
+          in
+          next_first - from_row
+        end
+      in
+      s.buffered <- Pfile.read_rows s.pfile ~first_row:from_row ~count:rows_covered;
+      s.buffered_first <- from_row;
+      s.next_block <- s.next_block + count;
+      (* decode CPU for everything buffered *)
+      let cols = Array.length s.refs_in_group in
+      let kind = Codec.kind (Pfile.codec s.pfile) in
+      let per_value = Codec.decode_ns_per_value kind ~in_group:s.in_group in
+      cpu_ns := !cpu_ns +. (per_value *. float_of_int (Array.length s.buffered * cols));
+      values_decoded := !values_decoded + (Array.length s.buffered * cols)
+    end
+  in
+  let partitions_read = List.length streams in
+  for r = 0 to rows - 1 do
+    List.iter
+      (fun s ->
+        if r >= s.buffered_first + Array.length s.buffered then
+          refill s ~from_row:r;
+        let row = s.buffered.(r - s.buffered_first) in
+        Array.iter
+          (fun c -> checksum := checksum_value !checksum row.(c))
+          s.refs_in_group)
+      streams;
+    if partitions_read > 1 then
+      cpu_ns := !cpu_ns +. (join_ns_per_tuple *. float_of_int (partitions_read - 1))
+  done;
+  {
+    rows_out = rows;
+    io = Device.stats device;
+    cpu_seconds = !cpu_ns *. 1e-9;
+    partitions_read;
+    values_decoded = !values_decoded;
+    checksum = !checksum;
+  }
+
+let run_workload db workload =
+  let results =
+    Array.to_list
+      (Array.map (fun q -> (q, run_query db q)) (Workload.queries workload))
+  in
+  let total =
+    List.fold_left
+      (fun acc (q, r) ->
+        acc +. (Query.weight q *. (r.io.Device.elapsed +. r.cpu_seconds)))
+      0.0 results
+  in
+  (List.map snd results, total)

@@ -1,0 +1,57 @@
+open Vp_core
+
+(** A vertically partitioned table instance inside the storage simulator:
+    one {!Pfile.t} per partition, an executor that runs scan/projection
+    queries with tuple reconstruction, and full I/O + CPU accounting.
+
+    The executor mirrors the paper's query processing assumptions: all
+    partitions referenced by a query are scanned concurrently through one
+    shared I/O buffer, split among them in proportion to their (average)
+    row sizes; every sub-buffer refill pays a seek; tuples are
+    reconstructed row-rank by row-rank and handed to the (simulated) query
+    executor tuple by tuple. *)
+
+type t
+
+val build :
+  ?device:Device.t ->
+  disk:Vp_cost.Disk.t ->
+  codec:Codec.kind ->
+  Table.t ->
+  Value.t array array ->
+  Partitioning.t ->
+  t
+(** Loads the rows into one partition file per group, accounting the
+    writes on [device] (a fresh device if omitted). *)
+
+val table : t -> Table.t
+
+val partitioning : t -> Partitioning.t
+
+val pfiles : t -> Pfile.t list
+
+val load_stats : t -> Device.stats
+(** I/O performed while building. *)
+
+val bytes_on_disk : t -> int
+
+type query_result = {
+  rows_out : int;  (** Tuples produced (= table row count; no selection). *)
+  io : Device.stats;  (** I/O of this query alone. *)
+  cpu_seconds : float;  (** Simulated decode + reconstruction CPU time. *)
+  partitions_read : int;
+  values_decoded : int;
+  checksum : int;  (** Order-independent digest of the projected values. *)
+}
+
+val run_query : t -> Query.t -> query_result
+(** Executes one scan/projection query against a private device (so [io]
+    reflects this query only). *)
+
+val run_workload : t -> Workload.t -> query_result list * float
+(** All queries (each on a fresh device, like the paper's cold-cache runs);
+    returns per-query results and the total simulated wall time
+    (I/O + CPU), query weights applied. *)
+
+val join_ns_per_tuple : float
+(** CPU cost charged per reconstructed tuple per extra partition. *)

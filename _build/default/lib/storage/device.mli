@@ -1,0 +1,34 @@
+(** A simulated block device: tracks simulated elapsed time, seeks and
+    block transfers against a {!Vp_cost.Disk.t} profile.
+
+    Every transfer is one buffered request and pays one average seek plus
+    the sequential transfer time — the paper's cost-model assumption ("we
+    have to perform a seek every time the I/O buffer for partition i needs
+    to be filled"): between two refills of the same stream the arm has
+    been serving other streams or queries. *)
+
+type t
+
+type stats = {
+  elapsed : float;  (** Simulated seconds of I/O (seek + transfer). *)
+  seeks : int;
+  blocks_read : int;
+  blocks_written : int;
+}
+
+val create : Vp_cost.Disk.t -> t
+
+val profile : t -> Vp_cost.Disk.t
+
+val read : t -> file:int -> first_block:int -> count:int -> unit
+(** One buffered read request of [count] blocks of file [file] starting at
+    [first_block]: one seek plus the transfer at read bandwidth. A request
+    of zero blocks costs nothing. *)
+
+val write : t -> file:int -> first_block:int -> count:int -> unit
+(** One buffered write request; same seek rule, write bandwidth. *)
+
+val stats : t -> stats
+
+val reset : t -> unit
+(** Zeroes the counters. *)

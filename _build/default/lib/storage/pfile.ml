@@ -1,0 +1,143 @@
+open Vp_core
+
+type t = {
+  group : Attr_set.t;
+  codec : Codec.t;
+  block_size : int;
+  blocks : Bytes.t array;
+  block_first_row : int array;  (** First row stored in each block. *)
+  block_rows : int array;  (** Rows stored in each block. *)
+  row_count : int;
+  payload : int;
+}
+
+let build ~block_size ~codec_kind table ~group rows =
+  if Attr_set.is_empty group then invalid_arg "Pfile.build: empty group";
+  let positions = Array.of_list (Attr_set.to_list group) in
+  let attrs = Array.to_list (Array.map (Table.attribute table) positions) in
+  let n_rows = Array.length rows in
+  (* Column-major projection for codec training. *)
+  let column_major =
+    Array.map
+      (fun p ->
+        Array.map
+          (fun row ->
+            if Array.length row <> Table.attribute_count table then
+              invalid_arg "Pfile.build: row arity mismatch";
+            row.(p))
+          rows)
+      positions
+  in
+  let codec = Codec.train codec_kind attrs column_major in
+  (* Encode rows and pack them into blocks (rows never span blocks). *)
+  let blocks = ref [] in
+  let first_rows = ref [] in
+  let block_rows = ref [] in
+  let current = Buffer.create block_size in
+  let current_first = ref 0 in
+  let current_count = ref 0 in
+  let payload = ref 0 in
+  let flush () =
+    if !current_count > 0 then begin
+      let b = Bytes.make block_size '\000' in
+      Bytes.blit_string (Buffer.contents current) 0 b 0 (Buffer.length current);
+      blocks := b :: !blocks;
+      first_rows := !current_first :: !first_rows;
+      block_rows := !current_count :: !block_rows;
+      Buffer.clear current;
+      current_count := 0
+    end
+  in
+  for i = 0 to n_rows - 1 do
+    let projected = Array.map (fun p -> rows.(i).(p)) positions in
+    let encoded = Codec.encode_row codec projected in
+    let len = Bytes.length encoded in
+    if len > block_size then
+      invalid_arg
+        (Printf.sprintf "Pfile.build: row of %d bytes exceeds the %d-byte block"
+           len block_size);
+    if Buffer.length current + len > block_size then flush ();
+    if !current_count = 0 then current_first := i;
+    Buffer.add_bytes current encoded;
+    incr current_count;
+    payload := !payload + len
+  done;
+  flush ();
+  let codec =
+    if n_rows = 0 then codec
+    else Codec.with_avg_row_width codec (float_of_int !payload /. float_of_int n_rows)
+  in
+  {
+    group;
+    codec;
+    block_size;
+    blocks = Array.of_list (List.rev !blocks);
+    block_first_row = Array.of_list (List.rev !first_rows);
+    block_rows = Array.of_list (List.rev !block_rows);
+    row_count = n_rows;
+    payload = !payload;
+  }
+
+let group f = f.group
+
+let codec f = f.codec
+
+let block_count f = Array.length f.blocks
+
+let row_count f = f.row_count
+
+let bytes_on_disk f = block_count f * f.block_size
+
+let payload_bytes f = f.payload
+
+let block_of_row f row =
+  if row < 0 || row >= f.row_count then
+    invalid_arg (Printf.sprintf "Pfile.block_of_row: row %d out of range" row);
+  (* Binary search over block_first_row. *)
+  let lo = ref 0 and hi = ref (Array.length f.blocks - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if f.block_first_row.(mid) <= row then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let blocks_spanning f ~first_row ~count =
+  if f.row_count = 0 || count <= 0 then (0, 0)
+  else begin
+    let first_row = max 0 (min first_row (f.row_count - 1)) in
+    let last_row = min (f.row_count - 1) (first_row + count - 1) in
+    let b0 = block_of_row f first_row in
+    let b1 = block_of_row f last_row in
+    (b0, b1 - b0 + 1)
+  end
+
+let read_rows f ~first_row ~count =
+  if f.row_count = 0 || count <= 0 then [||]
+  else begin
+    let first_row = max 0 first_row in
+    let last_row = min (f.row_count - 1) (first_row + count - 1) in
+    if first_row > last_row then [||]
+    else begin
+      let out = Array.make (last_row - first_row + 1) [||] in
+      let bi = ref (block_of_row f first_row) in
+      let produced = ref 0 in
+      while !produced < Array.length out do
+        let block = f.blocks.(!bi) in
+        let block_first = f.block_first_row.(!bi) in
+        let in_block = f.block_rows.(!bi) in
+        (* Decode sequentially from the start of the block, emitting the
+           rows that fall in the requested range. *)
+        let pos = ref 0 in
+        for r = block_first to block_first + in_block - 1 do
+          let row, pos' = Codec.decode_row f.codec block ~pos:!pos in
+          pos := pos';
+          if r >= first_row && r <= last_row then begin
+            out.(r - first_row) <- row;
+            incr produced
+          end
+        done;
+        incr bi
+      done;
+      out
+    end
+  end

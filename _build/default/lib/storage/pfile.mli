@@ -1,0 +1,46 @@
+open Vp_core
+
+(** Partition files: one column group of a table, encoded into fixed-size
+    blocks. Rows are stored in table order, so reconstructing a tuple means
+    reading the same row rank from every referenced partition file. *)
+
+type t
+
+val build :
+  block_size:int ->
+  codec_kind:Codec.kind ->
+  Table.t ->
+  group:Attr_set.t ->
+  Value.t array array ->
+  t
+(** [build ~block_size ~codec_kind table ~group rows] encodes the
+    projection of [rows] (full table rows, row-major) onto [group] into
+    blocks. Rows never span blocks; a row wider than the block size is
+    rejected.
+    @raise Invalid_argument on an empty group, arity mismatches, or
+    oversized rows. *)
+
+val group : t -> Attr_set.t
+
+val codec : t -> Codec.t
+
+val block_count : t -> int
+
+val row_count : t -> int
+
+val bytes_on_disk : t -> int
+(** [block_count * block_size]. *)
+
+val payload_bytes : t -> int
+(** Encoded bytes without block padding. *)
+
+val read_rows : t -> first_row:int -> count:int -> Value.t array array
+(** Decodes rows [first_row .. first_row+count-1] (clamped to the file's
+    end) in group column order — the in-memory half of a scan; the device
+    accounting happens in {!Scan}. *)
+
+val block_of_row : t -> int -> int
+(** Block index holding a given row. *)
+
+val blocks_spanning : t -> first_row:int -> count:int -> int * int
+(** [(first_block, block_count)] covering the row range (clamped). *)

@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Attr_set Float Lazy List Partitioner Partitioning Printf QCheck2 Table Testutil Vp_algorithms Vp_benchmarks Vp_core Vp_cost Workload

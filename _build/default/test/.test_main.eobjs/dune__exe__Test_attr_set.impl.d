@@ -1,0 +1,1 @@
+test/test_attr_set.ml: Alcotest Attr_set List Printf QCheck2 Testutil Vp_core

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array Attr_set List Printf Query Table Testutil Vp_benchmarks Vp_core Workload

@@ -1,0 +1,1 @@
+test/test_core.ml: Affinity Alcotest Attr_set Attribute List Partitioning QCheck2 Query Table Testutil Vp_core Workload

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Array Attr_set Enumeration List Partitioner Partitioning Printf QCheck2 Query Random Table Testutil Vp_algorithms Vp_benchmarks Vp_core Vp_cost Workload

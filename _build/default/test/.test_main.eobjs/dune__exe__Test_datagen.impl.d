@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Attribute List Printf String Table Value Vp_benchmarks Vp_core Vp_datagen

@@ -1,0 +1,1 @@
+test/test_enumeration.ml: Alcotest Array Enumeration Hashtbl List Partitioning Printf String Vp_core

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Printf String Testutil Vp_core Vp_experiments

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Attr_set Float Fun List Partitioner Partitioning Printf Query Testutil Vp_algorithms Vp_benchmarks Vp_core Vp_cost Workload

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest List Partitioner Partitioning Printf Table Testutil Vp_algorithms Vp_benchmarks Vp_core Vp_cost Vp_experiments Vp_metrics Workload

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest List Partitioning Testutil Vp_core Vp_cost Vp_metrics

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Attr_set List Partitioner Partitioning Query String Table Testutil Vp_algorithms Vp_core Vp_cost Vp_parser Workload

@@ -1,0 +1,1 @@
+test/test_partitioning.ml: Alcotest Attr_set Enumeration Format List Partitioning QCheck2 Random Testutil Vp_core

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Filename Fun String Sys Testutil Vp_core Vp_report

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Attr_set Attribute Bytes Int64 Lazy List Partitioning Printf QCheck2 Query Table Testutil Value Vp_benchmarks Vp_core Vp_cost Vp_datagen Vp_storage Workload

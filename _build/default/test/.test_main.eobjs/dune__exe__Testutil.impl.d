@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Attr_set Attribute Enumeration List Partitioning Printf QCheck2 QCheck_alcotest Query Random Table Vp_core Workload

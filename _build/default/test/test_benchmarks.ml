@@ -1,0 +1,205 @@
+open Vp_core
+
+let test_tpch_tables () =
+  Alcotest.(check int) "8 tables" 8 (List.length Vp_benchmarks.Tpch.table_names);
+  let lineitem = Vp_benchmarks.Tpch.table ~sf:1.0 "lineitem" in
+  Alcotest.(check int) "lineitem attrs" 16 (Table.attribute_count lineitem);
+  Alcotest.(check int) "lineitem rows" 6_000_000 (Table.row_count lineitem);
+  let customer = Vp_benchmarks.Tpch.table ~sf:10.0 "customer" in
+  Alcotest.(check int) "customer rows SF10" 1_500_000 (Table.row_count customer)
+
+let test_tpch_fixed_tables_do_not_scale () =
+  let nation = Vp_benchmarks.Tpch.table ~sf:100.0 "nation" in
+  let region = Vp_benchmarks.Tpch.table ~sf:100.0 "region" in
+  Alcotest.(check int) "nation 25" 25 (Table.row_count nation);
+  Alcotest.(check int) "region 5" 5 (Table.row_count region)
+
+let test_tpch_queries () =
+  Alcotest.(check int) "22 queries" 22 (List.length Vp_benchmarks.Tpch.query_names);
+  Alcotest.(check (list string))
+    "ordered" [ "Q1"; "Q2"; "Q3" ]
+    (List.filteri (fun i _ -> i < 3) Vp_benchmarks.Tpch.query_names)
+
+let test_tpch_footprints_resolve () =
+  (* Every footprint attribute must exist in its table. *)
+  List.iter
+    (fun qname ->
+      List.iter
+        (fun (table_name, attrs) ->
+          let t = Vp_benchmarks.Tpch.table ~sf:1.0 table_name in
+          List.iter
+            (fun a ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s.%s in %s" qname a table_name)
+                true
+                (match Table.position t a with
+                | _ -> true
+                | exception Not_found -> false))
+            attrs)
+        (Vp_benchmarks.Tpch.query_footprint qname))
+    Vp_benchmarks.Tpch.query_names
+
+let test_q1_footprint () =
+  let fp = Vp_benchmarks.Tpch.query_footprint "Q1" in
+  Alcotest.(check int) "only lineitem" 1 (List.length fp);
+  let _, attrs = List.hd fp in
+  Alcotest.(check int) "7 attributes" 7 (List.length attrs)
+
+let test_lineitem_workload () =
+  let w = Vp_benchmarks.Tpch.workload ~sf:1.0 "lineitem" in
+  (* 17 of the 22 queries reference lineitem. *)
+  Alcotest.(check int) "17 queries" 17 (Workload.query_count w);
+  (* LineNumber and Comment are unreferenced. *)
+  let t = Workload.table w in
+  Alcotest.(check Testutil.attr_set)
+    "unreferenced"
+    (Attr_set.of_list [ Table.position t "LineNumber"; Table.position t "Comment" ])
+    (Workload.unreferenced_attributes w)
+
+let test_workload_prefix_k () =
+  let w3 = Vp_benchmarks.Tpch.workload_prefix ~sf:1.0 ~k:3 "lineitem" in
+  (* Among Q1..Q3, Q1 and Q3 touch lineitem. *)
+  Alcotest.(check int) "k=3" 2 (Workload.query_count w3);
+  let w0 = Vp_benchmarks.Tpch.workload_prefix ~sf:1.0 ~k:0 "lineitem" in
+  Alcotest.(check int) "k=0 empty" 0 (Workload.query_count w0)
+
+let test_row_sizes () =
+  (* Lineitem row: 4*4 int + 4*8 dec + 2*1 char + 3*4 date + 25 + 10 + 44. *)
+  let lineitem = Vp_benchmarks.Tpch.table ~sf:1.0 "lineitem" in
+  Alcotest.(check int) "lineitem row bytes" 141 (Table.row_size lineitem);
+  let partsupp = Vp_benchmarks.Tpch.table ~sf:1.0 "partsupp" in
+  Alcotest.(check int) "partsupp row bytes" 219 (Table.row_size partsupp)
+
+let test_unknown_table () =
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Vp_benchmarks.Tpch.table ~sf:1.0 "nope"))
+
+let test_invalid_sf () =
+  Alcotest.check_raises "sf <= 0" (Invalid_argument "Tpch.table: sf <= 0")
+    (fun () -> ignore (Vp_benchmarks.Tpch.table ~sf:0.0 "customer"))
+
+(* --- SSB --- *)
+
+let test_ssb_tables () =
+  Alcotest.(check int) "5 tables" 5 (List.length Vp_benchmarks.Ssb.table_names);
+  let lineorder = Vp_benchmarks.Ssb.table ~sf:1.0 "lineorder" in
+  Alcotest.(check int) "lineorder attrs" 17 (Table.attribute_count lineorder);
+  let date = Vp_benchmarks.Ssb.table ~sf:10.0 "date" in
+  Alcotest.(check int) "date fixed" 2_556 (Table.row_count date)
+
+let test_ssb_part_scaling () =
+  (* part grows as 200k * (1 + floor(log2 sf)). *)
+  Alcotest.(check int) "sf1" 200_000
+    (Table.row_count (Vp_benchmarks.Ssb.table ~sf:1.0 "part"));
+  Alcotest.(check int) "sf8" 800_000
+    (Table.row_count (Vp_benchmarks.Ssb.table ~sf:8.0 "part"))
+
+let test_ssb_queries () =
+  Alcotest.(check int) "13 queries" 13 (List.length Vp_benchmarks.Ssb.query_names);
+  List.iter
+    (fun qname ->
+      List.iter
+        (fun (table_name, attrs) ->
+          let t = Vp_benchmarks.Ssb.table ~sf:1.0 table_name in
+          ignore (Table.attr_set_of_names t attrs))
+        (Vp_benchmarks.Ssb.query_footprint qname))
+    Vp_benchmarks.Ssb.query_names
+
+let test_ssb_lineorder_workload () =
+  let w = Vp_benchmarks.Ssb.workload ~sf:1.0 "lineorder" in
+  Alcotest.(check int) "all 13 queries hit the fact table" 13
+    (Workload.query_count w)
+
+let suite =
+  [
+    Alcotest.test_case "tpch tables" `Quick test_tpch_tables;
+    Alcotest.test_case "tpch fixed tables" `Quick test_tpch_fixed_tables_do_not_scale;
+    Alcotest.test_case "tpch queries" `Quick test_tpch_queries;
+    Alcotest.test_case "tpch footprints resolve" `Quick test_tpch_footprints_resolve;
+    Alcotest.test_case "Q1 footprint" `Quick test_q1_footprint;
+    Alcotest.test_case "lineitem workload" `Quick test_lineitem_workload;
+    Alcotest.test_case "workload prefix" `Quick test_workload_prefix_k;
+    Alcotest.test_case "row sizes" `Quick test_row_sizes;
+    Alcotest.test_case "unknown table" `Quick test_unknown_table;
+    Alcotest.test_case "invalid sf" `Quick test_invalid_sf;
+    Alcotest.test_case "ssb tables" `Quick test_ssb_tables;
+    Alcotest.test_case "ssb part scaling" `Quick test_ssb_part_scaling;
+    Alcotest.test_case "ssb queries" `Quick test_ssb_queries;
+    Alcotest.test_case "ssb lineorder workload" `Quick test_ssb_lineorder_workload;
+  ]
+
+(* --- Synthetic workloads --- *)
+
+let test_synthetic_validity () =
+  List.iter
+    (fun scatter ->
+      let w =
+        Vp_benchmarks.Synthetic.workload ~attributes:12 ~clusters:3 ~queries:10
+          ~scatter ()
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "scatter %g: 10 queries" scatter)
+        10 (Workload.query_count w);
+      Alcotest.(check int) "12 attributes" 12
+        (Table.attribute_count (Workload.table w)))
+    [ 0.0; 0.5; 1.0 ]
+
+let test_synthetic_deterministic () =
+  let make () =
+    Vp_benchmarks.Synthetic.workload ~seed:7L ~attributes:10 ~clusters:2
+      ~queries:6 ~scatter:0.3 ()
+  in
+  let a = make () and b = make () in
+  Array.iter2
+    (fun qa qb ->
+      Alcotest.(check Testutil.attr_set)
+        "same footprints" (Query.references qa) (Query.references qb))
+    (Workload.queries a) (Workload.queries b)
+
+let test_synthetic_zero_scatter_regular () =
+  (* With no scatter, every query equals one of the cluster attribute
+     ranges, so there are at most [clusters] distinct footprints. *)
+  let w =
+    Vp_benchmarks.Synthetic.workload ~attributes:12 ~clusters:3 ~queries:30
+      ~scatter:0.0 ()
+  in
+  let distinct =
+    Array.to_list (Workload.queries w)
+    |> List.map Query.references
+    |> List.sort_uniq Attr_set.compare
+  in
+  Alcotest.(check bool) "at most 3 footprints" true (List.length distinct <= 3)
+
+let test_synthetic_fragmentation_monotone_ends () =
+  let frag scatter =
+    Vp_benchmarks.Synthetic.fragmentation
+      (Vp_benchmarks.Synthetic.workload ~attributes:16 ~clusters:4 ~queries:20
+         ~scatter ())
+  in
+  Alcotest.(check bool) "scatter raises fragmentation" true
+    (frag 0.0 < frag 1.0)
+
+let test_synthetic_validation () =
+  Alcotest.check_raises "clusters > attributes"
+    (Invalid_argument "Synthetic.workload: clusters out of range") (fun () ->
+      ignore
+        (Vp_benchmarks.Synthetic.workload ~attributes:4 ~clusters:9 ~queries:1
+           ~scatter:0.0 ()));
+  Alcotest.check_raises "bad scatter"
+    (Invalid_argument "Synthetic.workload: scatter outside [0, 1]") (fun () ->
+      ignore
+        (Vp_benchmarks.Synthetic.workload ~attributes:4 ~clusters:2 ~queries:1
+           ~scatter:2.0 ()))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "synthetic validity" `Quick test_synthetic_validity;
+      Alcotest.test_case "synthetic deterministic" `Quick
+        test_synthetic_deterministic;
+      Alcotest.test_case "synthetic zero scatter" `Quick
+        test_synthetic_zero_scatter_regular;
+      Alcotest.test_case "synthetic fragmentation" `Quick
+        test_synthetic_fragmentation_monotone_ends;
+      Alcotest.test_case "synthetic validation" `Quick test_synthetic_validation;
+    ]

@@ -1,0 +1,177 @@
+open Vp_core
+
+(* --- PRNG --- *)
+
+let test_prng_deterministic () =
+  let a = Vp_datagen.Prng.create 7L and b = Vp_datagen.Prng.create 7L in
+  for _ = 1 to 20 do
+    Alcotest.(check int64)
+      "same stream"
+      (Vp_datagen.Prng.next_int64 a)
+      (Vp_datagen.Prng.next_int64 b)
+  done
+
+let test_prng_seed_matters () =
+  let a = Vp_datagen.Prng.create 1L and b = Vp_datagen.Prng.create 2L in
+  Alcotest.(check bool)
+    "different streams" true
+    (Vp_datagen.Prng.next_int64 a <> Vp_datagen.Prng.next_int64 b)
+
+let test_prng_bounds () =
+  let g = Vp_datagen.Prng.create 99L in
+  for _ = 1 to 1000 do
+    let v = Vp_datagen.Prng.int g 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let v = Vp_datagen.Prng.int_in g 5 9 in
+    Alcotest.(check bool) "int_in" true (v >= 5 && v <= 9)
+  done;
+  for _ = 1 to 1000 do
+    let f = Vp_datagen.Prng.float g 2.5 in
+    Alcotest.(check bool) "float" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_prng_invalid () =
+  let g = Vp_datagen.Prng.create 0L in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound <= 0")
+    (fun () -> ignore (Vp_datagen.Prng.int g 0))
+
+let test_prng_split_independent () =
+  let g = Vp_datagen.Prng.create 3L in
+  let a = Vp_datagen.Prng.split g 1 and b = Vp_datagen.Prng.split g 2 in
+  Alcotest.(check bool)
+    "split streams differ" true
+    (Vp_datagen.Prng.next_int64 a <> Vp_datagen.Prng.next_int64 b);
+  (* Splitting does not advance the parent. *)
+  let g' = Vp_datagen.Prng.create 3L in
+  ignore (Vp_datagen.Prng.split g' 1);
+  Alcotest.(check int64)
+    "parent unchanged"
+    (Vp_datagen.Prng.next_int64 (Vp_datagen.Prng.create 3L))
+    (Vp_datagen.Prng.next_int64 g')
+
+(* --- Text --- *)
+
+let test_text_sentence_bounded () =
+  let g = Vp_datagen.Prng.create 5L in
+  for _ = 1 to 100 do
+    let s = Vp_datagen.Text.sentence g ~max_len:30 in
+    Alcotest.(check bool) "bounded" true (String.length s <= 30)
+  done
+
+let test_text_phone_format () =
+  let g = Vp_datagen.Prng.create 5L in
+  let p = Vp_datagen.Text.phone g in
+  Alcotest.(check int) "length" 15 (String.length p);
+  Alcotest.(check char) "dashes" '-' p.[2]
+
+(* --- Rowgen --- *)
+
+let gen = Vp_datagen.Rowgen.create ()
+
+let test_rowgen_deterministic () =
+  let t = Vp_benchmarks.Tpch.table ~sf:0.001 "customer" in
+  let r1 = Vp_datagen.Rowgen.row gen t 7 in
+  let r2 = Vp_datagen.Rowgen.row (Vp_datagen.Rowgen.create ()) t 7 in
+  Alcotest.(check bool) "same row" true (Array.for_all2 Value.equal r1 r2)
+
+let test_rowgen_row_independence () =
+  (* Rows can be generated in any order with identical results. *)
+  let t = Vp_benchmarks.Tpch.table ~sf:0.001 "orders" in
+  let forward = Array.init 10 (fun i -> Vp_datagen.Rowgen.row gen t i) in
+  let backward = Array.init 10 (fun i -> Vp_datagen.Rowgen.row gen t (9 - i)) in
+  Array.iteri
+    (fun i row ->
+      Alcotest.(check bool)
+        (Printf.sprintf "row %d" i)
+        true
+        (Array.for_all2 Value.equal row backward.(9 - i)))
+    forward
+
+let test_rowgen_types_match_schema () =
+  List.iter
+    (fun name ->
+      let t = Vp_benchmarks.Tpch.table ~sf:0.001 name in
+      let row = Vp_datagen.Rowgen.row gen t 0 in
+      Array.iteri
+        (fun c v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s.%s type" name
+               (Attribute.name (Table.attribute t c)))
+            true
+            (Value.matches (Attribute.datatype (Table.attribute t c)) v))
+        row)
+    Vp_benchmarks.Tpch.table_names
+
+let test_rowgen_keys_sequential () =
+  let t = Vp_benchmarks.Tpch.table ~sf:0.001 "customer" in
+  let key_of i =
+    match (Vp_datagen.Rowgen.row gen t i).(0) with
+    | Value.Int k -> k
+    | Value.Num _ | Value.Str _ -> -1
+  in
+  Alcotest.(check int) "row 0 key" 1 (key_of 0);
+  Alcotest.(check int) "row 41 key" 42 (key_of 41)
+
+let test_rowgen_lineitem_structure () =
+  let t = Vp_benchmarks.Tpch.table ~sf:0.001 "lineitem" in
+  let order_key i =
+    match (Vp_datagen.Rowgen.row gen t i).(0) with
+    | Value.Int k -> k
+    | Value.Num _ | Value.Str _ -> -1
+  in
+  (* 4 lines per order, adjacent. *)
+  Alcotest.(check int) "lines 0-3 same order" (order_key 0) (order_key 3);
+  Alcotest.(check int) "line 4 next order" (order_key 0 + 1) (order_key 4)
+
+let test_rowgen_out_of_range () =
+  let t = Vp_benchmarks.Tpch.table ~sf:0.001 "region" in
+  Alcotest.check_raises "index 5"
+    (Invalid_argument "Rowgen.row: index 5 out of range for region") (fun () ->
+      ignore (Vp_datagen.Rowgen.row gen t 5))
+
+let test_rowgen_enum_values () =
+  let t = Vp_benchmarks.Tpch.table ~sf:0.001 "customer" in
+  let seg = Table.position t "MktSegment" in
+  for i = 0 to 20 do
+    match (Vp_datagen.Rowgen.row gen t i).(seg) with
+    | Value.Str s ->
+        Alcotest.(check bool)
+          ("segment " ^ s)
+          true
+          (Array.exists (String.equal s) Vp_datagen.Text.segments)
+    | Value.Int _ | Value.Num _ -> Alcotest.fail "wrong type"
+  done
+
+let test_rowgen_ssb () =
+  let t = Vp_benchmarks.Ssb.table ~sf:0.001 "lineorder" in
+  let rows = Vp_datagen.Rowgen.rows gen t in
+  Alcotest.(check int) "row count" (Table.row_count t) (Array.length rows);
+  Array.iteri
+    (fun c v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "col %d typed" c)
+        true
+        (Value.matches (Attribute.datatype (Table.attribute t c)) v))
+    rows.(0)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng seed matters" `Quick test_prng_seed_matters;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng invalid" `Quick test_prng_invalid;
+    Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+    Alcotest.test_case "text sentence bounded" `Quick test_text_sentence_bounded;
+    Alcotest.test_case "text phone format" `Quick test_text_phone_format;
+    Alcotest.test_case "rowgen deterministic" `Quick test_rowgen_deterministic;
+    Alcotest.test_case "rowgen order independent" `Quick test_rowgen_row_independence;
+    Alcotest.test_case "rowgen types" `Quick test_rowgen_types_match_schema;
+    Alcotest.test_case "rowgen keys sequential" `Quick test_rowgen_keys_sequential;
+    Alcotest.test_case "rowgen lineitem structure" `Quick
+      test_rowgen_lineitem_structure;
+    Alcotest.test_case "rowgen out of range" `Quick test_rowgen_out_of_range;
+    Alcotest.test_case "rowgen enum values" `Quick test_rowgen_enum_values;
+    Alcotest.test_case "rowgen ssb" `Quick test_rowgen_ssb;
+  ]

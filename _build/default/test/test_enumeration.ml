@@ -1,0 +1,108 @@
+open Vp_core
+
+let test_bell_known_values () =
+  (* B(0..10) = 1 1 2 5 15 52 203 877 4140 21147 115975 *)
+  let expected = [ 1; 1; 2; 5; 15; 52; 203; 877; 4140; 21147; 115975 ] in
+  List.iteri
+    (fun n b ->
+      Alcotest.(check int) (Printf.sprintf "B(%d)" n) b (Enumeration.bell_exact n))
+    expected
+
+let test_bell_paper_values () =
+  (* The paper: customer (8 attributes) has 4140 possible partitionings. *)
+  Alcotest.(check int) "B(8) = 4140" 4140 (Enumeration.bell_exact 8);
+  (* ... and B(16) is beyond 10^10 (the motivation for not brute-forcing
+     Lineitem attribute-by-attribute). *)
+  Alcotest.(check bool) "B(16) > 10^10" true
+    (Enumeration.bell 16 > 1e10)
+
+let test_bell_float_matches_exact () =
+  for n = 0 to 22 do
+    Alcotest.(check (float 1.0))
+      (Printf.sprintf "bell %d" n)
+      (float_of_int (Enumeration.bell_exact n))
+      (Enumeration.bell n)
+  done
+
+let test_stirling_identities () =
+  (* S(n,1) = S(n,n) = 1 *)
+  Alcotest.(check (float 0.0)) "S(5,1)" 1.0 (Enumeration.stirling2 5 1);
+  Alcotest.(check (float 0.0)) "S(5,5)" 1.0 (Enumeration.stirling2 5 5);
+  Alcotest.(check (float 0.0)) "S(4,2)" 7.0 (Enumeration.stirling2 4 2);
+  Alcotest.(check (float 0.0)) "S(5,3)" 25.0 (Enumeration.stirling2 5 3);
+  Alcotest.(check (float 0.0)) "S(n,k>n)" 0.0 (Enumeration.stirling2 3 5);
+  Alcotest.(check (float 0.0)) "S(0,0)" 1.0 (Enumeration.stirling2 0 0)
+
+let test_stirling_sums_to_bell () =
+  for n = 1 to 12 do
+    let sum = ref 0.0 in
+    for k = 0 to n do
+      sum := !sum +. Enumeration.stirling2 n k
+    done;
+    Alcotest.(check (float 1e-6))
+      (Printf.sprintf "sum_k S(%d,k) = B(%d)" n n)
+      (Enumeration.bell n) !sum
+  done
+
+let test_enumerator_counts () =
+  for n = 1 to 10 do
+    Alcotest.(check int)
+      (Printf.sprintf "count %d" n)
+      (Enumeration.bell_exact n)
+      (Enumeration.count_partitions n)
+  done
+
+let test_enumerator_first_last () =
+  let first = ref None and last = ref None in
+  Enumeration.iter_rgs 4 (fun a ->
+      if !first = None then first := Some (Array.copy a);
+      last := Some (Array.copy a));
+  Alcotest.(check (option (array int))) "first = row" (Some [| 0; 0; 0; 0 |]) !first;
+  Alcotest.(check (option (array int))) "last = column" (Some [| 0; 1; 2; 3 |]) !last
+
+let test_enumerator_distinct () =
+  let seen = Hashtbl.create 64 in
+  Enumeration.iter_partitions 5 (fun p ->
+      let key = Partitioning.to_string p in
+      Alcotest.(check bool) ("fresh " ^ key) false (Hashtbl.mem seen key);
+      Hashtbl.add seen key ());
+  Alcotest.(check int) "all 52" 52 (Hashtbl.length seen)
+
+let test_fold () =
+  let count = Enumeration.fold_rgs 6 ~init:0 ~f:(fun acc _ -> acc + 1) in
+  Alcotest.(check int) "fold counts" 203 count
+
+let test_invalid () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Enumeration.iter_rgs: n <= 0")
+    (fun () -> Enumeration.iter_rgs 0 (fun _ -> ()));
+  Alcotest.check_raises "bell negative"
+    (Invalid_argument "Enumeration.bell: n out of range") (fun () ->
+      ignore (Enumeration.bell (-1)))
+
+(* Every enumerated RGS is a valid restricted growth string. *)
+let test_rgs_validity () =
+  Enumeration.iter_rgs 7 (fun a ->
+      let max_so_far = ref (-1) in
+      Array.iteri
+        (fun i v ->
+          if v > !max_so_far + 1 then
+            Alcotest.failf "invalid RGS at %d: %s" i
+              (String.concat ""
+                 (Array.to_list (Array.map string_of_int a)));
+          max_so_far := max !max_so_far v)
+        a)
+
+let suite =
+  [
+    Alcotest.test_case "bell known values" `Quick test_bell_known_values;
+    Alcotest.test_case "bell paper values" `Quick test_bell_paper_values;
+    Alcotest.test_case "bell float vs exact" `Quick test_bell_float_matches_exact;
+    Alcotest.test_case "stirling identities" `Quick test_stirling_identities;
+    Alcotest.test_case "stirling sums to bell" `Quick test_stirling_sums_to_bell;
+    Alcotest.test_case "enumerator counts" `Quick test_enumerator_counts;
+    Alcotest.test_case "enumerator first/last" `Quick test_enumerator_first_last;
+    Alcotest.test_case "enumerator distinct" `Quick test_enumerator_distinct;
+    Alcotest.test_case "fold" `Quick test_fold;
+    Alcotest.test_case "invalid input" `Quick test_invalid;
+    Alcotest.test_case "RGS validity" `Quick test_rgs_validity;
+  ]

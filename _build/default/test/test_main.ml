@@ -1,0 +1,22 @@
+(* Test entry point: one alcotest suite per module area. *)
+
+let () =
+  Alcotest.run "vertpart"
+    [
+      ("attr_set", Test_attr_set.suite);
+      ("core", Test_core.suite);
+      ("partitioning", Test_partitioning.suite);
+      ("enumeration", Test_enumeration.suite);
+      ("cost", Test_cost.suite);
+      ("algorithms", Test_algorithms.suite);
+      ("substrates", Test_substrates.suite);
+      ("benchmarks", Test_benchmarks.suite);
+      ("datagen", Test_datagen.suite);
+      ("storage", Test_storage.suite);
+      ("metrics", Test_metrics.suite);
+      ("report", Test_report.suite);
+      ("extensions", Test_extensions.suite);
+      ("golden", Test_golden.suite);
+      ("parser", Test_parser.suite);
+      ("experiments", Test_experiments.suite);
+    ]

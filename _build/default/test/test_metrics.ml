@@ -1,0 +1,127 @@
+open Vp_core
+
+let disk = Vp_cost.Disk.default
+
+let w = Testutil.partsupp_workload
+
+let n = 5
+
+let paper_layout =
+  (* The intro's P1(PartKey,SuppKey) P2(AvailQty,SupplyCost) P3(Comment). *)
+  Partitioning.of_names Testutil.partsupp
+    [ [ "PartKey"; "SuppKey" ]; [ "AvailQty"; "SupplyCost" ]; [ "Comment" ] ]
+
+let test_unnecessary_zero_for_exact_layout () =
+  (* Every partition read by a query contains only referenced attributes. *)
+  Alcotest.(check (float 1e-12)) "no waste" 0.0
+    (Vp_metrics.Measures.unnecessary_data_read disk w paper_layout)
+
+let test_unnecessary_for_row () =
+  (* Row: Q1 reads 219 needs 20, Q2 reads 219 needs 215 (wait: AvailQty 4 +
+     SupplyCost 8 + Comment 199 = 211). Read = 438, needed = 20 + 211. *)
+  let expected = (438.0 -. 231.0) /. 438.0 in
+  Alcotest.(check (float 1e-9)) "row waste" expected
+    (Vp_metrics.Measures.unnecessary_data_read disk w (Partitioning.row n))
+
+let test_joins () =
+  (* Q1 touches P1,P2 (1 join); Q2 touches P2,P3 (1 join). *)
+  Alcotest.(check (float 1e-12)) "avg joins" 1.0
+    (Vp_metrics.Measures.avg_tuple_reconstruction_joins w paper_layout);
+  Alcotest.(check (float 1e-12)) "row joins" 0.0
+    (Vp_metrics.Measures.avg_tuple_reconstruction_joins w (Partitioning.row n));
+  (* Column: Q1 touches 4 (3 joins), Q2 touches 3 (2 joins) -> 2.5. *)
+  Alcotest.(check (float 1e-12)) "column joins" 2.5
+    (Vp_metrics.Measures.avg_tuple_reconstruction_joins w (Partitioning.column n))
+
+let test_improvement_formulas () =
+  Alcotest.(check (float 1e-12)) "identity" 0.0
+    (Vp_metrics.Measures.improvement_over disk w
+       ~baseline:paper_layout paper_layout);
+  let v = Vp_metrics.Measures.improvement_over disk w
+      ~baseline:(Partitioning.row n) paper_layout
+  in
+  Alcotest.(check bool) "positive vs row" true (v > 0.0);
+  Alcotest.(check (float 1e-12)) "of_costs" 0.25
+    (Vp_metrics.Measures.improvement_of_costs ~baseline:4.0 3.0)
+
+let test_distance_from_pmv_nonnegative () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "pmv below" true
+        (Vp_metrics.Measures.distance_from_pmv disk w p >= -1e-9))
+    [ paper_layout; Partitioning.row n; Partitioning.column n ]
+
+let test_fragility_zero_same_disk () =
+  Alcotest.(check (float 1e-12)) "no change" 0.0
+    (Vp_metrics.Fragility.fragility ~old_disk:disk ~new_disk:disk w paper_layout)
+
+let test_fragility_small_buffer_hurts () =
+  let tiny = Vp_cost.Disk.with_buffer_size disk (Vp_cost.Disk.mb 0.08) in
+  Alcotest.(check bool) "positive fragility" true
+    (Vp_metrics.Fragility.fragility ~old_disk:disk ~new_disk:tiny w paper_layout
+    > 0.0)
+
+let test_fragility_aggregate_matches_single () =
+  let tiny = Vp_cost.Disk.with_buffer_size disk (Vp_cost.Disk.mb 0.8) in
+  Alcotest.(check (Testutil.close ~eps:1e-12 ()))
+    "aggregate of one"
+    (Vp_metrics.Fragility.fragility ~old_disk:disk ~new_disk:tiny w paper_layout)
+    (Vp_metrics.Fragility.aggregate ~old_disk:disk ~new_disk:tiny
+       [ (w, paper_layout) ])
+
+let test_payoff () =
+  let p =
+    Vp_metrics.Payoff.compute disk w ~optimization_time:0.001
+      ~baseline:(Partitioning.row n) paper_layout
+  in
+  Alcotest.(check bool) "creation positive" true (p.creation_time > 0.0);
+  Alcotest.(check bool) "improves" true (p.improvement > 0.0);
+  Alcotest.(check bool) "factor positive" true (p.factor > 0.0);
+  (* Against itself: no improvement -> infinite pay-off. *)
+  let same =
+    Vp_metrics.Payoff.compute disk w ~optimization_time:0.001
+      ~baseline:paper_layout paper_layout
+  in
+  Alcotest.(check bool) "never pays off" true (same.factor = infinity)
+
+let test_payoff_negative_when_worse () =
+  let p =
+    Vp_metrics.Payoff.compute disk w ~optimization_time:0.001
+      ~baseline:paper_layout (Partitioning.row n)
+  in
+  Alcotest.(check bool) "negative factor" true (p.factor < 0.0)
+
+let test_aggregate_totals () =
+  let entries =
+    [
+      { Vp_metrics.Measures.Aggregate.workload = w; partitioning = paper_layout };
+      {
+        Vp_metrics.Measures.Aggregate.workload = w;
+        partitioning = Partitioning.row n;
+      };
+    ]
+  in
+  let total = Vp_metrics.Measures.Aggregate.total_cost disk entries in
+  Alcotest.(check (Testutil.close ~eps:1e-9 ()))
+    "sum of parts"
+    (Vp_metrics.Measures.workload_cost disk w paper_layout
+    +. Vp_metrics.Measures.workload_cost disk w (Partitioning.row n))
+    total
+
+let suite =
+  [
+    Alcotest.test_case "unnecessary: exact layout" `Quick
+      test_unnecessary_zero_for_exact_layout;
+    Alcotest.test_case "unnecessary: row" `Quick test_unnecessary_for_row;
+    Alcotest.test_case "joins" `Quick test_joins;
+    Alcotest.test_case "improvement formulas" `Quick test_improvement_formulas;
+    Alcotest.test_case "distance from PMV" `Quick test_distance_from_pmv_nonnegative;
+    Alcotest.test_case "fragility same disk" `Quick test_fragility_zero_same_disk;
+    Alcotest.test_case "fragility small buffer" `Quick
+      test_fragility_small_buffer_hurts;
+    Alcotest.test_case "fragility aggregate" `Quick
+      test_fragility_aggregate_matches_single;
+    Alcotest.test_case "payoff" `Quick test_payoff;
+    Alcotest.test_case "payoff negative" `Quick test_payoff_negative_when_worse;
+    Alcotest.test_case "aggregate totals" `Quick test_aggregate_totals;
+  ]

@@ -1,0 +1,94 @@
+(* Shared helpers for the test suite: alcotest testables, qcheck generators
+   for workloads and partitionings, and small fixture tables. *)
+
+open Vp_core
+
+let attr_set = Alcotest.testable Attr_set.pp Attr_set.equal
+
+let partitioning = Alcotest.testable Partitioning.pp Partitioning.equal
+
+let close ?(eps = 1e-9) () = Alcotest.float eps
+
+(* --- fixtures --- *)
+
+(* The paper's Section 1.1 example: PartSupp with Q1/Q2. *)
+let partsupp =
+  Table.make ~name:"partsupp" ~row_count:8_000_000
+    ~attributes:
+      [
+        Attribute.make "PartKey" Attribute.Int32;
+        Attribute.make "SuppKey" Attribute.Int32;
+        Attribute.make "AvailQty" Attribute.Int32;
+        Attribute.make "SupplyCost" Attribute.Decimal;
+        Attribute.make "Comment" (Attribute.Varchar 199);
+      ]
+
+let partsupp_q1 =
+  Query.make ~name:"Q1"
+    ~references:(Attr_set.of_list [ 0; 1; 2; 3 ])
+    ()
+
+let partsupp_q2 =
+  Query.make ~name:"Q2" ~references:(Attr_set.of_list [ 2; 3; 4 ]) ()
+
+let partsupp_workload = Workload.make partsupp [ partsupp_q1; partsupp_q2 ]
+
+(* A tiny table whose costs are easy to compute by hand. *)
+let tiny =
+  Table.make ~name:"tiny" ~row_count:1000
+    ~attributes:
+      [
+        Attribute.make "a" Attribute.Int32;
+        Attribute.make "b" Attribute.Decimal;
+        Attribute.make "c" (Attribute.Char 20);
+      ]
+
+(* --- qcheck generators --- *)
+
+let gen_partitioning n =
+  QCheck2.Gen.(
+    map
+      (fun seed ->
+        let state = Random.State.make [| seed |] in
+        Enumeration.random_partitioning (Random.State.int state) n)
+      int)
+
+(* A random workload over [n] attributes with 1..q_max queries. *)
+let gen_workload ?(rows = 100_000) n q_max =
+  QCheck2.Gen.(
+    let gen_query i =
+      map
+        (fun mask ->
+          let mask = 1 + (abs mask mod ((1 lsl n) - 1)) in
+          Query.make
+            ~name:(Printf.sprintf "q%d" i)
+            ~references:(Attr_set.of_mask mask)
+            ())
+        int
+    in
+    let* q_count = int_range 1 q_max in
+    let* queries =
+      flatten_l (List.init q_count gen_query)
+    in
+    let attributes =
+      List.init n (fun i ->
+          Attribute.make
+            (Printf.sprintf "c%d" i)
+            (match i mod 3 with
+            | 0 -> Attribute.Int32
+            | 1 -> Attribute.Decimal
+            | _ -> Attribute.Char (5 + i)))
+    in
+    let table = Table.make ~name:"rand" ~attributes ~row_count:rows in
+    return (Workload.make table queries))
+
+let valid_partitioning_of_workload p w =
+  let n = Table.attribute_count (Workload.table w) in
+  Partitioning.attribute_count p = n
+  &&
+  let union =
+    List.fold_left Attr_set.union Attr_set.empty (Partitioning.groups p)
+  in
+  Attr_set.equal union (Attr_set.full n)
+
+let qtest = QCheck_alcotest.to_alcotest
