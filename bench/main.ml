@@ -1,13 +1,27 @@
 (* The benchmark harness: regenerates every table and figure of the
-   paper's evaluation (Section 6 + appendix) in order, then runs a
-   Bechamel microbenchmark of the algorithms' optimization times — one
-   grouped test per TPC-H table, one case per algorithm.
+   paper's evaluation (Section 6 + appendix) in order, runs a Bechamel
+   microbenchmark of the algorithms' optimization times — one grouped test
+   per TPC-H table, one case per algorithm — and benchmarks the parallel
+   runner + cost cache against the plain sequential, uncached execution.
+
+   Usage:
+     bench/main.exe [--mode all|experiments|bechamel|parallel] [--jobs N]
+
+   Modes:
+     all          (default) experiments then bechamel, as always.
+     experiments  just the experiment catalogue, sequentially.
+     bechamel     just the microbenchmarks.
+     parallel     the experiment fan-out twice — sequential with cost
+                  caching disabled, then on N domains with the memoized
+                  cost cache — reporting speedup, byte-equality of the two
+                  outputs, and cost-cache hit rates.
 
    Environment knobs:
      VP_SKIP_SLOW=1       skip the storage-simulator experiment (table7)
                           and the bechamel section (useful in CI).
      VP_RESULTS_DIR=dir   additionally write each experiment's output to
-                          dir/<id>.txt (the directory must exist). *)
+                          dir/<id>.txt (the directory must exist).
+     VP_JOBS=N            default for --jobs. *)
 
 open Vp_core
 
@@ -99,7 +113,164 @@ let bechamel_section () =
       flush stdout)
     tests
 
+(* --- Parallel runner + cost cache benchmark. ---
+
+   The fan-out re-runs a fixed slice of the experiment catalogue: the
+   quality/size/sweet-spot experiments whose outputs are pure functions of
+   deterministic costs (no wall-clock times in the rendered text, unlike
+   e.g. fig1/fig10), so the sequential and parallel outputs can be
+   compared byte-for-byte. *)
+
+let fanout_ids =
+  [
+    "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "table3";
+    "table4"; "fig8"; "fig9"; "fig11"; "fig14";
+  ]
+
+let fanout_experiments () =
+  List.map Vp_experiments.Registry.find fanout_ids
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* Cost-cache hit rate of one algorithm run over the TPC-H line-up: a
+   fresh query-grained cache observes every cost-model lookup the
+   algorithm's own searches make. *)
+let algorithm_hit_rate (a : Partitioner.t) =
+  let disk = Vp_experiments.Common.disk in
+  let cache = Vp_parallel.Cost_cache.create () in
+  List.iter
+    (fun w ->
+      let oracle = Vp_parallel.Cost_cache.query_oracle ~cache disk w in
+      ignore (a.Partitioner.run w oracle))
+    (Vp_benchmarks.Tpch.workloads ~sf:Vp_experiments.Common.sf);
+  Vp_parallel.Cost_cache.stats cache
+
+let parallel_section jobs =
+  let domains = Vp_parallel.Pool.effective_jobs ~jobs in
+  print_string
+    (Vp_experiments.Common.heading
+       (Printf.sprintf
+          "Parallel runner + cost cache: %d experiments, --jobs %d (%d \
+           domain(s) after clamping to this machine)"
+          (List.length fanout_ids) jobs domains));
+  let experiments = fanout_experiments () in
+  let tasks =
+    List.map
+      (fun (e : Vp_experiments.Registry.experiment) ->
+        Vp_parallel.Runner.task ~label:e.id e.run)
+      experiments
+  in
+  (* Baseline: --jobs 1, each experiment cold — caches dropped before
+     every run and cost caching off, so each experiment computes its
+     shared inputs once and every candidate evaluation goes through the
+     I/O cost model, exactly as when running each id as its own
+     process. *)
+  Vp_parallel.Cost_cache.set_caching_enabled false;
+  let cold_tasks =
+    List.map
+      (fun (e : Vp_experiments.Registry.experiment) ->
+        Vp_parallel.Runner.task ~label:e.id (fun () ->
+            Vp_experiments.Common.reset_caches ();
+            e.run ()))
+      experiments
+  in
+  let sequential, t_seq =
+    time (fun () -> Vp_parallel.Runner.run ~jobs:1 cold_tasks)
+  in
+  (* Same tasks fanned over the pool with the memoized caches, cold. *)
+  Vp_experiments.Common.reset_caches ();
+  Vp_parallel.Cost_cache.set_caching_enabled true;
+  let outcomes, t_par =
+    time (fun () -> Vp_parallel.Runner.run ~jobs tasks)
+  in
+  let mismatches =
+    List.filter_map
+      (fun ((a : string Vp_parallel.Runner.outcome),
+            (b : string Vp_parallel.Runner.outcome)) ->
+        if a.value = b.value then None else Some a.label)
+      (List.combine sequential outcomes)
+  in
+  let cache_stats = Vp_parallel.Cost_cache.(stats global) in
+  Printf.printf "  --jobs 1, cold runs        : %8.3f s\n" t_seq;
+  Printf.printf "  --jobs %d, shared memo      : %8.3f s\n" jobs t_par;
+  Printf.printf "  speedup                    : %8.2fx\n"
+    (if t_par > 0.0 then t_seq /. t_par else Float.infinity);
+  Printf.printf "  outputs byte-identical     : %s\n"
+    (match mismatches with
+    | [] -> "yes"
+    | ids ->
+        Printf.sprintf "NO — DETERMINISM VIOLATION in %s"
+          (String.concat ", " ids));
+  Printf.printf
+    "  global cost cache          : %d hits, %d misses, %d entries (%.1f%% \
+     hit rate)\n"
+    cache_stats.Vp_parallel.Cost_cache.hits
+    cache_stats.Vp_parallel.Cost_cache.misses
+    cache_stats.Vp_parallel.Cost_cache.entries
+    (100.0 *. Vp_parallel.Cost_cache.(hit_rate global));
+  (* Per-algorithm cache hit rates over the TPC-H line-up, each measured
+     with its own cold cache. *)
+  List.iter
+    (fun name ->
+      let a = Vp_algorithms.Registry.find name in
+      let s = algorithm_hit_rate a in
+      let lookups =
+        s.Vp_parallel.Cost_cache.hits + s.Vp_parallel.Cost_cache.misses
+      in
+      Printf.printf
+        "  %-10s cost-cache hit rate: %5.1f%% (%d of %d query-cost lookups)\n"
+        name
+        (if lookups = 0 then 0.0
+         else
+           100.0
+           *. float_of_int s.Vp_parallel.Cost_cache.hits
+           /. float_of_int lookups)
+        s.Vp_parallel.Cost_cache.hits lookups)
+    [ "HillClimb"; "AutoPart"; "HYRISE" ];
+  flush stdout;
+  if mismatches <> [] then exit 1
+
+(* --- argument parsing --- *)
+
+type mode = All | Experiments | Bechamel | Parallel
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--mode all|experiments|bechamel|parallel] [--jobs N]";
+  exit 2
+
+let parse_args () =
+  let mode = ref All and jobs = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--mode" :: m :: rest ->
+        (mode :=
+           match String.lowercase_ascii m with
+           | "all" -> All
+           | "experiments" -> Experiments
+           | "bechamel" -> Bechamel
+           | "parallel" -> Parallel
+           | _ -> usage ());
+        go rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := Some n;
+            go rest
+        | _ -> usage ())
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  let jobs =
+    match !jobs with Some n -> n | None -> Vp_parallel.Pool.default_jobs ()
+  in
+  (!mode, jobs)
+
 let () =
+  let mode, jobs = parse_args () in
   print_endline
     "Reproduction of 'A Comparison of Knives for Bread Slicing' (VLDB 2013)";
   print_endline
@@ -107,6 +278,11 @@ let () =
        "Unified setting: TPC-H SF %g, %s"
        Vp_experiments.Common.sf
        (Format.asprintf "%a" Vp_cost.Disk.pp Vp_experiments.Common.disk));
-  run_experiments ();
-  if not skip_slow then bechamel_section ();
+  (match mode with
+  | All ->
+      run_experiments ();
+      if not skip_slow then bechamel_section ()
+  | Experiments -> run_experiments ()
+  | Bechamel -> bechamel_section ()
+  | Parallel -> parallel_section jobs);
   print_endline "\nAll experiments completed."

@@ -40,9 +40,31 @@ let model_arg =
     & info [ "model" ] ~docv:"MODEL"
         ~doc:"Cost model: hdd (disk I/O) or mm (main-memory).")
 
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ -> Error (`Msg "must be >= 1")
+    | None -> Error (`Msg (Printf.sprintf "invalid value %S, expected an integer" s))
+  in
+  Cmdliner.Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some positive_int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel execution (default: available cores, \
+           or \\$(b,VP_JOBS)). Results are deterministic for every N.")
+
+let jobs_of = function
+  | Some n -> n
+  | None -> Vp_parallel.Pool.default_jobs ()
+
 let oracle_of model disk w =
   match model with
-  | `Hdd -> Vp_cost.Io_model.oracle disk w
+  | `Hdd -> Vp_parallel.Cost_cache.oracle disk w
   | `Mm -> Vp_cost.Memory_model.oracle Vp_cost.Memory_model.default w
 
 let table_arg =
@@ -77,9 +99,9 @@ let algorithm_of disk name =
   if String.lowercase_ascii name = "bruteforce" then
     Vp_experiments.Common.brute_force disk
   else
-    match Vp_algorithms.Registry.find name with
-    | a -> a
-    | exception Not_found ->
+    match Vp_algorithms.Registry.find_opt name with
+    | Some a -> a
+    | None ->
         Fmt.failwith "unknown algorithm %S (try: %s)" name
           (String.concat ", " Vp_algorithms.Registry.names)
 
@@ -129,7 +151,7 @@ let partition_cmd =
 (* --- vp compare --- *)
 
 let compare_cmd =
-  let run benchmark sf buffer_mb table model =
+  let run benchmark sf buffer_mb table model jobs =
     let disk = disk_of buffer_mb in
     let workloads = workloads_of benchmark sf table in
     let algos =
@@ -147,8 +169,12 @@ let compare_cmd =
             ]
           @ Vp_algorithms.Registry.baselines
     in
+    (* Fan the (algorithm x table) grid across worker domains; the pool
+       returns results in submission order, so the rendered table is
+       identical for every --jobs value. *)
     let runs =
-      List.map
+      Vp_parallel.Pool.with_pool ~jobs:(jobs_of jobs) @@ fun pool ->
+      Vp_parallel.Pool.map pool
         (fun (algo : Partitioner.t) ->
           let per_table =
             List.map
@@ -206,7 +232,7 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare all algorithms on a benchmark")
     Term.(const run $ benchmark_arg $ sf_arg $ buffer_mb_arg $ table_arg
-          $ model_arg)
+          $ model_arg $ jobs_arg)
 
 (* --- vp layouts --- *)
 
@@ -222,25 +248,61 @@ let layouts_cmd =
 (* --- vp experiment --- *)
 
 let experiment_cmd =
-  let id_arg =
+  let ids_arg =
     Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"ID" ~doc:"Experiment id (see `vp list`).")
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"ID"
+          ~doc:"Experiment ids (see `vp list`), or `all` for the full catalogue.")
   in
-  let run id =
-    match Vp_experiments.Registry.find id with
-    | e ->
-        print_endline (e.Vp_experiments.Registry.run ());
-        0
-    | exception Not_found ->
-        Fmt.epr "unknown experiment %S; known: %s@." id
+  let run jobs ids =
+    let expand id =
+      if String.lowercase_ascii id = "all" then
+        Ok Vp_experiments.Registry.all
+      else
+        match Vp_experiments.Registry.find_opt id with
+        | Some e -> Ok [ e ]
+        | None -> Error id
+    in
+    let experiments, unknown =
+      List.fold_left
+        (fun (es, bad) id ->
+          match expand id with
+          | Ok found -> (es @ found, bad)
+          | Error id -> (es, bad @ [ id ]))
+        ([], []) ids
+    in
+    match unknown with
+    | _ :: _ ->
+        Fmt.epr "unknown experiment%s %s; known: %s@."
+          (if List.length unknown > 1 then "s" else "")
+          (String.concat ", " (List.map (Printf.sprintf "%S") unknown))
           (String.concat ", " Vp_experiments.Registry.ids);
         1
+    | [] ->
+        (* Fan the experiments across domains; outcomes come back in
+           submission order, so the printed report is deterministic. *)
+        let outcomes =
+          Vp_parallel.Runner.run ~jobs:(jobs_of jobs)
+            (List.map
+               (fun (e : Vp_experiments.Registry.experiment) ->
+                 Vp_parallel.Runner.task ~label:e.id e.run)
+               experiments)
+        in
+        List.iter
+          (fun (o : string Vp_parallel.Runner.outcome) ->
+            if List.length experiments > 1 then
+              print_string
+                (Vp_experiments.Common.heading
+                   (Printf.sprintf "%s — %.2fs" o.label o.elapsed_seconds));
+            print_endline o.value)
+          outcomes;
+        0
   in
   Cmd.v
-    (Cmd.info "experiment" ~doc:"Regenerate one paper table/figure")
-    Term.(const run $ id_arg)
+    (Cmd.info "experiment"
+       ~doc:"Regenerate paper tables/figures (one id, several, or `all`)")
+    Term.(const run $ jobs_arg $ ids_arg)
 
 (* --- vp simulate --- *)
 

@@ -5,4 +5,5 @@ let algorithm =
     (fun workload oracle ->
       let n = Table.attribute_count (Workload.table workload) in
       let atomic_fragments = Workload.primary_partitions workload in
-      Merge_search.climb ~n oracle atomic_fragments)
+      let cache = Vp_parallel.Cost_cache.create () in
+      Merge_search.climb ~cache ~n oracle atomic_fragments)

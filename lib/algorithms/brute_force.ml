@@ -22,10 +22,15 @@ let search ~atoms ~lower_bound ~max_candidates workload oracle =
              "Brute_force: search space B(%d) = %d exceeds %d candidates and \
               no lower bound was provided"
              m space max_candidates));
+  (* Per-run cost cache: the seed climb re-costs almost the same
+     neighbourhood each iteration, and the enumeration below revisits the
+     seed and climb intermediates. *)
+  let cache = Vp_parallel.Cost_cache.create () in
+  let cost_of = Vp_parallel.Cost_cache.counted cache ~fingerprint:"" oracle in
   (* Seed the incumbent with a greedy bottom-up merge of the atoms. *)
-  let seed, _ = Merge_search.climb ~n oracle (Array.to_list atom_arr) in
+  let seed, _ = Merge_search.climb ~cache ~n oracle (Array.to_list atom_arr) in
   let best = ref seed in
-  let best_cost = ref (Partitioner.Counted.cost oracle seed) in
+  let best_cost = ref (cost_of seed) in
   (* remaining.(i) = union of atoms i..m-1. *)
   let remaining = Array.make (m + 1) Attr_set.empty in
   for i = m - 1 downto 0 do
@@ -36,7 +41,7 @@ let search ~atoms ~lower_bound ~max_candidates workload oracle =
     if i = m then begin
       let groups = Array.to_list (Array.sub blocks 0 used) in
       let candidate = Partitioning.of_groups ~n groups in
-      let cost = Partitioner.Counted.cost oracle candidate in
+      let cost = cost_of candidate in
       if cost < !best_cost then begin
         best_cost := cost;
         best := candidate

@@ -1,11 +1,18 @@
 open Vp_core
 
-let algorithm =
-  Partitioner.timed_run ~name:"HillClimb" ~short_name:"HC"
-    (fun workload oracle ->
+let make ~name ~short_name ~cached =
+  Partitioner.timed_run ~name ~short_name (fun workload oracle ->
       let n = Table.attribute_count (Workload.table workload) in
+      let cache =
+        if cached then Some (Vp_parallel.Cost_cache.create ()) else None
+      in
       let start = Partitioning.groups (Partitioning.column n) in
-      Merge_search.climb ~n oracle start)
+      Merge_search.climb ?cache ~n oracle start)
+
+let algorithm = make ~name:"HillClimb" ~short_name:"HC" ~cached:true
+
+let without_cache =
+  make ~name:"HillClimb-nocache" ~short_name:"HC0" ~cached:false
 
 let with_dictionary =
   Partitioner.timed_run ~name:"HillClimb+dict" ~short_name:"HCd"

@@ -7,7 +7,16 @@ type merge = {
   group_b : Attr_set.t;
 }
 
-let best_pair_merge ?(allowed = fun _ _ -> true) ~n oracle groups =
+(* Candidate evaluation, optionally memoized through a per-run cost cache.
+   The fingerprint is constant ("") because a per-run cache only ever sees
+   one (workload, disk) instance — the oracle it wraps. *)
+let evaluator ?cache oracle =
+  match cache with
+  | None -> Partitioner.Counted.cost oracle
+  | Some c -> Vp_parallel.Cost_cache.counted c ~fingerprint:"" oracle
+
+let best_pair_merge ?(allowed = fun _ _ -> true) ?cache ~n oracle groups =
+  let cost_of = evaluator ?cache oracle in
   let arr = Array.of_list groups in
   let k = Array.length arr in
   if k < 2 then None
@@ -21,7 +30,7 @@ let best_pair_merge ?(allowed = fun _ _ -> true) ~n oracle groups =
             :: (Array.to_list arr |> List.filteri (fun x _ -> x <> i && x <> j))
           in
           let candidate = Partitioning.of_groups ~n candidate_groups in
-          let cost = Partitioner.Counted.cost oracle candidate in
+          let cost = cost_of candidate in
           match !best with
           | Some m when m.merged_cost <= cost -> ()
           | _ ->
@@ -39,13 +48,13 @@ let best_pair_merge ?(allowed = fun _ _ -> true) ~n oracle groups =
     !best
   end
 
-let climb ?(allowed = fun _ _ -> true) ~n oracle groups =
+let climb ?(allowed = fun _ _ -> true) ?cache ~n oracle groups =
   let rec go groups current current_cost iterations =
-    match best_pair_merge ~allowed ~n oracle groups with
+    match best_pair_merge ~allowed ?cache ~n oracle groups with
     | Some m when m.merged_cost < current_cost ->
         go (Partitioning.groups m.merged) m.merged m.merged_cost (iterations + 1)
     | Some _ | None -> (current, iterations)
   in
   let start = Partitioning.of_groups ~n groups in
-  let start_cost = Partitioner.Counted.cost oracle start in
+  let start_cost = evaluator ?cache oracle start in
   go groups start start_cost 0

@@ -13,6 +13,7 @@ type merge = {
 
 val best_pair_merge :
   ?allowed:(Attr_set.t -> Attr_set.t -> bool) ->
+  ?cache:Vp_parallel.Cost_cache.t ->
   n:int ->
   Partitioner.Counted.oracle ->
   Attr_set.t list ->
@@ -21,14 +22,22 @@ val best_pair_merge :
     returns the cheapest resulting partitioning, or [None] when fewer than
     two groups remain. [allowed] filters candidate pairs (HYRISE uses it to
     restrict merging within a subgraph). Ties go to the earliest pair in
-    canonical group order. *)
+    canonical group order.
+
+    When [cache] is given, candidate costs are memoized through it (hits
+    are counted as candidates, not cost calls). Successive climb iterations
+    re-evaluate almost the whole neighbourhood — only pairs involving the
+    freshly merged group are new — so a per-run cache turns the k²/2
+    evaluations per iteration into O(k) cost-model calls. *)
 
 val climb :
   ?allowed:(Attr_set.t -> Attr_set.t -> bool) ->
+  ?cache:Vp_parallel.Cost_cache.t ->
   n:int ->
   Partitioner.Counted.oracle ->
   Attr_set.t list ->
   Partitioning.t * int
 (** Greedy merging to a local optimum: repeatedly apply the best pairwise
     merge while it strictly improves the cost. Returns the final
-    partitioning and the number of merge iterations performed. *)
+    partitioning and the number of merge iterations performed. [cache] as
+    in {!best_pair_merge}. *)

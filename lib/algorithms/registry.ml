@@ -17,10 +17,18 @@ let baselines = [ Baselines.row; Baselines.column ]
 
 let all = six @ [ Brute_force.algorithm ] @ baselines
 
-let find name =
+let names = List.map (fun (p : Partitioner.t) -> p.name) all
+
+let find_opt name =
   let target = String.lowercase_ascii name in
-  List.find
+  List.find_opt
     (fun (p : Partitioner.t) -> String.lowercase_ascii p.name = target)
     all
 
-let names = List.map (fun (p : Partitioner.t) -> p.name) all
+let find name =
+  match find_opt name with
+  | Some p -> p
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown algorithm %S (valid algorithms: %s)" name
+           (String.concat ", " names))

@@ -17,7 +17,11 @@ val baselines : Partitioner.t list
 
 val find : string -> Partitioner.t
 (** Look up any algorithm (the six, BruteForce, Row, Column) by
-    case-insensitive name. @raise Not_found on unknown names. *)
+    case-insensitive name.
+    @raise Invalid_argument on unknown names, listing the valid ones. *)
+
+val find_opt : string -> Partitioner.t option
+(** Like {!find} but [None] on unknown names. *)
 
 val names : string list
 (** All names accepted by {!find}. *)

@@ -71,9 +71,7 @@ let query_breakdown disk table partitioning query =
       })
     init referenced
 
-let query_cost disk table partitioning query =
-  let refs = Query.references query in
-  let referenced = Partitioning.referenced_groups partitioning refs in
+let query_cost_groups disk table referenced =
   let rows = Table.row_count table in
   let total_s =
     List.fold_left (fun acc g -> acc + Table.subset_size table g) 0 referenced
@@ -86,6 +84,10 @@ let query_cost disk table partitioning query =
       in
       acc +. seek +. scan)
     0.0 referenced
+
+let query_cost disk table partitioning query =
+  query_cost_groups disk table
+    (Partitioning.referenced_groups partitioning (Query.references query))
 
 let workload_cost disk workload partitioning =
   let table = Workload.table workload in

@@ -43,8 +43,15 @@ val query_breakdown :
   Disk.t -> Table.t -> Partitioning.t -> Query.t -> query_breakdown
 (** Full accounting for one (unweighted) execution of the query. *)
 
+val query_cost_groups : Disk.t -> Table.t -> Attr_set.t list -> float
+(** [seek_cost + scan_cost] of reading exactly the given partitions. The
+    cost of a query is fully determined by the set of partitions it
+    touches; this is the memoization unit of
+    {!Vp_parallel.Cost_cache.query_oracle}. *)
+
 val query_cost : Disk.t -> Table.t -> Partitioning.t -> Query.t -> float
-(** [seek_cost + scan_cost] for one execution. *)
+(** [seek_cost + scan_cost] for one execution: {!query_cost_groups} of the
+    partitions containing at least one referenced attribute. *)
 
 val workload_cost : Disk.t -> Workload.t -> Partitioning.t -> float
 (** Weighted sum of query costs over the workload. *)

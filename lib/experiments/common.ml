@@ -24,13 +24,20 @@ type algo_run = {
   optimization_time : float;
 }
 
+(* All experiment-layer cost evaluations funnel through the global cost
+   cache at query granularity: search loops repeat (query, referenced
+   partitions) instances across candidates, and the workload-size sweeps
+   re-pose the same queries run after run. *)
+let cached_oracle profile workload =
+  Vp_parallel.Cost_cache.query_oracle profile workload
+
 let run_algorithms_on profile workloads algos =
   List.map
     (fun (algo : Partitioner.t) ->
       let per_table =
         List.map
           (fun workload ->
-            let oracle = Vp_cost.Io_model.oracle profile workload in
+            let oracle = cached_oracle profile workload in
             { workload; result = algo.run workload oracle })
           workloads
       in
@@ -47,11 +54,18 @@ let run_algorithms_on profile workloads algos =
       })
     algos
 
-let tpch_runs_cache = lazy (
-  let workloads = Vp_benchmarks.Tpch.workloads ~sf in
-  run_algorithms_on disk workloads (algorithms_with_baselines disk))
+(* Once, not lazy: experiments run concurrently on several domains, and
+   OCaml's lazy is not safe to force from more than one domain. *)
+let tpch_runs_cache =
+  Vp_parallel.Once.create (fun () ->
+      let workloads = Vp_benchmarks.Tpch.workloads ~sf in
+      run_algorithms_on disk workloads (algorithms_with_baselines disk))
 
-let tpch_runs () = Lazy.force tpch_runs_cache
+let tpch_runs () = Vp_parallel.Once.get tpch_runs_cache
+
+let reset_caches () =
+  Vp_parallel.Once.reset tpch_runs_cache;
+  Vp_parallel.Cost_cache.(clear global)
 
 let find_run name =
   List.find

@@ -9,7 +9,7 @@ open Vp_core
 let reoptimized_cost profile (a : Partitioner.t) workloads =
   List.fold_left
     (fun acc w ->
-      let oracle = Vp_cost.Io_model.oracle profile w in
+      let oracle = Common.cached_oracle profile w in
       let r = a.run w oracle in
       acc +. r.Partitioner.cost)
     0.0 workloads
@@ -39,7 +39,10 @@ let normalized_sweep ~labels_and_profiles ~workloads_for =
         pmv @ [ pct (pmv_cost profile workloads) ] ))
     ([], [], [], []) labels_and_profiles
 
-let tpch_workloads = lazy (Vp_benchmarks.Tpch.workloads ~sf:Common.sf)
+(* Once, not lazy: forced from several domains when experiments run in
+   parallel. *)
+let tpch_workloads =
+  Vp_parallel.Once.create (fun () -> Vp_benchmarks.Tpch.workloads ~sf:Common.sf)
 
 let fig9 () =
   let buffers = [ 0.01; 0.1; 1.0; 10.0; 100.0; 1000.0; 10000.0 ] in
@@ -52,7 +55,7 @@ let fig9 () =
   in
   let xs, hc, na, pmv =
     normalized_sweep ~labels_and_profiles
-      ~workloads_for:(fun _ -> Lazy.force tpch_workloads)
+      ~workloads_for:(fun _ -> Vp_parallel.Once.get tpch_workloads)
   in
   Vp_report.Chart.series
     ~title:
@@ -70,7 +73,7 @@ let fig12 ~label ~variants ~with_param () =
   in
   let hillclimb = Vp_algorithms.Registry.find "HillClimb" in
   let navathe = Vp_algorithms.Registry.find "Navathe" in
-  let workloads = Lazy.force tpch_workloads in
+  let workloads = Vp_parallel.Once.get tpch_workloads in
   let rows =
     List.map
       (fun (lbl, profile) ->

@@ -170,8 +170,16 @@ let all =
     };
   ]
 
-let find id =
-  let target = String.lowercase_ascii id in
-  List.find (fun e -> String.lowercase_ascii e.id = target) all
-
 let ids = List.map (fun e -> e.id) all
+
+let find_opt id =
+  let target = String.lowercase_ascii id in
+  List.find_opt (fun e -> String.lowercase_ascii e.id = target) all
+
+let find id =
+  match find_opt id with
+  | Some e -> e
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown experiment %S (valid ids: %s)" id
+           (String.concat ", " ids))

@@ -14,6 +14,10 @@ val all : experiment list
     ablations). *)
 
 val find : string -> experiment
-(** Case-insensitive lookup by id. @raise Not_found on unknown ids. *)
+(** Case-insensitive lookup by id.
+    @raise Invalid_argument on unknown ids, listing the valid ones. *)
+
+val find_opt : string -> experiment option
+(** Like {!find} but [None] on unknown ids. *)
 
 val ids : string list

@@ -1,0 +1,24 @@
+type 'a t = {
+  mutex : Mutex.t;
+  thunk : unit -> 'a;
+  mutable value : 'a option;
+}
+
+let create thunk = { mutex = Mutex.create (); thunk; value = None }
+
+let get t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      match t.value with
+      | Some v -> v
+      | None ->
+          let v = t.thunk () in
+          t.value <- Some v;
+          v)
+
+let reset t =
+  Mutex.lock t.mutex;
+  t.value <- None;
+  Mutex.unlock t.mutex

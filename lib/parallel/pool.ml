@@ -1,0 +1,144 @@
+(* Work pool: a shared FIFO of closures guarded by a mutex, worker domains
+   blocking on a condition variable, and per-batch completion signalling.
+
+   Determinism comes from the result protocol, not the schedule: every task
+   writes into its own slot of a results array, so whatever interleaving the
+   domains produce, the caller reads results back in submission order. *)
+
+type task = unit -> unit
+(* A unit closure that stores its own result; see [run]. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;  (* signalled on enqueue and on shutdown *)
+  queue : task Queue.t;
+  mutable shutting_down : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "VP_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* Pop one task, or block until one arrives / the pool shuts down. *)
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.shutting_down do
+    Condition.wait t.nonempty t.mutex
+  done;
+  match Queue.take_opt t.queue with
+  | None ->
+      (* Shutting down with an empty queue. *)
+      Mutex.unlock t.mutex
+  | Some task ->
+      Mutex.unlock t.mutex;
+      task ();
+      worker_loop t
+
+(* Spawning more domains than cores is counterproductive in OCaml 5: every
+   minor collection is a stop-the-world sync of all running domains, so
+   oversubscription turns each GC into a round of context switches. [jobs]
+   is treated as an upper bound; the pool never runs more domains (workers
+   + the helping caller) than the hardware supports. *)
+let effective_jobs ~jobs =
+  min (max 1 jobs) (max 1 (Domain.recommended_domain_count ()))
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      shutting_down = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (effective_jobs ~jobs - 1) (fun _ ->
+        Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let domain_count t = List.length t.workers + 1
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.shutting_down <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* The caller drains the queue alongside the workers, then waits for the
+   stragglers the workers still hold. *)
+let rec help_drain t =
+  Mutex.lock t.mutex;
+  match Queue.take_opt t.queue with
+  | None -> Mutex.unlock t.mutex
+  | Some task ->
+      Mutex.unlock t.mutex;
+      task ();
+      help_drain t
+
+let run t thunks =
+  let thunks = Array.of_list thunks in
+  let n = Array.length thunks in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    if t.jobs = 1 then
+      (* Strictly sequential in the calling domain: no queue, no domains,
+         exceptions propagate immediately. *)
+      Array.iteri (fun i f -> results.(i) <- Some (Ok (f ()))) thunks
+    else begin
+      let batch_mutex = Mutex.create () in
+      let batch_done = Condition.create () in
+      let pending = ref n in
+      let wrap i f () =
+        let r =
+          try Ok (f ())
+          with e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        results.(i) <- Some r;
+        Mutex.lock batch_mutex;
+        decr pending;
+        if !pending = 0 then Condition.signal batch_done;
+        Mutex.unlock batch_mutex
+      in
+      Mutex.lock t.mutex;
+      Array.iteri (fun i f -> Queue.add (wrap i f) t.queue) thunks;
+      Condition.broadcast t.nonempty;
+      Mutex.unlock t.mutex;
+      help_drain t;
+      Mutex.lock batch_mutex;
+      while !pending > 0 do
+        Condition.wait batch_done batch_mutex
+      done;
+      Mutex.unlock batch_mutex
+    end;
+    (* Re-raise the earliest failure in submission order, if any. *)
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+  end
+
+let map t f xs = run t (List.map (fun x () -> f x) xs)
+
+let run_list ?jobs thunks =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  with_pool ~jobs (fun t -> run t thunks)

@@ -1,0 +1,61 @@
+(** A fixed-size pool of worker domains draining a shared task queue.
+
+    The pool exists to fan independent, pure tasks (experiment runs,
+    per-table algorithm line-ups, candidate evaluations) across OCaml 5
+    domains while keeping results {e deterministic}: {!run} and {!map}
+    always return results in submission order, whatever order the workers
+    finish in. With [jobs = 1] no domain is ever spawned and tasks execute
+    strictly sequentially in the calling domain, so a single-job pool is
+    observationally identical to a plain [List.map].
+
+    Tasks must not themselves call {!run} or {!map} on the same pool
+    (the pool is not re-entrant), and exceptions raised by a task are
+    re-raised in the caller — the one raised by the earliest task in
+    submission order wins. *)
+
+type t
+(** A pool of worker domains. *)
+
+val default_jobs : unit -> int
+(** Number of jobs used when none is given: the [VP_JOBS] environment
+    variable if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns worker domains ([jobs] is clamped to at least 1);
+    the calling domain also executes tasks during {!run}, so up to [jobs]
+    tasks run concurrently. [jobs] is an upper bound: the pool never runs
+    more domains than [Domain.recommended_domain_count ()], because
+    oversubscribing cores makes every stop-the-world minor collection a
+    round of context switches in OCaml 5. Results are deterministic
+    regardless of the clamp. *)
+
+val jobs : t -> int
+(** The concurrency the pool was created with (always >= 1). *)
+
+val effective_jobs : jobs:int -> int
+(** The number of domains (workers + helping caller) a pool created with
+    [~jobs] actually uses: [min jobs (Domain.recommended_domain_count ())],
+    at least 1. *)
+
+val domain_count : t -> int
+(** Worker domains plus the helping caller for this pool (= [effective_jobs
+    ~jobs:(jobs t)]). *)
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** Executes every thunk and returns their results in submission order. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] is [run pool (List.map (fun x () -> f x) xs)]. *)
+
+val shutdown : t -> unit
+(** Joins all worker domains. The pool must not be used afterwards.
+    Idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** Creates a pool, runs the function, and shuts the pool down even on
+    exceptions. *)
+
+val run_list : ?jobs:int -> (unit -> 'a) list -> 'a list
+(** One-shot convenience: [with_pool] + {!run}. [jobs] defaults to
+    {!default_jobs}. *)

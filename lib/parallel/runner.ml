@@ -1,0 +1,16 @@
+type 'a task = { label : string; run : unit -> 'a }
+
+type 'a outcome = { label : string; value : 'a; elapsed_seconds : float }
+
+let task ~label run = { label; run }
+
+let run ?jobs tasks =
+  Pool.run_list ?jobs
+    (List.map
+       (fun t () ->
+         let t0 = Unix.gettimeofday () in
+         let value = t.run () in
+         { label = t.label; value; elapsed_seconds = Unix.gettimeofday () -. t0 })
+       tasks)
+
+let values outcomes = List.map (fun o -> (o.label, o.value)) outcomes

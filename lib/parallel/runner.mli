@@ -1,0 +1,27 @@
+(** Deterministic fan-out of labelled tasks over a domain pool.
+
+    The runner is how the CLI and the benchmark harness execute the
+    experiment catalogue and per-table algorithm line-ups: it spreads the
+    tasks over [jobs] domains and returns their outcomes {e in submission
+    order}, so the rendered output of [run ~jobs:n] is byte-identical for
+    every [n] (tasks themselves must be deterministic, which every
+    experiment in the registry is — wall-clock fields excepted, they only
+    appear in [elapsed_seconds] here). *)
+
+type 'a task = { label : string; run : unit -> 'a }
+
+type 'a outcome = {
+  label : string;
+  value : 'a;
+  elapsed_seconds : float;  (** Wall-clock time of this task alone. *)
+}
+
+val task : label:string -> (unit -> 'a) -> 'a task
+
+val run : ?jobs:int -> 'a task list -> 'a outcome list
+(** Executes all tasks on a fresh pool of [jobs] domains (default
+    {!Pool.default_jobs}) and returns outcomes in submission order. With
+    [jobs = 1] execution is strictly sequential in the calling domain. *)
+
+val values : 'a outcome list -> (string * 'a) list
+(** Drops the timings: the deterministic part of the outcomes. *)

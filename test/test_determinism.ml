@@ -1,0 +1,63 @@
+(* Parallel execution must be bit-for-bit deterministic: fanning
+   experiments across domains may change in which order (and on which
+   domain) results are computed, but never what they are. A sample of
+   cheap, pure-cost experiments is rendered three ways — directly, through
+   the runner with one job, and through the runner with four jobs — and
+   the outputs must be byte-identical. *)
+
+let sample_ids = [ "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6" ]
+
+let direct_outputs () =
+  List.map
+    (fun id -> ((Vp_experiments.Registry.find id).Vp_experiments.Registry.run) ())
+    sample_ids
+
+let runner_outputs ~jobs =
+  let tasks =
+    List.map
+      (fun id ->
+        let e = Vp_experiments.Registry.find id in
+        Vp_parallel.Runner.task ~label:e.Vp_experiments.Registry.id
+          e.Vp_experiments.Registry.run)
+      sample_ids
+  in
+  Vp_parallel.Runner.run ~jobs tasks
+
+let test_runner_matches_direct () =
+  let direct = direct_outputs () in
+  List.iter
+    (fun jobs ->
+      let outcomes = runner_outputs ~jobs in
+      Alcotest.(check (list string))
+        (Printf.sprintf "labels in submission order, jobs=%d" jobs)
+        sample_ids
+        (List.map
+           (fun (o : string Vp_parallel.Runner.outcome) -> o.label)
+           outcomes);
+      List.iter2
+        (fun id (expect, got) ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s byte-identical, jobs=%d" id jobs)
+            expect got)
+        sample_ids
+        (List.combine direct
+           (List.map
+              (fun (o : string Vp_parallel.Runner.outcome) -> o.value)
+              outcomes)))
+    [ 1; 4 ]
+
+let test_jobs1_equals_jobs4 () =
+  let one = runner_outputs ~jobs:1 in
+  let four = runner_outputs ~jobs:4 in
+  List.iter2
+    (fun (a : string Vp_parallel.Runner.outcome)
+         (b : string Vp_parallel.Runner.outcome) ->
+      Alcotest.(check string) (a.label ^ " jobs:1 = jobs:4") a.value b.value)
+    one four
+
+let suite =
+  [
+    Alcotest.test_case "runner matches direct run" `Quick
+      test_runner_matches_direct;
+    Alcotest.test_case "jobs 1 = jobs 4" `Quick test_jobs1_equals_jobs4;
+  ]

@@ -12,8 +12,17 @@ let test_registry_ids_unique () =
 let test_registry_find () =
   let e = Vp_experiments.Registry.find "FIG3" in
   Alcotest.(check string) "case insensitive" "fig3" e.Vp_experiments.Registry.id;
-  Alcotest.check_raises "unknown" Not_found (fun () ->
-      ignore (Vp_experiments.Registry.find "fig99"))
+  Alcotest.(check bool) "find_opt unknown" true
+    (Vp_experiments.Registry.find_opt "fig99" = None);
+  match Vp_experiments.Registry.find "fig99" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error mentions %s" needle)
+            true (contains msg needle))
+        [ "fig99"; "valid ids"; "table1"; "ablations" ]
 
 let test_registry_covers_paper () =
   (* Every table (1-7) and figure (1-14) of the paper is present. *)

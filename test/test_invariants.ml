@@ -1,0 +1,132 @@
+(* Randomized invariants over every algorithm in the registry, driven by
+   the deterministic SplitMix64 generator (so failures reproduce across
+   runs and machines):
+
+   - every algorithm returns a valid partitioning — each attribute in
+     exactly one fragment, no empty fragments — for arbitrary workloads;
+   - memoized cost evaluation is invisible: the cached cost of the chosen
+     layout equals an uncached Io_model evaluation bit-for-bit. *)
+
+open Vp_core
+
+let disk = Vp_cost.Disk.default
+
+let pair_count = 100
+
+(* A random (table, workload) pair from stream [i]: 2-8 attributes of
+   mixed widths, 1-6 queries with non-empty reference sets and skewed
+   weights. *)
+let random_workload root i =
+  let g = Vp_datagen.Prng.split root i in
+  let n = Vp_datagen.Prng.int_in g 2 8 in
+  let attributes =
+    List.init n (fun j ->
+        Attribute.make
+          (Printf.sprintf "c%d" j)
+          (match j mod 3 with
+          | 0 -> Attribute.Int32
+          | 1 -> Attribute.Decimal
+          | _ -> Attribute.Char (5 + j)))
+  in
+  let rows = Vp_datagen.Prng.int_in g 1_000 500_000 in
+  let table =
+    Table.make ~name:(Printf.sprintf "rand%d" i) ~attributes ~row_count:rows
+  in
+  let q_count = Vp_datagen.Prng.int_in g 1 6 in
+  let queries =
+    List.init q_count (fun j ->
+        let mask = 1 + Vp_datagen.Prng.int g ((1 lsl n) - 1) in
+        Query.make
+          ~name:(Printf.sprintf "q%d" j)
+          ~weight:(1.0 +. Vp_datagen.Prng.float g 4.0)
+          ~references:(Attr_set.of_mask mask)
+          ())
+  in
+  Workload.make table queries
+
+let lineup = Vp_algorithms.Registry.six @ Vp_algorithms.Registry.baselines
+
+let check_valid_partitioning ~ctx w (p : Partitioning.t) =
+  let n = Table.attribute_count (Workload.table w) in
+  Alcotest.(check bool)
+    (ctx ^ ": covers all attributes") true
+    (Testutil.valid_partitioning_of_workload p w);
+  let groups = Partitioning.groups p in
+  Alcotest.(check bool)
+    (ctx ^ ": no empty fragment") true
+    (List.for_all (fun g -> not (Attr_set.is_empty g)) groups);
+  (* Disjointness: together with full coverage this means every attribute
+     sits in exactly one fragment. *)
+  Alcotest.(check int)
+    (ctx ^ ": each attribute in exactly one fragment") n
+    (List.fold_left (fun acc g -> acc + Attr_set.cardinal g) 0 groups)
+
+let test_algorithms_return_valid_partitionings () =
+  let root = Vp_datagen.Prng.create 0x5EEDL in
+  for i = 0 to pair_count - 1 do
+    let w = random_workload root i in
+    let oracle = Vp_cost.Io_model.oracle disk w in
+    List.iter
+      (fun (a : Partitioner.t) ->
+        let ctx = Printf.sprintf "%s on pair %d" a.Partitioner.name i in
+        let r = a.Partitioner.run w oracle in
+        check_valid_partitioning ~ctx w r.Partitioner.partitioning;
+        Alcotest.(check (float 0.))
+          (ctx ^ ": reported cost matches the oracle")
+          (Vp_cost.Io_model.workload_cost disk w r.Partitioner.partitioning)
+          r.Partitioner.cost)
+      lineup
+  done
+
+let test_cached_cost_equals_uncached () =
+  let root = Vp_datagen.Prng.create 0xCAFEL in
+  for i = 0 to pair_count - 1 do
+    let w = random_workload root i in
+    let oracle = Vp_cost.Io_model.oracle disk w in
+    let cache = Vp_parallel.Cost_cache.create () in
+    let cached = Vp_parallel.Cost_cache.oracle ~cache disk w in
+    let qcached = Vp_parallel.Cost_cache.query_oracle ~cache disk w in
+    List.iter
+      (fun (a : Partitioner.t) ->
+        let ctx = Printf.sprintf "%s on pair %d" a.Partitioner.name i in
+        let p = (a.Partitioner.run w oracle).Partitioner.partitioning in
+        let uncached = Vp_cost.Io_model.workload_cost disk w p in
+        (* Twice each: the second evaluation is a cache hit. *)
+        Alcotest.(check (float 0.)) (ctx ^ ": cached miss") uncached (cached p);
+        Alcotest.(check (float 0.)) (ctx ^ ": cached hit") uncached (cached p);
+        Alcotest.(check (float 0.)) (ctx ^ ": query-cached miss") uncached
+          (qcached p);
+        Alcotest.(check (float 0.)) (ctx ^ ": query-cached hit") uncached
+          (qcached p))
+      lineup
+  done
+
+let test_algorithm_registry_errors () =
+  Alcotest.(check bool) "find_opt unknown" true
+    (Vp_algorithms.Registry.find_opt "nope" = None);
+  Alcotest.(check bool) "find_opt known" true
+    (Vp_algorithms.Registry.find_opt "hillclimb" <> None);
+  match Vp_algorithms.Registry.find "nope" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error mentions %s" needle)
+            true
+            (let h = String.length msg and n = String.length needle in
+             let rec go k =
+               k + n <= h && (String.sub msg k n = needle || go (k + 1))
+             in
+             n = 0 || go 0))
+        [ "nope"; "HillClimb"; "Column" ]
+
+let suite =
+  [
+    Alcotest.test_case "algorithms return valid partitionings" `Quick
+      test_algorithms_return_valid_partitionings;
+    Alcotest.test_case "cached cost equals uncached" `Quick
+      test_cached_cost_equals_uncached;
+    Alcotest.test_case "algorithm registry errors" `Quick
+      test_algorithm_registry_errors;
+  ]

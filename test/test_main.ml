@@ -19,4 +19,7 @@ let () =
       ("golden", Test_golden.suite);
       ("parser", Test_parser.suite);
       ("experiments", Test_experiments.suite);
+      ("parallel", Test_parallel.suite);
+      ("determinism", Test_determinism.suite);
+      ("invariants", Test_invariants.suite);
     ]

@@ -1,0 +1,255 @@
+(* vp_parallel: the work pool, Once, the cost cache, and the runner. *)
+
+open Vp_core
+
+let disk = Vp_cost.Disk.default
+
+(* --- Pool --- *)
+
+let test_pool_ordering () =
+  let inputs = List.init 25 Fun.id in
+  List.iter
+    (fun jobs ->
+      let got =
+        Vp_parallel.Pool.run_list ~jobs
+          (List.map
+             (fun i () ->
+               (* Uneven work so completion order differs from submission
+                  order when domains are available. *)
+               let n = ref 0 in
+               for _ = 1 to (25 - i) * 1000 do
+                 incr n
+               done;
+               i * i)
+             inputs)
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "submission order, jobs=%d" jobs)
+        (List.map (fun i -> i * i) inputs)
+        got)
+    [ 1; 2; 4 ]
+
+let test_pool_empty_and_map () =
+  Alcotest.(check (list int)) "empty" [] (Vp_parallel.Pool.run_list ~jobs:4 []);
+  Vp_parallel.Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check (list string))
+        "map"
+        [ "0"; "1"; "2"; "3" ]
+        (Vp_parallel.Pool.map pool string_of_int [ 0; 1; 2; 3 ]);
+      (* The pool is reusable across batches. *)
+      Alcotest.(check (list int))
+        "second batch" [ 10; 20 ]
+        (Vp_parallel.Pool.map pool (fun x -> x * 10) [ 1; 2 ]))
+
+let test_pool_exception () =
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "earliest failure wins, jobs=%d" jobs)
+        (Failure "boom2")
+        (fun () ->
+          ignore
+            (Vp_parallel.Pool.run_list ~jobs
+               (List.init 6 (fun i () ->
+                    if i >= 2 then failwith (Printf.sprintf "boom%d" i)
+                    else i)))))
+    [ 1; 4 ]
+
+let test_pool_jobs_accounting () =
+  Alcotest.(check bool) "effective_jobs >= 1" true
+    (Vp_parallel.Pool.effective_jobs ~jobs:4 >= 1);
+  Alcotest.(check bool) "effective_jobs <= jobs" true
+    (Vp_parallel.Pool.effective_jobs ~jobs:4 <= 4);
+  Alcotest.(check int) "jobs=1 is one domain" 1
+    (Vp_parallel.Pool.effective_jobs ~jobs:1);
+  Vp_parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check int) "requested jobs" 4 (Vp_parallel.Pool.jobs pool);
+      Alcotest.(check int) "domain count"
+        (Vp_parallel.Pool.effective_jobs ~jobs:4)
+        (Vp_parallel.Pool.domain_count pool))
+
+let test_default_jobs_env () =
+  let old = Sys.getenv_opt "VP_JOBS" in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "VP_JOBS" (Option.value old ~default:""))
+    (fun () ->
+      Unix.putenv "VP_JOBS" "3";
+      Alcotest.(check int) "VP_JOBS wins" 3 (Vp_parallel.Pool.default_jobs ());
+      Unix.putenv "VP_JOBS" "not-a-number";
+      Alcotest.(check int) "garbage falls back"
+        (Domain.recommended_domain_count ())
+        (Vp_parallel.Pool.default_jobs ()))
+
+(* --- Once --- *)
+
+let test_once () =
+  let evals = ref 0 in
+  let o =
+    Vp_parallel.Once.create (fun () ->
+        incr evals;
+        !evals * 100)
+  in
+  Alcotest.(check int) "first get" 100 (Vp_parallel.Once.get o);
+  Alcotest.(check int) "memoized" 100 (Vp_parallel.Once.get o);
+  Alcotest.(check int) "one evaluation" 1 !evals;
+  Vp_parallel.Once.reset o;
+  Alcotest.(check int) "recomputed after reset" 200 (Vp_parallel.Once.get o);
+  Alcotest.(check int) "two evaluations" 2 !evals
+
+let test_once_exception_retries () =
+  let attempts = ref 0 in
+  let o =
+    Vp_parallel.Once.create (fun () ->
+        incr attempts;
+        if !attempts = 1 then failwith "flaky" else !attempts)
+  in
+  Alcotest.check_raises "first get raises" (Failure "flaky") (fun () ->
+      ignore (Vp_parallel.Once.get o));
+  Alcotest.(check int) "retry succeeds" 2 (Vp_parallel.Once.get o)
+
+(* --- Cost_cache --- *)
+
+let some_partitionings n =
+  let state = Random.State.make [| 42 |] in
+  Partitioning.row n :: Partitioning.column n
+  :: List.init 10 (fun _ ->
+         Enumeration.random_partitioning (Random.State.int state) n)
+
+let test_cache_matches_io_model () =
+  let w = Testutil.partsupp_workload in
+  let n = Table.attribute_count (Workload.table w) in
+  let cache = Vp_parallel.Cost_cache.create () in
+  let cached = Vp_parallel.Cost_cache.oracle ~cache disk w in
+  let qcache = Vp_parallel.Cost_cache.create () in
+  let qcached = Vp_parallel.Cost_cache.query_oracle ~cache:qcache disk w in
+  (* Two passes: the second one is served from the cache and must return
+     bit-identical floats. *)
+  for pass = 1 to 2 do
+    List.iter
+      (fun p ->
+        let expect = Vp_cost.Io_model.workload_cost disk w p in
+        Alcotest.(check (float 0.))
+          (Printf.sprintf "whole-partitioning cache, pass %d" pass)
+          expect (cached p);
+        Alcotest.(check (float 0.))
+          (Printf.sprintf "query-grained cache, pass %d" pass)
+          expect (qcached p))
+      (some_partitionings n)
+  done;
+  let s = Vp_parallel.Cost_cache.stats cache in
+  Alcotest.(check bool) "whole-partitioning cache hits" true
+    (s.Vp_parallel.Cost_cache.hits > 0);
+  Alcotest.(check bool) "query cache hits" true
+    (Vp_parallel.Cost_cache.hit_rate qcache > 0.0)
+
+let test_cache_stats_and_clear () =
+  let w = Testutil.partsupp_workload in
+  let cache = Vp_parallel.Cost_cache.create () in
+  let cached = Vp_parallel.Cost_cache.oracle ~cache disk w in
+  let p = Partitioning.column 5 in
+  ignore (cached p);
+  ignore (cached p);
+  let s = Vp_parallel.Cost_cache.stats cache in
+  Alcotest.(check int) "one miss" 1 s.Vp_parallel.Cost_cache.misses;
+  Alcotest.(check int) "one hit" 1 s.Vp_parallel.Cost_cache.hits;
+  Alcotest.(check int) "one entry" 1 s.Vp_parallel.Cost_cache.entries;
+  Alcotest.(check (float 1e-9)) "hit rate" 0.5
+    (Vp_parallel.Cost_cache.hit_rate cache);
+  Vp_parallel.Cost_cache.clear cache;
+  let s = Vp_parallel.Cost_cache.stats cache in
+  Alcotest.(check int) "cleared entries" 0 s.Vp_parallel.Cost_cache.entries;
+  Alcotest.(check int) "cleared hits" 0 s.Vp_parallel.Cost_cache.hits
+
+let test_cache_kill_switch () =
+  let w = Testutil.partsupp_workload in
+  let cache = Vp_parallel.Cost_cache.create () in
+  let cached = Vp_parallel.Cost_cache.oracle ~cache disk w in
+  let p = Partitioning.row 5 in
+  Fun.protect
+    ~finally:(fun () -> Vp_parallel.Cost_cache.set_caching_enabled true)
+    (fun () ->
+      Vp_parallel.Cost_cache.set_caching_enabled false;
+      Alcotest.(check bool) "reports disabled" false
+        (Vp_parallel.Cost_cache.caching_enabled ());
+      Alcotest.(check (float 0.)) "pass-through value"
+        (Vp_cost.Io_model.workload_cost disk w p)
+        (cached p);
+      let s = Vp_parallel.Cost_cache.stats cache in
+      Alcotest.(check int) "no lookups recorded" 0
+        (s.Vp_parallel.Cost_cache.hits + s.Vp_parallel.Cost_cache.misses))
+
+let test_fingerprint_sensitivity () =
+  let w = Testutil.partsupp_workload in
+  let fp = Vp_parallel.Cost_cache.fingerprint disk w in
+  Alcotest.(check string) "deterministic" fp
+    (Vp_parallel.Cost_cache.fingerprint disk w);
+  let bigger_buffer =
+    Vp_cost.Disk.with_buffer_size disk (2 * disk.Vp_cost.Disk.buffer_size)
+  in
+  Alcotest.(check bool) "disk profile changes it" true
+    (fp <> Vp_parallel.Cost_cache.fingerprint bigger_buffer w);
+  let reweighted =
+    Workload.make (Workload.table w)
+      [
+        Query.make ~name:"Q1" ~weight:2.0
+          ~references:(Query.references Testutil.partsupp_q1)
+          ();
+        Testutil.partsupp_q2;
+      ]
+  in
+  Alcotest.(check bool) "query weight changes it" true
+    (fp <> Vp_parallel.Cost_cache.fingerprint disk reweighted)
+
+let test_counted_cache () =
+  let w = Testutil.partsupp_workload in
+  let oracle = Partitioner.Counted.make (Vp_cost.Io_model.oracle disk w) in
+  let cache = Vp_parallel.Cost_cache.create () in
+  let cost_of = Vp_parallel.Cost_cache.counted cache ~fingerprint:"t" oracle in
+  let p = Partitioning.column 5 in
+  let first = cost_of p in
+  Alcotest.(check int) "miss counts a call" 1 (Partitioner.Counted.calls oracle);
+  Alcotest.(check (float 0.)) "hit returns the same float" first (cost_of p);
+  Alcotest.(check int) "hit does not call" 1 (Partitioner.Counted.calls oracle);
+  Alcotest.(check int) "hit notes a candidate" 2
+    (Partitioner.Counted.candidates oracle)
+
+(* --- Runner --- *)
+
+let test_runner_ordering () =
+  let tasks =
+    List.init 8 (fun i ->
+        Vp_parallel.Runner.task
+          ~label:(Printf.sprintf "t%d" i)
+          (fun () -> i * 7))
+  in
+  List.iter
+    (fun jobs ->
+      let outcomes = Vp_parallel.Runner.run ~jobs tasks in
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "labelled results in order, jobs=%d" jobs)
+        (List.init 8 (fun i -> (Printf.sprintf "t%d" i, i * 7)))
+        (Vp_parallel.Runner.values outcomes);
+      List.iter
+        (fun (o : int Vp_parallel.Runner.outcome) ->
+          Alcotest.(check bool) "non-negative elapsed" true
+            (o.elapsed_seconds >= 0.0))
+        outcomes)
+    [ 1; 4 ]
+
+let suite =
+  [
+    Alcotest.test_case "pool ordering" `Quick test_pool_ordering;
+    Alcotest.test_case "pool empty + map" `Quick test_pool_empty_and_map;
+    Alcotest.test_case "pool exceptions" `Quick test_pool_exception;
+    Alcotest.test_case "pool jobs accounting" `Quick test_pool_jobs_accounting;
+    Alcotest.test_case "default jobs env" `Quick test_default_jobs_env;
+    Alcotest.test_case "once" `Quick test_once;
+    Alcotest.test_case "once exception retries" `Quick test_once_exception_retries;
+    Alcotest.test_case "cache matches io model" `Quick test_cache_matches_io_model;
+    Alcotest.test_case "cache stats + clear" `Quick test_cache_stats_and_clear;
+    Alcotest.test_case "cache kill switch" `Quick test_cache_kill_switch;
+    Alcotest.test_case "fingerprint sensitivity" `Quick test_fingerprint_sensitivity;
+    Alcotest.test_case "counted cache" `Quick test_counted_cache;
+    Alcotest.test_case "runner ordering" `Quick test_runner_ordering;
+  ]
