@@ -233,13 +233,50 @@ let parallel_section jobs =
   flush stdout;
   if mismatches <> [] then exit 1
 
+(* --- Budget degradation demo: the cost of the best-so-far layout as the
+   per-run step budget grows. Lineitem is the table where full search is
+   infeasible (B(16) ≈ 10^10), i.e. exactly where a budgeted BruteForce
+   earns its keep: every row shows a valid layout no worse than Row, and
+   cost never increases with the budget. --- *)
+
+let budget_section () =
+  let disk = Vp_experiments.Common.disk in
+  let workload =
+    Vp_benchmarks.Tpch.workload ~sf:Vp_experiments.Common.sf "lineitem"
+  in
+  let n = Table.attribute_count (Workload.table workload) in
+  let row_cost =
+    Vp_cost.Io_model.oracle disk workload (Partitioning.row n)
+  in
+  Printf.printf
+    "\nGraceful degradation on Lineitem under step budgets (Row = %.0f):\n"
+    row_cost;
+  Printf.printf "  %-10s %10s %12s  %s\n" "algorithm" "budget" "cost" "status";
+  List.iter
+    (fun (a : Partitioner.t) ->
+      List.iter
+        (fun max_steps ->
+          let budget = Vp_robust.Budget.create ~max_steps () in
+          let oracle = Vp_cost.Io_model.oracle disk workload in
+          let r = a.Partitioner.run ~budget workload oracle in
+          Printf.printf "  %-10s %10d %12.0f  %s\n" a.Partitioner.name
+            max_steps r.Partitioner.cost
+            (match r.Partitioner.status with
+            | Partitioner.Complete -> "complete"
+            | Partitioner.Timed_out { steps; _ } ->
+                Printf.sprintf "timed out after %d steps" steps))
+        [ 500; 5_000; 50_000 ])
+    [ Vp_algorithms.Brute_force.algorithm; Vp_algorithms.Hillclimb.algorithm ];
+  flush stdout
+
 (* --- argument parsing --- *)
 
-type mode = All | Experiments | Bechamel | Parallel
+type mode = All | Experiments | Bechamel | Parallel | Budget
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--mode all|experiments|bechamel|parallel] [--jobs N]";
+    "usage: main.exe [--mode all|experiments|bechamel|parallel|budget] [--jobs \
+     N]";
   exit 2
 
 let parse_args () =
@@ -253,6 +290,7 @@ let parse_args () =
            | "experiments" -> Experiments
            | "bechamel" -> Bechamel
            | "parallel" -> Parallel
+           | "budget" -> Budget
            | _ -> usage ());
         go rest
     | "--jobs" :: n :: rest -> (
@@ -284,5 +322,6 @@ let () =
       if not skip_slow then bechamel_section ()
   | Experiments -> run_experiments ()
   | Bechamel -> bechamel_section ()
-  | Parallel -> parallel_section jobs);
+  | Parallel -> parallel_section jobs
+  | Budget -> budget_section ());
   print_endline "\nAll experiments completed."

@@ -58,6 +58,38 @@ let jobs_arg =
           "Worker domains for parallel execution (default: available cores, \
            or \\$(b,VP_JOBS)). Results are deterministic for every N.")
 
+(* Wall-clock durations: "5" and "5s" are seconds, "500ms" milliseconds,
+   "2m" minutes. *)
+let duration =
+  let parse s =
+    let s = String.trim s in
+    let split suffix =
+      let ls = String.length s and lx = String.length suffix in
+      if ls > lx && String.sub s (ls - lx) lx = suffix then
+        Some (String.sub s 0 (ls - lx))
+      else None
+    in
+    let number, scale =
+      match split "ms" with
+      | Some v -> (v, 0.001)
+      | None -> (
+          match split "s" with
+          | Some v -> (v, 1.0)
+          | None -> (
+              match split "m" with Some v -> (v, 60.0) | None -> (s, 1.0)))
+    in
+    match float_of_string_opt number with
+    | Some v when v > 0.0 -> Ok (v *. scale)
+    | Some _ -> Error (`Msg "must be a positive duration")
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "invalid duration %S, expected e.g. 5, 5s, 500ms or 2m" s))
+  in
+  Cmdliner.Arg.conv ~docv:"DURATION"
+    (parse, fun ppf v -> Format.fprintf ppf "%gs" v)
+
 let jobs_of = function
   | Some n -> n
   | None -> Vp_parallel.Pool.default_jobs ()
@@ -255,7 +287,7 @@ let experiment_cmd =
       & info [] ~docv:"ID"
           ~doc:"Experiment ids (see `vp list`), or `all` for the full catalogue.")
   in
-  let run jobs ids =
+  let run jobs timeout budget_steps resume ids =
     let expand id =
       if String.lowercase_ascii id = "all" then
         Ok Vp_experiments.Registry.all
@@ -279,30 +311,69 @@ let experiment_cmd =
           (String.concat ", " (List.map (Printf.sprintf "%S") unknown))
           (String.concat ", " Vp_experiments.Registry.ids);
         1
-    | [] ->
-        (* Fan the experiments across domains; outcomes come back in
-           submission order, so the printed report is deterministic. *)
-        let outcomes =
-          Vp_parallel.Runner.run ~jobs:(jobs_of jobs)
-            (List.map
-               (fun (e : Vp_experiments.Registry.experiment) ->
-                 Vp_parallel.Runner.task ~label:e.id e.run)
-               experiments)
+    | [] -> (
+        (* Fan the experiments across domains; cells come back in
+           submission order, so the printed report is deterministic. A
+           failing or timed-out cell degrades to an annotated entry
+           instead of aborting the sweep. *)
+        let cells =
+          Vp_experiments.Sweep.run ~jobs:(jobs_of jobs)
+            ?timeout_seconds:timeout ?budget_steps ?journal_path:resume
+            ~fault:(Vp_robust.Fault.from_env ())
+            experiments
         in
-        List.iter
-          (fun (o : string Vp_parallel.Runner.outcome) ->
-            if List.length experiments > 1 then
-              print_string
-                (Vp_experiments.Common.heading
-                   (Printf.sprintf "%s — %.2fs" o.label o.elapsed_seconds));
-            print_endline o.value)
-          outcomes;
-        0
+        (match cells with
+        | [ ({ status = Done; _ } as c) ] ->
+            (* A single healthy cell prints bare, as it always has. *)
+            print_endline c.output
+        | _ -> print_string (Vp_experiments.Sweep.report cells));
+        match Vp_experiments.Sweep.errors cells with
+        | [] -> 0 (* timeouts are degraded output, not failures *)
+        | failed ->
+            Fmt.epr "%d of %d experiment cell%s failed: %s@."
+              (List.length failed) (List.length cells)
+              (if List.length failed > 1 then "s" else "")
+              (String.concat ", "
+                 (List.map
+                    (fun (c : Vp_experiments.Sweep.cell) -> c.id)
+                    failed));
+            1)
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some duration) None
+      & info [ "timeout" ] ~docv:"DURATION"
+          ~doc:
+            "Wall-clock budget per experiment cell (e.g. 5s, 500ms, 2m). A \
+             cell that runs out returns its best-so-far report, annotated \
+             \\$(b,[TIMEOUT]).")
+  in
+  let budget_steps_arg =
+    Arg.(
+      value
+      & opt (some positive_int) None
+      & info [ "budget-steps" ] ~docv:"N"
+          ~doc:
+            "Search-step budget per experiment cell; like \\$(b,--timeout) \
+             but deterministic.")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint journal: cells already recorded in FILE are replayed \
+             from it, fresh cells are appended as they complete. Re-running \
+             after a crash or timeout only computes what is missing.")
   in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate paper tables/figures (one id, several, or `all`)")
-    Term.(const run $ jobs_arg $ ids_arg)
+    Term.(
+      const run $ jobs_arg $ timeout_arg $ budget_steps_arg $ resume_arg
+      $ ids_arg)
 
 (* --- vp simulate --- *)
 

@@ -2,7 +2,7 @@ open Vp_core
 
 type lower_bound = blocks:Attr_set.t list -> remaining:Attr_set.t -> float
 
-let search ~atoms ~lower_bound ~max_candidates workload oracle =
+let search ~atoms ~lower_bound ~max_candidates ~budget workload oracle =
   let n = Table.attribute_count (Workload.table workload) in
   let atom_arr = Array.of_list atoms in
   (* Wide atoms first: placing bulky attribute groups early lets the lower
@@ -12,8 +12,12 @@ let search ~atoms ~lower_bound ~max_candidates workload oracle =
     (fun a b -> compare (Table.subset_size table b) (Table.subset_size table a))
     atom_arr;
   let m = Array.length atom_arr in
+  (* A budget makes any search space safe to enter: enumeration stops at
+     exhaustion with the best-so-far incumbent, so the up-front space
+     guard only applies to unbudgeted runs. *)
   (match lower_bound with
   | Some _ -> ()
+  | None when Vp_robust.Budget.is_limited budget -> ()
   | None ->
       let space = if m <= 22 then Enumeration.bell_exact m else max_int in
       if space > max_candidates then
@@ -27,10 +31,23 @@ let search ~atoms ~lower_bound ~max_candidates workload oracle =
      seed and climb intermediates. *)
   let cache = Vp_parallel.Cost_cache.create () in
   let cost_of = Vp_parallel.Cost_cache.counted cache ~fingerprint:"" oracle in
+  (* Under a budget, cost the row layout before anything can tick so the
+     incumbent is defined (and never worse than Row) even if the budget is
+     exhausted during the seed climb. *)
+  let best = ref (Partitioning.row n) in
+  let best_cost =
+    ref
+      (if Vp_robust.Budget.is_limited budget then cost_of !best else infinity)
+  in
   (* Seed the incumbent with a greedy bottom-up merge of the atoms. *)
-  let seed, _ = Merge_search.climb ~cache ~n oracle (Array.to_list atom_arr) in
-  let best = ref seed in
-  let best_cost = ref (cost_of seed) in
+  let seed, _ =
+    Merge_search.climb ~cache ~budget ~n oracle (Array.to_list atom_arr)
+  in
+  (let seed_cost = cost_of seed in
+   if seed_cost < !best_cost then begin
+     best := seed;
+     best_cost := seed_cost
+   end);
   (* remaining.(i) = union of atoms i..m-1. *)
   let remaining = Array.make (m + 1) Attr_set.empty in
   for i = m - 1 downto 0 do
@@ -38,6 +55,7 @@ let search ~atoms ~lower_bound ~max_candidates workload oracle =
   done;
   let blocks = Array.make m Attr_set.empty in
   let rec assign i used =
+    Vp_robust.Budget.tick budget;
     if i = m then begin
       let groups = Array.to_list (Array.sub blocks 0 used) in
       let candidate = Partitioning.of_groups ~n groups in
@@ -66,12 +84,14 @@ let search ~atoms ~lower_bound ~max_candidates workload oracle =
         blocks.(j) <- saved
       done
   in
-  assign 0 0;
+  (* Exhaustion abandons the rest of the enumeration; the incumbent is the
+     cheapest fully evaluated candidate, at worst the row layout. *)
+  (try assign 0 0 with Vp_robust.Budget.Exhausted -> ());
   (!best, m)
 
 let make ?(use_atoms = true) ?(max_candidates = 5_000_000) ?lower_bound () =
-  Partitioner.timed_run ~name:"BruteForce" ~short_name:"BF"
-    (fun workload oracle ->
+  Partitioner.timed_run_budgeted ~name:"BruteForce" ~short_name:"BF"
+    (fun ~budget workload oracle ->
       let atoms =
         if use_atoms then Workload.primary_partitions workload
         else
@@ -82,6 +102,6 @@ let make ?(use_atoms = true) ?(max_candidates = 5_000_000) ?lower_bound () =
       let lower_bound =
         Option.map (fun factory -> factory workload) lower_bound
       in
-      search ~atoms ~lower_bound ~max_candidates workload oracle)
+      search ~atoms ~lower_bound ~max_candidates ~budget workload oracle)
 
 let algorithm = make ()

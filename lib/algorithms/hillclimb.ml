@@ -1,13 +1,13 @@
 open Vp_core
 
 let make ~name ~short_name ~cached =
-  Partitioner.timed_run ~name ~short_name (fun workload oracle ->
+  Partitioner.timed_run_budgeted ~name ~short_name (fun ~budget workload oracle ->
       let n = Table.attribute_count (Workload.table workload) in
       let cache =
         if cached then Some (Vp_parallel.Cost_cache.create ()) else None
       in
       let start = Partitioning.groups (Partitioning.column n) in
-      Merge_search.climb ?cache ~n oracle start)
+      Merge_search.climb ?cache ~budget ~n oracle start)
 
 let algorithm = make ~name:"HillClimb" ~short_name:"HC" ~cached:true
 
@@ -15,8 +15,8 @@ let without_cache =
   make ~name:"HillClimb-nocache" ~short_name:"HC0" ~cached:false
 
 let with_dictionary =
-  Partitioner.timed_run ~name:"HillClimb+dict" ~short_name:"HCd"
-    (fun workload oracle ->
+  Partitioner.timed_run_budgeted ~name:"HillClimb+dict" ~short_name:"HCd"
+    (fun ~budget workload oracle ->
       let n = Table.attribute_count (Workload.table workload) in
       (* Dictionary of evaluated candidate costs, keyed by the canonical
          partitioning. Mimics the original algorithm's column-group cost
@@ -34,12 +34,13 @@ let with_dictionary =
             Hashtbl.add dictionary key c;
             c
       in
-      let rec go groups current current_cost iterations =
-        let arr = Array.of_list groups in
-        let k = Array.length arr in
+      (* On exhaustion the partially scanned neighbourhood is discarded and
+         the incumbent returned, as in [Merge_search.climb]. *)
+      let scan_best arr k =
         let best = ref None in
         for i = 0 to k - 2 do
           for j = i + 1 to k - 1 do
+            Vp_robust.Budget.tick budget;
             let candidate_groups =
               Attr_set.union arr.(i) arr.(j)
               :: (Array.to_list arr
@@ -52,11 +53,19 @@ let with_dictionary =
             | _ -> best := Some (candidate, cost)
           done
         done;
-        match !best with
+        !best
+      in
+      let rec go groups current current_cost iterations =
+        let arr = Array.of_list groups in
+        let k = Array.length arr in
+        match scan_best arr k with
         | Some (candidate, cost) when cost < current_cost ->
             go (Partitioning.groups candidate) candidate cost (iterations + 1)
         | Some _ | None -> (current, iterations)
+        | exception Vp_robust.Budget.Exhausted -> (current, iterations)
       in
       let start = Partitioning.column n in
-      let start_cost = cached_cost start in
-      go (Partitioning.groups start) start start_cost 0)
+      if Vp_robust.Budget.exhausted budget then (start, 0)
+      else
+        let start_cost = cached_cost start in
+        go (Partitioning.groups start) start start_cost 0)

@@ -15,7 +15,8 @@ let evaluator ?cache oracle =
   | None -> Partitioner.Counted.cost oracle
   | Some c -> Vp_parallel.Cost_cache.counted c ~fingerprint:"" oracle
 
-let best_pair_merge ?(allowed = fun _ _ -> true) ?cache ~n oracle groups =
+let best_pair_merge ?(allowed = fun _ _ -> true) ?cache
+    ?(budget = Vp_robust.Budget.unlimited) ~n oracle groups =
   let cost_of = evaluator ?cache oracle in
   let arr = Array.of_list groups in
   let k = Array.length arr in
@@ -25,6 +26,7 @@ let best_pair_merge ?(allowed = fun _ _ -> true) ?cache ~n oracle groups =
     for i = 0 to k - 2 do
       for j = i + 1 to k - 1 do
         if allowed arr.(i) arr.(j) then begin
+          Vp_robust.Budget.tick budget;
           let candidate_groups =
             Attr_set.union arr.(i) arr.(j)
             :: (Array.to_list arr |> List.filteri (fun x _ -> x <> i && x <> j))
@@ -48,13 +50,21 @@ let best_pair_merge ?(allowed = fun _ _ -> true) ?cache ~n oracle groups =
     !best
   end
 
-let climb ?(allowed = fun _ _ -> true) ?cache ~n oracle groups =
+let climb ?(allowed = fun _ _ -> true) ?cache
+    ?(budget = Vp_robust.Budget.unlimited) ~n oracle groups =
+  (* A partially scanned neighbourhood may miss the best merge, so on
+     exhaustion we abandon the interrupted scan and return the incumbent:
+     each committed merge was strictly cheaper, keeping the best-so-far
+     cost monotone in the budget. *)
   let rec go groups current current_cost iterations =
-    match best_pair_merge ~allowed ?cache ~n oracle groups with
+    match best_pair_merge ~allowed ?cache ~budget ~n oracle groups with
     | Some m when m.merged_cost < current_cost ->
         go (Partitioning.groups m.merged) m.merged m.merged_cost (iterations + 1)
     | Some _ | None -> (current, iterations)
+    | exception Vp_robust.Budget.Exhausted -> (current, iterations)
   in
   let start = Partitioning.of_groups ~n groups in
-  let start_cost = evaluator ?cache oracle start in
-  go groups start start_cost 0
+  if Vp_robust.Budget.exhausted budget then (start, 0)
+  else
+    let start_cost = evaluator ?cache oracle start in
+    go groups start start_cost 0

@@ -14,6 +14,7 @@ type merge = {
 val best_pair_merge :
   ?allowed:(Attr_set.t -> Attr_set.t -> bool) ->
   ?cache:Vp_parallel.Cost_cache.t ->
+  ?budget:Vp_robust.Budget.t ->
   n:int ->
   Partitioner.Counted.oracle ->
   Attr_set.t list ->
@@ -28,11 +29,16 @@ val best_pair_merge :
     are counted as candidates, not cost calls). Successive climb iterations
     re-evaluate almost the whole neighbourhood — only pairs involving the
     freshly merged group are new — so a per-run cache turns the k²/2
-    evaluations per iteration into O(k) cost-model calls. *)
+    evaluations per iteration into O(k) cost-model calls.
+
+    Each allowed pair ticks [budget] (default
+    {!Vp_robust.Budget.unlimited}) before evaluation, so exhaustion
+    raises {!Vp_robust.Budget.Exhausted} mid-scan. *)
 
 val climb :
   ?allowed:(Attr_set.t -> Attr_set.t -> bool) ->
   ?cache:Vp_parallel.Cost_cache.t ->
+  ?budget:Vp_robust.Budget.t ->
   n:int ->
   Partitioner.Counted.oracle ->
   Attr_set.t list ->
@@ -40,4 +46,9 @@ val climb :
 (** Greedy merging to a local optimum: repeatedly apply the best pairwise
     merge while it strictly improves the cost. Returns the final
     partitioning and the number of merge iterations performed. [cache] as
-    in {!best_pair_merge}. *)
+    in {!best_pair_merge}.
+
+    When [budget] exhausts, returns the best partitioning committed so far
+    (at worst the starting one) instead of raising: a merge found by a
+    partial neighbourhood scan is discarded rather than committed, so the
+    returned cost is non-increasing in the budget. *)

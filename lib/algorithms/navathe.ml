@@ -87,23 +87,72 @@ let is_affinity_clique ?(reference = `Mean_positive) matrix set =
   in
   go attrs
 
+(* Classic Navathe never consults the cost oracle, so it has no natural
+   best-so-far notion. The budgeted variant therefore switches to a
+   breadth-first worklist that commits one split per tick and prices the
+   full intermediate partitioning after each commit, keeping the cheapest
+   state seen (the initial whole-table state — the row layout — is priced
+   before any tick, so an incumbent always exists). The evaluation
+   timeline is deterministic, so a larger budget sees a superset of
+   states and can only do better. Unbudgeted runs take the original
+   recursion untouched. *)
+let budgeted_refine ~budget ~n ~matrix ~order workload oracle =
+  let whole = Partitioning.of_groups ~n [ segment_set order 0 n ] in
+  let best = ref whole in
+  let best_cost = ref (Partitioner.Counted.cost oracle whole) in
+  let splits = ref 0 in
+  let finished = ref [] in
+  let queue = Queue.create () in
+  Queue.add (0, n) queue;
+  (try
+     while not (Queue.is_empty queue) do
+       Vp_robust.Budget.tick budget;
+       let start, len = Queue.pop queue in
+       let segment = segment_set order start len in
+       match best_z_split workload [] order start len with
+       | Some (cut, z) when z >= 0.0 || not (is_affinity_clique matrix segment)
+         ->
+           incr splits;
+           Partitioner.Counted.note_candidate oracle;
+           Queue.add (start, cut) queue;
+           Queue.add (start + cut, len - cut) queue;
+           let groups =
+             Queue.fold
+               (fun acc (s, l) -> segment_set order s l :: acc)
+               !finished queue
+           in
+           let candidate = Partitioning.of_groups ~n groups in
+           let cost = Partitioner.Counted.cost oracle candidate in
+           if cost < !best_cost then begin
+             best := candidate;
+             best_cost := cost
+           end
+       | Some _ | None -> finished := segment :: !finished
+     done
+   with Vp_robust.Budget.Exhausted -> ());
+  (!best, !splits)
+
 let algorithm =
-  Partitioner.timed_run ~name:"Navathe" ~short_name:"Na"
-    (fun workload oracle ->
+  Partitioner.timed_run_budgeted ~name:"Navathe" ~short_name:"Na"
+    (fun ~budget workload oracle ->
       let n = Table.attribute_count (Workload.table workload) in
       let matrix = Affinity.of_workload workload in
       let order = Bond_energy.order matrix in
-      let splits = ref 0 in
-      let rec refine start len acc =
-        let segment = segment_set order start len in
-        match best_z_split workload [] order start len with
-        | Some (cut, z) when z >= 0.0 || not (is_affinity_clique matrix segment)
-          ->
-            incr splits;
-            Partitioner.Counted.note_candidate oracle;
-            let acc = refine start cut acc in
-            refine (start + cut) (len - cut) acc
-        | Some _ | None -> segment :: acc
-      in
-      let groups = refine 0 n [] in
-      (Partitioning.of_groups ~n groups, !splits))
+      if Vp_robust.Budget.is_limited budget then
+        budgeted_refine ~budget ~n ~matrix ~order workload oracle
+      else begin
+        let splits = ref 0 in
+        let rec refine start len acc =
+          let segment = segment_set order start len in
+          match best_z_split workload [] order start len with
+          | Some (cut, z)
+            when z >= 0.0 || not (is_affinity_clique matrix segment) ->
+              incr splits;
+              Partitioner.Counted.note_candidate oracle;
+              let acc = refine start cut acc in
+              refine (start + cut) (len - cut) acc
+          | Some _ | None -> segment :: acc
+        in
+        let groups = refine 0 n [] in
+        (Partitioning.of_groups ~n groups, !splits)
+      end)

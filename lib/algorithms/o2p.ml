@@ -21,7 +21,8 @@ let partitioning_of_segments ~n order segments =
    is remembered across steps (O2P's dynamic programming); only segments
    created by a commit are re-analysed. The I/O cost model is never
    consulted. *)
-let greedy_z_split workload order =
+let greedy_z_split ?(budget = Vp_robust.Budget.unlimited)
+    ?(on_commit = fun _ -> ()) workload order =
   let matrix = Affinity.of_workload workload in
   let cache : (segment, (int * float) option) Hashtbl.t = Hashtbl.create 32 in
   let analyse seg =
@@ -42,26 +43,34 @@ let greedy_z_split workload order =
             (segment_set order seg))
   in
   let rec go segments steps =
-    let best =
-      List.fold_left
-        (fun acc seg ->
-          match analyse seg with
-          | Some (cut, z) when eligible seg z -> (
-              match acc with
-              | Some (_, _, bz) when bz >= z -> acc
-              | _ -> Some (seg, cut, z))
-          | Some _ | None -> acc)
-        None segments
-    in
-    match best with
-    | Some (seg, cut, _z) ->
-        let left = { start = seg.start; len = cut } in
-        let right = { start = seg.start + cut; len = seg.len - cut } in
-        let segments' =
-          left :: right :: List.filter (fun s -> s <> seg) segments
-        in
-        go segments' (steps + 1)
-    | None -> (segments, steps)
+    (* One tick per committed (or attempted) split step; on exhaustion the
+       current segments are the answer — each step only ever refined them
+       under positive z, and [on_commit] lets the budgeted caller price
+       intermediate states. *)
+    if not (Vp_robust.Budget.try_tick budget) then (segments, steps)
+    else begin
+      let best =
+        List.fold_left
+          (fun acc seg ->
+            match analyse seg with
+            | Some (cut, z) when eligible seg z -> (
+                match acc with
+                | Some (_, _, bz) when bz >= z -> acc
+                | _ -> Some (seg, cut, z))
+            | Some _ | None -> acc)
+          None segments
+      in
+      match best with
+      | Some (seg, cut, _z) ->
+          let left = { start = seg.start; len = cut } in
+          let right = { start = seg.start + cut; len = seg.len - cut } in
+          let segments' =
+            left :: right :: List.filter (fun s -> s <> seg) segments
+          in
+          on_commit segments';
+          go segments' (steps + 1)
+      | None -> (segments, steps)
+    end
   in
   go [ { start = 0; len = Array.length order } ] 0
 
@@ -94,7 +103,8 @@ let full_order state n =
   Array.append state.order (Array.of_list rest)
 
 let algorithm =
-  Partitioner.timed_run ~name:"O2P" ~short_name:"O2P" (fun workload oracle ->
+  Partitioner.timed_run_budgeted ~name:"O2P" ~short_name:"O2P"
+    (fun ~budget workload oracle ->
       let n = Table.attribute_count (Workload.table workload) in
       (* Replay the queries as an arrival stream to build the incremental
          clustered order, then run the greedy split analysis once on the
@@ -102,9 +112,30 @@ let algorithm =
       let state = stream_create n in
       Array.iter (fun q -> stream_add state q) (Workload.queries workload);
       let order = full_order state n in
-      ignore oracle;
-      let segments, steps = greedy_z_split workload order in
-      (partitioning_of_segments ~n order segments, steps))
+      if Vp_robust.Budget.is_limited budget then begin
+        (* Like Navathe, classic O2P never prices candidates, so the
+           budgeted run keeps a cost incumbent over the deterministic
+           sequence of committed states, seeded with the unsplit table
+           (= the row layout) before any tick. *)
+        let initial = [ { start = 0; len = Array.length order } ] in
+        let best = ref (partitioning_of_segments ~n order initial) in
+        let best_cost = ref (Partitioner.Counted.cost oracle !best) in
+        let on_commit segments =
+          let candidate = partitioning_of_segments ~n order segments in
+          let cost = Partitioner.Counted.cost oracle candidate in
+          if cost < !best_cost then begin
+            best := candidate;
+            best_cost := cost
+          end
+        in
+        let _, steps = greedy_z_split ~budget ~on_commit workload order in
+        (!best, steps)
+      end
+      else begin
+        ignore oracle;
+        let segments, steps = greedy_z_split workload order in
+        (partitioning_of_segments ~n order segments, steps)
+      end)
 
 let online workload factory =
   let n = Table.attribute_count (Workload.table workload) in

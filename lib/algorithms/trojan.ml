@@ -1,6 +1,7 @@
 open Vp_core
 
-let run ~threshold ~max_candidates workload oracle =
+let run ?(budget = Vp_robust.Budget.unlimited) ~threshold ~max_candidates
+    workload oracle =
   let table = Workload.table workload in
   let n = Table.attribute_count table in
   (* Pairwise normalized mutual information, precomputed once. *)
@@ -36,6 +37,7 @@ let run ~threshold ~max_candidates workload oracle =
   let interesting = ref [] in
   let count = ref 0 in
   for mask = 1 to (1 lsl n) - 1 do
+    Vp_robust.Budget.tick budget;
     let set = Attr_set.of_mask mask in
     if Attr_set.cardinal set >= 2 then begin
       Partitioner.Counted.note_candidate oracle;
@@ -65,10 +67,27 @@ let with_threshold ?(max_candidates = 4096) threshold =
     invalid_arg "Trojan.with_threshold: threshold outside [0, 1]";
   if max_candidates <= 0 then
     invalid_arg "Trojan.with_threshold: max_candidates <= 0";
-  Partitioner.timed_run
+  Partitioner.timed_run_budgeted
     ~name:(Printf.sprintf "Trojan(t=%.2f)" threshold)
     ~short_name:"Tr"
-    (fun workload oracle -> run ~threshold ~max_candidates workload oracle)
+    (fun ~budget workload oracle ->
+      if not (Vp_robust.Budget.is_limited budget) then
+        run ~threshold ~max_candidates workload oracle
+      else begin
+        (* Trojan's group enumeration has no usable intermediate state, so
+           the budgeted fallback is the row layout: price it before any
+           tick, and keep the knapsack solution only if the run completes
+           and beats it. *)
+        let n = Table.attribute_count (Workload.table workload) in
+        let row = Partitioning.row n in
+        let row_cost = Partitioner.Counted.cost oracle row in
+        match run ~budget ~threshold ~max_candidates workload oracle with
+        | p, iterations ->
+            if Partitioner.Counted.cost oracle p < row_cost then
+              (p, iterations)
+            else (row, iterations)
+        | exception Vp_robust.Budget.Exhausted -> (row, 0)
+      end)
 
 (* The default Trojan tunes its pruning threshold with the cost model: the
    candidate generation + knapsack pipeline runs once per threshold and the
@@ -79,17 +98,30 @@ let with_threshold ?(max_candidates = 4096) threshold =
 let default_thresholds = [ 1.0; 0.9; 0.7; 0.5; 0.3 ]
 
 let algorithm =
-  Partitioner.timed_run ~name:"Trojan" ~short_name:"Tr"
-    (fun workload oracle ->
+  Partitioner.timed_run_budgeted ~name:"Trojan" ~short_name:"Tr"
+    (fun ~budget workload oracle ->
       let best = ref None in
-      List.iter
-        (fun threshold ->
-          let p, _ = run ~threshold ~max_candidates:4096 workload oracle in
-          let cost = Partitioner.Counted.cost oracle p in
-          match !best with
-          | Some (_, c) when c <= cost -> ()
-          | _ -> best := Some (p, cost))
-        default_thresholds;
+      (* Under a budget, seed the incumbent with the row layout (priced
+         before any tick) so exhaustion mid-threshold still leaves a valid
+         answer; thresholds complete in a deterministic order, so a larger
+         budget only ever adds candidates to the min. *)
+      if Vp_robust.Budget.is_limited budget then begin
+        let n = Table.attribute_count (Workload.table workload) in
+        let row = Partitioning.row n in
+        best := Some (row, Partitioner.Counted.cost oracle row)
+      end;
+      (try
+         List.iter
+           (fun threshold ->
+             let p, _ =
+               run ~budget ~threshold ~max_candidates:4096 workload oracle
+             in
+             let cost = Partitioner.Counted.cost oracle p in
+             match !best with
+             | Some (_, c) when c <= cost -> ()
+             | _ -> best := Some (p, cost))
+           default_thresholds
+       with Vp_robust.Budget.Exhausted -> ());
       match !best with
       | Some (p, _) -> (p, List.length default_thresholds)
       | None -> assert false)

@@ -7,12 +7,19 @@ type stats = {
   elapsed_seconds : float;
 }
 
-type result = { partitioning : Partitioning.t; cost : float; stats : stats }
+type status = Complete | Timed_out of { steps : int; elapsed_seconds : float }
+
+type result = {
+  partitioning : Partitioning.t;
+  cost : float;
+  stats : stats;
+  status : status;
+}
 
 type t = {
   name : string;
   short_name : string;
-  run : Workload.t -> cost_fn -> result;
+  run : ?budget:Vp_robust.Budget.t -> Workload.t -> cost_fn -> result;
 }
 
 module Counted = struct
@@ -21,6 +28,9 @@ module Counted = struct
   let make f = { f; calls = 0; candidates = 0 }
 
   let cost o p =
+    (let fault = Vp_robust.Fault.current () in
+     if Vp_robust.Fault.enabled fault then
+       Vp_robust.Fault.apply fault ~site:"cost" ~index:o.calls);
     o.calls <- o.calls + 1;
     o.candidates <- o.candidates + 1;
     o.f p
@@ -32,22 +42,39 @@ module Counted = struct
   let candidates o = o.candidates
 end
 
-let timed_run ~name ~short_name body =
-  let run workload cost_fn =
+let finish ~budget ~cost_fn ~oracle ~t0 (partitioning, iterations) =
+  let elapsed_seconds = Unix.gettimeofday () -. t0 in
+  let status =
+    if Vp_robust.Budget.exhausted budget then
+      Timed_out
+        { steps = Vp_robust.Budget.steps budget;
+          elapsed_seconds = Vp_robust.Budget.elapsed_seconds budget }
+    else Complete
+  in
+  {
+    partitioning;
+    cost = cost_fn partitioning;
+    stats =
+      {
+        cost_calls = Counted.calls oracle;
+        candidates = Counted.candidates oracle;
+        iterations;
+        elapsed_seconds;
+      };
+    status;
+  }
+
+let timed_run_budgeted ~name ~short_name body =
+  let run ?budget workload cost_fn =
+    let budget =
+      match budget with Some b -> b | None -> Vp_robust.Budget.current ()
+    in
     let oracle = Counted.make cost_fn in
     let t0 = Unix.gettimeofday () in
-    let partitioning, iterations = body workload oracle in
-    let elapsed_seconds = Unix.gettimeofday () -. t0 in
-    {
-      partitioning;
-      cost = cost_fn partitioning;
-      stats =
-        {
-          cost_calls = Counted.calls oracle;
-          candidates = Counted.candidates oracle;
-          iterations;
-          elapsed_seconds;
-        };
-    }
+    finish ~budget ~cost_fn ~oracle ~t0 (body ~budget workload oracle)
   in
   { name; short_name; run }
+
+let timed_run ~name ~short_name body =
+  timed_run_budgeted ~name ~short_name (fun ~budget:_ workload oracle ->
+      body workload oracle)

@@ -17,23 +17,35 @@ type stats = {
   elapsed_seconds : float;  (** Wall-clock optimization time. *)
 }
 
+type status =
+  | Complete  (** The algorithm ran to its natural termination. *)
+  | Timed_out of { steps : int; elapsed_seconds : float }
+      (** The run's budget was exhausted first. The partitioning is still
+          valid — it is the best candidate found before exhaustion (see
+          DESIGN.md "Degradation contract"); [steps] and
+          [elapsed_seconds] describe the budget at exhaustion. *)
+
 type result = {
   partitioning : Partitioning.t;
   cost : float;  (** Cost of [partitioning] under the supplied oracle. *)
   stats : stats;
+  status : status;
 }
 
 type t = {
   name : string;
   short_name : string;  (** e.g. "HC" for HillClimb, used in layout grids. *)
-  run : Workload.t -> cost_fn -> result;
+  run : ?budget:Vp_robust.Budget.t -> Workload.t -> cost_fn -> result;
 }
 (** A named algorithm. [run] must return a valid partitioning of the
-    workload's table. *)
+    workload's table, budgeted or not. [budget] defaults to the ambient
+    {!Vp_robust.Budget.current}, itself {!Vp_robust.Budget.unlimited}
+    unless a caller installed one. *)
 
 (** A counting wrapper around a cost oracle, used by algorithm
     implementations to fill in {!stats} without threading counters
-    manually. *)
+    manually. Each evaluation is also a fault-injection site
+    ([site:"cost"]) under the ambient {!Vp_robust.Fault.current} plan. *)
 module Counted : sig
   type oracle
 
@@ -57,4 +69,19 @@ val timed_run :
   t
 (** Builds a {!t} from an implementation body that returns the chosen
     partitioning and its iteration count; timing, final-cost evaluation and
-    statistics are handled here. *)
+    statistics are handled here. The body ignores budgets; the result is
+    still tagged {!Timed_out} if the effective budget was exhausted (e.g.
+    by fault injection) while it ran. *)
+
+val timed_run_budgeted :
+  name:string ->
+  short_name:string ->
+  (budget:Vp_robust.Budget.t ->
+  Workload.t ->
+  Counted.oracle ->
+  Partitioning.t * int) ->
+  t
+(** Like {!timed_run}, but the body receives the effective budget (the
+    [?budget] argument, else the ambient one) and is expected to
+    {!Vp_robust.Budget.tick} as it searches, returning its best-so-far
+    partitioning when the budget runs out. *)

@@ -49,7 +49,11 @@ let run_layout ~codec layouts =
   List.fold_left
     (fun acc (workload, partitioning, rows) ->
       let workload = drop_excluded workload in
-      if Workload.query_count workload = 0 then acc
+      (* The block-by-block simulation is the slowest part of the
+         catalogue; skip the remaining tables once the cell's budget is
+         gone so a deadlined sweep degrades to a partial total. *)
+      if Vp_robust.Budget.exhausted (Vp_robust.Budget.current ()) then acc
+      else if Workload.query_count workload = 0 then acc
       else begin
         let db =
           Vp_storage.Database.build ~disk:sim_disk ~codec

@@ -1,0 +1,156 @@
+module Budget = Vp_robust.Budget
+module Fault = Vp_robust.Fault
+module Journal = Vp_robust.Journal
+
+type status = Done | Timeout | Error of string
+
+type cell = {
+  id : string;
+  description : string;
+  output : string;
+  status : status;
+  elapsed_seconds : float;
+  resumed : bool;
+}
+
+(* Journal payloads carry the completion status in a prefix so a resumed
+   Timeout cell keeps its annotation. *)
+let encode ~exhausted output =
+  (if exhausted then "timeout:" else "ok:") ^ output
+
+let decode payload =
+  match String.index_opt payload ':' with
+  | Some i when String.sub payload 0 i = "ok" ->
+      Some (Done, String.sub payload (i + 1) (String.length payload - i - 1))
+  | Some i when String.sub payload 0 i = "timeout" ->
+      Some (Timeout, String.sub payload (i + 1) (String.length payload - i - 1))
+  | Some _ | None -> None
+
+let run ?jobs ?timeout_seconds ?budget_steps ?journal_path
+    ?(fault = Fault.disabled) experiments =
+  let jobs =
+    match jobs with Some j -> j | None -> Vp_parallel.Pool.default_jobs ()
+  in
+  let recorded =
+    match journal_path with
+    | None -> Hashtbl.create 0
+    | Some path ->
+        let tbl = Hashtbl.create 64 in
+        List.iter
+          (fun (key, payload) ->
+            match decode payload with
+            | Some entry -> Hashtbl.replace tbl key entry (* last wins *)
+            | None -> ())
+          (Journal.load path);
+        tbl
+  in
+  let journal = Option.map Journal.open_ journal_path in
+  let fresh =
+    List.filter
+      (fun (e : Registry.experiment) -> not (Hashtbl.mem recorded e.id))
+      experiments
+  in
+  let task (e : Registry.experiment) =
+    ( e.id,
+      fun () ->
+        (* A fresh budget per cell: one slow cell exhausting its budget
+           must not eat into its siblings'. Without bounds the cell runs
+           on the shared unlimited budget, i.e. exactly as before. *)
+        let budget =
+          match (timeout_seconds, budget_steps) with
+          | None, None -> Budget.unlimited
+          | deadline_seconds, max_steps ->
+              Budget.create ?deadline_seconds ?max_steps ()
+        in
+        let t0 = Unix.gettimeofday () in
+        Budget.with_current budget (fun () ->
+            let output = e.run () in
+            let exhausted = Budget.exhausted budget in
+            (* Checkpoint from inside the task: a sweep killed mid-flight
+               keeps every cell that finished before the crash. Errors are
+               never journaled — a resume retries them. *)
+            (match journal with
+            | Some j ->
+                Journal.record j ~key:e.id ~payload:(encode ~exhausted output)
+            | None -> ());
+            (output, exhausted, Unix.gettimeofday () -. t0)) )
+  in
+  let outcomes =
+    (* The ambient plan is installed around the batch submission so the
+       pool captures it: it then reaches the pool:<id> task sites and,
+       inside the workers, every cost-oracle call. *)
+    Fault.with_current fault (fun () ->
+        Vp_parallel.Pool.with_pool ~jobs (fun pool ->
+            Vp_parallel.Pool.run_results pool (List.map task fresh)))
+  in
+  (match journal with Some j -> Journal.close j | None -> ());
+  let results = Hashtbl.create 64 in
+  List.iter2
+    (fun (e : Registry.experiment) outcome -> Hashtbl.replace results e.id outcome)
+    fresh outcomes;
+  List.map
+    (fun (e : Registry.experiment) ->
+      match Hashtbl.find_opt recorded e.id with
+      | Some (status, output) ->
+          {
+            id = e.id;
+            description = e.description;
+            output;
+            status;
+            elapsed_seconds = 0.0;
+            resumed = true;
+          }
+      | None -> (
+          match Hashtbl.find results e.id with
+          | Ok (output, exhausted, elapsed_seconds) ->
+              {
+                id = e.id;
+                description = e.description;
+                output;
+                status = (if exhausted then Timeout else Done);
+                elapsed_seconds;
+                resumed = false;
+              }
+          | Error { exn = Budget.Exhausted; _ } ->
+              (* Exhaustion escaped the cell: every best-so-far handler was
+                 already past, so there is no partial output — but it is
+                 still a timeout, not a failure. *)
+              {
+                id = e.id;
+                description = e.description;
+                output = "";
+                status = Timeout;
+                elapsed_seconds = 0.0;
+                resumed = false;
+              }
+          | Error { exn; _ } ->
+              {
+                id = e.id;
+                description = e.description;
+                output = "";
+                status = Error (Printexc.to_string exn);
+                elapsed_seconds = 0.0;
+                resumed = false;
+              }))
+    experiments
+
+let report cells =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun c ->
+      let annotation =
+        match c.status with
+        | Done -> ""
+        | Timeout -> " [TIMEOUT]"
+        | Error _ -> " [ERROR]"
+      in
+      Buffer.add_string buf (Common.heading (c.id ^ annotation));
+      (match c.status with
+      | Error message -> Buffer.add_string buf ("error: " ^ message)
+      | Done | Timeout -> Buffer.add_string buf c.output);
+      Buffer.add_char buf '\n')
+    cells;
+  Buffer.contents buf
+
+let errors cells =
+  List.filter (fun c -> match c.status with Error _ -> true | _ -> false) cells

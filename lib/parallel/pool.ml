@@ -5,14 +5,18 @@
    writes into its own slot of a results array, so whatever interleaving the
    domains produce, the caller reads results back in submission order. *)
 
-type task = unit -> unit
-(* A unit closure that stores its own result; see [run]. *)
+type error = { label : string; exn : exn; backtrace : string }
+
+(* Wrapped tasks store their own result (and capture their own exceptions);
+   Raw tasks run unprotected in workers — the test hook for simulating a
+   worker domain dying. *)
+type entry = Task of (unit -> unit) | Raw of (unit -> unit)
 
 type t = {
   jobs : int;
   mutex : Mutex.t;
   nonempty : Condition.t;  (* signalled on enqueue and on shutdown *)
-  queue : task Queue.t;
+  queue : entry Queue.t;
   mutable shutting_down : bool;
   mutable workers : unit Domain.t list;
 }
@@ -35,7 +39,14 @@ let rec worker_loop t =
   | None ->
       (* Shutting down with an empty queue. *)
       Mutex.unlock t.mutex
-  | Some task ->
+  | Some (Task task) ->
+      Mutex.unlock t.mutex;
+      (* Wrapped tasks capture their own exceptions; the backstop keeps a
+         stray raise from silently killing the worker and starving the
+         pool. *)
+      (try task () with _ -> ());
+      worker_loop t
+  | Some (Raw task) ->
       Mutex.unlock t.mutex;
       task ();
       worker_loop t
@@ -76,50 +87,101 @@ let shutdown t =
   Mutex.unlock t.mutex;
   let workers = t.workers in
   t.workers <- [];
-  List.iter Domain.join workers
+  (* Join every worker before re-raising anything: a domain that died must
+     not leave its siblings running (and unjoinable) behind it. *)
+  let first_exn = ref None in
+  List.iter
+    (fun d ->
+      match Domain.join d with
+      | () -> ()
+      | exception e -> (
+          match !first_exn with
+          | None -> first_exn := Some (e, Printexc.get_raw_backtrace ())
+          | Some _ -> ()))
+    workers;
+  match !first_exn with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
 
+(* Not [Fun.protect]: a worker that died re-raises from [shutdown], and
+   that exception should arrive bare, not wrapped in [Finally_raised].
+   The body's own exception still wins over shutdown's. *)
 let with_pool ~jobs f =
   let t = create ~jobs in
-  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+  match f t with
+  | v ->
+      shutdown t;
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      (try shutdown t with _ -> ());
+      Printexc.raise_with_backtrace e bt
+
+let inject_raw t task =
+  Mutex.lock t.mutex;
+  Queue.add (Raw task) t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
 
 (* The caller drains the queue alongside the workers, then waits for the
-   stragglers the workers still hold. *)
+   stragglers the workers still hold. Raw tasks are contained here — only
+   worker domains may be killed by the test hook, never the caller. *)
 let rec help_drain t =
   Mutex.lock t.mutex;
   match Queue.take_opt t.queue with
   | None -> Mutex.unlock t.mutex
-  | Some task ->
+  | Some (Task task) ->
       Mutex.unlock t.mutex;
-      task ();
+      (try task () with _ -> ());
+      help_drain t
+  | Some (Raw task) ->
+      Mutex.unlock t.mutex;
+      (try task () with _ -> ());
       help_drain t
 
-let run t thunks =
-  let thunks = Array.of_list thunks in
-  let n = Array.length thunks in
-  if n = 0 then []
+(* Shared batch executor. Each labelled thunk runs under the submitter's
+   ambient budget and fault plan — a deadline set before fan-out follows
+   the work into the worker domains — and fills its own slot with either
+   its value or the exception that stopped it. *)
+let run_raw t labelled =
+  let n = Array.length labelled in
+  let results = Array.make n None in
+  let budget = Vp_robust.Budget.current () in
+  let fault = Vp_robust.Fault.current () in
+  let exec i (label, f) =
+    let body () =
+      Vp_robust.Budget.with_current budget (fun () ->
+          Vp_robust.Fault.with_current fault (fun () ->
+              if label <> "" && Vp_robust.Fault.enabled fault then
+                Vp_robust.Fault.apply fault ~site:("pool:" ^ label) ~index:i;
+              f ()))
+    in
+    results.(i) <-
+      Some
+        (match body () with
+        | v -> Ok v
+        | exception e -> Error (label, e, Printexc.get_raw_backtrace ()))
+  in
+  if n = 0 then [||]
   else begin
-    let results = Array.make n None in
     if t.jobs = 1 then
-      (* Strictly sequential in the calling domain: no queue, no domains,
-         exceptions propagate immediately. *)
-      Array.iteri (fun i f -> results.(i) <- Some (Ok (f ()))) thunks
+      (* Strictly sequential in the calling domain: no queue, no domains.
+         Every task still runs (and captures its own failure), so
+         [run_results] behaves identically at any job count. *)
+      Array.iteri exec labelled
     else begin
       let batch_mutex = Mutex.create () in
       let batch_done = Condition.create () in
       let pending = ref n in
-      let wrap i f () =
-        let r =
-          try Ok (f ())
-          with e -> Error (e, Printexc.get_raw_backtrace ())
-        in
-        results.(i) <- Some r;
+      let wrap i lf () =
+        exec i lf;
         Mutex.lock batch_mutex;
         decr pending;
         if !pending = 0 then Condition.signal batch_done;
         Mutex.unlock batch_mutex
       in
       Mutex.lock t.mutex;
-      Array.iteri (fun i f -> Queue.add (wrap i f) t.queue) thunks;
+      Array.iteri (fun i lf -> Queue.add (Task (wrap i lf)) t.queue) labelled;
       Condition.broadcast t.nonempty;
       Mutex.unlock t.mutex;
       help_drain t;
@@ -129,13 +191,24 @@ let run t thunks =
       done;
       Mutex.unlock batch_mutex
     end;
-    (* Re-raise the earliest failure in submission order, if any. *)
-    Array.to_list results
-    |> List.map (function
-         | Some (Ok v) -> v
-         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-         | None -> assert false)
+    Array.map (function Some r -> r | None -> assert false) results
   end
+
+let run t thunks =
+  let labelled = Array.of_list (List.map (fun f -> ("", f)) thunks) in
+  (* Re-raise the earliest failure in submission order, if any. *)
+  run_raw t labelled |> Array.to_list
+  |> List.map (function
+       | Ok v -> v
+       | Error (_, e, bt) -> Printexc.raise_with_backtrace e bt)
+
+let run_results t tasks =
+  run_raw t (Array.of_list tasks)
+  |> Array.to_list
+  |> List.map (function
+       | Ok v -> Ok v
+       | Error (label, exn, bt) ->
+           Error { label; exn; backtrace = Printexc.raw_backtrace_to_string bt })
 
 let map t f xs = run t (List.map (fun x () -> f x) xs)
 

@@ -9,12 +9,25 @@
     observationally identical to a plain [List.map].
 
     Tasks must not themselves call {!run} or {!map} on the same pool
-    (the pool is not re-entrant), and exceptions raised by a task are
-    re-raised in the caller — the one raised by the earliest task in
-    submission order wins. *)
+    (the pool is not re-entrant). Every task in a batch runs to completion
+    (or failure) regardless of other tasks' failures; {!run} then
+    re-raises the exception of the earliest failed task in submission
+    order, while {!run_results} hands every outcome back to the caller.
+
+    Tasks run under the {e submitter's} ambient {!Vp_robust.Budget} and
+    {!Vp_robust.Fault} plan: both are captured when the batch is submitted
+    and re-installed inside whichever domain executes each task, so a
+    deadline set before fan-out follows the work. *)
 
 type t
 (** A pool of worker domains. *)
+
+type error = {
+  label : string;  (** The task's label ([""] for {!run}/{!map} tasks). *)
+  exn : exn;
+  backtrace : string;
+}
+(** Why a task failed, as captured in its executing domain. *)
 
 val default_jobs : unit -> int
 (** Number of jobs used when none is given: the [VP_JOBS] environment
@@ -43,18 +56,38 @@ val domain_count : t -> int
     ~jobs:(jobs t)]). *)
 
 val run : t -> (unit -> 'a) list -> 'a list
-(** Executes every thunk and returns their results in submission order. *)
+(** Executes every thunk and returns their results in submission order.
+    If any task failed, re-raises the earliest failure (after the whole
+    batch has finished). *)
+
+val run_results : t -> (string * (unit -> 'a)) list -> ('a, error) result list
+(** Like {!run} over labelled tasks, but total: one [result] per task, in
+    submission order, [Error] carrying the label, exception and backtrace
+    of the failed task instead of re-raising. One task failing never
+    prevents another from running — this is the fault boundary the
+    experiment sweep builds on. Each labelled task is also a
+    fault-injection site ([site:"pool:<label>"], index = submission
+    position) under the submitter's ambient {!Vp_robust.Fault} plan. *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map pool f xs] is [run pool (List.map (fun x () -> f x) xs)]. *)
 
 val shutdown : t -> unit
 (** Joins all worker domains. The pool must not be used afterwards.
-    Idempotent. *)
+    Idempotent. Every worker is joined even if some worker domain died
+    with an exception; the first such exception is re-raised only after
+    all joins complete, so no domain is ever leaked. *)
 
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** Creates a pool, runs the function, and shuts the pool down even on
     exceptions. *)
+
+val inject_raw : t -> (unit -> unit) -> unit
+(** Test hook: enqueue a closure that runs {e unprotected} in a worker
+    domain, so an exception it raises kills that worker — used by the
+    suite to prove {!shutdown}/{!with_pool} survive dying domains. The
+    helping caller runs raw tasks protected; only workers can die. Not
+    for production use. *)
 
 val run_list : ?jobs:int -> (unit -> 'a) list -> 'a list
 (** One-shot convenience: [with_pool] + {!run}. [jobs] defaults to

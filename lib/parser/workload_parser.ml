@@ -1,13 +1,23 @@
 open Vp_core
 
-type error = { line : int; message : string }
+type error = { line : int; token : string option; message : string }
 
-let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+let pp_error ppf e =
+  match e.token with
+  | None -> Format.fprintf ppf "line %d: %s" e.line e.message
+  | Some tok -> Format.fprintf ppf "line %d: %s (at %S)" e.line e.message tok
 
 exception Parse_error of error
 
 let fail line fmt =
-  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+  Format.kasprintf
+    (fun message -> raise (Parse_error { line; token = None; message }))
+    fmt
+
+let fail_at line token fmt =
+  Format.kasprintf
+    (fun message -> raise (Parse_error { line; token = Some token; message }))
+    fmt
 
 (* --- tokenizer --- *)
 
@@ -22,6 +32,17 @@ type token =
   | Operator of string  (** =, <, >, <=, >=, <>, +, -, /, string literals *)
 
 type lexed = { token : token; line : int }
+
+(* The offending token's source text, for error messages. *)
+let token_text = function
+  | Ident s -> s
+  | Number s -> s
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Semicolon -> ";"
+  | Star -> "*"
+  | Operator s -> s
 
 let is_ident_char c =
   (c >= 'a' && c <= 'z')
@@ -104,20 +125,25 @@ let tokenize input =
 
 type state = { mutable rest : lexed list; mutable tables : (string * Table.t) list;
                mutable queries : (string * Query.t) list;  (* table, query *)
-               mutable counter : int }
+               mutable counter : int;
+               mutable last_line : int  (* line of the last consumed token *) }
 
 let peek st = match st.rest with [] -> None | t :: _ -> Some t
 
 let next st =
   match st.rest with
-  | [] -> fail 0 "unexpected end of input"
+  | [] -> fail st.last_line "unexpected end of input"
   | t :: rest ->
       st.rest <- rest;
+      st.last_line <- t.line;
       t
 
 let expect st pred description =
   let t = next st in
-  if pred t.token then t else fail t.line "expected %s" description
+  if pred t.token then t
+  else
+    fail_at t.line (token_text t.token) "expected %s, got %S" description
+      (token_text t.token)
 
 let expect_kw st kw =
   ignore
@@ -134,7 +160,8 @@ let ident st =
   match t.token with
   | Ident s -> (s, t.line)
   | Number _ | Lparen | Rparen | Comma | Semicolon | Star | Operator _ ->
-      fail t.line "expected an identifier"
+      fail_at t.line (token_text t.token) "expected an identifier, got %S"
+        (token_text t.token)
 
 let integer st =
   let t = next st in
@@ -142,9 +169,10 @@ let integer st =
   | Number s -> (
       match int_of_string_opt (String.concat "" (String.split_on_char '_' s)) with
       | Some v -> (v, t.line)
-      | None -> fail t.line "expected an integer, got %S" s)
+      | None -> fail_at t.line s "expected an integer, got %S" s)
   | Ident _ | Lparen | Rparen | Comma | Semicolon | Star | Operator _ ->
-      fail t.line "expected an integer"
+      fail_at t.line (token_text t.token) "expected an integer, got %S"
+        (token_text t.token)
 
 let datatype st line name =
   match String.uppercase_ascii name with
@@ -160,7 +188,7 @@ let datatype st line name =
           if String.uppercase_ascii name = "CHAR" then Attribute.Char width
           else Attribute.Varchar width
       | _ -> fail line "%s requires a width, e.g. %s(25)" name name)
-  | other -> fail line "unknown type %S" other
+  | other -> fail_at line name "unknown type %S" other
 
 let parse_create st =
   expect_kw st "TABLE";
@@ -168,14 +196,21 @@ let parse_create st =
   ignore (expect st (fun t -> t = Lparen) "(");
   let columns = ref [] in
   let rec columns_loop () =
-    let col_name, _ = ident st in
+    let col_name, col_line = ident st in
     let ty_name, ty_line = ident st in
     let ty = datatype st ty_line ty_name in
-    columns := Attribute.make col_name ty :: !columns;
+    (* [Attribute.make] rejects zero/negative widths (e.g. CHAR(0)) and
+       empty names; report those at the column, not as a crash. *)
+    (match Attribute.make col_name ty with
+    | attribute -> columns := attribute :: !columns
+    | exception Invalid_argument m ->
+        fail_at col_line col_name "invalid column %S: %s" col_name m);
     match next st with
     | { token = Comma; _ } -> columns_loop ()
     | { token = Rparen; _ } -> ()
-    | { line; _ } -> fail line "expected ',' or ')' in column list"
+    | { token; line } ->
+        fail_at line (token_text token)
+          "expected ',' or ')' in column list, got %S" (token_text token)
   in
   columns_loop ();
   let row_count =
@@ -187,12 +222,14 @@ let parse_create st =
   in
   (match next st with
   | { token = Semicolon; _ } -> ()
-  | { line; _ } -> fail line "expected ';' after CREATE TABLE");
+  | { token; line } ->
+      fail_at line (token_text token) "expected ';' after CREATE TABLE, got %S"
+        (token_text token));
   if List.mem_assoc table_name st.tables then
-    fail name_line "table %S already defined" table_name;
+    fail_at name_line table_name "table %S already defined" table_name;
   let table =
     try Table.make ~name:table_name ~attributes:(List.rev !columns) ~row_count
-    with Invalid_argument m -> fail name_line "%s" m
+    with Invalid_argument m -> fail_at name_line table_name "%s" m
   in
   st.tables <- st.tables @ [ (table_name, table) ]
 
@@ -207,7 +244,10 @@ let parse_select st =
     (match next st with
     | { token = Star; _ } -> star := true
     | { token = Ident s; _ } -> select_items := s :: !select_items
-    | { line; _ } -> fail line "expected a column name or * in SELECT list");
+    | { token; line } ->
+        fail_at line (token_text token)
+          "expected a column name or * in SELECT list, got %S"
+          (token_text token));
     match peek st with
     | Some { token = Comma; _ } ->
         ignore (next st);
@@ -220,7 +260,7 @@ let parse_select st =
   let table =
     match List.assoc_opt table_name st.tables with
     | Some t -> t
-    | None -> fail from_line "unknown table %S" table_name
+    | None -> fail_at from_line table_name "unknown table %S" table_name
   in
   (* Scan the statement tail: every identifier naming a column adds a
      reference; WEIGHT <num> sets the frequency. *)
@@ -236,8 +276,10 @@ let parse_select st =
             | Some w when w > 0.0 ->
                 weight := w;
                 tail ()
-            | Some _ | None -> fail line "invalid WEIGHT %S" v)
-        | { line; _ } -> fail line "WEIGHT requires a number")
+            | Some _ | None -> fail_at line v "invalid WEIGHT %S" v)
+        | { token; line } ->
+            fail_at line (token_text token) "WEIGHT requires a number, got %S"
+              (token_text token))
     | { token = Ident s; _ } ->
         (match Table.position table s with
         | _ -> extra := s :: !extra
@@ -259,7 +301,8 @@ let parse_select st =
               | exception Not_found -> true)
             named
         in
-        fail start_line "unknown column %S in table %S" missing table_name
+        fail_at start_line missing "unknown column %S in table %S" missing
+          table_name
   in
   if Attr_set.is_empty references then
     fail start_line "query references no column of %S" table_name;
@@ -273,7 +316,10 @@ let parse_select st =
 
 let parse input =
   match
-    let st = { rest = tokenize input; tables = []; queries = []; counter = 0 } in
+    let st =
+      { rest = tokenize input; tables = []; queries = []; counter = 0;
+        last_line = 1 }
+    in
     let rec statements () =
       match peek st with
       | None -> ()
@@ -291,16 +337,24 @@ let parse input =
                  parse_select expects the select list next. *)
               parse_select st;
               statements ()
-          | other -> fail line "expected CREATE or SELECT, got %S" other)
-      | Some { line; _ } -> fail line "expected a statement"
+          | other -> fail_at line s "expected CREATE or SELECT, got %S" other)
+      | Some { token; line } ->
+          fail_at line (token_text token) "expected a statement, got %S"
+            (token_text token)
     in
     statements ();
     List.map
       (fun (name, table) ->
-        Workload.make table
-          (List.filter_map
-             (fun (t, q) -> if t = name then Some q else None)
-             st.queries))
+        try
+          Workload.make table
+            (List.filter_map
+               (fun (t, q) -> if t = name then Some q else None)
+               st.queries)
+        with Invalid_argument m ->
+          (* Belt-and-braces: the per-statement checks should reject any
+             script [Workload.make] would, but a crash here must still
+             surface as a parse error, not an exception. *)
+          fail_at 0 name "invalid workload for table %S: %s" name m)
       st.tables
   with
   | workloads -> Ok workloads
@@ -309,4 +363,4 @@ let parse input =
 let parse_file path =
   match In_channel.with_open_text path In_channel.input_all with
   | contents -> parse contents
-  | exception Sys_error m -> Error { line = 0; message = m }
+  | exception Sys_error m -> Error { line = 0; token = None; message = m }

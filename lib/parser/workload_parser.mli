@@ -24,7 +24,11 @@ open Vp_core
     case-sensitive for columns, case-insensitive for keywords; [--] starts
     a line comment. *)
 
-type error = { line : int; message : string }
+type error = {
+  line : int;  (** 1-based; 0 for file-level (I/O) errors. *)
+  token : string option;  (** Source text of the offending token, if any. *)
+  message : string;
+}
 
 val parse : string -> (Workload.t list, error) result
 (** Parses a whole script: any number of CREATE TABLE and SELECT

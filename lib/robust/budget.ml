@@ -1,0 +1,80 @@
+exception Exhausted
+
+type t = {
+  limited : bool;
+  deadline : float;  (* absolute gettimeofday time; infinity when none *)
+  max_steps : int;
+  created : float;
+  steps : int Atomic.t;
+  spent : bool Atomic.t;
+}
+
+(* The shared no-op budget. It must never be mutated: [try_tick] and
+   [exhaust] both short-circuit on [limited = false]. *)
+let unlimited =
+  {
+    limited = false;
+    deadline = infinity;
+    max_steps = max_int;
+    created = 0.0;
+    steps = Atomic.make 0;
+    spent = Atomic.make false;
+  }
+
+let create ?deadline_seconds ?max_steps () =
+  (match deadline_seconds with
+  | Some d when d <= 0.0 ->
+      invalid_arg "Budget.create: non-positive deadline"
+  | Some _ | None -> ());
+  (match max_steps with
+  | Some n when n < 0 -> invalid_arg "Budget.create: negative max_steps"
+  | Some _ | None -> ());
+  let now = Unix.gettimeofday () in
+  {
+    limited = true;
+    deadline =
+      (match deadline_seconds with Some d -> now +. d | None -> infinity);
+    max_steps = (match max_steps with Some n -> n | None -> max_int);
+    created = now;
+    steps = Atomic.make 0;
+    spent = Atomic.make false;
+  }
+
+let is_limited t = t.limited
+
+let exhausted t = Atomic.get t.spent
+
+let exhaust t = if t.limited then Atomic.set t.spent true
+
+let steps t = Atomic.get t.steps
+
+let elapsed_seconds t =
+  if t.limited then Unix.gettimeofday () -. t.created else 0.0
+
+let try_tick t =
+  if not t.limited then true
+  else if Atomic.get t.spent then false
+  else begin
+    let s = 1 + Atomic.fetch_and_add t.steps 1 in
+    if
+      s > t.max_steps
+      || (t.deadline < infinity && Unix.gettimeofday () > t.deadline)
+    then begin
+      Atomic.set t.spent true;
+      false
+    end
+    else true
+  end
+
+let tick t = if not (try_tick t) then raise Exhausted
+
+(* --- ambient budget --- *)
+
+let key = Domain.DLS.new_key (fun () -> unlimited)
+
+let current () = Domain.DLS.get key
+
+let with_current t f =
+  let previous = Domain.DLS.get key in
+  Domain.DLS.set key t;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key previous) f

@@ -1,0 +1,79 @@
+(** Cooperative execution budgets: a wall-clock deadline and/or a step
+    count that long-running searches poll as they work.
+
+    The contract is {e graceful degradation}: a search that runs out of
+    budget does not crash or return garbage — it stops at the next tick
+    and returns the best result found so far, and its caller tags the
+    result as timed out (see [Partitioner.status]). Budgets are
+    cooperative; code that never ticks is never interrupted.
+
+    Exhaustion is {e sticky}: once a budget is exhausted every further
+    {!tick} raises (and {!try_tick} returns [false]) immediately, so a
+    pipeline sharing one budget across stages drains quickly instead of
+    starting expensive new work.
+
+    Monotonicity: searches instrumented with budgets in this codebase keep
+    a best-so-far incumbent whose cost only ever decreases along the
+    (deterministic) evaluation order, so a larger budget can never return
+    a worse layout than a smaller one — see DESIGN.md "Degradation
+    contract" and the randomized checks in [test_invariants.ml].
+
+    A budget travels with the work: {!with_current} installs one as the
+    calling domain's ambient budget, and [Vp_parallel.Pool] re-installs
+    the submitter's ambient budget inside worker domains, so fan-out does
+    not lose the deadline. *)
+
+type t
+
+exception Exhausted
+(** Raised by {!tick} when the budget is exhausted. Search loops catch it
+    at the granularity where a valid best-so-far answer exists. *)
+
+val unlimited : t
+(** The no-op budget: never exhausts, counts nothing. This is the ambient
+    default, so un-budgeted runs pay (almost) nothing. *)
+
+val create : ?deadline_seconds:float -> ?max_steps:int -> unit -> t
+(** A fresh budget. [deadline_seconds] is relative to now; [max_steps]
+    bounds the number of {!tick}s. With neither, the budget never
+    exhausts on its own but can still be {!exhaust}ed externally (fault
+    injection, cooperative cancellation).
+    @raise Invalid_argument on a non-positive deadline or negative step
+    count. *)
+
+val is_limited : t -> bool
+(** [false] only for {!unlimited}. *)
+
+val try_tick : t -> bool
+(** Counts one step. Returns [false] (and marks the budget exhausted) when
+    the step or time budget is spent — never raises. [true] on
+    {!unlimited} without counting. *)
+
+val tick : t -> unit
+(** [tick t] is [if not (try_tick t) then raise Exhausted]. *)
+
+val exhaust : t -> unit
+(** Force exhaustion (sticky). No-op on {!unlimited}. *)
+
+val exhausted : t -> bool
+(** Passive check; does not count a step. *)
+
+val steps : t -> int
+(** Ticks consumed so far (0 for {!unlimited}). *)
+
+val elapsed_seconds : t -> float
+(** Wall-clock time since {!create} (0 for {!unlimited}). *)
+
+(** {2 Ambient budget}
+
+    The per-domain current budget, used to bound whole call trees (an
+    experiment cell, a CLI invocation) without threading a parameter
+    through every layer. *)
+
+val current : unit -> t
+(** This domain's ambient budget; {!unlimited} unless {!with_current} is
+    active. *)
+
+val with_current : t -> (unit -> 'a) -> 'a
+(** Runs the function with [t] installed as the ambient budget, restoring
+    the previous one afterwards (also on exceptions). *)

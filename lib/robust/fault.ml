@@ -1,0 +1,85 @@
+exception Injected of string
+
+type action = Pass | Raise_exn | Delay of float | Exhaust_budget
+
+type t = {
+  seed : int64;
+  exn_rate : float;
+  delay_rate : float;
+  exhaust_rate : float;
+  delay_seconds : float;
+}
+
+let disabled =
+  { seed = 0L; exn_rate = 0.0; delay_rate = 0.0; exhaust_rate = 0.0;
+    delay_seconds = 0.0 }
+
+let enabled t =
+  t.exn_rate > 0.0 || t.delay_rate > 0.0 || t.exhaust_rate > 0.0
+
+let create ?(exn_rate = 0.0) ?(delay_rate = 0.0) ?(exhaust_rate = 0.0)
+    ?(delay_seconds = 0.001) ~seed () =
+  let check name r =
+    if r < 0.0 || r > 1.0 then
+      invalid_arg (Printf.sprintf "Fault.create: %s outside [0, 1]" name)
+  in
+  check "exn_rate" exn_rate;
+  check "delay_rate" delay_rate;
+  check "exhaust_rate" exhaust_rate;
+  if exn_rate +. delay_rate +. exhaust_rate > 1.0 then
+    invalid_arg "Fault.create: rates sum to more than 1";
+  if delay_seconds < 0.0 then
+    invalid_arg "Fault.create: negative delay_seconds";
+  { seed = Int64.of_int seed; exn_rate; delay_rate; exhaust_rate;
+    delay_seconds }
+
+let decide t ~site ~index =
+  if not (enabled t) then Pass
+  else begin
+    let u = Mix.u01 ~seed:t.seed ~site ~index in
+    if u < t.exn_rate then Raise_exn
+    else if u < t.exn_rate +. t.delay_rate then Delay t.delay_seconds
+    else if u < t.exn_rate +. t.delay_rate +. t.exhaust_rate then
+      Exhaust_budget
+    else Pass
+  end
+
+let apply t ~site ~index =
+  match decide t ~site ~index with
+  | Pass -> ()
+  | Raise_exn -> raise (Injected (Printf.sprintf "%s#%d" site index))
+  | Delay s -> Unix.sleepf s
+  | Exhaust_budget -> Budget.exhaust (Budget.current ())
+
+let rate_env name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some r when r >= 0.0 && r <= 1.0 -> r
+      | Some _ | None -> default)
+
+let from_env () =
+  match Sys.getenv_opt "VP_FAULT_SEED" with
+  | None -> disabled
+  | Some s ->
+      let seed =
+        match int_of_string_opt (String.trim s) with Some n -> n | None -> 1
+      in
+      create ~seed
+        ~exn_rate:(rate_env "VP_FAULT_EXN_RATE" 0.05)
+        ~delay_rate:(rate_env "VP_FAULT_DELAY_RATE" 0.05)
+        ~exhaust_rate:(rate_env "VP_FAULT_EXHAUST_RATE" 0.05)
+        ~delay_seconds:(rate_env "VP_FAULT_DELAY_SECONDS" 0.001)
+        ()
+
+(* --- ambient plan --- *)
+
+let key = Domain.DLS.new_key (fun () -> disabled)
+
+let current () = Domain.DLS.get key
+
+let with_current t f =
+  let previous = Domain.DLS.get key in
+  Domain.DLS.set key t;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key previous) f

@@ -1,0 +1,42 @@
+type t = { oc : out_channel; lock : Mutex.t }
+
+let open_ path =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+  in
+  { oc = Unix.out_channel_of_descr fd; lock = Mutex.create () }
+
+let record t ~key ~payload =
+  Mutex.protect t.lock (fun () ->
+      output_string t.oc key;
+      output_char t.oc '\t';
+      output_string t.oc (String.escaped payload);
+      output_char t.oc '\n';
+      flush t.oc)
+
+let close t = Mutex.protect t.lock (fun () -> close_out t.oc)
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | line -> (
+              match String.index_opt line '\t' with
+              | None -> go acc (* malformed: skip *)
+              | Some i -> (
+                  let key = String.sub line 0 i in
+                  let enc =
+                    String.sub line (i + 1) (String.length line - i - 1)
+                  in
+                  match Scanf.unescaped enc with
+                  | payload -> go ((key, payload) :: acc)
+                  | exception _ -> go acc (* truncated escape: skip *)))
+        in
+        go [])
+  end

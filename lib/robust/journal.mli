@@ -1,0 +1,25 @@
+(** Line-delimited checkpoint journal for resumable sweeps.
+
+    Each completed unit of work appends one record — [key TAB payload],
+    with the payload [String.escaped] so it stays on one line — and the
+    channel is flushed per record, so a crash loses at most the record
+    being written. {!load} is tolerant: malformed or truncated lines
+    (e.g. from a crash mid-write) are skipped, not fatal, so a resume can
+    always make progress. *)
+
+type t
+
+val open_ : string -> t
+(** Open (creating if needed) a journal for appending. *)
+
+val record : t -> key:string -> payload:string -> unit
+(** Append one record and flush. Thread-safe. Keys must not contain tabs
+    or newlines (callers use experiment ids, which don't); the payload may
+    contain anything. *)
+
+val close : t -> unit
+
+val load : string -> (string * string) list
+(** All well-formed records, in file order. [] if the file does not
+    exist. Later records with a duplicate key are kept (callers decide;
+    [Vp_experiments.Sweep] keeps the last). *)

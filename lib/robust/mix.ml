@@ -1,0 +1,16 @@
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let golden = 0x9e3779b97f4a7c15L
+
+let u01 ~seed ~site ~index =
+  let h = Int64.add seed (Int64.mul (Int64.of_int (Hashtbl.hash site)) golden) in
+  let h = mix64 (Int64.add h (Int64.mul (Int64.of_int index) golden)) in
+  (* Top 53 bits scaled into [0, 1). *)
+  Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0

@@ -1,0 +1,12 @@
+(** SplitMix64-style hashing shared by the deterministic fault and retry
+    machinery. Pure functions of their inputs: no hidden state, so draws
+    are reproducible across runs, machines and domains, and independent of
+    evaluation order. *)
+
+val mix64 : int64 -> int64
+(** One SplitMix64 finalization round (Steele et al., "Fast splittable
+    pseudorandom number generators"). *)
+
+val u01 : seed:int64 -> site:string -> index:int -> float
+(** A uniform draw in [0, 1) determined entirely by [(seed, site, index)].
+    [site] is hashed with the (deterministic) polymorphic hash. *)

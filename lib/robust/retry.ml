@@ -1,0 +1,13 @@
+let with_backoff ?(attempts = 3) ?(base_delay = 0.05) ?(max_delay = 2.0)
+    ?(sleep = Unix.sleepf) ?(retry_on = fun _ -> true) ~seed f =
+  if attempts < 1 then invalid_arg "Retry.with_backoff: attempts < 1";
+  let rec go k =
+    match f k with
+    | v -> v
+    | exception e when k < attempts - 1 && retry_on e ->
+        let cap = min max_delay (base_delay *. (2.0 ** float_of_int k)) in
+        let u = Mix.u01 ~seed:(Int64.of_int seed) ~site:"retry" ~index:k in
+        sleep (cap *. (0.5 +. (0.5 *. u)));
+        go (k + 1)
+  in
+  go 0

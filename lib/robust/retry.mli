@@ -1,0 +1,26 @@
+(** Bounded retry with deterministic exponential backoff.
+
+    The jitter is derived from {!Mix.u01} rather than a global PRNG, so a
+    given [(seed, attempt)] pair always sleeps the same amount — retry
+    schedules are reproducible and testable (pass a fake [sleep] to
+    capture them). *)
+
+val with_backoff :
+  ?attempts:int ->
+  ?base_delay:float ->
+  ?max_delay:float ->
+  ?sleep:(float -> unit) ->
+  ?retry_on:(exn -> bool) ->
+  seed:int ->
+  (int -> 'a) ->
+  'a
+(** [with_backoff ~seed f] calls [f attempt] (0-based) up to [attempts]
+    times (default 3), sleeping between tries. The delay before retry [k]
+    is [min max_delay (base_delay * 2^k)] scaled by a deterministic jitter
+    factor in [0.5, 1.0). Defaults: [base_delay] 50ms, [max_delay] 2s,
+    [sleep] = [Unix.sleepf].
+
+    An exception for which [retry_on] returns [false] (default: retry on
+    everything) — or one raised by the final attempt — propagates to the
+    caller.
+    @raise Invalid_argument if [attempts < 1]. *)

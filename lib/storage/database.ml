@@ -187,9 +187,16 @@ let run_query db query =
   }
 
 let run_workload db workload =
+  (* Polls the ambient budget between queries (one tick per query), so a
+     deadlined experiment stops between simulations instead of running the
+     remaining queries to completion; the already-simulated prefix still
+     contributes to the total. *)
+  let budget = Vp_robust.Budget.current () in
   let results =
-    Array.to_list
-      (Array.map (fun q -> (q, run_query db q)) (Workload.queries workload))
+    Array.to_list (Workload.queries workload)
+    |> List.filter_map (fun q ->
+           if Vp_robust.Budget.try_tick budget then Some (q, run_query db q)
+           else None)
   in
   let total =
     List.fold_left

@@ -51,7 +51,10 @@ val run_query : t -> Query.t -> query_result
 val run_workload : t -> Workload.t -> query_result list * float
 (** All queries (each on a fresh device, like the paper's cold-cache runs);
     returns per-query results and the total simulated wall time
-    (I/O + CPU), query weights applied. *)
+    (I/O + CPU), query weights applied. Ticks the ambient
+    {!Vp_robust.Budget} once per query and silently drops the remaining
+    queries when it exhausts, so budgeted runs return a (partial) result
+    instead of raising. *)
 
 val join_ns_per_tuple : float
 (** CPU cost charged per reconstructed tuple per extra partition. *)

@@ -101,6 +101,61 @@ let test_cached_cost_equals_uncached () =
       lineup
   done
 
+(* The degradation contract (DESIGN.md): a budgeted run always returns a
+   valid partitioning, its status is consistent with the budget's state,
+   and growing the budget never yields a more expensive layout — each
+   search keeps a best-so-far incumbent along a deterministic evaluation
+   order, so more budget can only extend the candidate set it minimizes
+   over. *)
+let budget_ladder = [ 2; 8; 32; 128; 512 ]
+
+let test_budget_monotonicity () =
+  let root = Vp_datagen.Prng.create 0xB0D6E7L in
+  for i = 0 to 14 do
+    let w = random_workload root i in
+    let oracle = Vp_cost.Io_model.oracle disk w in
+    List.iter
+      (fun (a : Partitioner.t) ->
+        let costs =
+          List.map
+            (fun max_steps ->
+              let budget = Vp_robust.Budget.create ~max_steps () in
+              let ctx =
+                Printf.sprintf "%s on pair %d, %d steps" a.Partitioner.name i
+                  max_steps
+              in
+              let r = a.Partitioner.run ~budget w oracle in
+              check_valid_partitioning ~ctx w r.Partitioner.partitioning;
+              (match r.Partitioner.status with
+              | Partitioner.Complete ->
+                  Alcotest.(check bool)
+                    (ctx ^ ": complete iff budget not exhausted") false
+                    (Vp_robust.Budget.exhausted budget)
+              | Partitioner.Timed_out { steps; elapsed_seconds } ->
+                  Alcotest.(check bool)
+                    (ctx ^ ": timed out iff budget exhausted") true
+                    (Vp_robust.Budget.exhausted budget);
+                  Alcotest.(check bool) (ctx ^ ": steps within budget") true
+                    (steps >= 0 && steps <= max_steps + 1);
+                  Alcotest.(check bool) (ctx ^ ": elapsed non-negative") true
+                    (elapsed_seconds >= 0.0));
+              r.Partitioner.cost)
+            budget_ladder
+        in
+        let rec pairs = function
+          | c1 :: (c2 :: _ as rest) ->
+              Alcotest.(check bool)
+                (Printf.sprintf
+                   "%s on pair %d: larger budget never costlier (%g -> %g)"
+                   a.Partitioner.name i c1 c2)
+                true (c2 <= c1);
+              pairs rest
+          | [ _ ] | [] -> ()
+        in
+        pairs costs)
+      (Vp_algorithms.Registry.six @ [ Vp_experiments.Common.brute_force disk ])
+  done
+
 let test_algorithm_registry_errors () =
   Alcotest.(check bool) "find_opt unknown" true
     (Vp_algorithms.Registry.find_opt "nope" = None);
@@ -129,4 +184,5 @@ let suite =
       test_cached_cost_equals_uncached;
     Alcotest.test_case "algorithm registry errors" `Quick
       test_algorithm_registry_errors;
+    Alcotest.test_case "budget monotonicity" `Quick test_budget_monotonicity;
   ]

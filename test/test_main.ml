@@ -22,4 +22,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("determinism", Test_determinism.suite);
       ("invariants", Test_invariants.suite);
+      ("robust", Test_robust.suite);
     ]

@@ -81,6 +81,66 @@ let test_default_jobs_env () =
         (Domain.recommended_domain_count ())
         (Vp_parallel.Pool.default_jobs ()))
 
+let test_run_results () =
+  List.iter
+    (fun jobs ->
+      Vp_parallel.Pool.with_pool ~jobs (fun pool ->
+          let outcomes =
+            Vp_parallel.Pool.run_results pool
+              (List.init 8 (fun i ->
+                   ( Printf.sprintf "t%d" i,
+                     fun () ->
+                       if i mod 3 = 1 then failwith (Printf.sprintf "boom%d" i)
+                       else i * 7 )))
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "one result per task, jobs=%d" jobs)
+            8 (List.length outcomes);
+          List.iteri
+            (fun i outcome ->
+              match outcome with
+              | Ok v ->
+                  Alcotest.(check bool) "success slot" true (i mod 3 <> 1);
+                  Alcotest.(check int) "value in order" (i * 7) v
+              | Error (e : Vp_parallel.Pool.error) ->
+                  (* Failures carry their label and exception; the other
+                     tasks still ran. *)
+                  Alcotest.(check bool) "failure slot" true (i mod 3 = 1);
+                  Alcotest.(check string) "label" (Printf.sprintf "t%d" i)
+                    e.label;
+                  Alcotest.(check bool) "exception kept" true
+                    (e.exn = Failure (Printf.sprintf "boom%d" i)))
+            outcomes))
+    [ 1; 4 ]
+
+let test_with_pool_survives_worker_death () =
+  (* A worker domain dying mid-batch must neither hang the pool nor leak
+     the surviving domains: the batch completes (drained by the caller and
+     the remaining workers), and shutdown joins every domain before
+     re-raising the dead worker's exception. *)
+  match
+    Vp_parallel.Pool.with_pool ~jobs:4 (fun pool ->
+        if Vp_parallel.Pool.domain_count pool < 2 then `Single_core
+        else begin
+          Vp_parallel.Pool.inject_raw pool (fun () -> failwith "worker down");
+          (* Give a blocked worker time to pick the poisoned task up. *)
+          Unix.sleepf 0.05;
+          let got =
+            Vp_parallel.Pool.run pool
+              (List.init 16 (fun i () ->
+                   ignore (Sys.opaque_identity (i * i));
+                   i))
+          in
+          Alcotest.(check (list int))
+            "batch completes despite a dead worker" (List.init 16 Fun.id) got;
+          `Ran
+        end)
+  with
+  | `Single_core -> ()
+  | `Ran -> Alcotest.fail "expected shutdown to re-raise the worker's death"
+  | exception Failure m ->
+      Alcotest.(check string) "worker's exception surfaces" "worker down" m
+
 (* --- Once --- *)
 
 let test_once () =
@@ -244,6 +304,9 @@ let suite =
     Alcotest.test_case "pool exceptions" `Quick test_pool_exception;
     Alcotest.test_case "pool jobs accounting" `Quick test_pool_jobs_accounting;
     Alcotest.test_case "default jobs env" `Quick test_default_jobs_env;
+    Alcotest.test_case "run_results totality" `Quick test_run_results;
+    Alcotest.test_case "with_pool survives worker death" `Quick
+      test_with_pool_survives_worker_death;
     Alcotest.test_case "once" `Quick test_once;
     Alcotest.test_case "once exception retries" `Quick test_once_exception_retries;
     Alcotest.test_case "cache matches io model" `Quick test_cache_matches_io_model;

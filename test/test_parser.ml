@@ -118,6 +118,60 @@ let test_errors () =
   let e5 = parse_err "CREATE TABLE t (a INT);\nCREATE TABLE t (b INT);" in
   Alcotest.(check int) "duplicate table line" 2 e5.line
 
+(* Malformed input must come back as a described error — right line,
+   offending token attached — never as an escaped exception. *)
+let test_malformed_inputs () =
+  let contains needle hay =
+    let h = String.length hay and n = String.length needle in
+    let rec go k = k + n <= h && (String.sub hay k n = needle || go (k + 1)) in
+    n = 0 || go 0
+  in
+  let check name script ~line ?token ?mentions () =
+    let e = parse_err script in
+    Alcotest.(check int) (name ^ ": line") line e.line;
+    (match token with
+    | Some t -> Alcotest.(check (option string)) (name ^ ": token") (Some t) e.token
+    | None -> ());
+    match mentions with
+    | Some needle ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: message %S mentions %S" name e.message needle)
+          true (contains needle e.message)
+    | None -> ()
+  in
+  (* Attribute.make rejects a zero width; the parser must turn that into
+     an error at the column, not crash. *)
+  check "char zero width" "CREATE TABLE t (a CHAR(0));" ~line:1 ~token:"a" ();
+  check "varchar zero width" "CREATE TABLE t (\n  a INT,\n  b VARCHAR(0)\n);"
+    ~line:3 ~token:"b" ();
+  check "unterminated string"
+    "CREATE TABLE t (a INT);\nSELECT a FROM t WHERE a = 'oops;" ~line:2
+    ~mentions:"unterminated" ();
+  check "unexpected character" "CREATE TABLE t (a INT);\nSELECT a FROM t @ x;"
+    ~line:2 ~mentions:"unexpected character" ();
+  check "eof mid-statement" "CREATE TABLE t (a INT" ~line:1
+    ~mentions:"end of input" ();
+  check "eof line tracking" "CREATE TABLE t (a INT);\n\nSELECT a" ~line:3
+    ~mentions:"end of input" ();
+  check "zero weight" "CREATE TABLE t (a INT);\nSELECT a FROM t WEIGHT 0;"
+    ~line:2 ~token:"0" ~mentions:"WEIGHT" ();
+  check "weight not a number" "CREATE TABLE t (a INT);\nSELECT a FROM t WEIGHT x;"
+    ~line:2 ~mentions:"number" ();
+  check "unknown column" "CREATE TABLE t (a INT);\nSELECT nope FROM t;" ~line:2
+    ~token:"nope" ~mentions:"nope" ();
+  check "unknown table" "SELECT a FROM nowhere;" ~line:1 ~token:"nowhere"
+    ~mentions:"nowhere" ();
+  check "unknown type" "CREATE TABLE t (a BLOB);" ~line:1 ~token:"BLOB"
+    ~mentions:"BLOB" ();
+  check "statement soup" "CREATE TABLE t (a INT);\nDROP TABLE t;" ~line:2
+    ~token:"DROP" ~mentions:"DROP" ();
+  check "bad column separator" "CREATE TABLE t (a INT b INT);" ~line:1
+    ~token:"b" ~mentions:"column list" ();
+  (* "FROM" lexes as the first select item, so the error is the missing
+     FROM keyword afterwards. *)
+  check "empty select list" "CREATE TABLE t (a INT);\nSELECT FROM t;" ~line:2
+    ~token:"t" ~mentions:"FROM" ()
+
 let test_comments_and_whitespace () =
   let script =
     "-- header comment\nCREATE TABLE t ( -- inline\n  a INT\n);\n\n\
@@ -157,6 +211,7 @@ let suite =
     Alcotest.test_case "multiple tables" `Quick test_multiple_tables;
     Alcotest.test_case "default rows" `Quick test_default_rows;
     Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "malformed inputs" `Quick test_malformed_inputs;
     Alcotest.test_case "comments" `Quick test_comments_and_whitespace;
     Alcotest.test_case "missing file" `Quick test_parse_file_missing;
     Alcotest.test_case "roundtrip to layout" `Quick
