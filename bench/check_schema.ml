@@ -1,0 +1,38 @@
+(* Schema checker for the machine-readable bench output (`bench --json`).
+   CI runs it against the emitted file before uploading the artifact:
+
+     check_schema.exe BENCH_3.json
+
+   Exit 0 when the document parses and satisfies the Bench_report schema,
+   1 on schema violations (all of them listed), 2 on usage/parse errors. *)
+
+let () =
+  match Sys.argv with
+  | [| _; path |] -> (
+      match Vp_observe.Json.of_file path with
+      | Error msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          exit 2
+      | Ok doc -> (
+          match Vp_observe.Bench_report.validate doc with
+          | Ok () ->
+              let version =
+                match Vp_observe.Json.member "schema_version" doc with
+                | Some (Vp_observe.Json.Int v) -> v
+                | _ -> 0
+              in
+              let algorithms =
+                match Vp_observe.Json.member "algorithms" doc with
+                | Some (Vp_observe.Json.List l) -> List.length l
+                | _ -> 0
+              in
+              Printf.printf
+                "%s: valid bench report (schema v%d, %d algorithm(s))\n" path
+                version algorithms
+          | Error errors ->
+              Printf.eprintf "%s: invalid bench report:\n" path;
+              List.iter (fun e -> Printf.eprintf "  %s\n" e) errors;
+              exit 1))
+  | _ ->
+      prerr_endline "usage: check_schema.exe FILE.json";
+      exit 2

@@ -5,7 +5,8 @@
    runner + cost cache against the plain sequential, uncached execution.
 
    Usage:
-     bench/main.exe [--mode all|experiments|bechamel|parallel] [--jobs N]
+     bench/main.exe [--mode all|experiments|bechamel|parallel|budget|json]
+                    [--jobs N] [--json PATH]
 
    Modes:
      all          (default) experiments then bechamel, as always.
@@ -15,6 +16,16 @@
                   caching disabled, then on N domains with the memoized
                   cost cache — reporting speedup, byte-equality of the two
                   outputs, and cost-cache hit rates.
+     budget       the graceful-degradation demo under step budgets.
+     json         nothing but the machine-readable report (see --json).
+
+   --json PATH    additionally run every algorithm over the TPC-H line-up
+                  with counters on and write a schema-versioned JSON
+                  report (per-algorithm wall/optimization time, estimated
+                  workload cost, cache hit rate, merged counter snapshot,
+                  host metadata) to PATH. `--mode json` defaults PATH to
+                  BENCH_<schema_version>.json; check_schema.exe validates
+                  the result.
 
    Environment knobs:
      VP_SKIP_SLOW=1       skip the storage-simulator experiment (table7)
@@ -269,28 +280,92 @@ let budget_section () =
     [ Vp_algorithms.Brute_force.algorithm; Vp_algorithms.Hillclimb.algorithm ];
   flush stdout
 
-(* --- argument parsing --- *)
+(* --- machine-readable bench report (--json): every algorithm over the
+   TPC-H line-up with counters on, each with a fresh query-grained cache
+   so its hit rate is its own. The counter snapshot merges everything the
+   whole bench process recorded — including the sections that ran before
+   this one — which is exactly what a trajectory point should capture. --- *)
 
-type mode = All | Experiments | Bechamel | Parallel | Budget
+let mode_name = function
+  | `All -> "all"
+  | `Experiments -> "experiments"
+  | `Bechamel -> "bechamel"
+  | `Parallel -> "parallel"
+  | `Budget -> "budget"
+  | `Json -> "json"
+
+let json_section ~mode ~jobs path =
+  Vp_observe.Switch.(raise_to Stats);
+  let disk = Vp_experiments.Common.disk in
+  let workloads = Vp_benchmarks.Tpch.workloads ~sf:Vp_experiments.Common.sf in
+  let entries =
+    List.map
+      (fun (a : Partitioner.t) ->
+        let cache = Vp_parallel.Cost_cache.create () in
+        let (opt, cost), wall =
+          time (fun () ->
+              List.fold_left
+                (fun (opt, cost) w ->
+                  let oracle =
+                    Vp_parallel.Cost_cache.query_oracle ~cache disk w
+                  in
+                  let r = a.Partitioner.run w oracle in
+                  ( opt +. r.Partitioner.stats.Partitioner.elapsed_seconds,
+                    cost +. r.Partitioner.cost ))
+                (0.0, 0.0) workloads)
+        in
+        let s = Vp_parallel.Cost_cache.stats cache in
+        {
+          Vp_observe.Bench_report.algorithm = a.Partitioner.name;
+          wall_seconds = wall;
+          optimization_seconds = opt;
+          workload_cost = cost;
+          cache_hits = s.Vp_parallel.Cost_cache.hits;
+          cache_misses = s.Vp_parallel.Cost_cache.misses;
+        })
+      (Vp_experiments.Common.algorithms_with_baselines disk)
+  in
+  let snapshot = Vp_observe.Stats.snapshot () in
+  let report =
+    {
+      Vp_observe.Bench_report.benchmark = "tpch";
+      scale_factor = Vp_experiments.Common.sf;
+      mode = mode_name mode;
+      jobs;
+      algorithms = entries;
+      counters = snapshot.Vp_observe.Stats.counters;
+      host = Vp_observe.Bench_report.current_host ();
+    }
+  in
+  Vp_observe.Bench_report.write path report;
+  Printf.printf
+    "\nMachine-readable bench report (schema v%d, %d algorithms) written to \
+     %s\n"
+    Vp_observe.Bench_report.schema_version
+    (List.length entries) path;
+  flush stdout
+
+(* --- argument parsing --- *)
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--mode all|experiments|bechamel|parallel|budget] [--jobs \
-     N]";
+    "usage: main.exe [--mode all|experiments|bechamel|parallel|budget|json] \
+     [--jobs N] [--json PATH]";
   exit 2
 
 let parse_args () =
-  let mode = ref All and jobs = ref None in
+  let mode = ref `All and jobs = ref None and json = ref None in
   let rec go = function
     | [] -> ()
     | "--mode" :: m :: rest ->
         (mode :=
            match String.lowercase_ascii m with
-           | "all" -> All
-           | "experiments" -> Experiments
-           | "bechamel" -> Bechamel
-           | "parallel" -> Parallel
-           | "budget" -> Budget
+           | "all" -> `All
+           | "experiments" -> `Experiments
+           | "bechamel" -> `Bechamel
+           | "parallel" -> `Parallel
+           | "budget" -> `Budget
+           | "json" -> `Json
            | _ -> usage ());
         go rest
     | "--jobs" :: n :: rest -> (
@@ -299,16 +374,31 @@ let parse_args () =
             jobs := Some n;
             go rest
         | _ -> usage ())
+    | "--json" :: path :: rest ->
+        json := Some path;
+        go rest
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
   let jobs =
     match !jobs with Some n -> n | None -> Vp_parallel.Pool.default_jobs ()
   in
-  (!mode, jobs)
+  let json =
+    match (!json, !mode) with
+    | Some path, _ -> Some path
+    | None, `Json ->
+        Some
+          (Printf.sprintf "BENCH_%d.json"
+             Vp_observe.Bench_report.schema_version)
+    | None, _ -> None
+  in
+  (!mode, jobs, json)
 
 let () =
-  let mode, jobs = parse_args () in
+  let mode, jobs, json = parse_args () in
+  (* Counters on from the start when a JSON report was requested, so the
+     snapshot covers every section of this run. *)
+  if json <> None then Vp_observe.Switch.(raise_to Stats);
   print_endline
     "Reproduction of 'A Comparison of Knives for Bread Slicing' (VLDB 2013)";
   print_endline
@@ -317,11 +407,15 @@ let () =
        Vp_experiments.Common.sf
        (Format.asprintf "%a" Vp_cost.Disk.pp Vp_experiments.Common.disk));
   (match mode with
-  | All ->
+  | `All ->
       run_experiments ();
       if not skip_slow then bechamel_section ()
-  | Experiments -> run_experiments ()
-  | Bechamel -> bechamel_section ()
-  | Parallel -> parallel_section jobs
-  | Budget -> budget_section ());
+  | `Experiments -> run_experiments ()
+  | `Bechamel -> bechamel_section ()
+  | `Parallel -> parallel_section jobs
+  | `Budget -> budget_section ()
+  | `Json -> ());
+  (match json with
+  | Some path -> json_section ~mode ~jobs path
+  | None -> ());
   print_endline "\nAll experiments completed."

@@ -287,7 +287,12 @@ let experiment_cmd =
       & info [] ~docv:"ID"
           ~doc:"Experiment ids (see `vp list`), or `all` for the full catalogue.")
   in
-  let run jobs timeout budget_steps resume ids =
+  let run jobs timeout budget_steps resume stats trace ids =
+    (* Raise (never lower) the instrumentation level so the flags compose
+       with a VP_TRACE=1 environment. *)
+    (match trace with
+    | Some _ -> Vp_observe.Switch.(raise_to Trace)
+    | None -> if stats then Vp_observe.Switch.(raise_to Stats));
     let expand id =
       if String.lowercase_ascii id = "all" then
         Ok Vp_experiments.Registry.all
@@ -317,16 +322,37 @@ let experiment_cmd =
            failing or timed-out cell degrades to an annotated entry
            instead of aborting the sweep. *)
         let cells =
-          Vp_experiments.Sweep.run ~jobs:(jobs_of jobs)
-            ?timeout_seconds:timeout ?budget_steps ?journal_path:resume
-            ~fault:(Vp_robust.Fault.from_env ())
-            experiments
+          Vp_observe.Trace.with_span ~name:"experiment" (fun () ->
+              Vp_experiments.Sweep.run ~jobs:(jobs_of jobs)
+                ?timeout_seconds:timeout ?budget_steps ?journal_path:resume
+                ~fault:(Vp_robust.Fault.from_env ())
+                experiments)
         in
         (match cells with
         | [ ({ status = Done; _ } as c) ] ->
             (* A single healthy cell prints bare, as it always has. *)
             print_endline c.output
         | _ -> print_string (Vp_experiments.Sweep.report cells));
+        if stats then begin
+          print_string
+            (Vp_experiments.Common.heading "Observability: counter snapshot");
+          print_string
+            (Vp_observe.Stats.render (Vp_observe.Stats.snapshot ()))
+        end;
+        (match trace with
+        | None -> ()
+        | Some path ->
+            let events = Vp_observe.Trace.events () in
+            Vp_observe.Trace.write_chrome path events;
+            let dropped = Vp_observe.Trace.dropped () in
+            Fmt.epr
+              "trace: %d span(s)%s written to %s — load it in \
+               chrome://tracing or ui.perfetto.dev@."
+              (List.length events)
+              (if dropped > 0 then
+                 Printf.sprintf " (%d older span(s) overwritten)" dropped
+               else "")
+              path);
         match Vp_experiments.Sweep.errors cells with
         | [] -> 0 (* timeouts are degraded output, not failures *)
         | failed ->
@@ -368,12 +394,31 @@ let experiment_cmd =
              from it, fresh cells are appended as they complete. Re-running \
              after a crash or timeout only computes what is missing.")
   in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Record counters (cost-oracle calls, cache hits/misses, pool \
+             tasks, budget steps) and print the merged snapshot after the \
+             report. Same as running with \\$(b,VP_STATS=1).")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record tracing spans (experiment cells, pool tasks, algorithm \
+             runs) and write a Chrome trace_event JSON to FILE, ready for \
+             chrome://tracing. Implies \\$(b,--stats).")
+  in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate paper tables/figures (one id, several, or `all`)")
     Term.(
       const run $ jobs_arg $ timeout_arg $ budget_steps_arg $ resume_arg
-      $ ids_arg)
+      $ stats_arg $ trace_arg $ ids_arg)
 
 (* --- vp simulate --- *)
 

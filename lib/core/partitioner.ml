@@ -64,14 +64,27 @@ let finish ~budget ~cost_fn ~oracle ~t0 (partitioning, iterations) =
     status;
   }
 
+let c_algo_runs = Vp_observe.Stats.counter "algo.runs"
+
 let timed_run_budgeted ~name ~short_name body =
+  let span_name = "algo:" ^ name in
   let run ?budget workload cost_fn =
-    let budget =
-      match budget with Some b -> b | None -> Vp_robust.Budget.current ()
+    let go () =
+      if Vp_observe.Switch.stats_on () then Vp_observe.Stats.incr c_algo_runs;
+      let budget =
+        match budget with Some b -> b | None -> Vp_robust.Budget.current ()
+      in
+      let oracle = Counted.make cost_fn in
+      let t0 = Unix.gettimeofday () in
+      finish ~budget ~cost_fn ~oracle ~t0 (body ~budget workload oracle)
     in
-    let oracle = Counted.make cost_fn in
-    let t0 = Unix.gettimeofday () in
-    finish ~budget ~cost_fn ~oracle ~t0 (body ~budget workload oracle)
+    (* The span args are only built on the traced path; untraced runs take
+       the one-branch fast path through [go] directly. *)
+    if Vp_observe.Switch.trace_on () then
+      Vp_observe.Trace.with_span ~name:span_name
+        ~args:[ ("table", Table.name (Workload.table workload)) ]
+        go
+    else go ()
   in
   { name; short_name; run }
 

@@ -12,6 +12,16 @@ type query_breakdown = {
 
 let ceil_div a b = (a + b - 1) / b
 
+(* Observability probes. Every probe site guards on [Switch.stats_on] —
+   one Atomic.get — and records into the accounting pass only; the cost
+   arithmetic below is untouched, so instrumented runs stay byte-identical
+   (see DESIGN.md section 9). *)
+let c_oracle_calls = Vp_observe.Stats.counter "cost.oracle_calls"
+
+let c_query_costs = Vp_observe.Stats.counter "cost.query_costs"
+
+let c_bytes_read = Vp_observe.Stats.counter "cost.bytes_read"
+
 let partition_blocks (disk : Disk.t) ~rows ~row_size =
   if rows = 0 then 0
   else
@@ -72,6 +82,20 @@ let query_breakdown disk table partitioning query =
     init referenced
 
 let query_cost_groups disk table referenced =
+  if Vp_observe.Switch.stats_on () then begin
+    Vp_observe.Stats.incr c_query_costs;
+    (* Bytes the model charges for: blocks fetched at block granularity.
+       A separate accumulation so the costing fold below is unchanged. *)
+    let rows = Table.row_count table in
+    Vp_observe.Stats.add c_bytes_read
+      (List.fold_left
+         (fun acc g ->
+           let blocks =
+             partition_blocks disk ~rows ~row_size:(Table.subset_size table g)
+           in
+           acc + (blocks * disk.block_size))
+         0 referenced)
+  end;
   let rows = Table.row_count table in
   let total_s =
     List.fold_left (fun acc g -> acc + Table.subset_size table g) 0 referenced
@@ -90,6 +114,7 @@ let query_cost disk table partitioning query =
     (Partitioning.referenced_groups partitioning (Query.references query))
 
 let workload_cost disk workload partitioning =
+  if Vp_observe.Switch.stats_on () then Vp_observe.Stats.incr c_oracle_calls;
   let table = Workload.table workload in
   Array.fold_left
     (fun acc q ->

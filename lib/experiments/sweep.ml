@@ -64,7 +64,9 @@ let run ?jobs ?timeout_seconds ?budget_steps ?journal_path
         in
         let t0 = Unix.gettimeofday () in
         Budget.with_current budget (fun () ->
-            let output = e.run () in
+            let output =
+              Vp_observe.Trace.with_span ~name:("cell:" ^ e.id) e.run
+            in
             let exhausted = Budget.exhausted budget in
             (* Checkpoint from inside the task: a sweep killed mid-flight
                keeps every cell that finished before the crash. Errors are

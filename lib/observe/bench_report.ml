@@ -1,0 +1,209 @@
+let schema_version = 3
+
+type algo_entry = {
+  algorithm : string;
+  wall_seconds : float;
+  optimization_seconds : float;
+  workload_cost : float;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+type host = {
+  hostname : string;
+  os : string;
+  arch : string;
+  ocaml_version : string;
+  word_size : int;
+  recommended_domains : int;
+}
+
+type t = {
+  benchmark : string;
+  scale_factor : float;
+  mode : string;
+  jobs : int;
+  algorithms : algo_entry list;
+  counters : (string * int) list;
+  host : host;
+}
+
+let hit_rate e =
+  let lookups = e.cache_hits + e.cache_misses in
+  if lookups = 0 then 0.0 else float_of_int e.cache_hits /. float_of_int lookups
+
+let current_host () =
+  {
+    hostname = (try Unix.gethostname () with _ -> "unknown");
+    os = Sys.os_type;
+    arch =
+      (* No stdlib arch probe; infer the usual suspects from word size. *)
+      (if Sys.word_size = 64 then "64-bit" else "32-bit");
+    ocaml_version = Sys.ocaml_version;
+    word_size = Sys.word_size;
+    recommended_domains = Domain.recommended_domain_count ();
+  }
+
+let algo_json e =
+  Json.Obj
+    [
+      ("algorithm", Json.String e.algorithm);
+      ("wall_seconds", Json.Float e.wall_seconds);
+      ("optimization_seconds", Json.Float e.optimization_seconds);
+      ("workload_cost", Json.Float e.workload_cost);
+      ("cache_hits", Json.Int e.cache_hits);
+      ("cache_misses", Json.Int e.cache_misses);
+      ("cache_hit_rate", Json.Float (hit_rate e));
+    ]
+
+let host_json h =
+  Json.Obj
+    [
+      ("hostname", Json.String h.hostname);
+      ("os", Json.String h.os);
+      ("arch", Json.String h.arch);
+      ("ocaml_version", Json.String h.ocaml_version);
+      ("word_size", Json.Int h.word_size);
+      ("recommended_domains", Json.Int h.recommended_domains);
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("benchmark", Json.String r.benchmark);
+      ("scale_factor", Json.Float r.scale_factor);
+      ("mode", Json.String r.mode);
+      ("jobs", Json.Int r.jobs);
+      ("algorithms", Json.List (List.map algo_json r.algorithms));
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters) );
+      ("host", host_json r.host);
+    ]
+
+(* --- schema checker --- *)
+
+type field_kind = Fint | Fnumber | Fstring | Flist | Fobj
+
+let kind_name = function
+  | Fint -> "an int"
+  | Fnumber -> "a number"
+  | Fstring -> "a string"
+  | Flist -> "an array"
+  | Fobj -> "an object"
+
+let has_kind kind (v : Json.t) =
+  match (kind, v) with
+  | Fint, Json.Int _ -> true
+  | Fnumber, (Json.Int _ | Json.Float _) -> true
+  | Fstring, Json.String _ -> true
+  | Flist, Json.List _ -> true
+  | Fobj, Json.Obj _ -> true
+  | _ -> false
+
+let check_fields ~path fields doc errors =
+  List.fold_left
+    (fun errors (name, kind) ->
+      match Json.member name doc with
+      | None -> Printf.sprintf "%s: missing field %S" path name :: errors
+      | Some v when not (has_kind kind v) ->
+          Printf.sprintf "%s.%s: expected %s" path name (kind_name kind)
+          :: errors
+      | Some _ -> errors)
+    errors fields
+
+let validate doc =
+  let errors = [] in
+  let errors =
+    match doc with
+    | Json.Obj _ -> errors
+    | _ -> [ "top level: expected an object" ]
+  in
+  if errors <> [] then Error (List.rev errors)
+  else begin
+    let errors =
+      check_fields ~path:"$"
+        [
+          ("schema_version", Fint);
+          ("benchmark", Fstring);
+          ("scale_factor", Fnumber);
+          ("mode", Fstring);
+          ("jobs", Fint);
+          ("algorithms", Flist);
+          ("counters", Fobj);
+          ("host", Fobj);
+        ]
+        doc errors
+    in
+    let errors =
+      match Json.member "schema_version" doc with
+      | Some (Json.Int v) when v < 1 ->
+          "$.schema_version: must be >= 1" :: errors
+      | _ -> errors
+    in
+    let errors =
+      match Json.member "algorithms" doc with
+      | Some (Json.List []) -> "$.algorithms: must not be empty" :: errors
+      | Some (Json.List entries) ->
+          List.fold_left
+            (fun errors (i, entry) ->
+              let path = Printf.sprintf "$.algorithms[%d]" i in
+              let errors =
+                match entry with
+                | Json.Obj _ ->
+                    check_fields ~path
+                      [
+                        ("algorithm", Fstring);
+                        ("wall_seconds", Fnumber);
+                        ("optimization_seconds", Fnumber);
+                        ("workload_cost", Fnumber);
+                        ("cache_hits", Fint);
+                        ("cache_misses", Fint);
+                        ("cache_hit_rate", Fnumber);
+                      ]
+                      entry errors
+                | _ -> Printf.sprintf "%s: expected an object" path :: errors
+              in
+              List.fold_left
+                (fun errors name ->
+                  match Json.member name entry with
+                  | Some (Json.Int v) when v < 0 ->
+                      Printf.sprintf "%s.%s: must be >= 0" path name :: errors
+                  | _ -> errors)
+                errors
+                [ "cache_hits"; "cache_misses" ])
+            errors
+            (List.mapi (fun i e -> (i, e)) entries)
+      | _ -> errors
+    in
+    let errors =
+      match Json.member "counters" doc with
+      | Some (Json.Obj fields) ->
+          List.fold_left
+            (fun errors (k, v) ->
+              match v with
+              | Json.Int _ -> errors
+              | _ ->
+                  Printf.sprintf "$.counters.%s: expected an int" k :: errors)
+            errors fields
+      | _ -> errors
+    in
+    let errors =
+      match Json.member "host" doc with
+      | Some (Json.Obj _ as h) ->
+          check_fields ~path:"$.host"
+            [
+              ("hostname", Fstring);
+              ("os", Fstring);
+              ("arch", Fstring);
+              ("ocaml_version", Fstring);
+              ("word_size", Fint);
+              ("recommended_domains", Fint);
+            ]
+            h errors
+      | _ -> errors
+    in
+    match errors with [] -> Ok () | es -> Error (List.rev es)
+  end
+
+let write path r = Json.to_file path (to_json r)

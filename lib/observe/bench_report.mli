@@ -1,0 +1,60 @@
+(** The machine-readable bench harness output ([bench --json PATH]).
+
+    One schema-versioned JSON document per bench invocation: per-
+    algorithm wall time, optimization time, estimated workload cost and
+    cost-cache hit rate, plus the merged counter snapshot and host
+    metadata — the trajectory point every PR can be measured against
+    (the driver collects them as [BENCH_<version>.json]).
+
+    {!validate} is the schema checker CI runs against the emitted file;
+    the golden test in [test/test_golden.ml] locks the schema by
+    round-tripping a fixed report through {!to_json}, {!validate} and
+    [Json.of_string]. *)
+
+val schema_version : int
+(** Bumped whenever a field is renamed, retyped or removed (adding
+    fields is compatible). Currently [3], matching this PR's
+    [BENCH_3.json]. *)
+
+type algo_entry = {
+  algorithm : string;
+  wall_seconds : float;      (** whole run incl. harness overhead *)
+  optimization_seconds : float;  (** sum of the algorithm's own timers *)
+  workload_cost : float;     (** estimated cost of the layouts found *)
+  cache_hits : int;
+  cache_misses : int;
+}
+
+type host = {
+  hostname : string;
+  os : string;
+  arch : string;
+  ocaml_version : string;
+  word_size : int;
+  recommended_domains : int;
+}
+
+type t = {
+  benchmark : string;   (** e.g. ["tpch"] *)
+  scale_factor : float;
+  mode : string;        (** the bench [--mode] that ran *)
+  jobs : int;
+  algorithms : algo_entry list;
+  counters : (string * int) list;  (** merged snapshot, sorted *)
+  host : host;
+}
+
+val hit_rate : algo_entry -> float
+(** [hits / (hits + misses)], [0.] when there were no lookups. *)
+
+val current_host : unit -> host
+
+val to_json : t -> Json.t
+(** Deterministic field order; includes ["schema_version"]. *)
+
+val validate : Json.t -> (unit, string list) result
+(** Checks the document against the schema: required fields, types, a
+    positive [schema_version], non-empty [algorithms] with well-typed
+    entries, hit counts non-negative. Returns every violation found. *)
+
+val write : string -> t -> unit

@@ -1,0 +1,34 @@
+(** A minimal, dependency-free JSON value type with a printer and parser.
+
+    Exists so the observability layer can emit (and the CI checker and
+    golden tests can re-read) Chrome traces and bench reports without
+    adding a JSON dependency the container may not have. It covers the
+    JSON this repo produces — objects, arrays, strings with escapes,
+    ints, floats, booleans, null — not the full horror of the spec
+    (surrogate pairs decode to U+FFFD). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [~pretty:true] indents with two spaces. Floats
+    print via ["%.12g"] (with a trailing [".0"] re-added to integral
+    floats so they re-parse as floats); NaN/infinities print as [null],
+    as in every browser. *)
+
+val of_string : string -> (t, string) result
+(** Parses one JSON value (trailing garbage is an error). Errors carry
+    the byte offset. Numbers without [.], [e] or [E] parse as [Int]. *)
+
+val to_file : string -> t -> unit
+
+val of_file : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field lookup; [None] on non-objects and missing keys. *)

@@ -1,0 +1,34 @@
+type level = Off | Stats | Trace
+
+let to_int = function Off -> 0 | Stats -> 1 | Trace -> 2
+
+let of_int = function 0 -> Off | 1 -> Stats | _ -> Trace
+
+let env_true name =
+  match Sys.getenv_opt name with
+  | None -> false
+  | Some v -> (
+      match String.lowercase_ascii (String.trim v) with
+      | "1" | "true" | "yes" | "on" -> true
+      | _ -> false)
+
+(* Read once at program start; [Atomic] so a level change in one domain is
+   immediately visible to the workers. *)
+let state =
+  Atomic.make
+    (if env_true "VP_TRACE" then 2 else if env_true "VP_STATS" then 1 else 0)
+
+let set l = Atomic.set state (to_int l)
+
+let current () = of_int (Atomic.get state)
+
+let stats_on () = Atomic.get state >= 1
+
+let trace_on () = Atomic.get state >= 2
+
+let raise_to l = if to_int l > Atomic.get state then Atomic.set state (to_int l)
+
+let with_level l f =
+  let previous = Atomic.get state in
+  Atomic.set state (to_int l);
+  Fun.protect ~finally:(fun () -> Atomic.set state previous) f

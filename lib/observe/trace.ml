@@ -1,0 +1,143 @@
+type event = {
+  id : int;
+  parent : int;
+  name : string;
+  domain : int;
+  start_ns : int64;
+  dur_ns : int64;
+  args : (string * string) list;
+}
+
+(* --- the ring-buffer sink ---
+
+   A fixed array of slots plus a monotone write head. Recording happens at
+   span end only (never per instruction), so a mutex is cheap enough and
+   keeps the reader trivially consistent; the buffer never blocks or grows
+   — old events are overwritten. *)
+
+let capacity = 1 lsl 16
+
+let ring : event option array = Array.make capacity None
+
+let head = ref 0 (* total events ever recorded since last clear *)
+
+let ring_mutex = Mutex.create ()
+
+let record ev =
+  Mutex.lock ring_mutex;
+  ring.(!head land (capacity - 1)) <- Some ev;
+  incr head;
+  Mutex.unlock ring_mutex
+
+let clear () =
+  Mutex.lock ring_mutex;
+  Array.fill ring 0 capacity None;
+  head := 0;
+  Mutex.unlock ring_mutex
+
+let dropped () =
+  Mutex.lock ring_mutex;
+  let d = max 0 (!head - capacity) in
+  Mutex.unlock ring_mutex;
+  d
+
+let events () =
+  Mutex.lock ring_mutex;
+  let total = !head in
+  let first = max 0 (total - capacity) in
+  let evs =
+    List.filter_map
+      (fun i -> ring.(i land (capacity - 1)))
+      (List.init (total - first) (fun k -> first + k))
+  in
+  Mutex.unlock ring_mutex;
+  evs
+
+(* --- spans --- *)
+
+let next_id = Atomic.make 0
+
+let c_spans = Stats.counter "trace.spans"
+
+(* The ambient scope: this domain's current span id, -1 at top level. *)
+type scope = int
+
+let scope_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+
+let scope () = Domain.DLS.get scope_key
+
+let with_scope s f =
+  let previous = Domain.DLS.get scope_key in
+  Domain.DLS.set scope_key s;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set scope_key previous) f
+
+let with_span ?(args = []) ~name f =
+  if not (Switch.trace_on ()) then f ()
+  else begin
+    let id = Atomic.fetch_and_add next_id 1 in
+    let parent = Domain.DLS.get scope_key in
+    Domain.DLS.set scope_key id;
+    let finish t0 =
+      let t1 = Monotonic_clock.now () in
+      Domain.DLS.set scope_key parent;
+      record
+        {
+          id;
+          parent;
+          name;
+          domain = (Domain.self () :> int);
+          start_ns = t0;
+          dur_ns = Int64.sub t1 t0;
+          args;
+        };
+      Stats.incr c_spans
+    in
+    let t0 = Monotonic_clock.now () in
+    match f () with
+    | v ->
+        finish t0;
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        finish t0;
+        Printexc.raise_with_backtrace e bt
+  end
+
+(* --- Chrome trace_event export --- *)
+
+let us_of_ns ns = Int64.to_float ns /. 1000.0
+
+let to_chrome evs =
+  let base =
+    List.fold_left
+      (fun acc (e : event) -> min acc e.start_ns)
+      Int64.max_int evs
+  in
+  let base = if base = Int64.max_int then 0L else base in
+  let event_json (e : event) =
+    Json.Obj
+      ([
+         ("name", Json.String e.name);
+         ("cat", Json.String "vp");
+         ("ph", Json.String "X");
+         ("ts", Json.Float (us_of_ns (Int64.sub e.start_ns base)));
+         ("dur", Json.Float (us_of_ns e.dur_ns));
+         ("pid", Json.Int 1);
+         ("tid", Json.Int e.domain);
+       ]
+      @
+      match e.args with
+      | [] -> []
+      | args ->
+          [
+            ( "args",
+              Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) args) );
+          ])
+  in
+  Json.Obj
+    [
+      ("displayTimeUnit", Json.String "ms");
+      ("traceEvents", Json.List (List.map event_json evs));
+    ]
+
+let write_chrome path evs = Json.to_file path (to_chrome evs)

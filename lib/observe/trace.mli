@@ -1,0 +1,69 @@
+(** Low-overhead tracing spans with a ring-buffer sink and a Chrome
+    [trace_event] exporter.
+
+    {!with_span} brackets a computation: when the switch is below
+    [Trace] it is one [Atomic.get] and a tail call; when tracing, it
+    reads the monotonic clock twice and pushes one completed event into
+    a fixed-capacity global ring buffer (oldest events are overwritten,
+    never blocking the traced code). Events carry the monotonic
+    timestamps, the recording domain's id, and the id of the enclosing
+    span, so the exported trace nests correctly in [chrome://tracing]
+    (or [ui.perfetto.dev]).
+
+    The {e current span} is ambient per-domain state, like
+    [Vp_robust.Budget]'s: [Vp_parallel.Pool] captures the submitter's
+    {!scope} at fan-out and re-installs it inside worker domains, so
+    spans recorded in pool tasks are children of the span that submitted
+    the batch rather than orphan roots. *)
+
+type event = {
+  id : int;            (** unique per span, process-wide *)
+  parent : int;        (** enclosing span id, [-1] for roots *)
+  name : string;
+  domain : int;        (** id of the domain that ran the span *)
+  start_ns : int64;    (** monotonic clock, nanoseconds *)
+  dur_ns : int64;
+  args : (string * string) list;
+}
+
+val with_span :
+  ?args:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+(** Runs the function inside a span. The span is recorded when the
+    function returns {e or raises} (the exception is re-raised). A no-op
+    branch when [Switch.trace_on ()] is [false]. *)
+
+(** {2 Ambient scope} *)
+
+type scope
+(** The calling domain's current span (an opaque parent id). *)
+
+val scope : unit -> scope
+
+val with_scope : scope -> (unit -> 'a) -> 'a
+(** Runs the function with the given scope installed as this domain's
+    current span, restoring the previous scope afterwards. Used by the
+    pool to carry the submitting span into worker domains. *)
+
+(** {2 The sink} *)
+
+val events : unit -> event list
+(** The buffered events, oldest first. Spans still running are absent
+    (events are recorded at span end). *)
+
+val dropped : unit -> int
+(** How many events were overwritten since the last {!clear}. *)
+
+val clear : unit -> unit
+
+val capacity : int
+
+(** {2 Export} *)
+
+val to_chrome : event list -> Json.t
+(** The Chrome [trace_event] JSON (an object with a ["traceEvents"]
+    array of complete — ["ph": "X"] — events). Timestamps are rebased so
+    the earliest span starts at 0 and converted to microseconds; domain
+    ids become thread ids. *)
+
+val write_chrome : string -> event list -> unit
+(** [to_chrome] pretty-printed to a file, ready for [chrome://tracing]. *)

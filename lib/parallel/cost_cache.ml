@@ -11,6 +11,13 @@ type stats = { hits : int; misses : int; entries : int }
 
 let enabled = Atomic.make true
 
+(* Global probes on top of the per-cache [stats] fields: the per-cache
+   counts answer "how well did this cache do", the merged counters answer
+   "what did the whole process do" (Stats.snapshot / bench --json). *)
+let c_hits = Vp_observe.Stats.counter "cache.hits"
+
+let c_misses = Vp_observe.Stats.counter "cache.misses"
+
 let set_caching_enabled b = Atomic.set enabled b
 
 let caching_enabled () = Atomic.get enabled
@@ -73,10 +80,12 @@ let lookup t key on_miss =
   | Some v ->
       t.hits <- t.hits + 1;
       Mutex.unlock t.mutex;
+      if Vp_observe.Switch.stats_on () then Vp_observe.Stats.incr c_hits;
       `Hit v
   | None ->
       t.misses <- t.misses + 1;
       Mutex.unlock t.mutex;
+      if Vp_observe.Switch.stats_on () then Vp_observe.Stats.incr c_misses;
       let v = on_miss () in
       Mutex.lock t.mutex;
       if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key v;

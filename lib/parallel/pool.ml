@@ -7,6 +7,16 @@
 
 type error = { label : string; exn : exn; backtrace : string }
 
+(* Pool telemetry. queued counts batch entries that went through the
+   shared queue (the jobs = 1 fast path bypasses it); run counts every
+   executed batch task wherever it ran; stolen counts the subset the
+   submitting domain drained itself in [help_drain]. *)
+let c_queued = Vp_observe.Stats.counter "pool.tasks_queued"
+
+let c_run = Vp_observe.Stats.counter "pool.tasks_run"
+
+let c_stolen = Vp_observe.Stats.counter "pool.tasks_stolen"
+
 (* Wrapped tasks store their own result (and capture their own exceptions);
    Raw tasks run unprotected in workers — the test hook for simulating a
    worker domain dying. *)
@@ -132,6 +142,7 @@ let rec help_drain t =
   | None -> Mutex.unlock t.mutex
   | Some (Task task) ->
       Mutex.unlock t.mutex;
+      if Vp_observe.Switch.stats_on () then Vp_observe.Stats.incr c_stolen;
       (try task () with _ -> ());
       help_drain t
   | Some (Raw task) ->
@@ -140,22 +151,31 @@ let rec help_drain t =
       help_drain t
 
 (* Shared batch executor. Each labelled thunk runs under the submitter's
-   ambient budget and fault plan — a deadline set before fan-out follows
-   the work into the worker domains — and fills its own slot with either
-   its value or the exception that stopped it. *)
+   ambient budget, fault plan AND trace scope — all three are per-domain
+   ambient state, so each must be captured at fan-out and re-installed
+   inside the worker domain, or work fanned out loses its deadline and
+   spans recorded in workers become orphan roots instead of children of
+   the submitting span. *)
 let run_raw t labelled =
   let n = Array.length labelled in
   let results = Array.make n None in
   let budget = Vp_robust.Budget.current () in
   let fault = Vp_robust.Fault.current () in
+  let tscope = Vp_observe.Trace.scope () in
   let exec i (label, f) =
     let body () =
-      Vp_robust.Budget.with_current budget (fun () ->
-          Vp_robust.Fault.with_current fault (fun () ->
-              if label <> "" && Vp_robust.Fault.enabled fault then
-                Vp_robust.Fault.apply fault ~site:("pool:" ^ label) ~index:i;
-              f ()))
+      Vp_observe.Trace.with_scope tscope (fun () ->
+          Vp_observe.Trace.with_span
+            ~name:(if label = "" then "pool:task" else "pool:" ^ label)
+            (fun () ->
+              Vp_robust.Budget.with_current budget (fun () ->
+                  Vp_robust.Fault.with_current fault (fun () ->
+                      if label <> "" && Vp_robust.Fault.enabled fault then
+                        Vp_robust.Fault.apply fault
+                          ~site:("pool:" ^ label) ~index:i;
+                      f ()))))
     in
+    if Vp_observe.Switch.stats_on () then Vp_observe.Stats.incr c_run;
     results.(i) <-
       Some
         (match body () with
@@ -180,6 +200,7 @@ let run_raw t labelled =
         if !pending = 0 then Condition.signal batch_done;
         Mutex.unlock batch_mutex
       in
+      if Vp_observe.Switch.stats_on () then Vp_observe.Stats.add c_queued n;
       Mutex.lock t.mutex;
       Array.iteri (fun i lf -> Queue.add (Task (wrap i lf)) t.queue) labelled;
       Condition.broadcast t.nonempty;

@@ -51,10 +51,15 @@ let steps t = Atomic.get t.steps
 let elapsed_seconds t =
   if t.limited then Unix.gettimeofday () -. t.created else 0.0
 
+(* Only limited budgets count here: unlimited (the ambient default) short-
+   circuits above, so un-budgeted runs never touch the probe. *)
+let c_steps = Vp_observe.Stats.counter "budget.steps"
+
 let try_tick t =
   if not t.limited then true
   else if Atomic.get t.spent then false
   else begin
+    if Vp_observe.Switch.stats_on () then Vp_observe.Stats.incr c_steps;
     let s = 1 + Atomic.fetch_and_add t.steps 1 in
     if
       s > t.max_steps

@@ -44,12 +44,19 @@ let decide t ~site ~index =
     else Pass
   end
 
+let c_injections = Vp_observe.Stats.counter "fault.injections"
+
 let apply t ~site ~index =
   match decide t ~site ~index with
   | Pass -> ()
-  | Raise_exn -> raise (Injected (Printf.sprintf "%s#%d" site index))
-  | Delay s -> Unix.sleepf s
-  | Exhaust_budget -> Budget.exhaust (Budget.current ())
+  | action ->
+      if Vp_observe.Switch.stats_on () then
+        Vp_observe.Stats.incr c_injections;
+      (match action with
+      | Pass -> ()
+      | Raise_exn -> raise (Injected (Printf.sprintf "%s#%d" site index))
+      | Delay s -> Unix.sleepf s
+      | Exhaust_budget -> Budget.exhaust (Budget.current ()))
 
 let rate_env name default =
   match Sys.getenv_opt name with

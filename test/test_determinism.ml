@@ -55,9 +55,57 @@ let test_jobs1_equals_jobs4 () =
       Alcotest.(check string) (a.label ^ " jobs:1 = jobs:4") a.value b.value)
     one four
 
+(* Observability must be pure observation: a traced run is byte-identical
+   to an untraced run. The spans and counters record what happened — they
+   must never change what happens. *)
+
+let test_traced_experiments_byte_identical () =
+  let untraced =
+    Vp_observe.Switch.(with_level Off) direct_outputs
+  in
+  let traced =
+    Vp_observe.Switch.(with_level Trace) (fun () ->
+        Vp_observe.Trace.clear ();
+        direct_outputs ())
+  in
+  List.iter2
+    (fun id (expect, got) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s traced = untraced" id)
+        expect got)
+    sample_ids
+    (List.combine untraced traced)
+
+let prop_traced_algorithms_identical =
+  QCheck2.Test.make ~count:25
+    ~name:"tracing never changes an algorithm's result (random workloads)"
+    (Testutil.gen_workload 6 4)
+    (fun w ->
+      let disk = Vp_cost.Disk.default in
+      let results level =
+        Vp_observe.Switch.with_level level (fun () ->
+            List.map
+              (fun (a : Vp_core.Partitioner.t) ->
+                let oracle = Vp_cost.Io_model.oracle disk w in
+                let r = a.Vp_core.Partitioner.run w oracle in
+                ( a.Vp_core.Partitioner.name,
+                  Int64.bits_of_float r.Vp_core.Partitioner.cost,
+                  r.Vp_core.Partitioner.partitioning ))
+              Vp_algorithms.Registry.six)
+      in
+      let off = results Vp_observe.Switch.Off
+      and on = results Vp_observe.Switch.Trace in
+      List.for_all2
+        (fun (n1, c1, p1) (n2, c2, p2) ->
+          n1 = n2 && Int64.equal c1 c2 && Vp_core.Partitioning.equal p1 p2)
+        off on)
+
 let suite =
   [
     Alcotest.test_case "runner matches direct run" `Quick
       test_runner_matches_direct;
     Alcotest.test_case "jobs 1 = jobs 4" `Quick test_jobs1_equals_jobs4;
+    Alcotest.test_case "traced experiments byte-identical" `Quick
+      test_traced_experiments_byte_identical;
+    Testutil.qtest prop_traced_algorithms_identical;
   ]

@@ -147,6 +147,142 @@ let test_reproduction_bands () =
   Alcotest.(check bool) "Row waste ~83%" true
     (unnecessary "Row" > 0.75 && unnecessary "Row" < 0.90)
 
+(* --- observability goldens ---
+
+   The Chrome trace exporter and the bench-report JSON are wire formats:
+   downstream tooling (chrome://tracing, the CI schema checker, the
+   driver collecting BENCH_*.json trajectory points) parses them, so
+   their exact shape is frozen against checked-in golden files. The
+   fixtures use fixed ids and timestamps, which makes the output
+   deterministic without any normalization pass. Regenerate after an
+   intentional format change with
+
+     cd test && VP_UPDATE_GOLDEN=1 ../_build/default/test/test_main.exe test golden *)
+
+let update_goldens = Sys.getenv_opt "VP_UPDATE_GOLDEN" = Some "1"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_golden name path actual =
+  if update_goldens then begin
+    let oc = open_out_bin path in
+    output_string oc actual;
+    close_out oc
+  end
+  else Alcotest.(check string) name (read_file path) actual
+
+let golden_events =
+  [
+    {
+      Vp_observe.Trace.id = 1; parent = -1; name = "experiment"; domain = 0;
+      start_ns = 1_000L; dur_ns = 5_000_000L; args = [];
+    };
+    {
+      Vp_observe.Trace.id = 2; parent = 1; name = "algo:HillClimb"; domain = 0;
+      start_ns = 501_000L; dur_ns = 2_250_000L; args = [ ("table", "partsupp") ];
+    };
+    {
+      Vp_observe.Trace.id = 3; parent = 2; name = "pool:cell"; domain = 1;
+      start_ns = 1_001_000L; dur_ns = 400_000L; args = [];
+    };
+  ]
+
+let test_chrome_trace_golden () =
+  let actual =
+    Vp_observe.Json.to_string ~pretty:true
+      (Vp_observe.Trace.to_chrome golden_events)
+    ^ "\n"
+  in
+  check_golden "chrome trace export" "golden/trace_chrome.golden.json" actual
+
+(* Dyadic fixture floats, so the %.12g printer represents them exactly. *)
+let golden_report =
+  {
+    Vp_observe.Bench_report.benchmark = "tpch";
+    scale_factor = 10.0;
+    mode = "json";
+    jobs = 4;
+    algorithms =
+      [
+        {
+          Vp_observe.Bench_report.algorithm = "HillClimb";
+          wall_seconds = 0.125;
+          optimization_seconds = 0.0625;
+          workload_cost = 410.25;
+          cache_hits = 6000;
+          cache_misses = 2000;
+        };
+        {
+          Vp_observe.Bench_report.algorithm = "Navathe";
+          wall_seconds = 0.5;
+          optimization_seconds = 0.25;
+          workload_cost = 536.5;
+          cache_hits = 0;
+          cache_misses = 0;
+        };
+      ];
+    counters = [ ("cost.oracle_calls", 42); ("pool.tasks_run", 7) ];
+    host =
+      {
+        Vp_observe.Bench_report.hostname = "golden";
+        os = "Unix";
+        arch = "64-bit";
+        ocaml_version = "5.1.1";
+        word_size = 64;
+        recommended_domains = 8;
+      };
+  }
+
+let test_bench_report_golden () =
+  let actual =
+    Vp_observe.Json.to_string ~pretty:true
+      (Vp_observe.Bench_report.to_json golden_report)
+    ^ "\n"
+  in
+  check_golden "bench report schema" "golden/bench_report.golden.json" actual
+
+let test_bench_report_schema_roundtrip () =
+  (* The emitted report must parse back and satisfy its own validator —
+     the same check CI's check_schema.exe runs on the real BENCH file. *)
+  let text = Vp_observe.Json.to_string (Vp_observe.Bench_report.to_json golden_report) in
+  match Vp_observe.Json.of_string text with
+  | Error msg -> Alcotest.failf "report does not re-parse: %s" msg
+  | Ok doc -> (
+      (match Vp_observe.Bench_report.validate doc with
+      | Ok () -> ()
+      | Error errors ->
+          Alcotest.failf "valid report rejected: %s" (String.concat "; " errors));
+      (* And the validator actually bites: strip a required field and
+         mistype another, expect both violations reported. *)
+      let mutate = function
+        | Vp_observe.Json.Obj fields ->
+            Vp_observe.Json.Obj
+              (List.filter_map
+                 (fun (k, v) ->
+                   match k with
+                   | "algorithms" -> None
+                   | "schema_version" -> Some (k, Vp_observe.Json.String "3")
+                   | _ -> Some (k, v))
+                 fields)
+        | j -> j
+      in
+      match Vp_observe.Bench_report.validate (mutate doc) with
+      | Ok () -> Alcotest.fail "mutated report accepted"
+      | Error errors ->
+          let mentions field = List.exists (fun e ->
+              let nh = String.length e and nn = String.length field in
+              let rec go i = i + nn <= nh && (String.sub e i nn = field || go (i + 1)) in
+              go 0) errors
+          in
+          Alcotest.(check bool) "missing algorithms reported" true
+            (mentions "algorithms");
+          Alcotest.(check bool) "mistyped schema_version reported" true
+            (mentions "schema_version"))
+
 let suite =
   [
     Alcotest.test_case "HillClimb customer" `Quick test_hillclimb_customer;
@@ -162,4 +298,8 @@ let suite =
     Alcotest.test_case "second class differs" `Quick test_second_class_differs;
     Alcotest.test_case "SSB validity" `Quick test_ssb_validity;
     Alcotest.test_case "reproduction bands" `Slow test_reproduction_bands;
+    Alcotest.test_case "chrome trace export" `Quick test_chrome_trace_golden;
+    Alcotest.test_case "bench report schema" `Quick test_bench_report_golden;
+    Alcotest.test_case "bench report round-trip" `Quick
+      test_bench_report_schema_roundtrip;
   ]

@@ -23,4 +23,5 @@ let () =
       ("determinism", Test_determinism.suite);
       ("invariants", Test_invariants.suite);
       ("robust", Test_robust.suite);
+      ("observe", Test_observe.suite);
     ]

@@ -108,6 +108,72 @@ let test_aggregate_totals () =
     +. Vp_metrics.Measures.workload_cost disk w (Partitioning.row n))
     total
 
+(* --- property coverage of the metric edge cases --- *)
+
+let gen_workload_and_partitioning =
+  QCheck2.Gen.(
+    let* w = Testutil.gen_workload 6 4 in
+    let* p = Testutil.gen_partitioning 6 in
+    return (w, p))
+
+let prop_fragility_zero_when_disk_unchanged =
+  QCheck2.Test.make ~count:100
+    ~name:"fragility = 0 when the disk does not change"
+    gen_workload_and_partitioning
+    (fun (w, p) ->
+      Vp_metrics.Fragility.fragility ~old_disk:disk ~new_disk:disk w p = 0.0)
+
+let prop_unnecessary_within_unit_interval =
+  QCheck2.Test.make ~count:100
+    ~name:"unnecessary_data_read stays within [0, 1]"
+    gen_workload_and_partitioning
+    (fun (w, p) ->
+      let v = Vp_metrics.Measures.unnecessary_data_read disk w p in
+      v >= 0.0 && v <= 1.0)
+
+(* A per-query PMV layout — the query's referenced attributes in one
+   group, everything else in another — reads no unreferenced byte, so
+   its waste is exactly 0, not merely close to it. *)
+let prop_pmv_layout_reads_nothing_unnecessary =
+  QCheck2.Test.make ~count:100
+    ~name:"unnecessary_data_read = 0 on per-query PMV layouts"
+    (Testutil.gen_workload 6 4)
+    (fun w ->
+      let table = Vp_core.Workload.table w in
+      let n_attrs = Vp_core.Table.attribute_count table in
+      Array.for_all
+        (fun q ->
+          let refs = Vp_core.Query.references q in
+          let rest = Vp_core.Attr_set.diff (Vp_core.Attr_set.full n_attrs) refs in
+          let groups =
+            if Vp_core.Attr_set.is_empty rest then [ refs ] else [ refs; rest ]
+          in
+          let pmv = Vp_core.Partitioning.of_groups ~n:n_attrs groups in
+          let single = Vp_core.Workload.make table [ q ] in
+          Vp_metrics.Measures.unnecessary_data_read disk single pmv = 0.0)
+        (Vp_core.Workload.queries w))
+
+let test_distance_from_pmv_all_algorithms_tpch () =
+  (* Every layout costs at least the per-materialized-view lower bound:
+     the distance is non-negative for all seven algorithms on all of
+     TPC-H, not just for the hand-picked layouts above. *)
+  List.iter
+    (fun w ->
+      let oracle = Vp_cost.Io_model.oracle disk w in
+      List.iter
+        (fun (a : Vp_core.Partitioner.t) ->
+          let r = a.Vp_core.Partitioner.run w oracle in
+          let d =
+            Vp_metrics.Measures.distance_from_pmv disk w
+              r.Vp_core.Partitioner.partitioning
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s >= PMV on %s" a.Vp_core.Partitioner.name
+               (Vp_core.Table.name (Vp_core.Workload.table w)))
+            true (d >= -1e-9))
+        (Vp_algorithms.Registry.six @ Vp_algorithms.Registry.baselines))
+    (Vp_benchmarks.Tpch.workloads ~sf:10.0)
+
 let suite =
   [
     Alcotest.test_case "unnecessary: exact layout" `Quick
@@ -124,4 +190,9 @@ let suite =
     Alcotest.test_case "payoff" `Quick test_payoff;
     Alcotest.test_case "payoff negative" `Quick test_payoff_negative_when_worse;
     Alcotest.test_case "aggregate totals" `Quick test_aggregate_totals;
+    Testutil.qtest prop_fragility_zero_when_disk_unchanged;
+    Testutil.qtest prop_unnecessary_within_unit_interval;
+    Testutil.qtest prop_pmv_layout_reads_nothing_unnecessary;
+    Alcotest.test_case "distance from PMV: all algorithms, TPC-H" `Quick
+      test_distance_from_pmv_all_algorithms_tpch;
   ]
