@@ -5,7 +5,7 @@
    runner + cost cache against the plain sequential, uncached execution.
 
    Usage:
-     bench/main.exe [--mode all|experiments|bechamel|parallel|budget|json]
+     bench/main.exe [--mode all|experiments|bechamel|parallel|budget|online|json]
                     [--jobs N] [--json PATH]
 
    Modes:
@@ -17,6 +17,12 @@
                   cost cache — reporting speedup, byte-equality of the two
                   outputs, and cost-cache hit rates.
      budget       the graceful-degradation demo under step budgets.
+     online       the online layout service replaying a synthetic drift
+                  stream and the Lineitem query order: re-opts triggered,
+                  adoption rate, cumulative estimated cost vs the static
+                  Row/Column/one-shot-HillClimb baselines, plus the
+                  generation history. The replay outcomes land in the
+                  JSON report's "online" section.
      json         nothing but the machine-readable report (see --json).
 
    --json PATH    additionally run every algorithm over the TPC-H line-up
@@ -92,7 +98,7 @@ let bechamel_section () =
               Test.make ~name:a.Partitioner.name
                 (Staged.stage (fun () ->
                      let oracle = Vp_cost.Io_model.oracle disk workload in
-                     ignore (a.run workload oracle))))
+                     ignore (Partitioner.exec a (Partitioner.Request.make ~cost:oracle workload)))))
             algorithms
         in
         Test.make_grouped ~name:table_name cases)
@@ -155,7 +161,7 @@ let algorithm_hit_rate (a : Partitioner.t) =
   List.iter
     (fun w ->
       let oracle = Vp_parallel.Cost_cache.query_oracle ~cache disk w in
-      ignore (a.Partitioner.run w oracle))
+      ignore (Partitioner.exec a (Partitioner.Request.make ~cost:oracle w)))
     (Vp_benchmarks.Tpch.workloads ~sf:Vp_experiments.Common.sf);
   Vp_parallel.Cost_cache.stats cache
 
@@ -269,16 +275,79 @@ let budget_section () =
         (fun max_steps ->
           let budget = Vp_robust.Budget.create ~max_steps () in
           let oracle = Vp_cost.Io_model.oracle disk workload in
-          let r = a.Partitioner.run ~budget workload oracle in
+          let r = Partitioner.exec a (Partitioner.Request.make ~budget ~cost:oracle workload) in
           Printf.printf "  %-10s %10d %12.0f  %s\n" a.Partitioner.name
-            max_steps r.Partitioner.cost
-            (match r.Partitioner.status with
+            max_steps r.Partitioner.Response.cost
+            (match r.Partitioner.Response.status with
             | Partitioner.Complete -> "complete"
             | Partitioner.Timed_out { steps; _ } ->
                 Printf.sprintf "timed out after %d steps" steps))
         [ 500; 5_000; 50_000 ])
     [ Vp_algorithms.Brute_force.algorithm; Vp_algorithms.Hillclimb.algorithm ];
   flush stdout
+
+(* --- Online layout service benchmark: replay a synthetic drift stream
+   (the access distribution rotates mid-stream) and the Lineitem query
+   order through the service, and score the cumulative estimated cost
+   against the static Row/Column/one-shot baselines. The 1 MiB buffer
+   puts the disk in the seek-bound regime where layout quality matters;
+   all numbers are model estimates, so the section is deterministic. --- *)
+
+let online_disk =
+  Vp_cost.Disk.with_buffer_size Vp_cost.Disk.default (Vp_cost.Disk.mb 1.0)
+
+let online_streams () =
+  [
+    ( "synthetic-drift",
+      online_disk,
+      Vp_benchmarks.Synthetic.drift_workload ~attributes:16 ~clusters:4
+        ~rows:200_000 ~queries:600 ~scatter:0.05 ~drift_at:0.4 () );
+    ( "lineitem-order",
+      Vp_experiments.Common.disk,
+      Vp_benchmarks.Tpch.workload ~sf:Vp_experiments.Common.sf "lineitem" );
+  ]
+
+let online_outcomes ~jobs =
+  List.map
+    (fun (label, disk, w) ->
+      let config =
+        Vp_online.Service.default_config ~jobs ~disk
+          ~panel:[ Vp_algorithms.Hillclimb.algorithm ]
+          ()
+      in
+      (label, Vp_online.Replay.run ~config w))
+    (online_streams ())
+
+let online_entry_of (label, (o : Vp_online.Replay.outcome)) =
+  {
+    Vp_observe.Bench_report.trace = label;
+    queries = o.Vp_online.Replay.queries;
+    reopts = o.Vp_online.Replay.reopts;
+    adopted = o.Vp_online.Replay.adopted;
+    rejected = o.Vp_online.Replay.rejected;
+    final_generation = o.Vp_online.Replay.final_generation;
+    online_cost = o.Vp_online.Replay.online_cost;
+    row_cost = o.Vp_online.Replay.row_cost;
+    column_cost = o.Vp_online.Replay.column_cost;
+    oneshot_cost = o.Vp_online.Replay.oneshot_cost;
+    oneshot_algorithm = o.Vp_online.Replay.oneshot_algorithm;
+  }
+
+let online_section ~jobs =
+  print_string
+    (Vp_experiments.Common.heading
+       (Printf.sprintf
+          "Online layout service: drift-triggered re-partitioning (--jobs %d)"
+          jobs));
+  let outcomes = online_outcomes ~jobs in
+  List.iter
+    (fun (label, (o : Vp_online.Replay.outcome)) ->
+      Printf.printf "[%s]\n%s%s\n" label
+        (Vp_online.Replay.summary o)
+        o.Vp_online.Replay.history)
+    outcomes;
+  flush stdout;
+  List.map online_entry_of outcomes
 
 (* --- machine-readable bench report (--json): every algorithm over the
    TPC-H line-up with counters on, each with a fresh query-grained cache
@@ -292,9 +361,10 @@ let mode_name = function
   | `Bechamel -> "bechamel"
   | `Parallel -> "parallel"
   | `Budget -> "budget"
+  | `Online -> "online"
   | `Json -> "json"
 
-let json_section ~mode ~jobs path =
+let json_section ~mode ~jobs ~online path =
   Vp_observe.Switch.(raise_to Stats);
   let disk = Vp_experiments.Common.disk in
   let workloads = Vp_benchmarks.Tpch.workloads ~sf:Vp_experiments.Common.sf in
@@ -309,9 +379,9 @@ let json_section ~mode ~jobs path =
                   let oracle =
                     Vp_parallel.Cost_cache.query_oracle ~cache disk w
                   in
-                  let r = a.Partitioner.run w oracle in
-                  ( opt +. r.Partitioner.stats.Partitioner.elapsed_seconds,
-                    cost +. r.Partitioner.cost ))
+                  let r = Partitioner.exec a (Partitioner.Request.make ~cost:oracle w) in
+                  ( opt +. r.Partitioner.Response.stats.Partitioner.elapsed_seconds,
+                    cost +. r.Partitioner.Response.cost ))
                 (0.0, 0.0) workloads)
         in
         let s = Vp_parallel.Cost_cache.stats cache in
@@ -333,6 +403,7 @@ let json_section ~mode ~jobs path =
       mode = mode_name mode;
       jobs;
       algorithms = entries;
+      online;
       counters = snapshot.Vp_observe.Stats.counters;
       host = Vp_observe.Bench_report.current_host ();
     }
@@ -349,8 +420,9 @@ let json_section ~mode ~jobs path =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--mode all|experiments|bechamel|parallel|budget|json] \
-     [--jobs N] [--json PATH]";
+    "usage: main.exe [--mode \
+     all|experiments|bechamel|parallel|budget|online|json] [--jobs N] \
+     [--json PATH]";
   exit 2
 
 let parse_args () =
@@ -365,6 +437,7 @@ let parse_args () =
            | "bechamel" -> `Bechamel
            | "parallel" -> `Parallel
            | "budget" -> `Budget
+           | "online" -> `Online
            | "json" -> `Json
            | _ -> usage ());
         go rest
@@ -386,7 +459,7 @@ let parse_args () =
   let json =
     match (!json, !mode) with
     | Some path, _ -> Some path
-    | None, `Json ->
+    | None, (`Json | `Online) ->
         Some
           (Printf.sprintf "BENCH_%d.json"
              Vp_observe.Bench_report.schema_version)
@@ -406,16 +479,28 @@ let () =
        "Unified setting: TPC-H SF %g, %s"
        Vp_experiments.Common.sf
        (Format.asprintf "%a" Vp_cost.Disk.pp Vp_experiments.Common.disk));
-  (match mode with
-  | `All ->
-      run_experiments ();
-      if not skip_slow then bechamel_section ()
-  | `Experiments -> run_experiments ()
-  | `Bechamel -> bechamel_section ()
-  | `Parallel -> parallel_section jobs
-  | `Budget -> budget_section ()
-  | `Json -> ());
+  let online =
+    match mode with
+    | `All ->
+        run_experiments ();
+        if not skip_slow then bechamel_section ();
+        []
+    | `Experiments ->
+        run_experiments ();
+        []
+    | `Bechamel ->
+        bechamel_section ();
+        []
+    | `Parallel ->
+        parallel_section jobs;
+        []
+    | `Budget ->
+        budget_section ();
+        []
+    | `Online -> online_section ~jobs
+    | `Json -> []
+  in
   (match json with
-  | Some path -> json_section ~mode ~jobs path
+  | Some path -> json_section ~mode ~jobs ~online path
   | None -> ());
   print_endline "\nAll experiments completed."

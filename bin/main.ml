@@ -153,25 +153,25 @@ let partition_cmd =
       (fun w ->
         let tbl = Workload.table w in
         let oracle = Vp_cost.Io_model.oracle disk w in
-        let r = algo.Partitioner.run w oracle in
+        let r = Partitioner.exec algo (Partitioner.Request.make ~cost:oracle w) in
         Format.printf "@[<v>%s on %s (%d rows, %d queries):@,  layout: %a@,"
           algo.Partitioner.name (Table.name tbl) (Table.row_count tbl)
           (Workload.query_count w)
           (Partitioning.pp_named tbl)
-          r.Partitioner.partitioning;
+          r.Partitioner.Response.partitioning;
         Format.printf
           "  cost: %.3f s   opt time: %s   cost calls: %d   candidates: %d@,"
-          r.Partitioner.cost
-          (Vp_report.Ascii.seconds r.Partitioner.stats.Partitioner.elapsed_seconds)
-          r.Partitioner.stats.Partitioner.cost_calls
-          r.Partitioner.stats.Partitioner.candidates;
+          r.Partitioner.Response.cost
+          (Vp_report.Ascii.seconds r.Partitioner.Response.stats.Partitioner.elapsed_seconds)
+          r.Partitioner.Response.stats.Partitioner.cost_calls
+          r.Partitioner.Response.stats.Partitioner.candidates;
         Format.printf "  unnecessary read: %s   avg joins: %s@,@]"
           (Vp_report.Ascii.percent
              (Vp_metrics.Measures.unnecessary_data_read disk w
-                r.Partitioner.partitioning))
+                r.Partitioner.Response.partitioning))
           (Vp_report.Ascii.float3
              (Vp_metrics.Measures.avg_tuple_reconstruction_joins w
-                r.Partitioner.partitioning)))
+                r.Partitioner.Response.partitioning)))
       (workloads_of benchmark sf table);
     0
   in
@@ -214,7 +214,7 @@ let compare_cmd =
                 let oracle = oracle_of model disk workload in
                 {
                   Vp_experiments.Common.workload;
-                  result = algo.run workload oracle;
+                  result = Partitioner.exec algo (Partitioner.Request.make ~cost:oracle workload);
                 })
               workloads
           in
@@ -224,12 +224,12 @@ let compare_cmd =
             total_cost =
               List.fold_left
                 (fun acc (r : Vp_experiments.Common.table_run) ->
-                  acc +. r.result.Partitioner.cost)
+                  acc +. r.result.Partitioner.Response.cost)
                 0.0 per_table;
             optimization_time =
               List.fold_left
                 (fun acc (r : Vp_experiments.Common.table_run) ->
-                  acc +. r.result.Partitioner.stats.Partitioner.elapsed_seconds)
+                  acc +. r.result.Partitioner.Response.stats.Partitioner.elapsed_seconds)
                 0.0 per_table;
           })
         algos
@@ -453,7 +453,7 @@ let simulate_cmd =
         let tbl = Workload.table w in
         let rows = Vp_datagen.Rowgen.rows gen tbl in
         let oracle = Vp_cost.Io_model.oracle disk w in
-        let layout = (algo.Partitioner.run w oracle).Partitioner.partitioning in
+        let layout = (Partitioner.exec algo (Partitioner.Request.make ~cost:oracle w)).Partitioner.Response.partitioning in
         let db = Vp_storage.Database.build ~disk ~codec tbl rows layout in
         let results, total = Vp_storage.Database.run_workload db w in
         Format.printf "@[<v>%s via %s codec, layout %a@," (Table.name tbl)
@@ -534,7 +534,7 @@ let workload_cmd =
               Format.printf "%s: no queries, skipped@." (Table.name tbl)
             else begin
               let oracle = Vp_cost.Io_model.oracle disk w in
-              let r = algo.Partitioner.run w oracle in
+              let r = Partitioner.exec algo (Partitioner.Request.make ~cost:oracle w) in
               let n = Table.attribute_count tbl in
               Format.printf
                 "@[<v>%s (%d rows, %d queries):@,  %s layout: %a@,  cost \
@@ -542,12 +542,12 @@ let workload_cmd =
                 (Table.name tbl) (Table.row_count tbl) (Workload.query_count w)
                 algo.Partitioner.name
                 (Partitioning.pp_named tbl)
-                r.Partitioner.partitioning r.Partitioner.cost
+                r.Partitioner.Response.partitioning r.Partitioner.Response.cost
                 (oracle (Partitioning.row n))
                 (oracle (Partitioning.column n));
               if ddl then
                 print_string
-                  (Vp_report.Ddl.emit tbl r.Partitioner.partitioning)
+                  (Vp_report.Ddl.emit tbl r.Partitioner.Response.partitioning)
             end)
           workloads;
         0
@@ -556,6 +556,143 @@ let workload_cmd =
     (Cmd.info "workload"
        ~doc:"Partition tables described by a SQL-flavoured workload script")
     Term.(const run $ buffer_mb_arg $ algo_arg $ ddl_arg $ file_arg)
+
+(* --- vp online --- *)
+
+let online_cmd =
+  let algo_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "a"; "algo" ] ~docv:"ALGO"
+          ~doc:
+            "Panel algorithm raced at each re-optimization (repeatable; \
+             default HillClimb).")
+  in
+  let trace_in_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "trace-in" ] ~docv:"FILE"
+          ~doc:
+            "Workload script (CREATE TABLE + SELECT) replayed as a query \
+             stream in file order, instead of the benchmark tables.")
+  in
+  let synthetic_arg =
+    Arg.(
+      value
+      & opt (some positive_int) None
+      & info [ "synthetic" ] ~docv:"N"
+          ~doc:
+            "Replay an N-query synthetic stream whose access pattern drifts \
+             mid-stream (see $(b,--drift-at)), instead of a benchmark.")
+  in
+  let drift_at_arg =
+    Arg.(
+      value
+      & opt float 0.4
+      & info [ "drift-at" ] ~docv:"FRACTION"
+          ~doc:
+            "Where the synthetic stream's access distribution shifts, as a \
+             fraction of the stream (with $(b,--synthetic)).")
+  in
+  let drift_ratio_arg =
+    Arg.(
+      value
+      & opt float 2.0
+      & info [ "drift-ratio" ] ~docv:"RATIO"
+          ~doc:
+            "Re-optimize when the windowed cost of the current layout \
+             exceeds RATIO times the per-query lower bound.")
+  in
+  let epoch_arg =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "epoch" ] ~docv:"N"
+          ~doc:
+            "Also re-optimize every N queries since the last decision (0 \
+             disables the epoch trigger).")
+  in
+  let memory_arg =
+    Arg.(
+      value
+      & opt int 32
+      & info [ "memory" ] ~docv:"N"
+          ~doc:
+            "Re-optimize over the N most recent queries (0 = the full \
+             ingested history).")
+  in
+  let horizon_arg =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "horizon" ] ~docv:"EXECUTIONS"
+          ~doc:
+            "Adopt a candidate layout only if its migration cost pays off \
+             within this many executions of the ingested workload.")
+  in
+  let budget_steps_arg =
+    Arg.(
+      value
+      & opt (some positive_int) None
+      & info [ "budget-steps" ] ~docv:"N"
+          ~doc:
+            "Deterministic search-step budget per panel member per \
+             re-optimization.")
+  in
+  let history_arg =
+    Arg.(
+      value & flag
+      & info [ "history" ]
+          ~doc:
+            "Also print the layout-generation history, one line per \
+             decision (stable across runs and $(b,--jobs) values).")
+  in
+  let run benchmark sf buffer_mb table jobs algos trace_in synthetic drift_at
+      drift_ratio epoch memory horizon budget_steps history =
+    let disk = disk_of buffer_mb in
+    let algos = if algos = [] then [ "HillClimb" ] else algos in
+    let panel = List.map (algorithm_of disk) algos in
+    if epoch < 0 then Fmt.failwith "--epoch must be >= 0";
+    if memory < 0 then Fmt.failwith "--memory must be >= 0";
+    let config =
+      Vp_online.Service.default_config ~drift_ratio ~epoch ~memory ~horizon
+        ?budget_steps ~jobs:(jobs_of jobs) ~disk ~panel ()
+    in
+    let streams =
+      match (synthetic, trace_in) with
+      | Some queries, _ ->
+          [
+            Vp_benchmarks.Synthetic.drift_workload ~attributes:16 ~clusters:4
+              ~rows:1_500_000 ~queries ~scatter:0.05 ~drift_at ();
+          ]
+      | None, Some file -> (
+          match Vp_parser.Workload_parser.parse_file file with
+          | Error e ->
+              Fmt.failwith "%s: %a" file Vp_parser.Workload_parser.pp_error e
+          | Ok workloads ->
+              List.filter (fun w -> Workload.query_count w > 0) workloads)
+      | None, None -> workloads_of benchmark sf table
+    in
+    List.iter
+      (fun w ->
+        let outcome = Vp_online.Replay.run ~config w in
+        print_string (Vp_online.Replay.summary outcome);
+        if history then print_string outcome.Vp_online.Replay.history;
+        print_newline ())
+      streams;
+    0
+  in
+  Cmd.v
+    (Cmd.info "online"
+       ~doc:
+         "Replay a workload as a query stream through the online layout \
+          service")
+    Term.(
+      const run $ benchmark_arg $ sf_arg $ buffer_mb_arg $ table_arg
+      $ jobs_arg $ algo_arg $ trace_in_arg $ synthetic_arg $ drift_at_arg
+      $ drift_ratio_arg $ epoch_arg $ memory_arg $ horizon_arg
+      $ budget_steps_arg $ history_arg)
 
 (* --- vp list --- *)
 
@@ -582,7 +719,7 @@ let main_cmd =
     (Cmd.info "vp" ~version:"1.0.0" ~doc)
     [
       partition_cmd; compare_cmd; layouts_cmd; experiment_cmd; simulate_cmd;
-      workload_cmd; analyze_cmd; list_cmd;
+      workload_cmd; analyze_cmd; online_cmd; list_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

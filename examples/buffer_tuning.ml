@@ -27,13 +27,13 @@ let () =
             (Vp_cost.Disk.mb mb)
         in
         let oracle = Vp_cost.Io_model.oracle disk workload in
-        let r = hillclimb.Partitioner.run workload oracle in
+        let r = Partitioner.exec hillclimb (Partitioner.Request.make ~cost:oracle workload) in
         let column = oracle (Partitioning.column n) in
-        let ratio = r.Partitioner.cost /. column in
+        let ratio = r.Partitioner.Response.cost /. column in
         Format.printf "  %-10s %-12.2f %-12.2f %-10.3f %d@."
           (Printf.sprintf "%g MB" mb)
-          r.Partitioner.cost column ratio
-          (Partitioning.group_count r.Partitioner.partitioning);
+          r.Partitioner.Response.cost column ratio
+          (Partitioning.group_count r.Partitioner.Response.partitioning);
         (mb, ratio))
       [ 0.01; 0.03; 0.1; 0.3; 1.0; 3.0; 10.0; 30.0; 100.0; 300.0; 1000.0 ]
   in

@@ -27,21 +27,21 @@ let () =
   let rows =
     List.map
       (fun (a : Partitioner.t) ->
-        let r = a.run workload oracle in
+        let r = Partitioner.exec a (Partitioner.Request.make ~cost:oracle workload) in
         [
           a.Partitioner.name;
-          Printf.sprintf "%.3f" r.Partitioner.cost;
+          Printf.sprintf "%.3f" r.Partitioner.Response.cost;
           Vp_report.Ascii.seconds
-            r.Partitioner.stats.Partitioner.elapsed_seconds;
-          string_of_int (Partitioning.group_count r.Partitioner.partitioning);
+            r.Partitioner.Response.stats.Partitioner.elapsed_seconds;
+          string_of_int (Partitioning.group_count r.Partitioner.Response.partitioning);
           Vp_report.Ascii.percent
             (Vp_metrics.Measures.unnecessary_data_read disk workload
-               r.Partitioner.partitioning);
+               r.Partitioner.Response.partitioning);
           Vp_report.Ascii.float3
             (Vp_metrics.Measures.avg_tuple_reconstruction_joins workload
-               r.Partitioner.partitioning);
+               r.Partitioner.Response.partitioning);
           Format.asprintf "%a" (Partitioning.pp_named table)
-            r.Partitioner.partitioning;
+            r.Partitioner.Response.partitioning;
         ])
       algos
   in

@@ -41,8 +41,8 @@ let () =
     evolution;
   (* Contrast the final online layout against offline HillClimb. *)
   let oracle = Vp_cost.Io_model.oracle disk workload in
-  let final = (Vp_algorithms.O2p.algorithm.Partitioner.run workload oracle) in
-  let hc = Vp_algorithms.Hillclimb.algorithm.Partitioner.run workload oracle in
-  Format.printf "@.final O2P cost:      %8.2f s@." final.Partitioner.cost;
+  let final = (Partitioner.exec Vp_algorithms.O2p.algorithm (Partitioner.Request.make ~cost:oracle workload)) in
+  let hc = Partitioner.exec Vp_algorithms.Hillclimb.algorithm (Partitioner.Request.make ~cost:oracle workload) in
+  Format.printf "@.final O2P cost:      %8.2f s@." final.Partitioner.Response.cost;
   Format.printf "offline HillClimb:   %8.2f s (the price of being online)@."
-    hc.Partitioner.cost
+    hc.Partitioner.Response.cost

@@ -45,15 +45,15 @@ let () =
   let disk = Vp_cost.Disk.default in
   let oracle = Vp_cost.Io_model.oracle disk workload in
   let hillclimb = Vp_algorithms.Hillclimb.algorithm in
-  let result = hillclimb.Partitioner.run workload oracle in
+  let result = Partitioner.exec hillclimb (Partitioner.Request.make ~cost:oracle workload) in
   (* 4. Inspect the result. *)
   Format.printf "HillClimb layout: %a@."
     (Partitioning.pp_named partsupp)
-    result.Partitioner.partitioning;
+    result.Partitioner.Response.partitioning;
   Format.printf "  estimated workload cost: %.2f s (found in %s, %d cost calls)@."
-    result.Partitioner.cost
-    (Vp_report.Ascii.seconds result.Partitioner.stats.Partitioner.elapsed_seconds)
-    result.Partitioner.stats.Partitioner.cost_calls;
+    result.Partitioner.Response.cost
+    (Vp_report.Ascii.seconds result.Partitioner.Response.stats.Partitioner.elapsed_seconds)
+    result.Partitioner.Response.stats.Partitioner.cost_calls;
   let n = Table.attribute_count partsupp in
   let cost p = Vp_cost.Io_model.workload_cost disk workload p in
   Format.printf "  row layout:    %.2f s@." (cost (Partitioning.row n));
@@ -61,4 +61,4 @@ let () =
   Format.printf "  improvement over row: %s@."
     (Vp_report.Ascii.percent
        (Vp_metrics.Measures.improvement_over disk workload
-          ~baseline:(Partitioning.row n) result.Partitioner.partitioning))
+          ~baseline:(Partitioning.row n) result.Partitioner.Response.partitioning))

@@ -28,8 +28,8 @@ let () =
   let n = Table.attribute_count table in
   let oracle = Vp_cost.Io_model.oracle disk workload in
   let hc =
-    (Vp_algorithms.Hillclimb.algorithm.Partitioner.run workload oracle)
-      .Partitioner.partitioning
+    (Partitioner.exec Vp_algorithms.Hillclimb.algorithm (Partitioner.Request.make ~cost:oracle workload))
+      .Partitioner.Response.partitioning
   in
   let layouts =
     [ ("Row", Partitioning.row n); ("Column", Partitioning.column n);

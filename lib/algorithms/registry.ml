@@ -15,20 +15,14 @@ let with_brute_force ?(brute_force = Brute_force.algorithm) () =
 
 let baselines = [ Baselines.row; Baselines.column ]
 
-let all = six @ [ Brute_force.algorithm ] @ baselines
+include Vp_core.Registry.Make (struct
+  type t = Partitioner.t
 
-let names = List.map (fun (p : Partitioner.t) -> p.name) all
+  let kind = "algorithm"
 
-let find_opt name =
-  let target = String.lowercase_ascii name in
-  List.find_opt
-    (fun (p : Partitioner.t) -> String.lowercase_ascii p.name = target)
-    all
+  let key (p : Partitioner.t) = p.name
 
-let find name =
-  match find_opt name with
-  | Some p -> p
-  | None ->
-      invalid_arg
-        (Printf.sprintf "unknown algorithm %S (valid algorithms: %s)" name
-           (String.concat ", " names))
+  let all = six @ [ Brute_force.algorithm ] @ baselines
+end)
+
+let names = list_names

@@ -1,7 +1,7 @@
 open Vp_core
 
 (** The standard line-up of algorithms, in the order the paper's figures
-    list them. *)
+    list them, behind the uniform {!Vp_core.Registry} interface. *)
 
 val six : Partitioner.t list
 (** The six surveyed heuristics: AutoPart, HillClimb, HYRISE, Navathe, O2P,
@@ -15,13 +15,11 @@ val with_brute_force : ?brute_force:Partitioner.t -> unit -> Partitioner.t list
 val baselines : Partitioner.t list
 (** Row and Column. *)
 
-val find : string -> Partitioner.t
-(** Look up any algorithm (the six, BruteForce, Row, Column) by
-    case-insensitive name.
-    @raise Invalid_argument on unknown names, listing the valid ones. *)
-
-val find_opt : string -> Partitioner.t option
-(** Like {!find} but [None] on unknown names. *)
+include Vp_core.Registry.S with type elt := Partitioner.t
+(** {!find}/{!find_opt} look up any algorithm (the six, BruteForce, Row,
+    Column) by case-insensitive name; {!find} raises [Invalid_argument]
+    on unknown names, listing the valid ones. {!list_names} preserves
+    registration order: the six, then BruteForce, then the baselines. *)
 
 val names : string list
-(** All names accepted by {!find}. *)
+(** Alias of {!list_names}. *)

@@ -15,8 +15,8 @@ let build ~replicas ~algorithm ~cost_factory workload =
       (fun indices ->
         let sub = sub_workload workload indices in
         let oracle = cost_factory sub in
-        let result = algorithm.Partitioner.run sub oracle in
-        (indices, result.Partitioner.partitioning))
+        let result = Partitioner.exec algorithm (Partitioner.Request.make ~cost:oracle sub) in
+        (indices, result.Partitioner.Response.partitioning))
       groups
   in
   { groups = laid_out }

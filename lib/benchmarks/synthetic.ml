@@ -1,7 +1,9 @@
 open Vp_core
 
-let workload ?(seed = 1337L) ?(rows = 1_000_000) ~attributes ~clusters
-    ~queries ~scatter () =
+(* [shift qi] rotates every attribute reference of query [qi]; the plain
+   generator uses the zero shift, the drift generator switches to a
+   half-table rotation mid-stream. *)
+let gen ~seed ~rows ~attributes ~clusters ~queries ~scatter ~shift =
   if attributes < 1 || attributes > Attr_set.max_attributes then
     invalid_arg "Synthetic.workload: attributes out of range";
   if clusters < 1 || clusters > attributes then
@@ -34,6 +36,7 @@ let workload ?(seed = 1337L) ?(rows = 1_000_000) ~attributes ~clusters
     let g = Vp_datagen.Prng.split base qi in
     let home = Vp_datagen.Prng.int g clusters in
     let lo, size = cluster_range home in
+    let rot = shift qi in
     let refs = ref Attr_set.empty in
     for k = 0 to size - 1 do
       let attr =
@@ -41,11 +44,27 @@ let workload ?(seed = 1337L) ?(rows = 1_000_000) ~attributes ~clusters
           Vp_datagen.Prng.int g attributes
         else lo + k
       in
-      refs := Attr_set.add attr !refs
+      refs := Attr_set.add ((attr + rot) mod attributes) !refs
     done;
     Query.make ~name:(Printf.sprintf "s%d" qi) ~references:!refs ()
   in
   Workload.make table (List.init queries query)
+
+let workload ?(seed = 1337L) ?(rows = 1_000_000) ~attributes ~clusters
+    ~queries ~scatter () =
+  gen ~seed ~rows ~attributes ~clusters ~queries ~scatter ~shift:(fun _ -> 0)
+
+let drift_workload ?(seed = 1337L) ?(rows = 1_000_000) ~attributes ~clusters
+    ~queries ~scatter ~drift_at () =
+  if drift_at < 0.0 || drift_at > 1.0 then
+    invalid_arg "Synthetic.drift_workload: drift_at outside [0, 1]";
+  let cut = int_of_float (drift_at *. float_of_int queries) in
+  (* Half a table plus one: never a multiple of the cluster width, so
+     post-drift footprints straddle the pre-drift cluster boundaries
+     instead of landing exactly on another cluster's range. *)
+  let rot = if attributes = 1 then 0 else (attributes / 2) + 1 in
+  gen ~seed ~rows ~attributes ~clusters ~queries ~scatter
+    ~shift:(fun qi -> if qi >= cut then rot else 0)
 
 let fragmentation w =
   let queries = Workload.queries w in

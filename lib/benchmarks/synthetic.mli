@@ -36,6 +36,30 @@ val workload :
     [1 .. Attr_set.max_attributes], [clusters] is not in [1 .. attributes],
     [queries <= 0], or [scatter] is outside [[0, 1]]. *)
 
+val drift_workload :
+  ?seed:int64 ->
+  ?rows:int ->
+  attributes:int ->
+  clusters:int ->
+  queries:int ->
+  scatter:float ->
+  drift_at:float ->
+  unit ->
+  Workload.t
+(** Like {!workload}, but the access pattern {e drifts} mid-stream: the
+    first [floor (drift_at * queries)] queries are generated exactly as
+    {!workload} would (same seed, same draws), and every later query has
+    all its attribute references rotated by [attributes / 2 + 1]
+    (mod [attributes]) — half the table plus one, so the shifted
+    footprints straddle the old cluster boundaries rather than landing
+    on another cluster's exact range. A layout trained on the pre-drift
+    prefix is therefore misaligned with the post-drift suffix — the
+    stress case for online re-partitioning (the stream replayed by
+    [vp online] and [Vp_online.Replay]). [drift_at = 0] drifts from the
+    first query, [drift_at = 1] (or [attributes = 1]) never drifts.
+    @raise Invalid_argument on the same conditions as {!workload}, or if
+    [drift_at] is outside [[0, 1]]. *)
+
 val fragmentation : Workload.t -> float
 (** A fragmentation score in [[0, 1]]: 1 minus the mean pairwise Jaccard
     similarity of the query footprints. Near 0 for highly regular

@@ -9,6 +9,38 @@ type stats = {
 
 type status = Complete | Timed_out of { steps : int; elapsed_seconds : float }
 
+module Request = struct
+  type t = {
+    workload : Workload.t;
+    cost : cost_fn;
+    budget : Vp_robust.Budget.t option;
+    label : string option;
+  }
+
+  let make ?budget ?label ~cost workload = { workload; cost; budget; label }
+
+  let workload r = r.workload
+
+  let effective_budget r =
+    match r.budget with Some b -> b | None -> Vp_robust.Budget.current ()
+end
+
+module Response = struct
+  type provenance = {
+    algorithm : string;
+    short_name : string;
+    label : string option;
+  }
+
+  type t = {
+    partitioning : Partitioning.t;
+    cost : float;
+    stats : stats;
+    status : status;
+    provenance : provenance;
+  }
+end
+
 type result = {
   partitioning : Partitioning.t;
   cost : float;
@@ -16,11 +48,18 @@ type result = {
   status : status;
 }
 
-type t = {
-  name : string;
-  short_name : string;
-  run : ?budget:Vp_robust.Budget.t -> Workload.t -> cost_fn -> result;
-}
+type t = { name : string; short_name : string; exec : Request.t -> Response.t }
+
+let exec t request = t.exec request
+
+let run t ?budget workload cost =
+  let r = t.exec (Request.make ?budget ~cost workload) in
+  {
+    partitioning = r.Response.partitioning;
+    cost = r.Response.cost;
+    stats = r.Response.stats;
+    status = r.Response.status;
+  }
 
 module Counted = struct
   type oracle = { f : cost_fn; mutable calls : int; mutable candidates : int }
@@ -42,7 +81,7 @@ module Counted = struct
   let candidates o = o.candidates
 end
 
-let finish ~budget ~cost_fn ~oracle ~t0 (partitioning, iterations) =
+let finish ~budget ~cost_fn ~oracle ~t0 ~provenance (partitioning, iterations) =
   let elapsed_seconds = Unix.gettimeofday () -. t0 in
   let status =
     if Vp_robust.Budget.exhausted budget then
@@ -52,7 +91,7 @@ let finish ~budget ~cost_fn ~oracle ~t0 (partitioning, iterations) =
     else Complete
   in
   {
-    partitioning;
+    Response.partitioning;
     cost = cost_fn partitioning;
     stats =
       {
@@ -62,31 +101,40 @@ let finish ~budget ~cost_fn ~oracle ~t0 (partitioning, iterations) =
         elapsed_seconds;
       };
     status;
+    provenance;
   }
 
 let c_algo_runs = Vp_observe.Stats.counter "algo.runs"
 
 let timed_run_budgeted ~name ~short_name body =
   let span_name = "algo:" ^ name in
-  let run ?budget workload cost_fn =
+  let exec (request : Request.t) =
     let go () =
       if Vp_observe.Switch.stats_on () then Vp_observe.Stats.incr c_algo_runs;
-      let budget =
-        match budget with Some b -> b | None -> Vp_robust.Budget.current ()
+      let budget = Request.effective_budget request in
+      let oracle = Counted.make request.Request.cost in
+      let provenance =
+        { Response.algorithm = name; short_name;
+          label = request.Request.label }
       in
-      let oracle = Counted.make cost_fn in
       let t0 = Unix.gettimeofday () in
-      finish ~budget ~cost_fn ~oracle ~t0 (body ~budget workload oracle)
+      finish ~budget ~cost_fn:request.Request.cost ~oracle ~t0 ~provenance
+        (body ~budget request.Request.workload oracle)
     in
     (* The span args are only built on the traced path; untraced runs take
        the one-branch fast path through [go] directly. *)
     if Vp_observe.Switch.trace_on () then
       Vp_observe.Trace.with_span ~name:span_name
-        ~args:[ ("table", Table.name (Workload.table workload)) ]
+        ~args:
+          (("table", Table.name (Workload.table request.Request.workload))
+          ::
+          (match request.Request.label with
+          | Some l -> [ ("label", l) ]
+          | None -> []))
         go
     else go ()
   in
-  { name; short_name; run }
+  { name; short_name; exec }
 
 let timed_run ~name ~short_name body =
   timed_run_budgeted ~name ~short_name (fun ~budget:_ workload oracle ->

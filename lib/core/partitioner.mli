@@ -1,10 +1,13 @@
 (** The common interface every vertical partitioning algorithm implements,
     plus instrumentation shared by all of them.
 
-    Algorithms receive a {!Workload.t} and a cost oracle, and return a
-    {!Partitioning.t} with run statistics. The cost oracle abstracts the
-    cost model (disk I/O or main-memory), so the same algorithm code runs
-    under every model — the paper's "unified setting". *)
+    Algorithms receive a {!Request.t} — the workload, a cost oracle, an
+    optional budget and an optional instrumentation label — and return a
+    {!Response.t}: a {!Partitioning.t} with run statistics, a degradation
+    status and provenance. The cost oracle abstracts the cost model (disk
+    I/O, main-memory, cached or not), so the same algorithm code runs
+    under every model — the paper's "unified setting" — and the oracle a
+    caller constructs is where disk profile and cache policy are chosen. *)
 
 type cost_fn = Partitioning.t -> float
 (** Estimated workload cost of a candidate partitioning. Lower is better.
@@ -25,22 +28,72 @@ type status =
           DESIGN.md "Degradation contract"); [steps] and
           [elapsed_seconds] describe the budget at exhaustion. *)
 
+(** What a partitioner is asked to do: one record instead of the
+    optional-argument soup that accreted on [run] across releases. Build
+    one with {!Request.make}; unspecified fields keep today's ambient
+    behaviour (ambient budget, no label). *)
+module Request : sig
+  type t = {
+    workload : Workload.t;
+    cost : cost_fn;  (** The cost oracle (encodes disk + cache policy). *)
+    budget : Vp_robust.Budget.t option;
+        (** [None] means the ambient {!Vp_robust.Budget.current}. *)
+    label : string option;
+        (** Instrumentation tag, echoed into the response provenance and
+            (on traced runs) the algorithm span's args. *)
+  }
+
+  val make :
+    ?budget:Vp_robust.Budget.t ->
+    ?label:string ->
+    cost:cost_fn ->
+    Workload.t ->
+    t
+
+  val workload : t -> Workload.t
+
+  val effective_budget : t -> Vp_robust.Budget.t
+  (** The explicit budget if any, else the ambient one. *)
+end
+
+(** What a partitioner answers: the layout plus everything needed to audit
+    where it came from. *)
+module Response : sig
+  type provenance = {
+    algorithm : string;  (** {!t.name} of the algorithm that ran. *)
+    short_name : string;
+    label : string option;  (** The request's label, echoed back. *)
+  }
+
+  type t = {
+    partitioning : Partitioning.t;
+    cost : float;  (** Cost of [partitioning] under the request's oracle. *)
+    stats : stats;
+    status : status;
+    provenance : provenance;
+  }
+end
+
 type result = {
   partitioning : Partitioning.t;
-  cost : float;  (** Cost of [partitioning] under the supplied oracle. *)
+  cost : float;
   stats : stats;
   status : status;
 }
+(** Legacy result record, kept for the deprecated {!run} shim. *)
 
-type t = {
-  name : string;
-  short_name : string;  (** e.g. "HC" for HillClimb, used in layout grids. *)
-  run : ?budget:Vp_robust.Budget.t -> Workload.t -> cost_fn -> result;
-}
-(** A named algorithm. [run] must return a valid partitioning of the
-    workload's table, budgeted or not. [budget] defaults to the ambient
-    {!Vp_robust.Budget.current}, itself {!Vp_robust.Budget.unlimited}
-    unless a caller installed one. *)
+type t = { name : string; short_name : string; exec : Request.t -> Response.t }
+(** A named algorithm. [exec] must return a valid partitioning of the
+    request workload's table, budgeted or not. *)
+
+val exec : t -> Request.t -> Response.t
+(** [exec t request] is [t.exec request] — the one entry point every call
+    site (bin, bench, experiments, tests) goes through. *)
+
+val run : t -> ?budget:Vp_robust.Budget.t -> Workload.t -> cost_fn -> result
+(** @deprecated Thin shim over {!exec} for one release: builds a
+    {!Request.t} from the old optional-argument calling convention and
+    drops the response provenance. New code must use {!exec}. *)
 
 (** A counting wrapper around a cost oracle, used by algorithm
     implementations to fill in {!stats} without threading counters
@@ -82,6 +135,6 @@ val timed_run_budgeted :
   Partitioning.t * int) ->
   t
 (** Like {!timed_run}, but the body receives the effective budget (the
-    [?budget] argument, else the ambient one) and is expected to
+    request's budget, else the ambient one) and is expected to
     {!Vp_robust.Budget.tick} as it searches, returning its best-so-far
     partitioning when the budget runs out. *)

@@ -1,0 +1,50 @@
+module type SPEC = sig
+  type t
+
+  val kind : string
+
+  val key : t -> string
+
+  val all : t list
+end
+
+module type S = sig
+  type elt
+
+  val all : elt list
+
+  val list_names : string list
+
+  val find_opt : string -> elt option
+
+  val find : string -> elt
+end
+
+module Make (Spec : SPEC) : S with type elt = Spec.t = struct
+  type elt = Spec.t
+
+  let all = Spec.all
+
+  let list_names = List.map Spec.key all
+
+  let () =
+    let sorted = List.sort_uniq String.compare
+        (List.map String.lowercase_ascii list_names)
+    in
+    if List.length sorted <> List.length list_names then
+      invalid_arg
+        (Printf.sprintf "Registry.Make: duplicate %s names" Spec.kind)
+
+  let find_opt name =
+    let target = String.lowercase_ascii name in
+    List.find_opt (fun x -> String.lowercase_ascii (Spec.key x) = target) all
+
+  let find name =
+    match find_opt name with
+    | Some x -> x
+    | None ->
+        invalid_arg
+          (Printf.sprintf "unknown %s %S (valid %ss: %s)" Spec.kind name
+             Spec.kind
+             (String.concat ", " list_names))
+end

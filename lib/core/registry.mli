@@ -1,0 +1,47 @@
+(** The one registry implementation behind every by-name catalogue in the
+    repo ([Vp_algorithms.Registry], [Vp_experiments.Registry], the online
+    service's re-opt engines). Both registries historically grew divergent
+    [find]/[find_opt]/error conventions; this functor pins them down:
+
+    - lookups are case-insensitive;
+    - {!S.find} raises [Invalid_argument] with the uniform message
+      ["unknown <kind> \"name\" (valid <kind>s: a, b, ...)"];
+    - {!S.list_names} returns the registered names (original casing) in
+      registration order — the order of [SPEC.all] — which callers may
+      rely on for rendering and for deterministic iteration;
+    - duplicate names (case-insensitive) are rejected at functor
+      application time. *)
+
+module type SPEC = sig
+  type t
+
+  val kind : string
+  (** Noun used in error messages, e.g. ["algorithm"] or ["experiment"]. *)
+
+  val key : t -> string
+  (** The name an entry is registered under. *)
+
+  val all : t list
+  (** Every entry, in the order {!S.list_names} must preserve. *)
+end
+
+module type S = sig
+  type elt
+
+  val all : elt list
+  (** The entries, in registration order. *)
+
+  val list_names : string list
+  (** Names of {!all}, same order (the ordering guarantee). *)
+
+  val find_opt : string -> elt option
+  (** Case-insensitive lookup; [None] on unknown names. *)
+
+  val find : string -> elt
+  (** Case-insensitive lookup.
+      @raise Invalid_argument on unknown names, listing the valid ones. *)
+end
+
+module Make (Spec : SPEC) : S with type elt = Spec.t
+(** @raise Invalid_argument if two entries share a name
+    (case-insensitive). *)

@@ -15,7 +15,7 @@ let algorithms profile =
 let algorithms_with_baselines profile =
   algorithms profile @ Vp_algorithms.Registry.baselines
 
-type table_run = { workload : Workload.t; result : Partitioner.result }
+type table_run = { workload : Workload.t; result : Partitioner.Response.t }
 
 type algo_run = {
   algo : Partitioner.t;
@@ -38,18 +38,18 @@ let run_algorithms_on profile workloads algos =
         List.map
           (fun workload ->
             let oracle = cached_oracle profile workload in
-            { workload; result = algo.run workload oracle })
+            { workload; result = Partitioner.exec algo (Partitioner.Request.make ~cost:oracle workload) })
           workloads
       in
       {
         algo;
         per_table;
         total_cost =
-          List.fold_left (fun acc r -> acc +. r.result.Partitioner.cost) 0.0 per_table;
+          List.fold_left (fun acc r -> acc +. r.result.Partitioner.Response.cost) 0.0 per_table;
         optimization_time =
           List.fold_left
             (fun acc r ->
-              acc +. r.result.Partitioner.stats.Partitioner.elapsed_seconds)
+              acc +. r.result.Partitioner.Response.stats.Partitioner.elapsed_seconds)
             0.0 per_table;
       })
     algos
@@ -77,7 +77,7 @@ let entries_of run =
     (fun r ->
       {
         Vp_metrics.Measures.Aggregate.workload = r.workload;
-        partitioning = r.result.Partitioner.partitioning;
+        partitioning = r.result.Partitioner.Response.partitioning;
       })
     run.per_table
 

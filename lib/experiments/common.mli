@@ -24,7 +24,7 @@ val algorithms_with_baselines : Vp_cost.Disk.t -> Partitioner.t list
 
 type table_run = {
   workload : Workload.t;
-  result : Partitioner.result;
+  result : Partitioner.Response.t;
 }
 
 type algo_run = {

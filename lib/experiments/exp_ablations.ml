@@ -15,10 +15,10 @@ let sweep algos =
       List.iter
         (fun w ->
           let oracle = Vp_cost.Io_model.oracle Common.disk w in
-          let r = a.run w oracle in
-          cost := !cost +. r.Partitioner.cost;
-          time := !time +. r.Partitioner.stats.Partitioner.elapsed_seconds;
-          calls := !calls + r.Partitioner.stats.Partitioner.cost_calls)
+          let r = Partitioner.exec a (Partitioner.Request.make ~cost:oracle w) in
+          cost := !cost +. r.Partitioner.Response.cost;
+          time := !time +. r.Partitioner.Response.stats.Partitioner.elapsed_seconds;
+          calls := !calls + r.Partitioner.Response.stats.Partitioner.cost_calls)
         (tpch ());
       [
         label;
@@ -109,15 +109,15 @@ let weighted_workloads () =
             let w = transform w0 in
             let n = Table.attribute_count (Workload.table w) in
             let oracle = Vp_cost.Io_model.oracle Common.disk w in
-            let r = hillclimb.Partitioner.run w oracle in
-            layout_cost := !layout_cost +. r.Partitioner.cost;
+            let r = Partitioner.exec hillclimb (Partitioner.Request.make ~cost:oracle w) in
+            layout_cost := !layout_cost +. r.Partitioner.Response.cost;
             column_cost := !column_cost +. oracle (Partitioning.column n);
             let base_oracle = Vp_cost.Io_model.oracle Common.disk w0 in
-            let base = hillclimb.Partitioner.run w0 base_oracle in
+            let base = Partitioner.exec hillclimb (Partitioner.Request.make ~cost:base_oracle w0) in
             if
               not
-                (Partitioning.equal r.Partitioner.partitioning
-                   base.Partitioner.partitioning)
+                (Partitioning.equal r.Partitioner.Response.partitioning
+                   base.Partitioner.Response.partitioning)
             then incr moved)
           (tpch ());
         [

@@ -38,7 +38,7 @@ let layout_for name workload =
   | algo_name ->
       let a = Vp_algorithms.Registry.find algo_name in
       let oracle = Vp_cost.Io_model.oracle sim_disk workload in
-      (a.Partitioner.run workload oracle).Partitioner.partitioning
+      (Partitioner.exec a (Partitioner.Request.make ~cost:oracle workload)).Partitioner.Response.partitioning
 
 let drop_excluded workload =
   Workload.make (Workload.table workload)

@@ -9,7 +9,7 @@ let layouts_under_default name =
   let run = Common.find_run name in
   List.map
     (fun (r : Common.table_run) ->
-      (r.workload, r.result.Partitioner.partitioning))
+      (r.workload, r.result.Partitioner.Response.partitioning))
     run.per_table
 
 let subjects = [ "HillClimb"; "Navathe"; "Column"; "Row" ]

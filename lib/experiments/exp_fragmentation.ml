@@ -17,8 +17,8 @@ let improvement_over_column disk workloads =
     (fun w ->
       let n = Table.attribute_count (Workload.table w) in
       let oracle = Vp_cost.Io_model.oracle disk w in
-      let r = hillclimb.Partitioner.run w oracle in
-      layout := !layout +. r.Partitioner.cost;
+      let r = Partitioner.exec hillclimb (Partitioner.Request.make ~cost:oracle w) in
+      layout := !layout +. r.Partitioner.Response.cost;
       column := !column +. oracle (Partitioning.column n))
     workloads;
   (!column -. !layout) /. !column

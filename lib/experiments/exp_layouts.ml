@@ -44,7 +44,7 @@ let fig14 () =
           (fun name ->
             let run = Common.find_run name in
             let table_result = List.nth run.per_table ti in
-            (name, table_result.result.Partitioner.partitioning))
+            (name, table_result.result.Partitioner.Response.partitioning))
           algo_order
       in
       Buffer.add_string buf (grid_for tr.workload results);

@@ -9,8 +9,8 @@ let improvement_over_column ~cost_of workloads (a : Partitioner.t) =
     (fun w ->
       let n = Table.attribute_count (Workload.table w) in
       let oracle = cost_of w in
-      let r = a.run w oracle in
-      layout := !layout +. r.Partitioner.cost;
+      let r = Partitioner.exec a (Partitioner.Request.make ~cost:oracle w) in
+      layout := !layout +. r.Partitioner.Response.cost;
       column := !column +. oracle (Partitioning.column n))
     workloads;
   (!column -. !layout) /. !column

@@ -12,7 +12,7 @@ let payoff_against baseline_of (run : Common.algo_run) =
     List.map
       (fun (r : Common.table_run) ->
         let n = Table.attribute_count (Workload.table r.workload) in
-        (r.workload, baseline_of n, r.result.Partitioner.partitioning))
+        (r.workload, baseline_of n, r.result.Partitioner.Response.partitioning))
       run.per_table
   in
   Vp_metrics.Payoff.aggregate Common.disk

@@ -32,7 +32,7 @@ let run () =
   let hillclimb = Vp_algorithms.Registry.find "HillClimb" in
   let base_oracle = Vp_cost.Io_model.oracle disk workload in
   let base_layout =
-    (hillclimb.Partitioner.run workload base_oracle).Partitioner.partitioning
+    (Partitioner.exec hillclimb (Partitioner.Request.make ~cost:base_oracle workload)).Partitioner.Response.partitioning
   in
   let rows =
     List.map
@@ -40,17 +40,17 @@ let run () =
         let oracle =
           Vp_cost.Selection_model.oracle disk workload (selection selectivity)
         in
-        let r = hillclimb.Partitioner.run workload oracle in
+        let r = Partitioner.exec hillclimb (Partitioner.Request.make ~cost:oracle workload) in
         let same =
-          Partitioning.equal r.Partitioner.partitioning base_layout
+          Partitioning.equal r.Partitioner.Response.partitioning base_layout
         in
         let saving =
-          (oracle base_layout -. r.Partitioner.cost)
+          (oracle base_layout -. r.Partitioner.Response.cost)
           /. oracle base_layout
         in
         [
           Printf.sprintf "%.0e" selectivity;
-          Printf.sprintf "%.1f" r.Partitioner.cost;
+          Printf.sprintf "%.1f" r.Partitioner.Response.cost;
           (if same then "unchanged" else "diverged");
           Vp_report.Ascii.percent saving;
         ])

@@ -10,8 +10,8 @@ let reoptimized_cost profile (a : Partitioner.t) workloads =
   List.fold_left
     (fun acc w ->
       let oracle = Common.cached_oracle profile w in
-      let r = a.run w oracle in
-      acc +. r.Partitioner.cost)
+      let r = Partitioner.exec a (Partitioner.Request.make ~cost:oracle w) in
+      acc +. r.Partitioner.Response.cost)
     0.0 workloads
 
 let column_cost profile workloads =

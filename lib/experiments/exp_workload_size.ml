@@ -17,9 +17,9 @@ let fig7 () =
         if Workload.query_count w > 0 then begin
           let n = Table.attribute_count (Workload.table w) in
           let oracle = Vp_cost.Io_model.oracle Common.disk w in
-          let r = a.run w oracle in
+          let r = Partitioner.exec a (Partitioner.Request.make ~cost:oracle w) in
           column_cost := !column_cost +. oracle (Partitioning.column n);
-          layout_cost := !layout_cost +. r.Partitioner.cost
+          layout_cost := !layout_cost +. r.Partitioner.Response.cost
         end)
       Vp_benchmarks.Tpch.table_names;
     100.0 *. (!column_cost -. !layout_cost) /. !column_cost
@@ -49,10 +49,10 @@ let table3 () =
            if Workload.query_count w = 0 then "-"
            else begin
              let oracle = Vp_cost.Io_model.oracle Common.disk w in
-             let r = a.run w oracle in
+             let r = Partitioner.exec a (Partitioner.Request.make ~cost:oracle w) in
              Vp_report.Ascii.percent
                (Vp_metrics.Measures.unnecessary_data_read Common.disk w
-                  r.Partitioner.partitioning)
+                  r.Partitioner.Response.partitioning)
            end)
          ks
   in
@@ -74,10 +74,10 @@ let table4 () =
            if Workload.query_count w = 0 then "-"
            else begin
              let oracle = Vp_cost.Io_model.oracle Common.disk w in
-             let r = hillclimb.run w oracle in
+             let r = Partitioner.exec hillclimb (Partitioner.Request.make ~cost:oracle w) in
              Vp_report.Ascii.float3
                (Vp_metrics.Measures.avg_tuple_reconstruction_joins w
-                  r.Partitioner.partitioning)
+                  r.Partitioner.Response.partitioning)
            end)
          ks
   in

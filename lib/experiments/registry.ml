@@ -5,7 +5,7 @@ type experiment = {
   run : unit -> string;
 }
 
-let all =
+let catalogue =
   [
     {
       id = "table1";
@@ -170,16 +170,14 @@ let all =
     };
   ]
 
-let ids = List.map (fun e -> e.id) all
+include Vp_core.Registry.Make (struct
+  type t = experiment
 
-let find_opt id =
-  let target = String.lowercase_ascii id in
-  List.find_opt (fun e -> String.lowercase_ascii e.id = target) all
+  let kind = "experiment"
 
-let find id =
-  match find_opt id with
-  | Some e -> e
-  | None ->
-      invalid_arg
-        (Printf.sprintf "unknown experiment %S (valid ids: %s)" id
-           (String.concat ", " ids))
+  let key e = e.id
+
+  let all = catalogue
+end)
+
+let ids = list_names

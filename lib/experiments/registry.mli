@@ -1,6 +1,6 @@
 (** The experiment catalogue: every table and figure of the paper's
-    evaluation, addressable by id. Ids follow DESIGN.md's experiment
-    index. *)
+    evaluation, addressable by id, behind the uniform {!Vp_core.Registry}
+    interface. Ids follow DESIGN.md's experiment index. *)
 
 type experiment = {
   id : string;  (** e.g. "fig3" or "table5". *)
@@ -9,15 +9,11 @@ type experiment = {
   run : unit -> string;  (** Produces the rendered report. *)
 }
 
-val all : experiment list
-(** In presentation order (Tables 1-2, Figures 1-14, Tables 3-7,
-    ablations). *)
-
-val find : string -> experiment
-(** Case-insensitive lookup by id.
-    @raise Invalid_argument on unknown ids, listing the valid ones. *)
-
-val find_opt : string -> experiment option
-(** Like {!find} but [None] on unknown ids. *)
+include Vp_core.Registry.S with type elt := experiment
+(** {!all} and {!list_names} are in presentation order (Tables 1-2,
+    Figures 1-14, Tables 3-7, extensions, ablations); {!find} is a
+    case-insensitive lookup raising [Invalid_argument] on unknown ids,
+    listing the valid ones. *)
 
 val ids : string list
+(** Alias of {!list_names}. *)

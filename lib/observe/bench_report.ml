@@ -1,4 +1,4 @@
-let schema_version = 3
+let schema_version = 4
 
 type algo_entry = {
   algorithm : string;
@@ -18,12 +18,27 @@ type host = {
   recommended_domains : int;
 }
 
+type online_entry = {
+  trace : string;
+  queries : int;
+  reopts : int;
+  adopted : int;
+  rejected : int;
+  final_generation : int;
+  online_cost : float;
+  row_cost : float;
+  column_cost : float;
+  oneshot_cost : float;
+  oneshot_algorithm : string;
+}
+
 type t = {
   benchmark : string;
   scale_factor : float;
   mode : string;
   jobs : int;
   algorithms : algo_entry list;
+  online : online_entry list;
   counters : (string * int) list;
   host : host;
 }
@@ -56,6 +71,26 @@ let algo_json e =
       ("cache_hit_rate", Json.Float (hit_rate e));
     ]
 
+let adoption_rate e =
+  if e.reopts = 0 then 0.0 else float_of_int e.adopted /. float_of_int e.reopts
+
+let online_json e =
+  Json.Obj
+    [
+      ("trace", Json.String e.trace);
+      ("queries", Json.Int e.queries);
+      ("reopts", Json.Int e.reopts);
+      ("adopted", Json.Int e.adopted);
+      ("rejected", Json.Int e.rejected);
+      ("adoption_rate", Json.Float (adoption_rate e));
+      ("final_generation", Json.Int e.final_generation);
+      ("online_cost", Json.Float e.online_cost);
+      ("row_cost", Json.Float e.row_cost);
+      ("column_cost", Json.Float e.column_cost);
+      ("oneshot_cost", Json.Float e.oneshot_cost);
+      ("oneshot_algorithm", Json.String e.oneshot_algorithm);
+    ]
+
 let host_json h =
   Json.Obj
     [
@@ -76,6 +111,7 @@ let to_json r =
       ("mode", Json.String r.mode);
       ("jobs", Json.Int r.jobs);
       ("algorithms", Json.List (List.map algo_json r.algorithms));
+      ("online", Json.List (List.map online_json r.online));
       ( "counters",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters) );
       ("host", host_json r.host);
@@ -130,6 +166,7 @@ let validate doc =
           ("mode", Fstring);
           ("jobs", Fint);
           ("algorithms", Flist);
+          ("online", Flist);
           ("counters", Fobj);
           ("host", Fobj);
         ]
@@ -172,6 +209,47 @@ let validate doc =
                   | _ -> errors)
                 errors
                 [ "cache_hits"; "cache_misses" ])
+            errors
+            (List.mapi (fun i e -> (i, e)) entries)
+      | _ -> errors
+    in
+    let errors =
+      (* [online] may be empty (modes that replay no stream), but every
+         entry must be well-typed with non-negative decision counts. *)
+      match Json.member "online" doc with
+      | Some (Json.List entries) ->
+          List.fold_left
+            (fun errors (i, entry) ->
+              let path = Printf.sprintf "$.online[%d]" i in
+              let errors =
+                match entry with
+                | Json.Obj _ ->
+                    check_fields ~path
+                      [
+                        ("trace", Fstring);
+                        ("queries", Fint);
+                        ("reopts", Fint);
+                        ("adopted", Fint);
+                        ("rejected", Fint);
+                        ("adoption_rate", Fnumber);
+                        ("final_generation", Fint);
+                        ("online_cost", Fnumber);
+                        ("row_cost", Fnumber);
+                        ("column_cost", Fnumber);
+                        ("oneshot_cost", Fnumber);
+                        ("oneshot_algorithm", Fstring);
+                      ]
+                      entry errors
+                | _ -> Printf.sprintf "%s: expected an object" path :: errors
+              in
+              List.fold_left
+                (fun errors name ->
+                  match Json.member name entry with
+                  | Some (Json.Int v) when v < 0 ->
+                      Printf.sprintf "%s.%s: must be >= 0" path name :: errors
+                  | _ -> errors)
+                errors
+                [ "queries"; "reopts"; "adopted"; "rejected"; "final_generation" ])
             errors
             (List.mapi (fun i e -> (i, e)) entries)
       | _ -> errors

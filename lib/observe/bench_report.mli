@@ -13,8 +13,9 @@
 
 val schema_version : int
 (** Bumped whenever a field is renamed, retyped or removed (adding
-    fields is compatible). Currently [3], matching this PR's
-    [BENCH_3.json]. *)
+    fields is compatible). Currently [4]: v4 adds the required [online]
+    section (the online layout service's replay outcomes) emitted into
+    [BENCH_4.json] by [bench --mode online]. *)
 
 type algo_entry = {
   algorithm : string;
@@ -34,18 +35,41 @@ type host = {
   recommended_domains : int;
 }
 
+type online_entry = {
+  trace : string;  (** replayed stream (table name) *)
+  queries : int;
+  reopts : int;  (** re-optimizations triggered *)
+  adopted : int;
+  rejected : int;
+  final_generation : int;
+  online_cost : float;  (** cumulative estimated cost incl. migrations *)
+  row_cost : float;  (** same stream under the static row layout *)
+  column_cost : float;  (** static column layout + one migration *)
+  oneshot_cost : float;  (** one-shot batch layout + one migration *)
+  oneshot_algorithm : string;
+}
+(** One replayed stream of [bench --mode online] ([Vp_online.Replay]'s
+    outcome, flattened — this module sits below [vp_online] in the
+    stack, so the harness copies the fields over). *)
+
 type t = {
   benchmark : string;   (** e.g. ["tpch"] *)
   scale_factor : float;
   mode : string;        (** the bench [--mode] that ran *)
   jobs : int;
   algorithms : algo_entry list;
+  online : online_entry list;
+      (** Online replay outcomes; [[]] for modes that replay no
+          stream. *)
   counters : (string * int) list;  (** merged snapshot, sorted *)
   host : host;
 }
 
 val hit_rate : algo_entry -> float
 (** [hits / (hits + misses)], [0.] when there were no lookups. *)
+
+val adoption_rate : online_entry -> float
+(** [adopted / reopts], [0.] when nothing was triggered. *)
 
 val current_host : unit -> host
 

@@ -1,0 +1,60 @@
+open Vp_core
+
+(** Replays a workload as a query stream through {!Service} and scores
+    the outcome against static baselines.
+
+    The comparison is an accounting over one pass of the stream, with
+    every contender starting from the table's native row layout:
+
+    - {e online}: each query is charged its estimated cost under the
+      layout current when it arrived, plus the migration estimate of
+      every adopted generation ({!Service.cumulative_cost});
+    - {e Row}: the stream under the row layout — no migration (the
+      table is already there);
+    - {e Column}: the stream under the all-singletons layout, plus one
+      migration into it;
+    - {e one-shot}: a batch algorithm run once over the first [warmup]
+      queries (all a static system has seen at layout time), its layout
+      fixed for the whole stream, plus one migration.
+
+    On a drifting stream the one-shot layout is trained before the
+    drift and pays for it afterwards; the acceptance bar for this PR is
+    online beating one-shot by at least 10% ([test_online.ml]). *)
+
+type outcome = {
+  trace : string;  (** Label of the replayed stream (table name). *)
+  queries : int;
+  reopts : int;  (** Re-optimizations triggered. *)
+  adopted : int;
+  rejected : int;
+  final_generation : int;
+  online_cost : float;  (** {!Service.cumulative_cost}. *)
+  online_query_cost : float;
+  online_migration_cost : float;
+  row_cost : float;
+  column_cost : float;
+  oneshot_cost : float;
+  oneshot_algorithm : string;
+  history : string;  (** {!Service.history} of the replayed service. *)
+  events : Service.event list;
+}
+
+val adoption_rate : outcome -> float
+(** [adopted / reopts]; [0.] when nothing was triggered. *)
+
+val run :
+  config:Service.config ->
+  ?oneshot:Partitioner.t ->
+  ?warmup:int ->
+  Workload.t ->
+  outcome
+(** [run ~config w] streams [w]'s queries, in order, into a fresh
+    service over [w]'s table. [oneshot] is the baseline batch algorithm
+    (default: the head of [config.panel]); [warmup] is its training
+    prefix (default: [min 32 (query_count w)], at least 1).
+    @raise Invalid_argument if [w] has no queries. *)
+
+val summary : outcome -> string
+(** A small human-readable report: stream, decisions, adoption rate and
+    the cost comparison with improvement percentages. Deterministic
+    (model estimates only). *)

@@ -1,0 +1,297 @@
+open Vp_core
+
+type config = {
+  disk : Vp_cost.Disk.t;
+  panel : Partitioner.t list;
+  drift_ratio : float;
+  min_window : int;
+  epoch : int;
+  memory : int;
+  horizon : float;
+  budget_steps : int option;
+  jobs : int;
+}
+
+let default_config ?(drift_ratio = 2.0) ?(min_window = 8) ?(epoch = 64)
+    ?(memory = 32) ?(horizon = 1.0) ?budget_steps ?(jobs = 1) ~disk ~panel ()
+    =
+  if panel = [] then invalid_arg "Service.default_config: empty panel";
+  if drift_ratio <= 0.0 then
+    invalid_arg "Service.default_config: drift_ratio <= 0";
+  if min_window < 1 then invalid_arg "Service.default_config: min_window < 1";
+  if epoch < 0 then invalid_arg "Service.default_config: epoch < 0";
+  if memory < 0 then invalid_arg "Service.default_config: memory < 0";
+  if horizon <= 0.0 then invalid_arg "Service.default_config: horizon <= 0";
+  if jobs < 1 then invalid_arg "Service.default_config: jobs < 1";
+  {
+    disk;
+    panel;
+    drift_ratio;
+    min_window;
+    epoch;
+    memory;
+    horizon;
+    budget_steps;
+    jobs;
+  }
+
+type trigger = Drift of float | Epoch
+
+type verdict = Adopted | Rejected
+
+type event = {
+  generation : int;
+  trigger_query : int;
+  trigger : trigger;
+  algorithm : string;
+  cost_before : float;
+  cost_after : float;
+  migration : float;
+  payoff : float;
+  verdict : verdict;
+}
+
+type t = {
+  config : config;
+  table : Table.t;
+  mutable workload : Workload.t;
+  affinity : Affinity.t;
+  mutable layout : Partitioning.t;
+  mutable generation : int;
+  mutable ingested : int;
+  mutable query_cost : float;
+  mutable migration_cost : float;
+  (* Sliding drift window: (cost, lower bound) of the last [min_window]
+     queries, cleared after every decision so a rejected candidate does
+     not refire on the very next query. *)
+  ring : (float * float) array;
+  mutable ring_len : int;
+  mutable ring_pos : int;
+  mutable since_decision : int;
+  mutable events : event list; (* newest first *)
+}
+
+let c_ingested = Vp_observe.Stats.counter "online.ingested"
+
+let c_reopts = Vp_observe.Stats.counter "online.reopts"
+
+let c_adopted = Vp_observe.Stats.counter "online.adopted"
+
+let c_rejected = Vp_observe.Stats.counter "online.rejected"
+
+let create config table =
+  if config.panel = [] then invalid_arg "Service.create: empty panel";
+  if config.min_window < 1 then invalid_arg "Service.create: min_window < 1";
+  let n = Table.attribute_count table in
+  {
+    config;
+    table;
+    workload = Workload.make table [];
+    affinity = Affinity.create n;
+    layout = Partitioning.row n;
+    generation = 0;
+    ingested = 0;
+    query_cost = 0.0;
+    migration_cost = 0.0;
+    ring = Array.make config.min_window (0.0, 0.0);
+    ring_len = 0;
+    ring_pos = 0;
+    since_decision = 0;
+    events = [];
+  }
+
+let config t = t.config
+
+let table t = t.table
+
+let layout t = t.layout
+
+let generation t = t.generation
+
+let ingested t = t.ingested
+
+let workload t = t.workload
+
+let affinity t = t.affinity
+
+let events t = List.rev t.events
+
+let reopts t = List.length t.events
+
+let adoptions t =
+  List.length (List.filter (fun e -> e.verdict = Adopted) t.events)
+
+let cumulative_query_cost t = t.query_cost
+
+let cumulative_migration_cost t = t.migration_cost
+
+let cumulative_cost t = t.query_cost +. t.migration_cost
+
+(* One re-optimization: race the panel over the whole ingested workload,
+   each member under its own fresh step budget (sharing one budget across
+   concurrent members would make exhaustion points depend on scheduling),
+   then apply the pay-off adoption rule against the incumbent. Every
+   input to the decision is a model estimate, so the decision — and the
+   recorded event — is identical for every [jobs] value. *)
+(* The workload the re-optimizer sees: the most recent [memory] queries
+   (all of them when [memory = 0]). Bounding the memory is what lets the
+   service actually track drift — over the full history the pre-drift
+   queries dominate forever, and every post-drift candidate looks
+   marginal. The full-history workload and affinity matrix remain
+   available via the accessors. *)
+let recent_workload t =
+  let memory = t.config.memory in
+  if memory = 0 || t.ingested <= memory then t.workload
+  else
+    let queries = Workload.queries t.workload in
+    let k = Array.length queries - memory in
+    Workload.make t.table (Array.to_list (Array.sub queries k memory))
+
+let reoptimize t ~trigger =
+  if Vp_observe.Switch.stats_on () then Vp_observe.Stats.incr c_reopts;
+  let { disk; panel; horizon; budget_steps; jobs; _ } = t.config in
+  let w = recent_workload t in
+  let cost_before = Vp_cost.Io_model.workload_cost disk w t.layout in
+  let label = Printf.sprintf "online:reopt%d" (reopts t + 1) in
+  let run_panel () =
+    Vp_parallel.Pool.with_pool ~jobs @@ fun pool ->
+    Vp_parallel.Pool.map pool
+      (fun (algo : Partitioner.t) ->
+        let oracle = Vp_cost.Io_model.oracle disk w in
+        let request =
+          match budget_steps with
+          | Some max_steps ->
+              Partitioner.Request.make
+                ~budget:(Vp_robust.Budget.create ~max_steps ())
+                ~label ~cost:oracle w
+          | None -> Partitioner.Request.make ~label ~cost:oracle w
+        in
+        Partitioner.exec algo request)
+      panel
+  in
+  let responses =
+    (* Span args only on the traced path (zero-overhead contract). *)
+    if Vp_observe.Switch.trace_on () then
+      Vp_observe.Trace.with_span ~name:"online.reopt"
+        ~args:
+          [
+            ("table", Table.name t.table);
+            ("queries", string_of_int t.ingested);
+            ( "trigger",
+              match trigger with
+              | Drift r -> Printf.sprintf "drift=%.4f" r
+              | Epoch -> "epoch" );
+          ]
+        run_panel
+    else run_panel ()
+  in
+  let winner =
+    match responses with
+    | [] -> assert false (* config validation forbids an empty panel *)
+    | first :: rest ->
+        List.fold_left
+          (fun (best : Partitioner.Response.t) (r : Partitioner.Response.t) ->
+            if r.Partitioner.Response.cost < best.Partitioner.Response.cost
+            then r
+            else best)
+          first rest
+  in
+  let candidate = winner.Partitioner.Response.partitioning in
+  (* The paper's pay-off factor with zero optimization time: wall-clock
+     must not leak into the decision, or replays stop being
+     deterministic. *)
+  let payoff =
+    Vp_metrics.Payoff.compute disk w ~optimization_time:0.0
+      ~baseline:t.layout candidate
+  in
+  let factor = payoff.Vp_metrics.Payoff.factor in
+  let adopt =
+    payoff.Vp_metrics.Payoff.improvement > 0.0
+    && factor >= 0.0
+    && factor <= horizon
+  in
+  let event =
+    {
+      generation = (if adopt then t.generation + 1 else t.generation);
+      trigger_query = t.ingested - 1;
+      trigger;
+      algorithm =
+        winner.Partitioner.Response.provenance
+          .Partitioner.Response.algorithm;
+      cost_before;
+      cost_after = winner.Partitioner.Response.cost;
+      migration = payoff.Vp_metrics.Payoff.creation_time;
+      payoff = factor;
+      verdict = (if adopt then Adopted else Rejected);
+    }
+  in
+  t.events <- event :: t.events;
+  if adopt then begin
+    if Vp_observe.Switch.stats_on () then Vp_observe.Stats.incr c_adopted;
+    t.generation <- t.generation + 1;
+    t.layout <- candidate;
+    t.migration_cost <- t.migration_cost +. event.migration
+  end
+  else if Vp_observe.Switch.stats_on () then Vp_observe.Stats.incr c_rejected;
+  (* Re-arm the window either way: a rejected candidate must not refire
+     on the very next query. *)
+  t.ring_len <- 0;
+  t.ring_pos <- 0;
+  t.since_decision <- 0
+
+let ingest t q =
+  if Vp_observe.Switch.stats_on () then Vp_observe.Stats.incr c_ingested;
+  let { disk; drift_ratio; min_window; epoch; _ } = t.config in
+  let weight = Query.weight q in
+  let cost =
+    weight *. Vp_cost.Io_model.query_cost disk t.table t.layout q
+  in
+  (* The per-query lower bound: read exactly the referenced attributes
+     from one dedicated partition (the PMV cost of this query alone). *)
+  let lower =
+    weight
+    *. Vp_cost.Io_model.query_cost_groups disk t.table [ Query.references q ]
+  in
+  t.workload <- Workload.add_query t.workload q;
+  Affinity.add_query t.affinity q;
+  t.ingested <- t.ingested + 1;
+  t.query_cost <- t.query_cost +. cost;
+  t.ring.(t.ring_pos) <- (cost, lower);
+  t.ring_pos <- (t.ring_pos + 1) mod min_window;
+  t.ring_len <- min (t.ring_len + 1) min_window;
+  t.since_decision <- t.since_decision + 1;
+  (* The ratio is recomputed over the (tiny) window rather than kept as
+     running sums: no float-cancellation drift, bit-identical replays. *)
+  let drift =
+    if t.ring_len >= min_window then begin
+      let current = ref 0.0 and lower = ref 0.0 in
+      Array.iter
+        (fun (c, l) ->
+          current := !current +. c;
+          lower := !lower +. l)
+        t.ring;
+      if !lower > 0.0 && !current /. !lower > drift_ratio then
+        Some (!current /. !lower)
+      else None
+    end
+    else None
+  in
+  match drift with
+  | Some ratio -> reoptimize t ~trigger:(Drift ratio)
+  | None ->
+      if epoch > 0 && t.since_decision >= epoch then
+        reoptimize t ~trigger:Epoch
+
+let event_line (e : event) =
+  Printf.sprintf
+    "gen=%d at=%d %s algo=%s before=%.6f after=%.6f migration=%.6f \
+     payoff=%.6f verdict=%s"
+    e.generation e.trigger_query
+    (match e.trigger with
+    | Drift r -> Printf.sprintf "drift=%.4f" r
+    | Epoch -> "epoch")
+    e.algorithm e.cost_before e.cost_after e.migration e.payoff
+    (match e.verdict with Adopted -> "adopted" | Rejected -> "rejected")
+
+let history t =
+  String.concat "" (List.map (fun e -> event_line e ^ "\n") (events t))

@@ -20,12 +20,12 @@ let test_validity_on_tpch () =
       let oracle = Vp_cost.Io_model.oracle disk w in
       List.iter
         (fun (a : Partitioner.t) ->
-          let r = a.run w oracle in
+          let r = Partitioner.exec a (Partitioner.Request.make ~cost:oracle w) in
           Alcotest.(check bool)
             (Printf.sprintf "%s on %s valid" a.Partitioner.name
                (Table.name (Workload.table w)))
             true
-            (Testutil.valid_partitioning_of_workload r.Partitioner.partitioning w))
+            (Testutil.valid_partitioning_of_workload r.Partitioner.Response.partitioning w))
         all_algorithms)
     (Lazy.force tpch_workloads)
 
@@ -36,11 +36,11 @@ let test_cost_is_consistent () =
   let oracle = Vp_cost.Io_model.oracle disk w in
   List.iter
     (fun (a : Partitioner.t) ->
-      let r = a.run w oracle in
+      let r = Partitioner.exec a (Partitioner.Request.make ~cost:oracle w) in
       Alcotest.(check (Testutil.close ~eps:1e-9 ()))
         (a.Partitioner.name ^ " cost matches oracle")
-        (oracle r.Partitioner.partitioning)
-        r.Partitioner.cost)
+        (oracle r.Partitioner.Response.partitioning)
+        r.Partitioner.Response.cost)
     all_algorithms
 
 (* HillClimb starts from column layout and only merges on improvement, so
@@ -50,11 +50,11 @@ let test_hillclimb_beats_column () =
     (fun w ->
       let n = Table.attribute_count (Workload.table w) in
       let oracle = Vp_cost.Io_model.oracle disk w in
-      let r = Vp_algorithms.Hillclimb.algorithm.Partitioner.run w oracle in
+      let r = Partitioner.exec Vp_algorithms.Hillclimb.algorithm (Partitioner.Request.make ~cost:oracle w) in
       Alcotest.(check bool)
         (Table.name (Workload.table w))
         true
-        (r.Partitioner.cost <= oracle (Partitioning.column n) +. 1e-9))
+        (r.Partitioner.Response.cost <= oracle (Partitioning.column n) +. 1e-9))
     (Lazy.force tpch_workloads)
 
 (* AutoPart starts from the atomic fragments and only merges on
@@ -67,11 +67,11 @@ let test_autopart_beats_atoms () =
       let atoms =
         Partitioning.of_groups ~n (Workload.primary_partitions w)
       in
-      let r = Vp_algorithms.Autopart.algorithm.Partitioner.run w oracle in
+      let r = Partitioner.exec Vp_algorithms.Autopart.algorithm (Partitioner.Request.make ~cost:oracle w) in
       Alcotest.(check bool)
         (Table.name (Workload.table w))
         true
-        (r.Partitioner.cost <= oracle atoms +. 1e-9))
+        (r.Partitioner.Response.cost <= oracle atoms +. 1e-9))
     (Lazy.force tpch_workloads)
 
 (* The dictionary variant of HillClimb must find the same layout. *)
@@ -79,11 +79,11 @@ let test_hillclimb_dictionary_same () =
   List.iter
     (fun w ->
       let oracle = Vp_cost.Io_model.oracle disk w in
-      let a = Vp_algorithms.Hillclimb.algorithm.Partitioner.run w oracle in
-      let b = Vp_algorithms.Hillclimb.with_dictionary.Partitioner.run w oracle in
+      let a = Partitioner.exec Vp_algorithms.Hillclimb.algorithm (Partitioner.Request.make ~cost:oracle w) in
+      let b = Partitioner.exec Vp_algorithms.Hillclimb.with_dictionary (Partitioner.Request.make ~cost:oracle w) in
       Alcotest.(check Testutil.partitioning)
         (Table.name (Workload.table w))
-        a.Partitioner.partitioning b.Partitioner.partitioning)
+        a.Partitioner.Response.partitioning b.Partitioner.Response.partitioning)
     (Lazy.force tpch_workloads)
 
 (* BruteForce with the lower bound must equal BruteForce without it. *)
@@ -92,13 +92,15 @@ let test_brute_force_bound_exactness () =
     (fun table_name ->
       let w = Vp_benchmarks.Tpch.workload ~sf:1.0 table_name in
       let oracle = Vp_cost.Io_model.oracle disk w in
-      let with_lb = brute_force.Partitioner.run w oracle in
+      let with_lb = Partitioner.exec brute_force (Partitioner.Request.make ~cost:oracle w) in
       let without_lb =
-        (Vp_algorithms.Brute_force.make ()).Partitioner.run w oracle
+        Partitioner.exec
+          (Vp_algorithms.Brute_force.make ())
+          (Partitioner.Request.make ~cost:oracle w)
       in
       Alcotest.(check (Testutil.close ~eps:1e-9 ()))
         (table_name ^ " same optimal cost")
-        without_lb.Partitioner.cost with_lb.Partitioner.cost)
+        without_lb.Partitioner.Response.cost with_lb.Partitioner.Response.cost)
     [ "customer"; "supplier"; "partsupp"; "nation"; "region" ]
 
 (* Primary-partition search must match raw attribute-level search (the
@@ -109,16 +111,17 @@ let test_brute_force_atoms_lossless () =
     (fun table_name ->
       let w = Vp_benchmarks.Tpch.workload ~sf:1.0 table_name in
       let oracle = Vp_cost.Io_model.oracle disk w in
-      let atoms = brute_force.Partitioner.run w oracle in
+      let atoms = Partitioner.exec brute_force (Partitioner.Request.make ~cost:oracle w) in
       let raw =
-        (Vp_algorithms.Brute_force.make ~use_atoms:false
-           ~lower_bound:(fun w -> Vp_cost.Bounds.io_brute_force disk w)
-           ())
-          .Partitioner.run w oracle
+        Partitioner.exec
+          (Vp_algorithms.Brute_force.make ~use_atoms:false
+             ~lower_bound:(fun w -> Vp_cost.Bounds.io_brute_force disk w)
+             ())
+          (Partitioner.Request.make ~cost:oracle w)
       in
       Alcotest.(check (Testutil.close ~eps:1e-9 ()))
         (table_name ^ " atoms = raw")
-        raw.Partitioner.cost atoms.Partitioner.cost)
+        raw.Partitioner.Response.cost atoms.Partitioner.Response.cost)
     [ "customer"; "supplier"; "partsupp"; "region"; "nation" ]
 
 (* BruteForce must never lose to any heuristic. *)
@@ -126,15 +129,15 @@ let test_brute_force_optimal_on_tpch () =
   List.iter
     (fun w ->
       let oracle = Vp_cost.Io_model.oracle disk w in
-      let bf = (brute_force.Partitioner.run w oracle).Partitioner.cost in
+      let bf = (Partitioner.exec brute_force (Partitioner.Request.make ~cost:oracle w)).Partitioner.Response.cost in
       List.iter
         (fun (a : Partitioner.t) ->
-          let r = a.run w oracle in
+          let r = Partitioner.exec a (Partitioner.Request.make ~cost:oracle w) in
           Alcotest.(check bool)
             (Printf.sprintf "BF <= %s on %s" a.Partitioner.name
                (Table.name (Workload.table w)))
             true
-            (bf <= r.Partitioner.cost +. 1e-9))
+            (bf <= r.Partitioner.Response.cost +. 1e-9))
         all_algorithms)
     (Lazy.force tpch_workloads)
 
@@ -147,7 +150,7 @@ let test_brute_force_refuses_huge_space () =
   in
   Alcotest.(check bool)
     "raises" true
-    (match tiny_budget.Partitioner.run w oracle with
+    (match Partitioner.exec tiny_budget (Partitioner.Request.make ~cost:oracle w) with
     | _ -> false
     | exception Invalid_argument _ -> true)
 
@@ -156,13 +159,13 @@ let test_brute_force_refuses_huge_space () =
 let test_o2p_online_consistent () =
   let w = Vp_benchmarks.Tpch.workload ~sf:1.0 "orders" in
   let oracle = Vp_cost.Io_model.oracle disk w in
-  let offline = Vp_algorithms.O2p.algorithm.Partitioner.run w oracle in
+  let offline = Partitioner.exec Vp_algorithms.O2p.algorithm (Partitioner.Request.make ~cost:oracle w) in
   let online =
     Vp_algorithms.O2p.online w (fun prefix -> Vp_cost.Io_model.oracle disk prefix)
   in
   let _, last_layout, _ = List.nth online (List.length online - 1) in
   Alcotest.(check Testutil.partitioning)
-    "same final layout" offline.Partitioner.partitioning last_layout;
+    "same final layout" offline.Partitioner.Response.partitioning last_layout;
   Alcotest.(check int)
     "one step per query" (Workload.query_count w) (List.length online)
 
@@ -177,7 +180,7 @@ let test_no_waste_from_unreferenced () =
         List.iter
           (fun name ->
             let a = Vp_algorithms.Registry.find name in
-            let r = a.Partitioner.run w oracle in
+            let r = Partitioner.exec a (Partitioner.Request.make ~cost:oracle w) in
             List.iter
               (fun g ->
                 if Attr_set.intersects g unref then
@@ -187,7 +190,7 @@ let test_no_waste_from_unreferenced () =
                        (Table.name (Workload.table w))
                        (Attr_set.to_string g))
                     true (Attr_set.subset g unref))
-              (Partitioning.groups r.Partitioner.partitioning))
+              (Partitioning.groups r.Partitioner.Response.partitioning))
           [ "HillClimb"; "AutoPart"; "HYRISE" ]
       end)
     (Lazy.force tpch_workloads)
@@ -198,16 +201,16 @@ let test_stats_populated () =
   let oracle = Vp_cost.Io_model.oracle disk w in
   List.iter
     (fun (a : Partitioner.t) ->
-      let r = a.run w oracle in
+      let r = Partitioner.exec a (Partitioner.Request.make ~cost:oracle w) in
       Alcotest.(check bool)
         (a.Partitioner.name ^ " non-negative time")
         true
-        (r.Partitioner.stats.Partitioner.elapsed_seconds >= 0.0);
+        (r.Partitioner.Response.stats.Partitioner.elapsed_seconds >= 0.0);
       Alcotest.(check bool)
         (a.Partitioner.name ^ " calls <= candidates+1")
         true
-        (r.Partitioner.stats.Partitioner.cost_calls
-        <= r.Partitioner.stats.Partitioner.candidates + 1))
+        (r.Partitioner.Response.stats.Partitioner.cost_calls
+        <= r.Partitioner.Response.stats.Partitioner.candidates + 1))
     all_algorithms
 
 (* --- properties on random workloads --- *)
@@ -222,11 +225,11 @@ let prop_brute_force_optimal_random =
       let raw =
         Vp_algorithms.Brute_force.make ~use_atoms:false ()
       in
-      let bf = (raw.Partitioner.run w oracle).Partitioner.cost in
+      let bf = (Partitioner.exec raw (Partitioner.Request.make ~cost:oracle w)).Partitioner.Response.cost in
       List.for_all
         (fun (a : Partitioner.t) ->
-          let r = a.run w oracle in
-          bf <= r.Partitioner.cost +. 1e-9)
+          let r = Partitioner.exec a (Partitioner.Request.make ~cost:oracle w) in
+          bf <= r.Partitioner.Response.cost +. 1e-9)
         (Vp_algorithms.Registry.six @ Vp_algorithms.Registry.baselines))
 
 let prop_all_valid_random =
@@ -236,8 +239,8 @@ let prop_all_valid_random =
       let oracle = Vp_cost.Io_model.oracle disk w in
       List.for_all
         (fun (a : Partitioner.t) ->
-          let r = a.run w oracle in
-          Testutil.valid_partitioning_of_workload r.Partitioner.partitioning w)
+          let r = Partitioner.exec a (Partitioner.Request.make ~cost:oracle w) in
+          Testutil.valid_partitioning_of_workload r.Partitioner.Response.partitioning w)
         all_algorithms)
 
 let prop_brute_force_atoms_lossless_random =
@@ -246,13 +249,16 @@ let prop_brute_force_atoms_lossless_random =
     (fun w ->
       let oracle = Vp_cost.Io_model.oracle disk w in
       let atoms =
-        ((Vp_algorithms.Brute_force.make ()).Partitioner.run w oracle)
-          .Partitioner.cost
+        (Partitioner.exec
+           (Vp_algorithms.Brute_force.make ())
+           (Partitioner.Request.make ~cost:oracle w))
+          .Partitioner.Response.cost
       in
       let raw =
-        ((Vp_algorithms.Brute_force.make ~use_atoms:false ()).Partitioner.run
-           w oracle)
-          .Partitioner.cost
+        (Partitioner.exec
+           (Vp_algorithms.Brute_force.make ~use_atoms:false ())
+           (Partitioner.Request.make ~cost:oracle w))
+          .Partitioner.Response.cost
       in
       Float.abs (atoms -. raw) < 1e-9)
 

@@ -218,10 +218,10 @@ let test_creation_time_paper_ballpark () =
     List.fold_left
       (fun acc w ->
         let oracle = Vp_cost.Io_model.oracle disk w in
-        let r = Vp_algorithms.Hillclimb.algorithm.Partitioner.run w oracle in
+        let r = Partitioner.exec Vp_algorithms.Hillclimb.algorithm (Partitioner.Request.make ~cost:oracle w) in
         acc
         +. Vp_cost.Io_model.creation_time disk (Workload.table w)
-             r.Partitioner.partitioning)
+             r.Partitioner.Response.partitioning)
       0.0
       (Vp_benchmarks.Tpch.workloads ~sf:10.0)
   in

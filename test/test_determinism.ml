@@ -87,10 +87,10 @@ let prop_traced_algorithms_identical =
             List.map
               (fun (a : Vp_core.Partitioner.t) ->
                 let oracle = Vp_cost.Io_model.oracle disk w in
-                let r = a.Vp_core.Partitioner.run w oracle in
+                let r = Vp_core.Partitioner.exec a (Vp_core.Partitioner.Request.make ~cost:oracle w) in
                 ( a.Vp_core.Partitioner.name,
-                  Int64.bits_of_float r.Vp_core.Partitioner.cost,
-                  r.Vp_core.Partitioner.partitioning ))
+                  Int64.bits_of_float r.Vp_core.Partitioner.Response.cost,
+                  r.Vp_core.Partitioner.Response.partitioning ))
               Vp_algorithms.Registry.six)
       in
       let off = results Vp_observe.Switch.Off

@@ -22,7 +22,7 @@ let test_registry_find () =
           Alcotest.(check bool)
             (Printf.sprintf "error mentions %s" needle)
             true (contains msg needle))
-        [ "fig99"; "valid ids"; "table1"; "ablations" ]
+        [ "fig99"; "valid experiments"; "table1"; "ablations" ]
 
 let test_registry_covers_paper () =
   (* Every table (1-7) and figure (1-14) of the paper is present. *)

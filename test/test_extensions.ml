@@ -126,10 +126,13 @@ let test_replication_single_equals_plain () =
     Vp_algorithms.Replication.build ~replicas:1 ~algorithm:hillclimb
       ~cost_factory w
   in
-  let plain = hillclimb.Partitioner.run w (cost_factory w) in
+  let plain =
+    Partitioner.exec hillclimb
+      (Partitioner.Request.make ~cost:(cost_factory w) w)
+  in
   Alcotest.(check int) "one replica" 1 (Vp_algorithms.Replication.replica_count t);
   Alcotest.(check (Testutil.close ~eps:1e-9 ()))
-    "same cost" plain.Partitioner.cost
+    "same cost" plain.Partitioner.Response.cost
     (Vp_algorithms.Replication.workload_cost ~cost_factory w t)
 
 let test_replication_monotone_improvement () =
@@ -276,9 +279,9 @@ let test_autopart_replicated_budget_one_is_disjoint () =
   Alcotest.(check (float 1e-9)) "no extra storage" 1.0 r.storage_factor;
   (* Without slack the search degenerates to plain AutoPart. *)
   let plain =
-    (Vp_algorithms.Autopart.algorithm.Partitioner.run w
-       (Vp_cost.Io_model.oracle disk w))
-      .Partitioner.cost
+    (Partitioner.exec Vp_algorithms.Autopart.algorithm
+       (Partitioner.Request.make ~cost:(Vp_cost.Io_model.oracle disk w) w))
+      .Partitioner.Response.cost
   in
   Alcotest.(check (Testutil.close ~eps:1e-6 ())) "same cost" plain r.cost
 

@@ -11,7 +11,7 @@ let layout_of algo_name table_name =
   let w = Vp_benchmarks.Tpch.workload ~sf:10.0 table_name in
   let a = Vp_algorithms.Registry.find algo_name in
   let oracle = Vp_cost.Io_model.oracle disk w in
-  (Workload.table w, (a.Partitioner.run w oracle).Partitioner.partitioning)
+  (Workload.table w, (Partitioner.exec a (Partitioner.Request.make ~cost:oracle w)).Partitioner.Response.partitioning)
 
 let check_layout algo_name table_name expected_groups =
   let table, got = layout_of algo_name table_name in
@@ -76,8 +76,10 @@ let test_hillclimb_class_agrees () =
       let w = Vp_benchmarks.Tpch.workload ~sf:10.0 table_name in
       let oracle = Vp_cost.Io_model.oracle disk w in
       let cost name =
-        ((Vp_algorithms.Registry.find name).Partitioner.run w oracle)
-          .Partitioner.cost
+        (Partitioner.exec
+           (Vp_algorithms.Registry.find name)
+           (Partitioner.Request.make ~cost:oracle w))
+          .Partitioner.Response.cost
       in
       let hc = cost "HillClimb" in
       List.iter
@@ -108,12 +110,12 @@ let test_ssb_validity () =
       let oracle = Vp_cost.Io_model.oracle disk w in
       List.iter
         (fun (a : Partitioner.t) ->
-          let r = a.run w oracle in
+          let r = Partitioner.exec a (Partitioner.Request.make ~cost:oracle w) in
           Alcotest.(check bool)
             (Printf.sprintf "%s on ssb %s" a.Partitioner.name
                (Table.name (Workload.table w)))
             true
-            (Testutil.valid_partitioning_of_workload r.Partitioner.partitioning
+            (Testutil.valid_partitioning_of_workload r.Partitioner.Response.partitioning
                w))
         (Vp_algorithms.Registry.six @ Vp_algorithms.Registry.baselines))
     (Vp_benchmarks.Ssb.workloads ~sf:10.0)
@@ -223,6 +225,22 @@ let golden_report =
           workload_cost = 536.5;
           cache_hits = 0;
           cache_misses = 0;
+        };
+      ];
+    online =
+      [
+        {
+          Vp_observe.Bench_report.trace = "synthetic-drift";
+          queries = 600;
+          reopts = 4;
+          adopted = 3;
+          rejected = 1;
+          final_generation = 3;
+          online_cost = 1536.5;
+          row_cost = 4096.0;
+          column_cost = 2048.25;
+          oneshot_cost = 1792.75;
+          oneshot_algorithm = "HillClimb";
         };
       ];
     counters = [ ("cost.oracle_calls", 42); ("pool.tasks_run", 7) ];

@@ -69,12 +69,12 @@ let test_algorithms_return_valid_partitionings () =
     List.iter
       (fun (a : Partitioner.t) ->
         let ctx = Printf.sprintf "%s on pair %d" a.Partitioner.name i in
-        let r = a.Partitioner.run w oracle in
-        check_valid_partitioning ~ctx w r.Partitioner.partitioning;
+        let r = Partitioner.exec a (Partitioner.Request.make ~cost:oracle w) in
+        check_valid_partitioning ~ctx w r.Partitioner.Response.partitioning;
         Alcotest.(check (float 0.))
           (ctx ^ ": reported cost matches the oracle")
-          (Vp_cost.Io_model.workload_cost disk w r.Partitioner.partitioning)
-          r.Partitioner.cost)
+          (Vp_cost.Io_model.workload_cost disk w r.Partitioner.Response.partitioning)
+          r.Partitioner.Response.cost)
       lineup
   done
 
@@ -89,7 +89,7 @@ let test_cached_cost_equals_uncached () =
     List.iter
       (fun (a : Partitioner.t) ->
         let ctx = Printf.sprintf "%s on pair %d" a.Partitioner.name i in
-        let p = (a.Partitioner.run w oracle).Partitioner.partitioning in
+        let p = (Partitioner.exec a (Partitioner.Request.make ~cost:oracle w)).Partitioner.Response.partitioning in
         let uncached = Vp_cost.Io_model.workload_cost disk w p in
         (* Twice each: the second evaluation is a cache hit. *)
         Alcotest.(check (float 0.)) (ctx ^ ": cached miss") uncached (cached p);
@@ -124,9 +124,9 @@ let test_budget_monotonicity () =
                 Printf.sprintf "%s on pair %d, %d steps" a.Partitioner.name i
                   max_steps
               in
-              let r = a.Partitioner.run ~budget w oracle in
-              check_valid_partitioning ~ctx w r.Partitioner.partitioning;
-              (match r.Partitioner.status with
+              let r = Partitioner.exec a (Partitioner.Request.make ~budget ~cost:oracle w) in
+              check_valid_partitioning ~ctx w r.Partitioner.Response.partitioning;
+              (match r.Partitioner.Response.status with
               | Partitioner.Complete ->
                   Alcotest.(check bool)
                     (ctx ^ ": complete iff budget not exhausted") false
@@ -139,7 +139,7 @@ let test_budget_monotonicity () =
                     (steps >= 0 && steps <= max_steps + 1);
                   Alcotest.(check bool) (ctx ^ ": elapsed non-negative") true
                     (elapsed_seconds >= 0.0));
-              r.Partitioner.cost)
+              r.Partitioner.Response.cost)
             budget_ladder
         in
         let rec pairs = function

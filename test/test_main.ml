@@ -24,4 +24,5 @@ let () =
       ("invariants", Test_invariants.suite);
       ("robust", Test_robust.suite);
       ("observe", Test_observe.suite);
+      ("online", Test_online.suite);
     ]

@@ -192,13 +192,13 @@ let test_roundtrip_through_algorithms () =
   | [ w ] ->
       let disk = Vp_cost.Disk.default in
       let oracle = Vp_cost.Io_model.oracle disk w in
-      let r = Vp_algorithms.Hillclimb.algorithm.Partitioner.run w oracle in
+      let r = Partitioner.exec Vp_algorithms.Hillclimb.algorithm (Partitioner.Request.make ~cost:oracle w) in
       let expected =
         Partitioning.of_names (Workload.table w)
           [ [ "PartKey"; "SuppKey" ]; [ "AvailQty"; "SupplyCost" ]; [ "Comment" ] ]
       in
       Alcotest.(check Testutil.partitioning)
-        "paper layout" expected r.Partitioner.partitioning
+        "paper layout" expected r.Partitioner.Response.partitioning
   | _ -> Alcotest.fail "expected one workload"
 
 let suite =

@@ -309,23 +309,23 @@ let test_cost_oracle_faults () =
   let exhaust = Fault.create ~exhaust_rate:0.9 ~seed:5 () in
   let r =
     Budget.with_current (Budget.create ()) (fun () ->
-        Fault.with_current exhaust (fun () -> hc.Partitioner.run w oracle))
+        Fault.with_current exhaust (fun () -> Partitioner.exec hc (Partitioner.Request.make ~cost:oracle w)))
   in
-  (match r.Partitioner.status with
+  (match r.Partitioner.Response.status with
   | Partitioner.Timed_out _ -> ()
   | Partitioner.Complete -> Alcotest.fail "expected Timed_out under exhaustion");
   Alcotest.(check bool) "degraded layout still valid" true
-    (Testutil.valid_partitioning_of_workload r.Partitioner.partitioning w);
+    (Testutil.valid_partitioning_of_workload r.Partitioner.Response.partitioning w);
   (* Without an ambient budget, Exhaust_budget has nothing to exhaust and
      the run completes untouched. *)
-  let r2 = Fault.with_current exhaust (fun () -> hc.Partitioner.run w oracle) in
-  (match r2.Partitioner.status with
+  let r2 = Fault.with_current exhaust (fun () -> Partitioner.exec hc (Partitioner.Request.make ~cost:oracle w)) in
+  (match r2.Partitioner.Response.status with
   | Partitioner.Complete -> ()
   | Partitioner.Timed_out _ ->
       Alcotest.fail "unlimited ambient budget cannot be exhausted");
   (* An exception-injecting plan surfaces Injected to the caller. *)
   let explode = Fault.create ~exn_rate:1.0 ~seed:5 () in
-  match Fault.with_current explode (fun () -> hc.Partitioner.run w oracle) with
+  match Fault.with_current explode (fun () -> Partitioner.exec hc (Partitioner.Request.make ~cost:oracle w)) with
   | _ -> Alcotest.fail "expected Injected"
   | exception Fault.Injected _ -> ()
 
@@ -367,20 +367,20 @@ let test_brute_force_deadline () =
   let oracle = Vp_cost.Io_model.oracle disk w in
   let bf = Vp_experiments.Common.brute_force disk in
   let budget = Budget.create ~deadline_seconds:1.0 () in
-  let r = bf.Partitioner.run ~budget w oracle in
-  (match r.Partitioner.status with
+  let r = Partitioner.exec bf (Partitioner.Request.make ~budget ~cost:oracle w) in
+  (match r.Partitioner.Response.status with
   | Partitioner.Timed_out _ -> ()
   | Partitioner.Complete ->
       Alcotest.fail "16-attribute brute force cannot finish in 1s");
   Alcotest.(check bool) "valid layout" true
-    (Testutil.valid_partitioning_of_workload r.Partitioner.partitioning w);
+    (Testutil.valid_partitioning_of_workload r.Partitioner.Response.partitioning w);
   let row_cost =
     oracle (Partitioning.row (Table.attribute_count (Workload.table w)))
   in
   Alcotest.(check bool)
-    (Printf.sprintf "cost %.0f <= row %.0f" r.Partitioner.cost row_cost)
+    (Printf.sprintf "cost %.0f <= row %.0f" r.Partitioner.Response.cost row_cost)
     true
-    (r.Partitioner.cost <= row_cost)
+    (r.Partitioner.Response.cost <= row_cost)
 
 (* {2 Sweep: checkpoint, resume, degradation} *)
 

@@ -313,7 +313,7 @@ let test_navathe_contiguity () =
   let position = Array.make (Array.length order) 0 in
   Array.iteri (fun pos attr -> position.(attr) <- pos) order;
   let oracle = Vp_cost.Io_model.oracle Vp_cost.Disk.default w in
-  let r = Vp_algorithms.Navathe.algorithm.Partitioner.run w oracle in
+  let r = Partitioner.exec Vp_algorithms.Navathe.algorithm (Partitioner.Request.make ~cost:oracle w) in
   List.iter
     (fun g ->
       let positions =
@@ -328,7 +328,7 @@ let test_navathe_contiguity () =
                  Alcotest.(check int) "contiguous run" (prev + 1) p;
                  p)
                first rest))
-    (Partitioning.groups r.Partitioner.partitioning)
+    (Partitioning.groups r.Partitioner.Response.partitioning)
 
 let suite =
   suite
