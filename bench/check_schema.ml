@@ -1,7 +1,7 @@
 (* Schema checker for the machine-readable bench output (`bench --json`).
    CI runs it against the emitted file before uploading the artifact:
 
-     check_schema.exe BENCH_3.json
+     check_schema.exe BENCH_5.json
 
    Exit 0 when the document parses and satisfies the Bench_report schema,
    1 on schema violations (all of them listed), 2 on usage/parse errors. *)

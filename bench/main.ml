@@ -5,7 +5,7 @@
    runner + cost cache against the plain sequential, uncached execution.
 
    Usage:
-     bench/main.exe [--mode all|experiments|bechamel|parallel|budget|online|json]
+     bench/main.exe [--mode all|experiments|bechamel|parallel|budget|online|server|json]
                     [--jobs N] [--json PATH]
 
    Modes:
@@ -23,6 +23,11 @@
                   Row/Column/one-shot-HillClimb baselines, plus the
                   generation history. The replay outcomes land in the
                   JSON report's "online" section.
+     server       the layout daemon under a closed-loop load generator:
+                  request throughput at 1 vs 4 server domains, explicit
+                  overload shedding (retry-after replies, no hangs) and a
+                  wire-vs-local replay determinism check. Outcomes land
+                  in the JSON report's "server" section.
      json         nothing but the machine-readable report (see --json).
 
    --json PATH    additionally run every algorithm over the TPC-H line-up
@@ -349,6 +354,285 @@ let online_section ~jobs =
   flush stdout;
   List.map online_entry_of outcomes
 
+(* --- Layout server benchmark: a closed-loop load generator against a
+   live daemon in this very process. Each phase starts a fresh daemon on
+   an ephemeral port, fans N client domains out, and scores completed
+   requests, overloaded (shed) replies, wall time and the latency
+   histogram (Vp_observe.Stats, one histogram per phase). The throughput
+   phases prove the thread-per-connection pool scales; the overload phase
+   proves backpressure is an explicit retry-after reply, not a hang. --- *)
+
+let with_daemon ~server_jobs ~max_pending f =
+  let d = Vp_server.Daemon.create ~port:0 ~jobs:server_jobs ~max_pending () in
+  let server = Domain.spawn (fun () -> Vp_server.Daemon.serve d) in
+  Fun.protect
+    ~finally:(fun () ->
+      Vp_server.Daemon.stop d;
+      Domain.join server)
+    (fun () -> f (Vp_server.Daemon.port d))
+
+let shed_count () =
+  Vp_observe.Stats.counter_value (Vp_observe.Stats.snapshot ()) "server.shed"
+
+let quantile_ms ~phase q =
+  let snap = Vp_observe.Stats.snapshot () in
+  match List.assoc_opt ("server.bench." ^ phase) snap.Vp_observe.Stats.histograms with
+  | Some summary -> Vp_observe.Stats.quantile summary q
+  | None -> 0.0
+
+let server_entry ~phase ~server_jobs ~clients ~requests ~shed ~errors ~seconds
+    =
+  {
+    Vp_observe.Bench_report.phase;
+    server_jobs;
+    clients;
+    requests;
+    shed;
+    errors;
+    seconds;
+    throughput_rps =
+      (if seconds > 0.0 then float_of_int requests /. seconds else 0.0);
+    latency_p50_ms = quantile_ms ~phase 0.5;
+    latency_p95_ms = quantile_ms ~phase 0.95;
+    latency_p99_ms = quantile_ms ~phase 0.99;
+  }
+
+let server_workload =
+  lazy
+    (Vp_benchmarks.Synthetic.workload ~seed:7L ~rows:200_000 ~attributes:12
+       ~clusters:4 ~queries:24 ~scatter:0.1 ())
+
+(* Each throughput request is a fixed-service-time [sleep] — a stand-in
+   for an I/O-bound layout fetch. With a CPU-bound request the speedup
+   claim would be hostage to the bench machine's core count (a 1-core
+   host can never show parallel speedup on compute); a fixed service
+   time isolates what the daemon actually promises: multiplexing live
+   connections across server domains. Real partitioner latency over the
+   wire is measured separately in the partition phase below. *)
+let service_ms = 20
+
+let throughput_phase ~phase ~server_jobs ~clients ~requests_each =
+  let hist = Vp_observe.Stats.histogram ("server.bench." ^ phase) in
+  let shed_before = shed_count () in
+  with_daemon ~server_jobs ~max_pending:64 (fun port ->
+      let worker () =
+        let c = Vp_client.Client.create ~port () in
+        Fun.protect
+          ~finally:(fun () -> Vp_client.Client.close c)
+          (fun () ->
+            let ok = ref 0 and errors = ref 0 in
+            for _ = 1 to requests_each do
+              let t0 = Unix.gettimeofday () in
+              match
+                Vp_client.Client.request c
+                  (Vp_server.Protocol.sleep ~ms:service_ms)
+              with
+              | Ok reply
+                when Vp_server.Protocol.reply_status reply = "ok" ->
+                  incr ok;
+                  Vp_observe.Stats.observe hist
+                    ((Unix.gettimeofday () -. t0) *. 1000.0)
+              | Ok _ | Error _ -> incr errors
+            done;
+            (!ok, !errors))
+      in
+      let outcomes, seconds =
+        time (fun () ->
+            List.map Domain.join
+              (List.init clients (fun _ -> Domain.spawn worker)))
+      in
+      let requests = List.fold_left (fun a (ok, _) -> a + ok) 0 outcomes in
+      let errors = List.fold_left (fun a (_, e) -> a + e) 0 outcomes in
+      let shed = shed_count () - shed_before in
+      Printf.printf
+        "  %-14s %d server job(s), %d clients x %d: %4d ok, %d errors, %d \
+         shed, %6.3f s (%7.1f req/s, p50 %.1f ms)\n"
+        phase server_jobs clients requests_each requests errors shed seconds
+        (if seconds > 0.0 then float_of_int requests /. seconds else 0.0)
+        (quantile_ms ~phase 0.5);
+      flush stdout;
+      (server_entry ~phase ~server_jobs ~clients ~requests ~shed ~errors
+         ~seconds,
+       seconds))
+
+(* CPU-bound partition requests against the 4-domain daemon: no
+   cross-jobs speedup claim (compute parallelism is the business of
+   [--mode parallel]), just end-to-end wire latency for real
+   partitioner work — frame it, run HillClimb under a step budget,
+   frame the layout back. *)
+let partition_phase () =
+  let phase = "partition-j4" in
+  let w = Lazy.force server_workload in
+  let hist = Vp_observe.Stats.histogram ("server.bench." ^ phase) in
+  let shed_before = shed_count () in
+  let clients = 2 and requests_each = 2 in
+  with_daemon ~server_jobs:4 ~max_pending:64 (fun port ->
+      let worker () =
+        let c = Vp_client.Client.create ~port () in
+        Fun.protect
+          ~finally:(fun () -> Vp_client.Client.close c)
+          (fun () ->
+            let ok = ref 0 and errors = ref 0 in
+            for _ = 1 to requests_each do
+              let t0 = Unix.gettimeofday () in
+              match
+                Vp_client.Client.partition ~algorithm:"HillClimb"
+                  ~budget_steps:20_000 c w
+              with
+              | Ok _ ->
+                  incr ok;
+                  Vp_observe.Stats.observe hist
+                    ((Unix.gettimeofday () -. t0) *. 1000.0)
+              | Error _ -> incr errors
+            done;
+            (!ok, !errors))
+      in
+      let outcomes, seconds =
+        time (fun () ->
+            List.map Domain.join
+              (List.init clients (fun _ -> Domain.spawn worker)))
+      in
+      let requests = List.fold_left (fun a (ok, _) -> a + ok) 0 outcomes in
+      let errors = List.fold_left (fun a (_, e) -> a + e) 0 outcomes in
+      let shed = shed_count () - shed_before in
+      Printf.printf
+        "  %-14s 4 server jobs, %d clients x %d partition requests: %d ok, \
+         %d errors, p50 %.1f ms over the wire\n"
+        phase clients requests_each requests errors (quantile_ms ~phase 0.5);
+      flush stdout;
+      server_entry ~phase ~server_jobs:4 ~clients ~requests ~shed ~errors
+        ~seconds)
+
+(* Six clients fight over a single-connection daemon holding each
+   connection for a deliberate sleep: most connects are answered with an
+   explicit overloaded + retry-after reply, and every client still
+   completes by retrying — nobody hangs, nothing is silently queued. *)
+let overload_phase () =
+  let phase = "overload" in
+  let hist = Vp_observe.Stats.histogram ("server.bench." ^ phase) in
+  let clients = 6 and requests_each = 2 in
+  with_daemon ~server_jobs:1 ~max_pending:1 (fun port ->
+      let worker () =
+        let c = Vp_client.Client.create ~port () in
+        Fun.protect
+          ~finally:(fun () -> Vp_client.Client.close c)
+          (fun () ->
+            let ok = ref 0 and errors = ref 0 and shed = ref 0 in
+            for _ = 1 to requests_each do
+              let t0 = Unix.gettimeofday () in
+              let rec attempt tries =
+                if tries = 0 then incr errors
+                else
+                  match
+                    Vp_client.Client.request c
+                      (Vp_server.Protocol.sleep ~ms:40)
+                  with
+                  | Ok reply
+                    when Vp_server.Protocol.reply_status reply = "overloaded"
+                    ->
+                      incr shed;
+                      let ms =
+                        Option.value ~default:50
+                          (Vp_server.Protocol.retry_after_ms reply)
+                      in
+                      Unix.sleepf (float_of_int ms /. 1000.0);
+                      attempt (tries - 1)
+                  | Ok _ ->
+                      incr ok;
+                      Vp_observe.Stats.observe hist
+                        ((Unix.gettimeofday () -. t0) *. 1000.0)
+                  | Error _ -> incr errors
+              in
+              attempt 200
+            done;
+            (!ok, !errors, !shed))
+      in
+      let outcomes, seconds =
+        time (fun () ->
+            List.map Domain.join
+              (List.init clients (fun _ -> Domain.spawn worker)))
+      in
+      let requests = List.fold_left (fun a (ok, _, _) -> a + ok) 0 outcomes in
+      let errors = List.fold_left (fun a (_, e, _) -> a + e) 0 outcomes in
+      let shed = List.fold_left (fun a (_, _, s) -> a + s) 0 outcomes in
+      Printf.printf
+        "  %-14s 1 server job, max_pending 1, %d clients: %d ok, %d errors, \
+         %d shed replies (retry-after honoured, no client hung)\n"
+        phase clients requests errors shed;
+      flush stdout;
+      server_entry ~phase ~server_jobs:1 ~clients ~requests ~shed ~errors
+        ~seconds)
+
+(* The same drift stream ingested over the wire and replayed in-process
+   must produce byte-identical decision histories — the session
+   determinism contract, demonstrated here and proved in test_server. *)
+let wire_replay_check () =
+  let w =
+    Vp_benchmarks.Synthetic.drift_workload ~seed:11L ~attributes:8 ~clusters:3
+      ~rows:100_000 ~queries:200 ~scatter:0.05 ~drift_at:0.5 ()
+  in
+  let table = Workload.table w in
+  let wire =
+    with_daemon ~server_jobs:4 ~max_pending:64 (fun port ->
+        let c = Vp_client.Client.create ~port () in
+        Fun.protect
+          ~finally:(fun () -> Vp_client.Client.close c)
+          (fun () ->
+            let ( >>= ) = Result.bind in
+            Vp_client.Client.open_session c ~session:"wire" ~buffer_mb:1.0
+              table
+            >>= fun _created ->
+            Array.fold_left
+              (fun acc q ->
+                acc >>= fun _gen ->
+                Vp_client.Client.ingest c ~session:"wire" table q)
+              (Ok 0) (Workload.queries w)
+            >>= fun _gen -> Vp_client.Client.close_session c ~session:"wire"))
+  in
+  let local =
+    let config =
+      Vp_online.Service.default_config ~jobs:1 ~disk:online_disk
+        ~panel:[ Vp_algorithms.Hillclimb.algorithm ]
+        ()
+    in
+    (Vp_online.Replay.run ~config w).Vp_online.Replay.history
+  in
+  let verdict =
+    match wire with
+    | Error msg -> Printf.sprintf "NO — wire replay failed: %s" msg
+    | Ok h when h = local -> "yes"
+    | Ok _ -> "NO — HISTORY MISMATCH"
+  in
+  Printf.printf "  wire replay history matches local replay: %s\n" verdict;
+  flush stdout;
+  verdict = "yes"
+
+let server_section () =
+  Vp_observe.Switch.(raise_to Stats);
+  print_string
+    (Vp_experiments.Common.heading
+       "Layout server: closed-loop load generator over the wire");
+  let e1, t1 =
+    throughput_phase ~phase:"throughput-j1" ~server_jobs:1 ~clients:4
+      ~requests_each:16
+  in
+  let e4, t4 =
+    throughput_phase ~phase:"throughput-j4" ~server_jobs:4 ~clients:4
+      ~requests_each:16
+  in
+  Printf.printf "  throughput speedup at 4 server domains: %.2fx\n"
+    (if t4 > 0.0 then t1 /. t4 else Float.infinity);
+  let ep = partition_phase () in
+  let eo = overload_phase () in
+  let deterministic = wire_replay_check () in
+  Printf.printf "  normal-load shed replies: %d (expected 0)\n"
+    (e1.Vp_observe.Bench_report.shed + e4.Vp_observe.Bench_report.shed);
+  Printf.printf "  overload shed replies: %d (expected >= 1)\n"
+    eo.Vp_observe.Bench_report.shed;
+  flush stdout;
+  if not deterministic then exit 1;
+  [ e1; e4; ep; eo ]
+
 (* --- machine-readable bench report (--json): every algorithm over the
    TPC-H line-up with counters on, each with a fresh query-grained cache
    so its hit rate is its own. The counter snapshot merges everything the
@@ -362,9 +646,10 @@ let mode_name = function
   | `Parallel -> "parallel"
   | `Budget -> "budget"
   | `Online -> "online"
+  | `Server -> "server"
   | `Json -> "json"
 
-let json_section ~mode ~jobs ~online path =
+let json_section ~mode ~jobs ~online ~server path =
   Vp_observe.Switch.(raise_to Stats);
   let disk = Vp_experiments.Common.disk in
   let workloads = Vp_benchmarks.Tpch.workloads ~sf:Vp_experiments.Common.sf in
@@ -404,6 +689,7 @@ let json_section ~mode ~jobs ~online path =
       jobs;
       algorithms = entries;
       online;
+      server;
       counters = snapshot.Vp_observe.Stats.counters;
       host = Vp_observe.Bench_report.current_host ();
     }
@@ -421,7 +707,7 @@ let json_section ~mode ~jobs ~online path =
 let usage () =
   prerr_endline
     "usage: main.exe [--mode \
-     all|experiments|bechamel|parallel|budget|online|json] [--jobs N] \
+     all|experiments|bechamel|parallel|budget|online|server|json] [--jobs N] \
      [--json PATH]";
   exit 2
 
@@ -438,6 +724,7 @@ let parse_args () =
            | "parallel" -> `Parallel
            | "budget" -> `Budget
            | "online" -> `Online
+           | "server" -> `Server
            | "json" -> `Json
            | _ -> usage ());
         go rest
@@ -459,7 +746,7 @@ let parse_args () =
   let json =
     match (!json, !mode) with
     | Some path, _ -> Some path
-    | None, (`Json | `Online) ->
+    | None, (`Json | `Online | `Server) ->
         Some
           (Printf.sprintf "BENCH_%d.json"
              Vp_observe.Bench_report.schema_version)
@@ -479,28 +766,29 @@ let () =
        "Unified setting: TPC-H SF %g, %s"
        Vp_experiments.Common.sf
        (Format.asprintf "%a" Vp_cost.Disk.pp Vp_experiments.Common.disk));
-  let online =
+  let online, server =
     match mode with
     | `All ->
         run_experiments ();
         if not skip_slow then bechamel_section ();
-        []
+        ([], [])
     | `Experiments ->
         run_experiments ();
-        []
+        ([], [])
     | `Bechamel ->
         bechamel_section ();
-        []
+        ([], [])
     | `Parallel ->
         parallel_section jobs;
-        []
+        ([], [])
     | `Budget ->
         budget_section ();
-        []
-    | `Online -> online_section ~jobs
-    | `Json -> []
+        ([], [])
+    | `Online -> (online_section ~jobs, [])
+    | `Server -> ([], server_section ())
+    | `Json -> ([], [])
   in
   (match json with
-  | Some path -> json_section ~mode ~jobs ~online path
+  | Some path -> json_section ~mode ~jobs ~online ~server path
   | None -> ());
   print_endline "\nAll experiments completed."

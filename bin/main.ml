@@ -6,6 +6,8 @@
      vp layouts    -b tpch                            Figure 14-style grids
      vp experiment fig3                               one paper experiment
      vp simulate   -t customer --codec varlen         storage-simulator run
+     vp serve      -p 7171 -j 4                       layout server (TCP daemon)
+     vp client     --ping | --script FILE             talk to a running server
      vp list                                          algorithms + experiments *)
 
 open Vp_core
@@ -694,6 +696,133 @@ let online_cmd =
       $ drift_ratio_arg $ epoch_arg $ memory_arg $ horizon_arg
       $ budget_steps_arg $ history_arg)
 
+(* --- vp serve / vp client --- *)
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind (serve) or reach \
+                                         (client).")
+
+let port_arg =
+  Arg.(
+    value
+    & opt int Vp_server.Protocol.default_port
+    & info [ "p"; "port" ] ~docv:"PORT"
+        ~doc:"TCP port (serve: 0 asks the kernel for an ephemeral one).")
+
+let serve_cmd =
+  let max_pending_arg =
+    Arg.(
+      value
+      & opt positive_int 64
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Bound on in-flight connections: beyond it, new connections \
+             are answered with one $(i,overloaded) reply carrying a \
+             retry-after hint and closed, instead of queueing silently.")
+  in
+  let run host port jobs max_pending =
+    (* The daemon multiplexes blocking connection handlers, so its job
+       count is a concurrency choice, not a core count — default 4 even
+       on small hosts (see Vp_parallel.Pool's clamp escape hatch). *)
+    let jobs = match jobs with Some n -> n | None -> 4 in
+    (* A server whose [stats] op always answers zero is lying; counters
+       are part of the protocol here, so pay for them. *)
+    Vp_observe.Switch.(raise_to Stats);
+    let d = Vp_server.Daemon.create ~host ~port ~jobs ~max_pending () in
+    Vp_server.Daemon.install_signal_handlers d;
+    Printf.printf
+      "vp layout server listening on %s:%d (%d job(s), max %d in flight); \
+       SIGTERM drains\n\
+       %!"
+      host
+      (Vp_server.Daemon.port d)
+      (Vp_server.Daemon.jobs d) max_pending;
+    Vp_server.Daemon.serve d;
+    print_endline "drained; bye.";
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the layout server: a TCP daemon serving the partitioner \
+          panel and online layout sessions over newline-delimited JSON")
+    Term.(const run $ host_arg $ port_arg $ jobs_arg $ max_pending_arg)
+
+let client_cmd =
+  let ping_arg =
+    Arg.(
+      value & flag
+      & info [ "ping" ] ~doc:"Check liveness and print the protocol version.")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the server's counters, gauges and live session count.")
+  in
+  let script_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:
+            "Replay a workload script (the same CREATE TABLE + SELECT \
+             format $(b,vp workload) reads) against the server: one \
+             session per table, each query ingested in file order, then \
+             the final decision history is printed per table. Parse \
+             errors are line-numbered.")
+  in
+  let shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Ask the server to drain gracefully.")
+  in
+  let run host port ping stats script shutdown_server =
+    if not (ping || stats || shutdown_server || script <> None) then
+      Fmt.failwith
+        "nothing to do: pass --ping, --stats, --script FILE and/or \
+         --shutdown";
+    let c = Vp_client.Client.create ~host ~port () in
+    Fun.protect
+      ~finally:(fun () -> Vp_client.Client.close c)
+      (fun () ->
+        let check = function
+          | Ok v -> v
+          | Error msg -> Fmt.failwith "%s" msg
+        in
+        if ping then
+          Printf.printf "pong (protocol version %d)\n"
+            (check (Vp_client.Client.ping c));
+        if stats then
+          print_endline
+            (Vp_observe.Json.to_string (check (Vp_client.Client.server_stats c)));
+        (match script with
+        | Some file ->
+            let results =
+              check
+                (Vp_client.Client.replay_script ~progress:print_endline c file)
+            in
+            List.iter
+              (fun (table, history) ->
+                Printf.printf "=== %s ===\n%s" table history)
+              results
+        | None -> ());
+        if shutdown_server then begin
+          check (Vp_client.Client.shutdown_server c);
+          print_endline "server draining"
+        end;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Talk to a running layout server (ping, stats, script replay)")
+    Term.(
+      const run $ host_arg $ port_arg $ ping_arg $ stats_arg $ script_arg
+      $ shutdown_arg)
+
 (* --- vp list --- *)
 
 let list_cmd =
@@ -719,7 +848,7 @@ let main_cmd =
     (Cmd.info "vp" ~version:"1.0.0" ~doc)
     [
       partition_cmd; compare_cmd; layouts_cmd; experiment_cmd; simulate_cmd;
-      workload_cmd; analyze_cmd; online_cmd; list_cmd;
+      workload_cmd; analyze_cmd; online_cmd; serve_cmd; client_cmd; list_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,224 @@
+open Vp_core
+module Json = Vp_observe.Json
+module Protocol = Vp_server.Protocol
+
+type conn = { fd : Unix.file_descr; buf : Buffer.t }
+
+type t = { host : string; port : int; mutable conn : conn option }
+
+let create ?(host = "127.0.0.1") ?(port = Protocol.default_port) () =
+  { host; port; conn = None }
+
+let host t = t.host
+
+let port t = t.port
+
+let close_conn c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let close t =
+  match t.conn with
+  | None -> ()
+  | Some c ->
+      t.conn <- None;
+      close_conn c
+
+let connect t =
+  match t.conn with
+  | Some c -> Ok c
+  | None -> (
+      match
+        let addr =
+          Unix.ADDR_INET (Unix.inet_addr_of_string t.host, t.port)
+        in
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd addr
+         with e ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise e);
+        fd
+      with
+      | exception Unix.Unix_error (err, _, _) ->
+          Error
+            (Printf.sprintf "cannot connect to %s:%d: %s" t.host t.port
+               (Unix.error_message err))
+      | exception Failure msg ->
+          Error (Printf.sprintf "cannot connect to %s:%d: %s" t.host t.port msg)
+      | fd ->
+          let c = { fd; buf = Buffer.create 256 } in
+          t.conn <- Some c;
+          Ok c)
+
+let send_line c line =
+  let len = String.length line in
+  let rec write_all off =
+    if off < len then
+      write_all (off + Unix.write_substring c.fd line off (len - off))
+  in
+  match write_all 0 with
+  | () -> Ok ()
+  | exception Unix.Unix_error (err, _, _) ->
+      Error (Printf.sprintf "send failed: %s" (Unix.error_message err))
+
+(* Reads one newline-terminated frame, buffering any bytes of the next
+   frame for the following call. *)
+let read_line c =
+  let chunk = Bytes.create 8192 in
+  let rec take () =
+    let s = Buffer.contents c.buf in
+    match String.index_opt s '\n' with
+    | Some i ->
+        Buffer.clear c.buf;
+        Buffer.add_substring c.buf s (i + 1) (String.length s - i - 1);
+        Ok (String.sub s 0 i)
+    | None -> (
+        match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> take ()
+        | exception Unix.Unix_error (err, _, _) ->
+            Error (Printf.sprintf "receive failed: %s" (Unix.error_message err))
+        | 0 -> Error "connection closed by server"
+        | n ->
+            Buffer.add_subbytes c.buf chunk 0 n;
+            take ())
+  in
+  take ()
+
+let ( let* ) = Result.bind
+
+let request t frame =
+  let* c = connect t in
+  let fail msg =
+    (* A failed exchange leaves the stream in an unknown state; start
+       fresh next time. *)
+    close t;
+    Error msg
+  in
+  match send_line c (Json.to_string frame ^ "\n") with
+  | Error msg -> fail msg
+  | Ok () -> (
+      match read_line c with
+      | Error msg -> fail msg
+      | Ok line -> (
+          match Json.of_string line with
+          | Error msg -> fail (Printf.sprintf "malformed reply: %s" msg)
+          | Ok reply ->
+              if Protocol.reply_status reply = "overloaded" then close t;
+              Ok reply))
+
+let request_retry ?(attempts = 20) t frame =
+  let rec go n =
+    let* reply = request t frame in
+    if Protocol.reply_status reply <> "overloaded" then Ok reply
+    else if n <= 1 then
+      Error
+        (Printf.sprintf "server still overloaded after %d attempts" attempts)
+    else begin
+      let ms =
+        match Protocol.retry_after_ms reply with Some ms -> ms | None -> 50
+      in
+      Unix.sleepf (float_of_int ms /. 1000.0);
+      go (n - 1)
+    end
+  in
+  go attempts
+
+(* --- typed helpers --- *)
+
+let checked t frame =
+  let* reply = request_retry t frame in
+  match Protocol.reply_status reply with
+  | "ok" -> Ok reply
+  | "error" -> (
+      match Protocol.reply_error reply with
+      | Some msg -> Error msg
+      | None -> Error "server answered an error without a message")
+  | other -> Error (Printf.sprintf "unexpected reply status %S" other)
+
+let missing name = Printf.sprintf "reply is missing field %S" name
+
+let int_of name reply =
+  match Protocol.int_field name reply with
+  | Some i -> Ok i
+  | None -> Error (missing name)
+
+let string_of name reply =
+  match Protocol.string_field name reply with
+  | Some s -> Ok s
+  | None -> Error (missing name)
+
+let ping t =
+  let* reply = checked t Protocol.ping in
+  int_of "protocol" reply
+
+let server_stats t = checked t Protocol.stats
+
+let partition ?algorithm ?buffer_mb ?deadline_ms ?budget_steps t w =
+  checked t
+    (Protocol.partition_request ?algorithm ?buffer_mb ?deadline_ms
+       ?budget_steps w)
+
+let open_session ?panel ?drift_ratio ?min_window ?epoch ?memory ?horizon
+    ?budget_steps ?buffer_mb t ~session table =
+  let* reply =
+    checked t
+      (Protocol.open_request ?panel ?drift_ratio ?min_window ?epoch ?memory
+         ?horizon ?budget_steps ?buffer_mb ~session table)
+  in
+  match Json.member "created" reply with
+  | Some (Json.Bool b) -> Ok b
+  | _ -> Error (missing "created")
+
+let ingest ?deadline_ms ?budget_steps t ~session table q =
+  let* reply =
+    checked t (Protocol.ingest_request ?deadline_ms ?budget_steps ~session table q)
+  in
+  int_of "generation" reply
+
+let layout t ~session = checked t (Protocol.layout_request ~session)
+
+let history t ~session =
+  let* reply = checked t (Protocol.history_request ~session) in
+  string_of "history" reply
+
+let close_session t ~session =
+  let* reply = checked t (Protocol.close_request ~session) in
+  string_of "history" reply
+
+let shutdown_server t =
+  let* _reply = checked t Protocol.shutdown in
+  Ok ()
+
+(* --- batch mode --- *)
+
+let replay_script ?(progress = fun _ -> ()) t file =
+  match Vp_parser.Workload_parser.parse_file file with
+  | Error e ->
+      Error
+        (Format.asprintf "%s: %a" file Vp_parser.Workload_parser.pp_error e)
+  | Ok workloads ->
+      let replay_table w =
+        let table = Workload.table w in
+        let session = Table.name table in
+        let* _created = open_session t ~session table in
+        let queries = Array.to_list (Workload.queries w) in
+        let* () =
+          List.fold_left
+            (fun acc q ->
+              let* () = acc in
+              let* _generation = ingest t ~session table q in
+              Ok ())
+            (Ok ()) queries
+        in
+        let* hist = close_session t ~session in
+        progress
+          (Printf.sprintf "%s: %d queries, %d decisions" session
+             (List.length queries)
+             (List.length (String.split_on_char '\n' hist) - 1));
+        Ok (session, hist)
+      in
+      List.fold_left
+        (fun acc w ->
+          let* done_ = acc in
+          let* entry = replay_table w in
+          Ok (entry :: done_))
+        (Ok []) workloads
+      |> Result.map List.rev

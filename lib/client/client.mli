@@ -1,0 +1,119 @@
+open Vp_core
+
+(** The layout server's client: one TCP connection speaking
+    {!Vp_server.Protocol}, with typed helpers over the raw
+    request/reply exchange.
+
+    A client is cheap and reconnects lazily: the socket is opened on the
+    first {!request} and re-opened after the server sheds it (an
+    [overloaded] reply closes the connection server-side — {!request}
+    hands the reply back and drops the dead socket, and
+    {!request_retry} sleeps for the advertised [retry_after_ms] and
+    tries again on a fresh connection). Helpers return [Error] with a
+    one-line message for network failures, [error] replies and
+    exhausted retries alike. *)
+
+type t
+
+val create : ?host:string -> ?port:int -> unit -> t
+(** No I/O happens here; the connection opens on first use. [host]
+    defaults to ["127.0.0.1"], [port] to {!Vp_server.Protocol.default_port}. *)
+
+val host : t -> string
+
+val port : t -> int
+
+val close : t -> unit
+(** Closes the connection if one is open. The client remains usable
+    (the next request reconnects). *)
+
+val request : t -> Vp_observe.Json.t -> (Vp_observe.Json.t, string) result
+(** One frame out, one reply frame back. Connects first if needed.
+    An [overloaded] reply is returned as-is (and the connection, which
+    the server has already closed, is dropped). *)
+
+val request_retry :
+  ?attempts:int -> t -> Vp_observe.Json.t -> (Vp_observe.Json.t, string) result
+(** Like {!request}, but an [overloaded] reply sleeps for its
+    [retry_after_ms] hint and retries on a fresh connection, up to
+    [attempts] times in total (default [20]) before giving up with an
+    [Error]. This is the polite way to talk to a loaded server: clients
+    back off instead of hanging. *)
+
+(** {2 Typed helpers}
+
+    Each sends the corresponding {!Vp_server.Protocol} request (through
+    {!request_retry}) and decodes the interesting part of an [ok] reply;
+    [error] replies map to [Error] with the server's message. *)
+
+val ping : t -> (int, string) result
+(** The server's protocol version. *)
+
+val server_stats : t -> (Vp_observe.Json.t, string) result
+(** The raw [stats] reply (counters, gauges, live session count). *)
+
+val partition :
+  ?algorithm:string ->
+  ?buffer_mb:float ->
+  ?deadline_ms:int ->
+  ?budget_steps:int ->
+  t ->
+  Workload.t ->
+  (Vp_observe.Json.t, string) result
+(** A one-shot panel run; the [ok] reply carries [layout], [cost],
+    [status] and [algorithm] fields (see {!Vp_server.Protocol}). *)
+
+val open_session :
+  ?panel:string list ->
+  ?drift_ratio:float ->
+  ?min_window:int ->
+  ?epoch:int ->
+  ?memory:int ->
+  ?horizon:float ->
+  ?budget_steps:int ->
+  ?buffer_mb:float ->
+  t ->
+  session:string ->
+  Table.t ->
+  (bool, string) result
+(** [Ok created] — [false] when re-attaching to an existing session. *)
+
+val ingest :
+  ?deadline_ms:int ->
+  ?budget_steps:int ->
+  t ->
+  session:string ->
+  Table.t ->
+  Query.t ->
+  (int, string) result
+(** Feeds one query; [Ok generation] (the layout generation after the
+    ingest, so a caller can watch adoptions happen). *)
+
+val layout : t -> session:string -> (Vp_observe.Json.t, string) result
+
+val history : t -> session:string -> (string, string) result
+(** The session's decision history (byte-stable; see
+    {!Vp_online.Service.history}). *)
+
+val close_session : t -> session:string -> (string, string) result
+(** Closes the server-side session; [Ok final_history]. *)
+
+val shutdown_server : t -> (unit, string) result
+(** Asks the daemon to drain gracefully (the [shutdown] op). *)
+
+(** {2 Batch mode} *)
+
+val replay_script :
+  ?progress:(string -> unit) ->
+  t ->
+  string ->
+  ((string * string) list, string) result
+(** [replay_script client file] parses [file] with
+    {!Vp_parser.Workload_parser} (the same SQL-ish format [vp cost] and
+    friends read) and replays it against the server: one session per
+    [CREATE TABLE]d table, named after the table, each query ingested in
+    script order, then the session is closed. Returns
+    [(table, final_history)] per table in creation order. Parse errors
+    come back line-numbered ([Error "script.sql:12: ..."]); server and
+    network errors abort the replay at the failing query. [progress] is
+    called with one line per completed session. *)

@@ -41,25 +41,9 @@ module Response = struct
   }
 end
 
-type result = {
-  partitioning : Partitioning.t;
-  cost : float;
-  stats : stats;
-  status : status;
-}
-
 type t = { name : string; short_name : string; exec : Request.t -> Response.t }
 
 let exec t request = t.exec request
-
-let run t ?budget workload cost =
-  let r = t.exec (Request.make ?budget ~cost workload) in
-  {
-    partitioning = r.Response.partitioning;
-    cost = r.Response.cost;
-    stats = r.Response.stats;
-    status = r.Response.status;
-  }
 
 module Counted = struct
   type oracle = { f : cost_fn; mutable calls : int; mutable candidates : int }

@@ -74,26 +74,15 @@ module Response : sig
   }
 end
 
-type result = {
-  partitioning : Partitioning.t;
-  cost : float;
-  stats : stats;
-  status : status;
-}
-(** Legacy result record, kept for the deprecated {!run} shim. *)
-
 type t = { name : string; short_name : string; exec : Request.t -> Response.t }
 (** A named algorithm. [exec] must return a valid partitioning of the
     request workload's table, budgeted or not. *)
 
 val exec : t -> Request.t -> Response.t
 (** [exec t request] is [t.exec request] — the one entry point every call
-    site (bin, bench, experiments, tests) goes through. *)
-
-val run : t -> ?budget:Vp_robust.Budget.t -> Workload.t -> cost_fn -> result
-(** @deprecated Thin shim over {!exec} for one release: builds a
-    {!Request.t} from the old optional-argument calling convention and
-    drops the response provenance. New code must use {!exec}. *)
+    site (bin, bench, experiments, tests) goes through. The
+    optional-argument [run] shim that predated {!Request.t} is gone;
+    budgets and labels travel in the request. *)
 
 (** A counting wrapper around a cost oracle, used by algorithm
     implementations to fill in {!stats} without threading counters

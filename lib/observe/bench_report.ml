@@ -1,4 +1,4 @@
-let schema_version = 4
+let schema_version = 5
 
 type algo_entry = {
   algorithm : string;
@@ -32,6 +32,20 @@ type online_entry = {
   oneshot_algorithm : string;
 }
 
+type server_entry = {
+  phase : string;
+  server_jobs : int;
+  clients : int;
+  requests : int;
+  shed : int;
+  errors : int;
+  seconds : float;
+  throughput_rps : float;
+  latency_p50_ms : float;
+  latency_p95_ms : float;
+  latency_p99_ms : float;
+}
+
 type t = {
   benchmark : string;
   scale_factor : float;
@@ -39,6 +53,7 @@ type t = {
   jobs : int;
   algorithms : algo_entry list;
   online : online_entry list;
+  server : server_entry list;
   counters : (string * int) list;
   host : host;
 }
@@ -91,6 +106,22 @@ let online_json e =
       ("oneshot_algorithm", Json.String e.oneshot_algorithm);
     ]
 
+let server_json e =
+  Json.Obj
+    [
+      ("phase", Json.String e.phase);
+      ("server_jobs", Json.Int e.server_jobs);
+      ("clients", Json.Int e.clients);
+      ("requests", Json.Int e.requests);
+      ("shed", Json.Int e.shed);
+      ("errors", Json.Int e.errors);
+      ("seconds", Json.Float e.seconds);
+      ("throughput_rps", Json.Float e.throughput_rps);
+      ("latency_p50_ms", Json.Float e.latency_p50_ms);
+      ("latency_p95_ms", Json.Float e.latency_p95_ms);
+      ("latency_p99_ms", Json.Float e.latency_p99_ms);
+    ]
+
 let host_json h =
   Json.Obj
     [
@@ -112,6 +143,7 @@ let to_json r =
       ("jobs", Json.Int r.jobs);
       ("algorithms", Json.List (List.map algo_json r.algorithms));
       ("online", Json.List (List.map online_json r.online));
+      ("server", Json.List (List.map server_json r.server));
       ( "counters",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters) );
       ("host", host_json r.host);
@@ -167,6 +199,7 @@ let validate doc =
           ("jobs", Fint);
           ("algorithms", Flist);
           ("online", Flist);
+          ("server", Flist);
           ("counters", Fobj);
           ("host", Fobj);
         ]
@@ -250,6 +283,46 @@ let validate doc =
                   | _ -> errors)
                 errors
                 [ "queries"; "reopts"; "adopted"; "rejected"; "final_generation" ])
+            errors
+            (List.mapi (fun i e -> (i, e)) entries)
+      | _ -> errors
+    in
+    let errors =
+      (* [server] may be empty (modes that start no daemon), but every
+         entry must be well-typed with non-negative counts. *)
+      match Json.member "server" doc with
+      | Some (Json.List entries) ->
+          List.fold_left
+            (fun errors (i, entry) ->
+              let path = Printf.sprintf "$.server[%d]" i in
+              let errors =
+                match entry with
+                | Json.Obj _ ->
+                    check_fields ~path
+                      [
+                        ("phase", Fstring);
+                        ("server_jobs", Fint);
+                        ("clients", Fint);
+                        ("requests", Fint);
+                        ("shed", Fint);
+                        ("errors", Fint);
+                        ("seconds", Fnumber);
+                        ("throughput_rps", Fnumber);
+                        ("latency_p50_ms", Fnumber);
+                        ("latency_p95_ms", Fnumber);
+                        ("latency_p99_ms", Fnumber);
+                      ]
+                      entry errors
+                | _ -> Printf.sprintf "%s: expected an object" path :: errors
+              in
+              List.fold_left
+                (fun errors name ->
+                  match Json.member name entry with
+                  | Some (Json.Int v) when v < 0 ->
+                      Printf.sprintf "%s.%s: must be >= 0" path name :: errors
+                  | _ -> errors)
+                errors
+                [ "server_jobs"; "clients"; "requests"; "shed"; "errors" ])
             errors
             (List.mapi (fun i e -> (i, e)) entries)
       | _ -> errors

@@ -13,9 +13,10 @@
 
 val schema_version : int
 (** Bumped whenever a field is renamed, retyped or removed (adding
-    fields is compatible). Currently [4]: v4 adds the required [online]
-    section (the online layout service's replay outcomes) emitted into
-    [BENCH_4.json] by [bench --mode online]. *)
+    fields is compatible). Currently [5]: v5 adds the required [server]
+    section (the layout daemon's closed-loop load-generator outcomes)
+    emitted into [BENCH_5.json] by [bench --mode server]; v4 added the
+    [online] section. *)
 
 type algo_entry = {
   algorithm : string;
@@ -52,6 +53,22 @@ type online_entry = {
     outcome, flattened — this module sits below [vp_online] in the
     stack, so the harness copies the fields over). *)
 
+type server_entry = {
+  phase : string;  (** e.g. ["throughput-j4"], ["overload"] *)
+  server_jobs : int;  (** daemon worker domains *)
+  clients : int;  (** concurrent closed-loop client domains *)
+  requests : int;  (** requests completed (excluding sheds) *)
+  shed : int;  (** [overloaded] replies observed *)
+  errors : int;  (** [error] replies + transport failures *)
+  seconds : float;  (** phase wall time *)
+  throughput_rps : float;  (** [requests / seconds] *)
+  latency_p50_ms : float;
+  latency_p95_ms : float;
+  latency_p99_ms : float;
+}
+(** One phase of [bench --mode server]'s load generator: N client
+    domains each issuing M requests against a live daemon. *)
+
 type t = {
   benchmark : string;   (** e.g. ["tpch"] *)
   scale_factor : float;
@@ -61,6 +78,8 @@ type t = {
   online : online_entry list;
       (** Online replay outcomes; [[]] for modes that replay no
           stream. *)
+  server : server_entry list;
+      (** Load-generator phases; [[]] for modes that start no daemon. *)
   counters : (string * int) list;  (** merged snapshot, sorted *)
   host : host;
 }

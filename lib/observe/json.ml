@@ -90,9 +90,19 @@ let to_string ?(pretty = false) v =
 
 exception Fail of int * string
 
-let of_string s =
+let default_max_depth = 512
+
+let of_string ?(max_depth = default_max_depth) ?max_size s =
   let n = String.length s in
   let pos = ref 0 in
+  let oversized =
+    match max_size with
+    | Some limit when n > limit ->
+        Some
+          (Printf.sprintf "input of %d bytes exceeds the %d-byte limit" n
+             limit)
+    | Some _ | None -> None
+  in
   let fail msg = raise (Fail (!pos, msg)) in
   let peek () = if !pos < n then Some s.[!pos] else None in
   let advance () = incr pos in
@@ -190,7 +200,10 @@ let of_string s =
       | Some i -> Int i
       | None -> fail (Printf.sprintf "bad number %S" text)
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then
+      fail
+        (Printf.sprintf "nesting depth exceeds the maximum of %d" max_depth);
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -207,7 +220,7 @@ let of_string s =
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -229,7 +242,7 @@ let of_string s =
         end
         else begin
           let rec items acc =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -248,15 +261,18 @@ let of_string s =
     | Some 'n' -> literal "null" Null
     | Some _ -> parse_number ()
   in
-  match
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing characters after value";
-    v
-  with
-  | v -> Ok v
-  | exception Fail (at, msg) ->
-      Error (Printf.sprintf "JSON parse error at byte %d: %s" at msg)
+  match oversized with
+  | Some msg -> Error (Printf.sprintf "JSON parse error: %s" msg)
+  | None -> (
+      match
+        let v = parse_value 0 in
+        skip_ws ();
+        if !pos <> n then fail "trailing characters after value";
+        v
+      with
+      | v -> Ok v
+      | exception Fail (at, msg) ->
+          Error (Printf.sprintf "JSON parse error at byte %d: %s" at msg))
 
 let to_file path v =
   let oc = open_out path in

@@ -22,9 +22,21 @@ val to_string : ?pretty:bool -> t -> string
     floats so they re-parse as floats); NaN/infinities print as [null],
     as in every browser. *)
 
-val of_string : string -> (t, string) result
+val default_max_depth : int
+(** The nesting-depth bound {!of_string} applies when none is given
+    ([512]). Deep enough for any document this repo produces, shallow
+    enough that a hostile ["[[[[…"] can never blow the parser's stack. *)
+
+val of_string : ?max_depth:int -> ?max_size:int -> string -> (t, string) result
 (** Parses one JSON value (trailing garbage is an error). Errors carry
-    the byte offset. Numbers without [.], [e] or [E] parse as [Int]. *)
+    the byte offset. Numbers without [.], [e] or [E] parse as [Int].
+
+    Hostile-input bounds: a value nested deeper than [max_depth]
+    (default {!default_max_depth}) is rejected with a descriptive error
+    instead of risking a stack overflow, and when [max_size] is given,
+    inputs longer than that many bytes are rejected before any parsing
+    work is done. The network server parses every frame with both bounds
+    set; trusted local files use the defaults. *)
 
 val to_file : string -> t -> unit
 

@@ -69,7 +69,7 @@ let rec worker_loop t =
 let effective_jobs ~jobs =
   min (max 1 jobs) (max 1 (Domain.recommended_domain_count ()))
 
-let create ~jobs =
+let create ?(clamp = true) ~jobs () =
   let jobs = max 1 jobs in
   let t =
     {
@@ -81,9 +81,9 @@ let create ~jobs =
       workers = [];
     }
   in
+  let domains = if clamp then effective_jobs ~jobs else jobs in
   t.workers <-
-    List.init (effective_jobs ~jobs - 1) (fun _ ->
-        Domain.spawn (fun () -> worker_loop t));
+    List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
 let jobs t = t.jobs
@@ -117,7 +117,7 @@ let shutdown t =
    that exception should arrive bare, not wrapped in [Finally_raised].
    The body's own exception still wins over shutdown's. *)
 let with_pool ~jobs f =
-  let t = create ~jobs in
+  let t = create ~jobs () in
   match f t with
   | v ->
       shutdown t;
@@ -126,6 +126,27 @@ let with_pool ~jobs f =
       let bt = Printexc.get_raw_backtrace () in
       (try shutdown t with _ -> ());
       Printexc.raise_with_backtrace e bt
+
+(* Detached tasks: no batch bookkeeping, no result slot, no ambient-state
+   capture. The worker loop's backstop already contains a stray raise; the
+   explicit [try] here keeps the synchronous fallback path (no workers)
+   equally contained. *)
+let submit t task =
+  let wrapped () =
+    if Vp_observe.Switch.stats_on () then Vp_observe.Stats.incr c_run;
+    try task () with _ -> ()
+  in
+  Mutex.lock t.mutex;
+  if t.workers <> [] && not t.shutting_down then begin
+    if Vp_observe.Switch.stats_on () then Vp_observe.Stats.incr c_queued;
+    Queue.add (Task wrapped) t.queue;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex
+  end
+  else begin
+    Mutex.unlock t.mutex;
+    wrapped ()
+  end
 
 let inject_raw t task =
   Mutex.lock t.mutex;

@@ -1,0 +1,356 @@
+open Vp_core
+module Json = Vp_observe.Json
+
+let c_requests = Vp_observe.Stats.counter "server.requests"
+
+let c_shed = Vp_observe.Stats.counter "server.shed"
+
+let retry_after_ms = 100
+
+type t = {
+  listen_fd : Unix.file_descr;
+  port : int;
+  jobs : int;
+  max_pending : int;
+  stopping : bool Atomic.t;
+  in_flight : int Atomic.t;
+  conns : (Unix.file_descr, unit) Hashtbl.t;
+  conns_mutex : Mutex.t;
+  sessions : Sessions.t;
+}
+
+let create ?(host = "127.0.0.1") ?(port = Protocol.default_port) ?(jobs = 4)
+    ?(max_pending = 64) () =
+  if jobs < 1 then invalid_arg "Daemon.create: jobs must be >= 1";
+  if max_pending < 1 then invalid_arg "Daemon.create: max_pending must be >= 1";
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd addr;
+     Unix.listen fd 64
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  {
+    listen_fd = fd;
+    port;
+    jobs;
+    max_pending;
+    stopping = Atomic.make false;
+    in_flight = Atomic.make 0;
+    conns = Hashtbl.create 16;
+    conns_mutex = Mutex.create ();
+    sessions = Sessions.create ();
+  }
+
+let port t = t.port
+
+let jobs t = t.jobs
+
+let stop t = Atomic.set t.stopping true
+
+let install_signal_handlers t =
+  let ignore_bad_signal f =
+    (* SIGPIPE etc. do not exist on every platform. *)
+    try f () with Invalid_argument _ | Sys_error _ -> ()
+  in
+  ignore_bad_signal (fun () ->
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore);
+  let to_stop s =
+    ignore_bad_signal (fun () ->
+        Sys.set_signal s (Sys.Signal_handle (fun _ -> stop t)))
+  in
+  to_stop Sys.sigterm;
+  to_stop Sys.sigint
+
+(* --- per-request dispatch --- *)
+
+let status_string = function
+  | Partitioner.Complete -> "complete"
+  | Partitioner.Timed_out _ -> "timed_out"
+
+let stats_reply t =
+  let snap = Vp_observe.Stats.snapshot () in
+  let ints kvs = Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) kvs) in
+  Protocol.ok_reply
+    [
+      ("sessions", Json.Int (Sessions.count t.sessions));
+      ("counters", ints snap.Vp_observe.Stats.counters);
+      ("gauges", ints snap.Vp_observe.Stats.gauges);
+    ]
+
+let partition_reply ~workload ~algorithm ~buffer_mb ~budget =
+  match Vp_algorithms.Registry.find_opt algorithm with
+  | None ->
+      Protocol.error_reply
+        (Printf.sprintf "unknown algorithm %S (try: %s)" algorithm
+           (String.concat ", " Vp_algorithms.Registry.names))
+  | Some algo ->
+      let disk =
+        Vp_cost.Disk.with_buffer_size Vp_cost.Disk.default
+          (Vp_cost.Disk.mb buffer_mb)
+      in
+      let cost = Vp_cost.Io_model.oracle disk workload in
+      let request =
+        Partitioner.Request.make
+          ?budget:(Protocol.budget_of_spec budget)
+          ~label:"server" ~cost workload
+      in
+      let resp = Partitioner.exec algo request in
+      Protocol.ok_reply
+        [
+          ( "layout",
+            Protocol.layout_to_json (Workload.table workload)
+              resp.Partitioner.Response.partitioning );
+          ("cost", Json.Float resp.Partitioner.Response.cost);
+          ( "run_status",
+            Json.String (status_string resp.Partitioner.Response.status) );
+          ( "algorithm",
+            Json.String resp.Partitioner.Response.provenance.algorithm );
+          ( "cost_calls",
+            Json.Int resp.Partitioner.Response.stats.Partitioner.cost_calls );
+        ]
+
+let with_named_session t session f =
+  match Sessions.find t.sessions session with
+  | None -> Protocol.error_reply (Printf.sprintf "unknown session %S" session)
+  | Some s -> Sessions.with_session s f
+
+let ingest_reply t ~session ~attributes ~weight ~name ~budget =
+  with_named_session t session (fun svc ->
+      let table = Vp_online.Service.table svc in
+      match Table.attr_set_of_names table attributes with
+      | exception Not_found ->
+          Protocol.error_reply
+            (Printf.sprintf
+               "query references an attribute table %S does not have"
+               (Table.name table))
+      | references -> (
+          let name =
+            match name with
+            | Some n -> n
+            | None ->
+                Printf.sprintf "Q%d" (Vp_online.Service.ingested svc + 1)
+          in
+          match Query.make ~weight ~name ~references () with
+          | exception Invalid_argument msg -> Protocol.error_reply msg
+          | q ->
+              let run () = Vp_online.Service.ingest svc q in
+              (match Protocol.budget_of_spec budget with
+              | None -> run ()
+              | Some b -> Vp_robust.Budget.with_current b run);
+              Protocol.ok_reply
+                [
+                  ("ingested", Json.Int (Vp_online.Service.ingested svc));
+                  ("generation", Json.Int (Vp_online.Service.generation svc));
+                ]))
+
+let dispatch t req =
+  match (req : Protocol.request) with
+  | Ping ->
+      Protocol.ok_reply [ ("protocol", Json.Int Protocol.protocol_version) ]
+  | Stats -> stats_reply t
+  | Partition { workload; algorithm; buffer_mb; budget } ->
+      partition_reply ~workload ~algorithm ~buffer_mb ~budget
+  | Open spec -> (
+      match Sessions.open_session t.sessions spec with
+      | Error msg -> Protocol.error_reply msg
+      | Ok (s, created) ->
+          Sessions.with_session s (fun svc ->
+              Protocol.ok_reply
+                [
+                  ("created", Json.Bool created);
+                  ("generation", Json.Int (Vp_online.Service.generation svc));
+                ]))
+  | Ingest { session; attributes; weight; name; budget } ->
+      ingest_reply t ~session ~attributes ~weight ~name ~budget
+  | Layout { session } ->
+      with_named_session t session (fun svc ->
+          Protocol.ok_reply
+            [
+              ("generation", Json.Int (Vp_online.Service.generation svc));
+              ("ingested", Json.Int (Vp_online.Service.ingested svc));
+              ( "layout",
+                Protocol.layout_to_json
+                  (Vp_online.Service.table svc)
+                  (Vp_online.Service.layout svc) );
+            ])
+  | History { session } ->
+      with_named_session t session (fun svc ->
+          Protocol.ok_reply
+            [
+              ("generation", Json.Int (Vp_online.Service.generation svc));
+              ("history", Json.String (Vp_online.Service.history svc));
+            ])
+  | Close { session } -> (
+      match Sessions.close t.sessions session with
+      | Error msg -> Protocol.error_reply msg
+      | Ok history -> Protocol.ok_reply [ ("history", Json.String history) ])
+  | Sleep { ms } ->
+      Unix.sleepf (float_of_int ms /. 1000.0);
+      Protocol.ok_reply [ ("slept_ms", Json.Int ms) ]
+  | Shutdown ->
+      stop t;
+      Protocol.ok_reply [ ("stopping", Json.Bool true) ]
+
+let reply_to_frame t line =
+  if Vp_observe.Switch.stats_on () then Vp_observe.Stats.incr c_requests;
+  match
+    Json.of_string ~max_depth:Protocol.max_depth
+      ~max_size:Protocol.max_frame_bytes line
+  with
+  | Error msg -> Protocol.error_reply (Printf.sprintf "malformed frame: %s" msg)
+  | Ok doc -> (
+      match Protocol.request_of_json doc with
+      | Error msg -> Protocol.error_reply msg
+      | Ok req -> (
+          let run () = dispatch t req in
+          let guarded () =
+            try run ()
+            with exn ->
+              Protocol.error_reply
+                (Printf.sprintf "internal error: %s" (Printexc.to_string exn))
+          in
+          if Vp_observe.Switch.trace_on () then
+            Vp_observe.Trace.with_span ~name:"server.request"
+              ~args:[ ("op", Protocol.op_name req) ]
+              guarded
+          else guarded ()))
+
+(* --- the connection loop: newline-framed requests over a stream --- *)
+
+let serve_connection t fd =
+  let chunk_len = 8192 in
+  let chunk = Bytes.create chunk_len in
+  let acc = Buffer.create 256 in
+  (* [discarding] is true while we are skipping the tail of a frame that
+     already exceeded [max_frame_bytes] (the error reply has been sent;
+     the connection stays usable for the next line). *)
+  let discarding = ref false in
+  let alive = ref true in
+  let send json =
+    let line = Json.to_string json ^ "\n" in
+    let len = String.length line in
+    let rec write_all off =
+      if off < len then
+        write_all (off + Unix.write_substring fd line off (len - off))
+    in
+    try write_all 0 with Unix.Unix_error _ | Sys_error _ -> alive := false
+  in
+  let handle_line line =
+    if !discarding then discarding := false
+    else send (reply_to_frame t line)
+  in
+  let overflow () =
+    if not !discarding then begin
+      send
+        (Protocol.error_reply
+           (Printf.sprintf "frame exceeds the %d-byte limit"
+              Protocol.max_frame_bytes));
+      discarding := true
+    end;
+    Buffer.clear acc
+  in
+  while !alive do
+    match Unix.read fd chunk 0 chunk_len with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> alive := false
+    | 0 -> alive := false
+    | n ->
+        let start = ref 0 in
+        for i = 0 to n - 1 do
+          if Bytes.get chunk i = '\n' then begin
+            Buffer.add_subbytes acc chunk !start (i - !start);
+            start := i + 1;
+            let line = Buffer.contents acc in
+            Buffer.clear acc;
+            handle_line line
+          end
+        done;
+        Buffer.add_subbytes acc chunk !start (n - !start);
+        (* A frame longer than the limit can never become valid; answer
+           now instead of buffering an unbounded line. *)
+        if Buffer.length acc > Protocol.max_frame_bytes then overflow ()
+  done
+
+(* --- the accept loop --- *)
+
+let register_conn t fd =
+  Mutex.lock t.conns_mutex;
+  Hashtbl.replace t.conns fd ();
+  Mutex.unlock t.conns_mutex
+
+let unregister_conn t fd =
+  Mutex.lock t.conns_mutex;
+  Hashtbl.remove t.conns fd;
+  Mutex.unlock t.conns_mutex
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let shed fd =
+  if Vp_observe.Switch.stats_on () then Vp_observe.Stats.incr c_shed;
+  let line = Json.to_string (Protocol.overloaded_reply ~retry_after_ms) ^ "\n" in
+  (try ignore (Unix.write_substring fd line 0 (String.length line))
+   with Unix.Unix_error _ -> ());
+  close_quietly fd
+
+let accept_one t pool =
+  match Unix.accept ~cloexec:true t.listen_fd with
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      ()
+  | fd, _ ->
+      if Atomic.get t.stopping then close_quietly fd
+      else if Atomic.get t.in_flight >= t.max_pending then shed fd
+      else begin
+        Atomic.incr t.in_flight;
+        register_conn t fd;
+        Vp_parallel.Pool.submit pool (fun () ->
+            Fun.protect
+              ~finally:(fun () ->
+                unregister_conn t fd;
+                close_quietly fd;
+                Atomic.decr t.in_flight)
+              (fun () -> serve_connection t fd))
+      end
+
+let drain t pool =
+  close_quietly t.listen_fd;
+  (* Half-close every in-flight connection's read side so a handler
+     blocked in [Unix.read] sees EOF and winds down. *)
+  Mutex.lock t.conns_mutex;
+  Hashtbl.iter
+    (fun fd () ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    t.conns;
+  Mutex.unlock t.conns_mutex;
+  while Atomic.get t.in_flight > 0 do
+    Unix.sleepf 0.005
+  done;
+  Sessions.drain t.sessions;
+  Vp_parallel.Pool.shutdown pool
+
+let serve t =
+  (* [jobs + 1]: the accept loop is the pool's "helping caller" slot and
+     never drains tasks, so the worker count equals the requested server
+     parallelism. [~clamp:false] because connection handlers block in
+     [Unix.read] rather than compute: a 4-job server must multiplex 4
+     live connections even on a 1-core host, where the clamp would leave
+     the pool workerless and [submit] would serve connections inline in
+     the accept loop (no concurrency, no shedding). *)
+  let pool = Vp_parallel.Pool.create ~clamp:false ~jobs:(t.jobs + 1) () in
+  Fun.protect
+    ~finally:(fun () -> drain t pool)
+    (fun () ->
+      while not (Atomic.get t.stopping) do
+        match Unix.select [ t.listen_fd ] [] [] 0.05 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | [], _, _ -> ()
+        | _ :: _, _, _ -> accept_one t pool
+      done)

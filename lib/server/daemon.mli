@@ -1,0 +1,58 @@
+(** The layout daemon: a concurrent TCP server for the {!Protocol}.
+
+    One daemon owns one listening socket, one {!Sessions.t} registry and
+    one {!Vp_parallel.Pool}. The accept loop runs in the calling domain
+    and hands each accepted connection to a pool worker
+    ({!Vp_parallel.Pool.submit}), so a connection occupies one worker for
+    its lifetime — thread-per-connection, with OCaml domains as the
+    threads. [jobs = 1] therefore serves strictly sequentially, which is
+    what the determinism tests exploit.
+
+    Backpressure is explicit, never silent: when [max_pending]
+    connections are already in flight, a new connection is answered with
+    one [overloaded] frame carrying a [retry_after_ms] hint and closed
+    before a byte of it is read. Clients retry after the hint instead of
+    hanging on an unbounded queue.
+
+    Shutdown is graceful: {!stop} (also installed as the SIGTERM/SIGINT
+    action by {!install_signal_handlers}, and reachable over the wire as
+    the [shutdown] op) only raises a flag. The accept loop notices it
+    within its 50 ms poll interval, stops accepting, closes the listening
+    socket, half-closes every in-flight connection's read side so blocked
+    readers see EOF, waits for the in-flight count to reach zero, flushes
+    every session ({!Sessions.drain}) and joins the pool.
+
+    Instrumentation (under {!Vp_observe.Switch}): counters
+    [server.requests] and [server.shed], gauge [server.active_sessions],
+    one [server.request] span per decoded frame (args: the op name). *)
+
+type t
+
+val create :
+  ?host:string -> ?port:int -> ?jobs:int -> ?max_pending:int -> unit -> t
+(** Binds and listens immediately (so {!port} is known before {!serve}
+    runs, which is how the tests use ephemeral ports). [host] defaults to
+    ["127.0.0.1"], [port] to {!Protocol.default_port} ([0] asks the
+    kernel for an ephemeral port), [jobs] to [4], [max_pending] to [64].
+    @raise Invalid_argument if [jobs < 1] or [max_pending < 1].
+    @raise Unix.Unix_error if the address cannot be bound. *)
+
+val port : t -> int
+(** The actually bound port (resolves port [0]). *)
+
+val jobs : t -> int
+
+val serve : t -> unit
+(** Runs the accept loop in the calling domain until {!stop}; performs
+    the graceful drain described above before returning, even when the
+    loop dies by exception. Call at most once per daemon. *)
+
+val stop : t -> unit
+(** Requests a graceful drain. Only sets a flag — safe from a signal
+    handler, a pool worker mid-request ([shutdown] op) or another
+    domain; the drain itself happens in {!serve}'s epilogue. *)
+
+val install_signal_handlers : t -> unit
+(** Routes SIGTERM and SIGINT to {!stop} (and ignores SIGPIPE, so a
+    client that disconnects mid-reply surfaces as [EPIPE] instead of
+    killing the process). *)

@@ -1,0 +1,175 @@
+open Vp_core
+
+(** The layout server's wire protocol: newline-delimited JSON frames.
+
+    One request per line, one reply per line, over a plain TCP stream.
+    Every frame is a single JSON object; requests carry an ["op"] field
+    naming the operation, replies carry a ["status"] field that is
+    ["ok"], ["error"] (with an ["error"] message) or ["overloaded"]
+    (with a ["retry_after_ms"] hint — the daemon shed the connection
+    before reading a single byte). The format reuses {!Vp_observe.Json},
+    so the server stays dependency-free.
+
+    Operations:
+    - [ping] — liveness probe.
+    - [stats] — the merged {!Vp_observe.Stats} snapshot plus the live
+      session count.
+    - [partition] — a one-shot panel run: an inline table + query
+      footprints, an algorithm name, an optional deadline/step budget;
+      answers the layout, its cost and the degradation status
+      ({!Vp_core.Partitioner.status}).
+    - [open]/[ingest]/[layout]/[history]/[close] — a named
+      {!Vp_online.Service} session per table, ingesting one query per
+      request and answering generation/decision state.
+    - [sleep] — a diagnostic that holds its connection slot for a fixed
+      time; the load generator and the overload tests use it to create
+      deliberate backpressure.
+    - [shutdown] — ask the daemon to drain gracefully (the network
+      equivalent of SIGTERM).
+
+    Hostile input is bounded: frames longer than {!max_frame_bytes} or
+    nested deeper than {!max_depth} are answered with a clean [error]
+    reply, never a dropped connection (see [test_server.ml]). *)
+
+val protocol_version : int
+
+val default_port : int
+
+val max_frame_bytes : int
+(** Upper bound on one frame (request or reply), in bytes. *)
+
+val max_depth : int
+(** Maximum JSON nesting depth accepted on the wire. *)
+
+(** The optional execution budget every request may carry. [deadline_ms]
+    is wall-clock (not deterministic — a convenience for interactive
+    callers); [budget_steps] is the deterministic step bound. *)
+type budget_spec = { deadline_ms : int option; budget_steps : int option }
+
+val no_budget : budget_spec
+
+val budget_of_spec : budget_spec -> Vp_robust.Budget.t option
+(** [None] when the spec carries neither bound. *)
+
+(** Everything an [open] frame may configure about a session. Defaults
+    mirror {!Vp_online.Service.default_config}; [buffer_mb] selects the
+    disk model's buffer size (default 8 MiB). Sessions always run their
+    re-optimization panel at [jobs = 1]: the server's parallelism is
+    across connections, and nesting per-session pools inside pool
+    workers would oversubscribe the machine. *)
+type open_spec = {
+  session : string;
+  table : Table.t;
+  panel : string list;
+  drift_ratio : float;
+  min_window : int;
+  epoch : int;
+  memory : int;
+  horizon : float;
+  budget_steps : int option;
+  buffer_mb : float;
+}
+
+type request =
+  | Ping
+  | Stats
+  | Partition of {
+      workload : Workload.t;
+      algorithm : string;
+      buffer_mb : float;
+      budget : budget_spec;
+    }
+  | Open of open_spec
+  | Ingest of {
+      session : string;
+      attributes : string list;
+      weight : float;
+      name : string option;
+      budget : budget_spec;
+    }
+  | Layout of { session : string }
+  | History of { session : string }
+  | Close of { session : string }
+  | Sleep of { ms : int }
+  | Shutdown
+
+val op_name : request -> string
+(** The wire name of the operation (span/telemetry label). *)
+
+val request_of_json : Vp_observe.Json.t -> (request, string) result
+(** Decodes one frame. Errors are one-line human-readable messages,
+    suitable for an [error] reply verbatim. *)
+
+(** {2 Request builders (the client side)} *)
+
+val ping : Vp_observe.Json.t
+
+val stats : Vp_observe.Json.t
+
+val shutdown : Vp_observe.Json.t
+
+val sleep : ms:int -> Vp_observe.Json.t
+
+val partition_request :
+  ?algorithm:string ->
+  ?buffer_mb:float ->
+  ?deadline_ms:int ->
+  ?budget_steps:int ->
+  Workload.t ->
+  Vp_observe.Json.t
+(** [algorithm] defaults to ["HillClimb"], [buffer_mb] to [8.0]. *)
+
+val open_request :
+  ?panel:string list ->
+  ?drift_ratio:float ->
+  ?min_window:int ->
+  ?epoch:int ->
+  ?memory:int ->
+  ?horizon:float ->
+  ?budget_steps:int ->
+  ?buffer_mb:float ->
+  session:string ->
+  Table.t ->
+  Vp_observe.Json.t
+
+val ingest_request :
+  ?deadline_ms:int ->
+  ?budget_steps:int ->
+  session:string ->
+  Table.t ->
+  Query.t ->
+  Vp_observe.Json.t
+
+val layout_request : session:string -> Vp_observe.Json.t
+
+val history_request : session:string -> Vp_observe.Json.t
+
+val close_request : session:string -> Vp_observe.Json.t
+
+(** {2 Reply builders (the server side)} *)
+
+val ok_reply : (string * Vp_observe.Json.t) list -> Vp_observe.Json.t
+
+val error_reply : string -> Vp_observe.Json.t
+
+val overloaded_reply : retry_after_ms:int -> Vp_observe.Json.t
+
+val layout_to_json : Table.t -> Partitioning.t -> Vp_observe.Json.t
+(** The layout as a list of attribute-name groups, canonical order. *)
+
+(** {2 Reply readers (the client side)} *)
+
+val reply_status : Vp_observe.Json.t -> string
+(** The ["status"] field; [""] when absent or non-string. *)
+
+val reply_error : Vp_observe.Json.t -> string option
+
+val retry_after_ms : Vp_observe.Json.t -> int option
+(** The backoff hint of an [overloaded] reply. *)
+
+val string_field : string -> Vp_observe.Json.t -> string option
+
+val int_field : string -> Vp_observe.Json.t -> int option
+
+val float_field : string -> Vp_observe.Json.t -> float option
+(** Accepts both JSON ints and floats. *)

@@ -1,0 +1,100 @@
+open Vp_core
+
+type session = { mutex : Mutex.t; service : Vp_online.Service.t }
+
+type t = { mutex : Mutex.t; table : (string, session) Hashtbl.t }
+
+let g_active = Vp_observe.Stats.gauge "server.active_sessions"
+
+let create () = { mutex = Mutex.create (); table = Hashtbl.create 16 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let count t = locked t (fun () -> Hashtbl.length t.table)
+
+let publish_count_locked t =
+  if Vp_observe.Switch.stats_on () then
+    Vp_observe.Stats.set_gauge g_active (Hashtbl.length t.table)
+
+let same_schema a b =
+  Table.name a = Table.name b
+  && Table.attribute_count a = Table.attribute_count b
+  && Array.for_all2
+       (fun x y -> Attribute.name x = Attribute.name y)
+       (Table.attributes a) (Table.attributes b)
+
+(* Build the service outside any lock held elsewhere, but insert under
+   the registry lock; a failed build (bad panel, bad config) leaves the
+   registry untouched. *)
+let open_session t (spec : Protocol.open_spec) =
+  match
+    let panel =
+      List.map
+        (fun name ->
+          match Vp_algorithms.Registry.find_opt name with
+          | Some a -> a
+          | None ->
+              failwith
+                (Printf.sprintf "unknown panel algorithm %S (try: %s)" name
+                   (String.concat ", " Vp_algorithms.Registry.names)))
+        spec.panel
+    in
+    let disk =
+      Vp_cost.Disk.with_buffer_size Vp_cost.Disk.default
+        (Vp_cost.Disk.mb spec.buffer_mb)
+    in
+    Vp_online.Service.default_config ~drift_ratio:spec.drift_ratio
+      ~min_window:spec.min_window ~epoch:spec.epoch ~memory:spec.memory
+      ~horizon:spec.horizon
+      ?budget_steps:spec.budget_steps
+      ~jobs:1 ~disk ~panel ()
+  with
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+  | config ->
+      locked t (fun () ->
+          match Hashtbl.find_opt t.table spec.session with
+          | Some existing ->
+              let existing_table = Vp_online.Service.table existing.service in
+              if same_schema existing_table spec.table then
+                Ok (existing, false)
+              else
+                Error
+                  (Printf.sprintf
+                     "session %S already exists with a different table (%s)"
+                     spec.session (Table.name existing_table))
+          | None -> (
+              match Vp_online.Service.create config spec.table with
+              | exception Invalid_argument msg -> Error msg
+              | service ->
+                  let s = { mutex = Mutex.create (); service } in
+                  Hashtbl.replace t.table spec.session s;
+                  publish_count_locked t;
+                  Ok (s, true)))
+
+let find t name = locked t (fun () -> Hashtbl.find_opt t.table name)
+
+let with_session (s : session) f =
+  Mutex.lock s.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) (fun () -> f s.service)
+
+let close t name =
+  match
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table name with
+        | None -> None
+        | Some s ->
+            Hashtbl.remove t.table name;
+            publish_count_locked t;
+            Some s)
+  with
+  | None -> Error (Printf.sprintf "unknown session %S" name)
+  | Some s -> Ok (with_session s Vp_online.Service.history)
+
+let drain t =
+  let names =
+    locked t (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) t.table [])
+  in
+  List.iter (fun name -> ignore (close t name)) names

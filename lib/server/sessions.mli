@@ -1,0 +1,46 @@
+(** The daemon's registry of named online-layout sessions.
+
+    A session is one {!Vp_online.Service.t} (one table's evolving
+    layout) plus the mutex that serializes its ingests. Sessions are
+    named, live server-side and outlive the connection that opened
+    them: any client may keep appending to a session by name, and the
+    {e per-session} ingest order is the only thing the service's
+    determinism contract depends on — concurrent traffic to {e other}
+    sessions can interleave freely without perturbing a session's
+    decision history (proved in [test_server.ml]).
+
+    Registry operations take a global mutex; per-query work only takes
+    the session's own lock, so ingests into different sessions run
+    concurrently on different pool workers. *)
+
+type t
+
+type session
+
+val create : unit -> t
+
+val count : t -> int
+(** Live sessions (also published as the [server.active_sessions]
+    gauge when stats are on). *)
+
+val open_session :
+  t -> Protocol.open_spec -> (session * bool, string) result
+(** Opens (or re-attaches to) the named session. A fresh name creates a
+    service per the spec and returns [true]; an existing name returns
+    the existing session and [false], provided the spec's table has the
+    same name and attribute names — otherwise an error. Unknown panel
+    algorithm names and invalid config values are reported as errors,
+    and no session is created (a malformed open must not leak state). *)
+
+val find : t -> string -> session option
+
+val close : t -> string -> (string, string) result
+(** Removes the session, returning its final history (flushed under the
+    session lock, so an in-flight ingest completes first). *)
+
+val with_session : session -> (Vp_online.Service.t -> 'a) -> 'a
+(** Runs under the session's lock — every [ingest]/[layout]/[history]
+    request path goes through here. *)
+
+val drain : t -> unit
+(** Closes every session (graceful-shutdown flush). *)

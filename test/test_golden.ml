@@ -243,6 +243,35 @@ let golden_report =
           oneshot_algorithm = "HillClimb";
         };
       ];
+    server =
+      [
+        {
+          Vp_observe.Bench_report.phase = "throughput-j4";
+          server_jobs = 4;
+          clients = 4;
+          requests = 64;
+          shed = 0;
+          errors = 0;
+          seconds = 0.5;
+          throughput_rps = 128.0;
+          latency_p50_ms = 8.0;
+          latency_p95_ms = 24.0;
+          latency_p99_ms = 32.0;
+        };
+        {
+          Vp_observe.Bench_report.phase = "overload";
+          server_jobs = 1;
+          clients = 6;
+          requests = 12;
+          shed = 9;
+          errors = 0;
+          seconds = 1.25;
+          throughput_rps = 9.6;
+          latency_p50_ms = 64.0;
+          latency_p95_ms = 256.0;
+          latency_p99_ms = 512.0;
+        };
+      ];
     counters = [ ("cost.oracle_calls", 42); ("pool.tasks_run", 7) ];
     host =
       {

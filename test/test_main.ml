@@ -25,4 +25,5 @@ let () =
       ("robust", Test_robust.suite);
       ("observe", Test_observe.suite);
       ("online", Test_online.suite);
+      ("server", Test_server.suite);
     ]

@@ -278,6 +278,44 @@ let test_render_smoke () =
   Alcotest.(check bool) "rendered table names the counter" true
     (contains out "test.obs.render")
 
+(* Hostile-input bounds on the JSON parser: these are the server's first
+   line of defence against malformed frames, so the errors must be
+   descriptive, and legitimate input just inside each bound must still
+   parse. *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_json_depth_bound () =
+  let nested n = String.concat "" [ String.make n '['; "1"; String.make n ']' ] in
+  (match Json.of_string ~max_depth:8 (nested 8) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "depth 8 under bound 8 should parse: %s" e);
+  (match Json.of_string ~max_depth:8 (nested 9) with
+  | Ok _ -> Alcotest.fail "depth 9 over bound 8 should be rejected"
+  | Error e ->
+      Alcotest.(check bool) "error names the bound" true
+        (contains e "nesting depth exceeds the maximum of 8"));
+  match Json.of_string (nested (Json.default_max_depth + 1)) with
+  | Ok _ -> Alcotest.fail "default depth bound should apply"
+  | Error _ -> ()
+
+let test_json_size_bound () =
+  let s = {|{"k":"value"}|} in
+  (match Json.of_string ~max_size:(String.length s) s with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "input at the size bound should parse: %s" e);
+  (match Json.of_string ~max_size:(String.length s - 1) s with
+  | Ok _ -> Alcotest.fail "input over the size bound should be rejected"
+  | Error e ->
+      Alcotest.(check bool) "error names both sizes" true
+        (contains e "13 bytes exceeds the 12-byte limit"));
+  (* No [max_size] means no size bound at all. *)
+  match Json.of_string (String.concat "" [ {|"|}; String.make 4096 'x'; {|"|} ]) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "unbounded parse rejected: %s" e
+
 let suite =
   [
     Alcotest.test_case "counter basics" `Quick test_counter_basics;
@@ -306,4 +344,6 @@ let suite =
     Alcotest.test_case "raise_to never lowers" `Quick
       test_raise_to_never_lowers;
     Alcotest.test_case "render smoke" `Quick test_render_smoke;
+    Alcotest.test_case "json depth bound" `Quick test_json_depth_bound;
+    Alcotest.test_case "json size bound" `Quick test_json_size_bound;
   ]

@@ -214,26 +214,28 @@ let prop_incremental_bookkeeping_agrees =
            (Workload.referenced_attributes w)
       && !co_access_agrees)
 
-(* --- the deprecated Partitioner.run shim still answers exactly what
-   exec answers (one release of compatibility) --- *)
+(* --- exec is the single entry point (the deprecated run shim is gone);
+   its response must carry honest provenance --- *)
 
-let test_deprecated_run_shim () =
+let test_exec_provenance () =
   let w = Vp_benchmarks.Tpch.workload ~sf:1.0 "customer" in
   let oracle = Vp_cost.Io_model.oracle Vp_cost.Disk.default w in
   List.iter
     (fun (algo : Partitioner.t) ->
-      let old_r = Partitioner.run algo w oracle in
-      let new_r =
-        Partitioner.exec algo (Partitioner.Request.make ~cost:oracle w)
+      let r =
+        Partitioner.exec algo
+          (Partitioner.Request.make ~label:"prov-test" ~cost:oracle w)
       in
-      Alcotest.(check bool)
-        (algo.Partitioner.name ^ " shim layout agrees")
-        true
-        (Partitioning.equal old_r.Partitioner.partitioning
-           new_r.Partitioner.Response.partitioning);
+      Alcotest.(check string)
+        (algo.Partitioner.name ^ " provenance algorithm")
+        algo.Partitioner.name r.Partitioner.Response.provenance.algorithm;
+      Alcotest.(check (option string))
+        (algo.Partitioner.name ^ " provenance label")
+        (Some "prov-test") r.Partitioner.Response.provenance.label;
       Alcotest.(check (Testutil.close ()))
-        (algo.Partitioner.name ^ " shim cost agrees")
-        new_r.Partitioner.Response.cost old_r.Partitioner.cost)
+        (algo.Partitioner.name ^ " response cost agrees with oracle")
+        (oracle r.Partitioner.Response.partitioning)
+        r.Partitioner.Response.cost)
     Vp_algorithms.Registry.six
 
 let suite =
@@ -250,5 +252,5 @@ let suite =
     Alcotest.test_case "service basics" `Quick test_service_basics;
     Alcotest.test_case "config validation" `Quick test_config_validation;
     Testutil.qtest prop_incremental_bookkeeping_agrees;
-    Alcotest.test_case "deprecated run shim" `Quick test_deprecated_run_shim;
+    Alcotest.test_case "exec provenance" `Quick test_exec_provenance;
   ]
