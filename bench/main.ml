@@ -5,7 +5,7 @@
    runner + cost cache against the plain sequential, uncached execution.
 
    Usage:
-     bench/main.exe [--mode all|experiments|bechamel|parallel|budget|online|server|json]
+     bench/main.exe [--mode all|experiments|bechamel|parallel|budget|online|server|oracle|json]
                     [--jobs N] [--json PATH]
 
    Modes:
@@ -28,6 +28,14 @@
                   overload shedding (retry-after replies, no hangs) and a
                   wire-vs-local replay determinism check. Outcomes land
                   in the JSON report's "server" section.
+     oracle       the incremental cost-delta oracle against full
+                  re-costing: merge-peek evals/sec on Lineitem, a
+                  HillClimb TPC-H sweep asserting byte-identical layouts
+                  and a >= 5x saving in per-query re-costs, and a
+                  BruteForce Bell(11) enumeration where 15 delta-costed
+                  attributes must not be slower than 12 full-costed
+                  ones. Outcomes land in the JSON report's "oracle"
+                  section.
      json         nothing but the machine-readable report (see --json).
 
    --json PATH    additionally run every algorithm over the TPC-H line-up
@@ -103,7 +111,13 @@ let bechamel_section () =
               Test.make ~name:a.Partitioner.name
                 (Staged.stage (fun () ->
                      let oracle = Vp_cost.Io_model.oracle disk workload in
-                     ignore (Partitioner.exec a (Partitioner.Request.make ~cost:oracle workload)))))
+                     let delta =
+                       Vp_cost.Io_model.Incremental.factory disk workload
+                     in
+                     ignore
+                       (Partitioner.exec a
+                          (Partitioner.Request.make ~delta ~cost:oracle
+                             workload)))))
             algorithms
         in
         Test.make_grouped ~name:table_name cases)
@@ -280,7 +294,11 @@ let budget_section () =
         (fun max_steps ->
           let budget = Vp_robust.Budget.create ~max_steps () in
           let oracle = Vp_cost.Io_model.oracle disk workload in
-          let r = Partitioner.exec a (Partitioner.Request.make ~budget ~cost:oracle workload) in
+          let delta = Vp_cost.Io_model.Incremental.factory disk workload in
+          let r =
+            Partitioner.exec a
+              (Partitioner.Request.make ~budget ~delta ~cost:oracle workload)
+          in
           Printf.printf "  %-10s %10d %12.0f  %s\n" a.Partitioner.name
             max_steps r.Partitioner.Response.cost
             (match r.Partitioner.Response.status with
@@ -633,6 +651,267 @@ let server_section () =
   if not deterministic then exit 1;
   [ e1; e4; ep; eo ]
 
+(* --- Cost-oracle benchmark (--mode oracle): the incremental delta
+   sessions of [Vp_cost.Io_model.Incremental] against full re-costing.
+   Three phases, each landing in the JSON report's "oracle" section:
+
+   microbench        every pairwise merge of Lineitem's column layout,
+                     costed once per candidate by a full [workload_cost]
+                     and once by a delta peek — identical candidate
+                     counts, so evals/sec compare directly and the
+                     cost.query_costs counter shows how much per-query
+                     work each path actually did.
+
+   hillclimb-sweep   HillClimb over the TPC-H line-up with the delta
+                     path disabled, then enabled. Layouts and cost bits
+                     must be byte-identical, and the full path must
+                     re-cost at least 5x as many queries as the delta
+                     path; either violation exits 1 (the CI gate).
+
+   bruteforce-scale  full enumeration of Bell(11) = 678,570 candidate
+                     layouts twice: 12 synthetic attributes on the full
+                     path vs 15 synthetic attributes (a different table,
+                     same 11-atom search space) on the delta path. The
+                     15-attribute run must not be slower; exits 1
+                     otherwise. --- *)
+
+let counter_now name =
+  Vp_observe.Stats.counter_value (Vp_observe.Stats.snapshot ()) name
+
+let per_sec count seconds =
+  if seconds > 0.0 then float_of_int count /. seconds else 0.0
+
+let qc_ratio ~full ~delta =
+  if delta > 0 then float_of_int full /. float_of_int delta
+  else if full = 0 then 1.0
+  else Float.infinity
+
+let oracle_microbench () =
+  let disk = Vp_experiments.Common.disk in
+  let w =
+    Vp_benchmarks.Tpch.workload ~sf:Vp_experiments.Common.sf "lineitem"
+  in
+  let n = Table.attribute_count (Workload.table w) in
+  let column = Partitioning.column n in
+  let groups = Array.init n Attr_set.singleton in
+  let repeats = 20 in
+  let evals = repeats * n * (n - 1) / 2 in
+  let sweep cost_pair =
+    for _ = 1 to repeats do
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          ignore (cost_pair groups.(i) groups.(j) : float)
+        done
+      done
+    done
+  in
+  let full_qc0 = counter_now "cost.query_costs" in
+  let (), t_full =
+    time (fun () ->
+        sweep (fun a b ->
+            Vp_cost.Io_model.workload_cost disk w
+              (Partitioning.merge_groups column a b)))
+  in
+  let full_qc = counter_now "cost.query_costs" - full_qc0 in
+  let s = Vp_cost.Io_model.Incremental.create disk w in
+  ignore (Vp_cost.Io_model.Incremental.goto s column : float);
+  let delta_qc0 = counter_now "cost.query_costs" in
+  let (), t_delta =
+    time (fun () -> sweep (Vp_cost.Io_model.Incremental.cost_merge s))
+  in
+  let delta_qc = counter_now "cost.query_costs" - delta_qc0 in
+  Printf.printf
+    "  microbench       lineitem, %d pairwise merges x %d rounds:\n\
+    \                   full  %9.0f evals/s (%7d query re-costs, %6.3f s)\n\
+    \                   delta %9.0f evals/s (%7d query re-costs, %6.3f s)\n"
+    (n * (n - 1) / 2)
+    repeats (per_sec evals t_full) full_qc t_full (per_sec evals t_delta)
+    delta_qc t_delta;
+  flush stdout;
+  {
+    Vp_observe.Bench_report.phase = "microbench";
+    table = "lineitem";
+    attributes = n;
+    atoms = n;
+    full_evals_per_sec = per_sec evals t_full;
+    delta_evals_per_sec = per_sec evals t_delta;
+    full_query_costs = full_qc;
+    delta_query_costs = delta_qc;
+    query_cost_ratio = qc_ratio ~full:full_qc ~delta:delta_qc;
+    wall_seconds = t_full +. t_delta;
+  }
+
+(* The sweep runs HillClimb over the whole line-up [sweep_rounds] times —
+   the service pattern, where the same workload is re-optimized again and
+   again — with ONE persistent delta session per workload, supplied to
+   every round's request. The full path re-costs each round from scratch
+   (it has nothing to persist); the delta session's per-query memo makes
+   repeat rounds nearly free. Byte-identity of every round's layout and
+   cost bits against the full path is asserted. *)
+let sweep_rounds = 3
+
+let oracle_sweep () =
+  let disk = Vp_experiments.Common.disk in
+  let workloads = Vp_benchmarks.Tpch.workloads ~sf:Vp_experiments.Common.sf in
+  let run_sweep () =
+    (* One session per workload, shared by all rounds of this path. *)
+    let prepared =
+      List.map
+        (fun w ->
+          let s = Vp_cost.Io_model.Incremental.create disk w in
+          (w, fun () -> Vp_cost.Io_model.Incremental.session s))
+        workloads
+    in
+    let qc0 = counter_now "cost.query_costs" in
+    let outcomes, wall =
+      time (fun () ->
+          List.concat_map
+            (fun _round ->
+              List.map
+                (fun (w, delta) ->
+                  let oracle = Vp_cost.Io_model.oracle disk w in
+                  let r =
+                    Partitioner.exec Vp_algorithms.Hillclimb.algorithm
+                      (Partitioner.Request.make ~delta ~cost:oracle w)
+                  in
+                  ( Partitioning.to_string r.Partitioner.Response.partitioning,
+                    Int64.bits_of_float r.Partitioner.Response.cost,
+                    r.Partitioner.Response.stats.Partitioner.cost_calls ))
+                prepared)
+            (List.init sweep_rounds Fun.id))
+    in
+    (outcomes, wall, counter_now "cost.query_costs" - qc0)
+  in
+  let full, t_full, full_qc =
+    Partitioner.Delta.set_enabled false;
+    Fun.protect
+      ~finally:(fun () -> Partitioner.Delta.set_enabled true)
+      run_sweep
+  in
+  let delta, t_delta, delta_qc = run_sweep () in
+  let mismatches =
+    List.filter_map
+      (fun ((p1, c1, _), (p2, c2, _)) ->
+        if p1 = p2 && c1 = c2 then None else Some p1)
+      (List.combine full delta)
+  in
+  let evals = List.fold_left (fun acc (_, _, c) -> acc + c) 0 full in
+  let ratio = qc_ratio ~full:full_qc ~delta:delta_qc in
+  Printf.printf
+    "  hillclimb-sweep  TPC-H line-up x %d rounds, %d candidate evaluations \
+     per path:\n\
+    \                   full  %9.0f evals/s (%7d query re-costs, %6.3f s)\n\
+    \                   delta %9.0f evals/s (%7d query re-costs, %6.3f s)\n\
+    \                   layouts byte-identical: %s\n\
+    \                   query re-cost ratio   : %.1fx (gate: >= 5.0x)\n"
+    sweep_rounds evals (per_sec evals t_full) full_qc t_full
+    (per_sec evals t_delta) delta_qc t_delta
+    (if mismatches = [] then "yes" else "NO — DETERMINISM VIOLATION")
+    ratio;
+  flush stdout;
+  if mismatches <> [] then exit 1;
+  if ratio < 5.0 then begin
+    Printf.printf
+      "  ORACLE GATE FAILED: delta path saved only %.1fx query re-costs\n"
+      ratio;
+    exit 1
+  end;
+  {
+    Vp_observe.Bench_report.phase = "hillclimb-sweep";
+    table = "tpch";
+    attributes = 16;
+    atoms = 0;
+    full_evals_per_sec = per_sec evals t_full;
+    delta_evals_per_sec = per_sec evals t_delta;
+    full_query_costs = full_qc;
+    delta_query_costs = delta_qc;
+    query_cost_ratio = ratio;
+    wall_seconds = t_full +. t_delta;
+  }
+
+(* Seeds chosen so both tables decompose into exactly 11 primary
+   partitions: the two BruteForce enumerations then visit the same
+   Bell(11) = 678,570 candidate layouts and differ only in how each
+   candidate is costed. *)
+let oracle_bruteforce () =
+  let disk = Vp_experiments.Common.disk in
+  let algo = Vp_algorithms.Brute_force.make () in
+  let run ~enabled w =
+    Partitioner.Delta.set_enabled enabled;
+    Fun.protect
+      ~finally:(fun () -> Partitioner.Delta.set_enabled true)
+      (fun () ->
+        let qc0 = counter_now "cost.query_costs" in
+        let oracle = Vp_cost.Io_model.oracle disk w in
+        let delta = Vp_cost.Io_model.Incremental.factory disk w in
+        let r, wall =
+          time (fun () ->
+              Partitioner.exec algo
+                (Partitioner.Request.make ~delta ~cost:oracle w))
+        in
+        (r, wall, counter_now "cost.query_costs" - qc0))
+  in
+  let w12 =
+    Vp_benchmarks.Synthetic.workload ~seed:1L ~rows:100_000 ~attributes:12
+      ~clusters:4 ~queries:12 ~scatter:0.1 ()
+  in
+  let w15 =
+    Vp_benchmarks.Synthetic.workload ~seed:5L ~rows:100_000 ~attributes:15
+      ~clusters:4 ~queries:16 ~scatter:0.1 ()
+  in
+  let atoms w = List.length (Workload.primary_partitions w) in
+  let r12, t12, qc12 = run ~enabled:false w12 in
+  let r15, t15, qc15 = run ~enabled:true w15 in
+  let entry ~phase ~table ~attributes ~atoms ~full ~wall ~qc =
+    {
+      Vp_observe.Bench_report.phase;
+      table;
+      attributes;
+      atoms;
+      full_evals_per_sec =
+        (if full then per_sec r12.Partitioner.Response.stats.Partitioner.cost_calls wall
+         else 0.0);
+      delta_evals_per_sec =
+        (if full then 0.0
+         else per_sec r15.Partitioner.Response.stats.Partitioner.cost_calls wall);
+      full_query_costs = (if full then qc else 0);
+      delta_query_costs = (if full then 0 else qc);
+      query_cost_ratio = 0.0;
+      wall_seconds = wall;
+    }
+  in
+  Printf.printf
+    "  bruteforce-scale Bell(11) enumeration, full 12-attr vs delta 15-attr:\n\
+    \                   full  12 attrs, %2d atoms: %6.3f s (%d query re-costs)\n\
+    \                   delta 15 attrs, %2d atoms: %6.3f s (%d query re-costs)\n\
+    \                   15-attr delta within 12-attr full budget: %s\n"
+    (atoms w12) t12 qc12 (atoms w15) t15 qc15
+    (if t15 <= t12 then "yes" else "NO");
+  flush stdout;
+  if t15 > t12 then begin
+    Printf.printf
+      "  ORACLE GATE FAILED: 15-attribute delta enumeration slower than \
+       12-attribute full enumeration (%.3f s > %.3f s)\n"
+      t15 t12;
+    exit 1
+  end;
+  [
+    entry ~phase:"bruteforce-full" ~table:"synthetic-12" ~attributes:12
+      ~atoms:(atoms w12) ~full:true ~wall:t12 ~qc:qc12;
+    entry ~phase:"bruteforce-delta" ~table:"synthetic-15" ~attributes:15
+      ~atoms:(atoms w15) ~full:false ~wall:t15 ~qc:qc15;
+  ]
+
+let oracle_section () =
+  Vp_observe.Switch.(raise_to Stats);
+  print_string
+    (Vp_experiments.Common.heading
+       "Cost oracle: incremental delta sessions vs full re-costing");
+  let micro = oracle_microbench () in
+  let sweep = oracle_sweep () in
+  let scale = oracle_bruteforce () in
+  micro :: sweep :: scale
+
 (* --- machine-readable bench report (--json): every algorithm over the
    TPC-H line-up with counters on, each with a fresh query-grained cache
    so its hit rate is its own. The counter snapshot merges everything the
@@ -647,9 +926,10 @@ let mode_name = function
   | `Budget -> "budget"
   | `Online -> "online"
   | `Server -> "server"
+  | `Oracle -> "oracle"
   | `Json -> "json"
 
-let json_section ~mode ~jobs ~online ~server path =
+let json_section ~mode ~jobs ~online ~server ~oracle path =
   Vp_observe.Switch.(raise_to Stats);
   let disk = Vp_experiments.Common.disk in
   let workloads = Vp_benchmarks.Tpch.workloads ~sf:Vp_experiments.Common.sf in
@@ -664,7 +944,11 @@ let json_section ~mode ~jobs ~online ~server path =
                   let oracle =
                     Vp_parallel.Cost_cache.query_oracle ~cache disk w
                   in
-                  let r = Partitioner.exec a (Partitioner.Request.make ~cost:oracle w) in
+                  let delta = Vp_cost.Io_model.Incremental.factory disk w in
+                  let r =
+                    Partitioner.exec a
+                      (Partitioner.Request.make ~delta ~cost:oracle w)
+                  in
                   ( opt +. r.Partitioner.Response.stats.Partitioner.elapsed_seconds,
                     cost +. r.Partitioner.Response.cost ))
                 (0.0, 0.0) workloads)
@@ -690,6 +974,7 @@ let json_section ~mode ~jobs ~online ~server path =
       algorithms = entries;
       online;
       server;
+      oracle;
       counters = snapshot.Vp_observe.Stats.counters;
       host = Vp_observe.Bench_report.current_host ();
     }
@@ -707,8 +992,8 @@ let json_section ~mode ~jobs ~online ~server path =
 let usage () =
   prerr_endline
     "usage: main.exe [--mode \
-     all|experiments|bechamel|parallel|budget|online|server|json] [--jobs N] \
-     [--json PATH]";
+     all|experiments|bechamel|parallel|budget|online|server|oracle|json] \
+     [--jobs N] [--json PATH]";
   exit 2
 
 let parse_args () =
@@ -725,6 +1010,7 @@ let parse_args () =
            | "budget" -> `Budget
            | "online" -> `Online
            | "server" -> `Server
+           | "oracle" -> `Oracle
            | "json" -> `Json
            | _ -> usage ());
         go rest
@@ -746,7 +1032,7 @@ let parse_args () =
   let json =
     match (!json, !mode) with
     | Some path, _ -> Some path
-    | None, (`Json | `Online | `Server) ->
+    | None, (`Json | `Online | `Server | `Oracle) ->
         Some
           (Printf.sprintf "BENCH_%d.json"
              Vp_observe.Bench_report.schema_version)
@@ -766,29 +1052,30 @@ let () =
        "Unified setting: TPC-H SF %g, %s"
        Vp_experiments.Common.sf
        (Format.asprintf "%a" Vp_cost.Disk.pp Vp_experiments.Common.disk));
-  let online, server =
+  let online, server, oracle =
     match mode with
     | `All ->
         run_experiments ();
         if not skip_slow then bechamel_section ();
-        ([], [])
+        ([], [], [])
     | `Experiments ->
         run_experiments ();
-        ([], [])
+        ([], [], [])
     | `Bechamel ->
         bechamel_section ();
-        ([], [])
+        ([], [], [])
     | `Parallel ->
         parallel_section jobs;
-        ([], [])
+        ([], [], [])
     | `Budget ->
         budget_section ();
-        ([], [])
-    | `Online -> (online_section ~jobs, [])
-    | `Server -> ([], server_section ())
-    | `Json -> ([], [])
+        ([], [], [])
+    | `Online -> (online_section ~jobs, [], [])
+    | `Server -> ([], server_section (), [])
+    | `Oracle -> ([], [], oracle_section ())
+    | `Json -> ([], [], [])
   in
   (match json with
-  | Some path -> json_section ~mode ~jobs ~online ~server path
+  | Some path -> json_section ~mode ~jobs ~online ~server ~oracle path
   | None -> ());
   print_endline "\nAll experiments completed."

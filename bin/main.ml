@@ -155,7 +155,10 @@ let partition_cmd =
       (fun w ->
         let tbl = Workload.table w in
         let oracle = Vp_cost.Io_model.oracle disk w in
-        let r = Partitioner.exec algo (Partitioner.Request.make ~cost:oracle w) in
+        let delta = Vp_cost.Io_model.Incremental.factory disk w in
+        let r =
+          Partitioner.exec algo (Partitioner.Request.make ~delta ~cost:oracle w)
+        in
         Format.printf "@[<v>%s on %s (%d rows, %d queries):@,  layout: %a@,"
           algo.Partitioner.name (Table.name tbl) (Table.row_count tbl)
           (Workload.query_count w)
@@ -455,7 +458,12 @@ let simulate_cmd =
         let tbl = Workload.table w in
         let rows = Vp_datagen.Rowgen.rows gen tbl in
         let oracle = Vp_cost.Io_model.oracle disk w in
-        let layout = (Partitioner.exec algo (Partitioner.Request.make ~cost:oracle w)).Partitioner.Response.partitioning in
+        let delta = Vp_cost.Io_model.Incremental.factory disk w in
+        let layout =
+          (Partitioner.exec algo
+             (Partitioner.Request.make ~delta ~cost:oracle w))
+            .Partitioner.Response.partitioning
+        in
         let db = Vp_storage.Database.build ~disk ~codec tbl rows layout in
         let results, total = Vp_storage.Database.run_workload db w in
         Format.printf "@[<v>%s via %s codec, layout %a@," (Table.name tbl)
@@ -536,7 +544,11 @@ let workload_cmd =
               Format.printf "%s: no queries, skipped@." (Table.name tbl)
             else begin
               let oracle = Vp_cost.Io_model.oracle disk w in
-              let r = Partitioner.exec algo (Partitioner.Request.make ~cost:oracle w) in
+              let delta = Vp_cost.Io_model.Incremental.factory disk w in
+              let r =
+                Partitioner.exec algo
+                  (Partitioner.Request.make ~delta ~cost:oracle w)
+              in
               let n = Table.attribute_count tbl in
               Format.printf
                 "@[<v>%s (%d rows, %d queries):@,  %s layout: %a@,  cost \

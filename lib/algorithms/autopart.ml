@@ -1,9 +1,9 @@
 open Vp_core
 
 let algorithm =
-  Partitioner.timed_run_budgeted ~name:"AutoPart" ~short_name:"AP"
-    (fun ~budget workload oracle ->
+  Partitioner.timed_run_delta ~name:"AutoPart" ~short_name:"AP"
+    (fun ~budget ~delta workload oracle ->
       let n = Table.attribute_count (Workload.table workload) in
       let atomic_fragments = Workload.primary_partitions workload in
       let cache = Vp_parallel.Cost_cache.create () in
-      Merge_search.climb ~cache ~budget ~n oracle atomic_fragments)
+      Merge_search.climb ~cache ?delta ~budget ~n oracle atomic_fragments)

@@ -2,7 +2,7 @@ open Vp_core
 
 type lower_bound = blocks:Attr_set.t list -> remaining:Attr_set.t -> float
 
-let search ~atoms ~lower_bound ~max_candidates ~budget workload oracle =
+let search ~atoms ~lower_bound ~max_candidates ~budget ~delta workload oracle =
   let n = Table.attribute_count (Workload.table workload) in
   let atom_arr = Array.of_list atoms in
   (* Wide atoms first: placing bulky attribute groups early lets the lower
@@ -30,7 +30,19 @@ let search ~atoms ~lower_bound ~max_candidates ~budget workload oracle =
      neighbourhood each iteration, and the enumeration below revisits the
      seed and climb intermediates. *)
   let cache = Vp_parallel.Cost_cache.create () in
-  let cost_of = Vp_parallel.Cost_cache.counted cache ~fingerprint:"" oracle in
+  let cost_of =
+    match delta with
+    | None -> Vp_parallel.Cost_cache.counted cache ~fingerprint:"" oracle
+    | Some s ->
+        (* Successive enumeration leaves differ in the placement of the
+           last few atoms, so [goto] re-costs only the queries touching
+           those; cache keys and hit/miss traffic stay those of the full
+           path. *)
+        fun p ->
+          Vp_parallel.Cost_cache.counted_via cache ~fingerprint:"" oracle
+            ~compute:(fun () -> s.Partitioner.Delta.goto p)
+            p
+  in
   (* Under a budget, cost the row layout before anything can tick so the
      incumbent is defined (and never worse than Row) even if the budget is
      exhausted during the seed climb. *)
@@ -41,7 +53,7 @@ let search ~atoms ~lower_bound ~max_candidates ~budget workload oracle =
   in
   (* Seed the incumbent with a greedy bottom-up merge of the atoms. *)
   let seed, _ =
-    Merge_search.climb ~cache ~budget ~n oracle (Array.to_list atom_arr)
+    Merge_search.climb ~cache ?delta ~budget ~n oracle (Array.to_list atom_arr)
   in
   (let seed_cost = cost_of seed in
    if seed_cost < !best_cost then begin
@@ -90,8 +102,8 @@ let search ~atoms ~lower_bound ~max_candidates ~budget workload oracle =
   (!best, m)
 
 let make ?(use_atoms = true) ?(max_candidates = 5_000_000) ?lower_bound () =
-  Partitioner.timed_run_budgeted ~name:"BruteForce" ~short_name:"BF"
-    (fun ~budget workload oracle ->
+  Partitioner.timed_run_delta ~name:"BruteForce" ~short_name:"BF"
+    (fun ~budget ~delta workload oracle ->
       let atoms =
         if use_atoms then Workload.primary_partitions workload
         else
@@ -102,6 +114,6 @@ let make ?(use_atoms = true) ?(max_candidates = 5_000_000) ?lower_bound () =
       let lower_bound =
         Option.map (fun factory -> factory workload) lower_bound
       in
-      search ~atoms ~lower_bound ~max_candidates ~budget workload oracle)
+      search ~atoms ~lower_bound ~max_candidates ~budget ~delta workload oracle)
 
 let algorithm = make ()

@@ -1,13 +1,14 @@
 open Vp_core
 
 let make ~name ~short_name ~cached =
-  Partitioner.timed_run_budgeted ~name ~short_name (fun ~budget workload oracle ->
+  Partitioner.timed_run_delta ~name ~short_name
+    (fun ~budget ~delta workload oracle ->
       let n = Table.attribute_count (Workload.table workload) in
       let cache =
         if cached then Some (Vp_parallel.Cost_cache.create ()) else None
       in
       let start = Partitioning.groups (Partitioning.column n) in
-      Merge_search.climb ?cache ~budget ~n oracle start)
+      Merge_search.climb ?cache ?delta ~budget ~n oracle start)
 
 let algorithm = make ~name:"HillClimb" ~short_name:"HC" ~cached:true
 

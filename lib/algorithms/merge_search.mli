@@ -14,6 +14,7 @@ type merge = {
 val best_pair_merge :
   ?allowed:(Attr_set.t -> Attr_set.t -> bool) ->
   ?cache:Vp_parallel.Cost_cache.t ->
+  ?delta:Partitioner.Delta.session ->
   ?budget:Vp_robust.Budget.t ->
   n:int ->
   Partitioner.Counted.oracle ->
@@ -31,6 +32,14 @@ val best_pair_merge :
     freshly merged group are new — so a per-run cache turns the k²/2
     evaluations per iteration into O(k) cost-model calls.
 
+    When [delta] is given, the scan first rebases the session at the
+    scanned partitioning, then prices each pair with
+    [Delta.session.cost_merge] instead of a full re-cost — through
+    {!Partitioner.Counted.probe} (and {!Vp_parallel.Cost_cache.counted_via}
+    when [cache] is also given), so ticks, counters, fault indices and
+    cache traffic are byte-identical to the full path, and so are the
+    costs (the delta oracle's contract).
+
     Each allowed pair ticks [budget] (default
     {!Vp_robust.Budget.unlimited}) before evaluation, so exhaustion
     raises {!Vp_robust.Budget.Exhausted} mid-scan. *)
@@ -38,6 +47,7 @@ val best_pair_merge :
 val climb :
   ?allowed:(Attr_set.t -> Attr_set.t -> bool) ->
   ?cache:Vp_parallel.Cost_cache.t ->
+  ?delta:Partitioner.Delta.session ->
   ?budget:Vp_robust.Budget.t ->
   n:int ->
   Partitioner.Counted.oracle ->

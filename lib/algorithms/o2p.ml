@@ -103,8 +103,8 @@ let full_order state n =
   Array.append state.order (Array.of_list rest)
 
 let algorithm =
-  Partitioner.timed_run_budgeted ~name:"O2P" ~short_name:"O2P"
-    (fun ~budget workload oracle ->
+  Partitioner.timed_run_delta ~name:"O2P" ~short_name:"O2P"
+    (fun ~budget ~delta workload oracle ->
       let n = Table.attribute_count (Workload.table workload) in
       (* Replay the queries as an arrival stream to build the incremental
          clustered order, then run the greedy split analysis once on the
@@ -117,15 +117,30 @@ let algorithm =
            budgeted run keeps a cost incumbent over the deterministic
            sequence of committed states, seeded with the unsplit table
            (= the row layout) before any tick. *)
+        let price =
+          match delta with
+          | None -> fun p -> Partitioner.Counted.cost oracle p
+          | Some s ->
+              fun p ->
+                Partitioner.Counted.probe oracle (fun () ->
+                    s.Partitioner.Delta.goto p)
+        in
         let initial = [ { start = 0; len = Array.length order } ] in
         let best = ref (partitioning_of_segments ~n order initial) in
-        let best_cost = ref (Partitioner.Counted.cost oracle !best) in
+        let best_cost = ref (price !best) in
         let on_commit segments =
-          let candidate = partitioning_of_segments ~n order segments in
-          let cost = Partitioner.Counted.cost oracle candidate in
-          if cost < !best_cost then begin
-            best := candidate;
-            best_cost := cost
+          (* Pricing an intermediate state is a budget step like any other
+             cost probe; [try_tick] (not [tick]) because a raise here
+             would escape [greedy_z_split] uncaught. On a failed tick the
+             commit goes unpriced and the split loop stops at its own
+             next tick. *)
+          if Vp_robust.Budget.try_tick budget then begin
+            let candidate = partitioning_of_segments ~n order segments in
+            let cost = price candidate in
+            if cost < !best_cost then begin
+              best := candidate;
+              best_cost := cost
+            end
           end
         in
         let _, steps = greedy_z_split ~budget ~on_commit workload order in

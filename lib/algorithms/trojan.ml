@@ -82,10 +82,18 @@ let with_threshold ?(max_candidates = 4096) threshold =
         let row = Partitioning.row n in
         let row_cost = Partitioner.Counted.cost oracle row in
         match run ~budget ~threshold ~max_candidates workload oracle with
-        | p, iterations ->
-            if Partitioner.Counted.cost oracle p < row_cost then
-              (p, iterations)
-            else (row, iterations)
+        | p, iterations -> (
+            (* Pricing the knapsack solution is a budget step too; the
+               tick and the evaluation sit in the scrutinee so that
+               exhaustion here is caught (an [exception] pattern does not
+               cover raises in an arm body). *)
+            match
+              Vp_robust.Budget.tick budget;
+              Partitioner.Counted.cost oracle p
+            with
+            | cost when cost < row_cost -> (p, iterations)
+            | _ -> (row, iterations)
+            | exception Vp_robust.Budget.Exhausted -> (row, iterations))
         | exception Vp_robust.Budget.Exhausted -> (row, 0)
       end)
 
@@ -116,6 +124,10 @@ let algorithm =
              let p, _ =
                run ~budget ~threshold ~max_candidates:4096 workload oracle
              in
+             (* Charge the per-threshold pricing like any other cost
+                probe; the surrounding [try] keeps the incumbent on
+                exhaustion. *)
+             Vp_robust.Budget.tick budget;
              let cost = Partitioner.Counted.cost oracle p in
              match !best with
              | Some (_, c) when c <= cost -> ()

@@ -1,27 +1,32 @@
-type t = { n : int; cells : float array }
-(* Row-major n*n symmetric matrix. *)
+type t = {
+  n : int;
+  cells : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+}
+(* Row-major n*n symmetric matrix in one flat unboxed buffer: the bond
+   energy inner loops stream rows with unit stride and no per-cell
+   pointer chasing. *)
 
 let create n =
   if n <= 0 then invalid_arg "Affinity.create: n <= 0";
-  { n; cells = Array.make (n * n) 0.0 }
+  let cells = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (n * n) in
+  Bigarray.Array1.fill cells 0.0;
+  { n; cells }
 
 let size m = m.n
 
 let get m i j =
   if i < 0 || i >= m.n || j < 0 || j >= m.n then
     invalid_arg "Affinity.get: index out of range";
-  m.cells.((i * m.n) + j)
+  Bigarray.Array1.unsafe_get m.cells ((i * m.n) + j)
 
-let set m i j v = m.cells.((i * m.n) + j) <- v
+let set m i j v = m.cells.{(i * m.n) + j} <- v
 
 let add_query m q =
   let refs = Attr_set.to_list (Query.references q) in
   let w = Query.weight q in
   List.iter
     (fun i ->
-      List.iter
-        (fun j -> set m i j (m.cells.((i * m.n) + j) +. w))
-        refs)
+      List.iter (fun j -> set m i j (m.cells.{(i * m.n) + j} +. w)) refs)
     refs
 
 let of_workload w =
@@ -29,15 +34,35 @@ let of_workload w =
   Array.iter (fun q -> add_query m q) (Workload.queries w);
   m
 
-let copy m = { n = m.n; cells = Array.copy m.cells }
+let copy m =
+  let c = create m.n in
+  Bigarray.Array1.blit m.cells c.cells;
+  c
 
-let equal a b = a.n = b.n && a.cells = b.cells
+let equal a b =
+  a.n = b.n
+  &&
+  let len = Bigarray.Array1.dim a.cells in
+  let rec go k =
+    k >= len
+    || (Bigarray.Array1.unsafe_get a.cells k
+        = Bigarray.Array1.unsafe_get b.cells k
+       && go (k + 1))
+  in
+  go 0
 
 let column_similarity m ~order i j =
+  let n = m.n in
   let ai = order.(i) and aj = order.(j) in
+  if ai < 0 || ai >= n || aj < 0 || aj >= n then
+    invalid_arg "Affinity.get: index out of range";
+  let ri = ai * n and rj = aj * n in
   let acc = ref 0.0 in
-  for k = 0 to m.n - 1 do
-    acc := !acc +. (get m ai k *. get m aj k)
+  for k = 0 to n - 1 do
+    acc :=
+      !acc
+      +. Bigarray.Array1.unsafe_get m.cells (ri + k)
+         *. Bigarray.Array1.unsafe_get m.cells (rj + k)
   done;
   !acc
 

@@ -9,17 +9,44 @@ type stats = {
 
 type status = Complete | Timed_out of { steps : int; elapsed_seconds : float }
 
+module Delta = struct
+  type session = {
+    base_cost : unit -> float;
+    goto : Partitioning.t -> float;
+    cost_merge : Attr_set.t -> Attr_set.t -> float;
+    cost_split : group:Attr_set.t -> sub:Attr_set.t -> float;
+    cost_move : attr:int -> dst:Attr_set.t -> float;
+  }
+
+  type factory = unit -> session
+
+  let disabled_by_env () =
+    match Sys.getenv_opt "VP_NO_DELTA" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false
+
+  let flag = Atomic.make (not (disabled_by_env ()))
+
+  let enabled () = Atomic.get flag
+
+  let set_enabled b = Atomic.set flag b
+end
+
 module Request = struct
   type t = {
     workload : Workload.t;
     cost : cost_fn;
     budget : Vp_robust.Budget.t option;
     label : string option;
+    delta : Delta.factory option;
   }
 
-  let make ?budget ?label ~cost workload = { workload; cost; budget; label }
+  let make ?budget ?label ?delta ~cost workload =
+    { workload; cost; budget; label; delta }
 
   let workload r = r.workload
+
+  let delta r = if Delta.enabled () then r.delta else None
 
   let effective_budget r =
     match r.budget with Some b -> b | None -> Vp_robust.Budget.current ()
@@ -50,13 +77,15 @@ module Counted = struct
 
   let make f = { f; calls = 0; candidates = 0 }
 
-  let cost o p =
+  let probe o thunk =
     (let fault = Vp_robust.Fault.current () in
      if Vp_robust.Fault.enabled fault then
        Vp_robust.Fault.apply fault ~site:"cost" ~index:o.calls);
     o.calls <- o.calls + 1;
     o.candidates <- o.candidates + 1;
-    o.f p
+    thunk ()
+
+  let cost o p = probe o (fun () -> o.f p)
 
   let note_candidate o = o.candidates <- o.candidates + 1
 
@@ -90,7 +119,7 @@ let finish ~budget ~cost_fn ~oracle ~t0 ~provenance (partitioning, iterations) =
 
 let c_algo_runs = Vp_observe.Stats.counter "algo.runs"
 
-let timed_run_budgeted ~name ~short_name body =
+let run_builder ~name ~short_name ~session body =
   let span_name = "algo:" ^ name in
   let exec (request : Request.t) =
     let go () =
@@ -103,7 +132,7 @@ let timed_run_budgeted ~name ~short_name body =
       in
       let t0 = Unix.gettimeofday () in
       finish ~budget ~cost_fn:request.Request.cost ~oracle ~t0 ~provenance
-        (body ~budget request.Request.workload oracle)
+        (body ~budget ~delta:(session request) request.Request.workload oracle)
     in
     (* The span args are only built on the traced path; untraced runs take
        the one-branch fast path through [go] directly. *)
@@ -119,6 +148,16 @@ let timed_run_budgeted ~name ~short_name body =
     else go ()
   in
   { name; short_name; exec }
+
+let timed_run_budgeted ~name ~short_name body =
+  run_builder ~name ~short_name
+    ~session:(fun _ -> None)
+    (fun ~budget ~delta:_ workload oracle -> body ~budget workload oracle)
+
+let timed_run_delta ~name ~short_name body =
+  run_builder ~name ~short_name
+    ~session:(fun r -> Option.map (fun f -> f ()) (Request.delta r))
+    body
 
 let timed_run ~name ~short_name body =
   timed_run_budgeted ~name ~short_name (fun ~budget:_ workload oracle ->

@@ -28,10 +28,57 @@ type status =
           DESIGN.md "Degradation contract"); [steps] and
           [elapsed_seconds] describe the budget at exhaustion. *)
 
+(** Incremental cost-delta sessions (DESIGN.md section 12). A session is
+    based at one partitioning and answers "what would the full workload
+    cost be after this one move?" by re-costing only the queries whose
+    touched-partition set changes. Implemented by
+    [Vp_cost.Io_model.Incremental]; the type lives here so algorithm
+    neighbor loops can consume it without a dependency on [lib/cost].
+
+    Every cost a session returns is bit-identical to a full re-cost of
+    the moved-to partitioning: per-query costs are cached, only affected
+    queries are recomputed, and the workload total is re-summed over all
+    queries in the oracle's order — so float non-associativity never
+    shows through, and search trajectories (hence layouts) match the
+    full-cost path exactly. *)
+module Delta : sig
+  type session = {
+    base_cost : unit -> float;
+        (** Cost of the current base partitioning. *)
+    goto : Partitioning.t -> float;
+        (** Rebase the session at an arbitrary partitioning and return
+            its cost. Queries whose referenced-group set is unchanged
+            from the previous base are not re-costed. *)
+    cost_merge : Attr_set.t -> Attr_set.t -> float;
+        (** Cost after merging two (distinct) base groups. Peeks only:
+            the base is unchanged. Raises [Invalid_argument] exactly
+            where {!Partitioning.merge_groups} would. *)
+    cost_split : group:Attr_set.t -> sub:Attr_set.t -> float;
+        (** Cost after splitting [sub] out of base group [group]. Peeks
+            only. Raises like {!Partitioning.split_group}. *)
+    cost_move : attr:int -> dst:Attr_set.t -> float;
+        (** Cost after moving one attribute into base group [dst]
+            (moving into its own group returns the base cost). Peeks
+            only. *)
+  }
+
+  type factory = unit -> session
+  (** Sessions are single-threaded scratch state; a factory lets each
+      worker domain (or each algorithm run) build its own. *)
+
+  val enabled : unit -> bool
+  (** The process-wide kill switch. Initialized from [VP_NO_DELTA]
+      ("1"/"true"/"yes" disables the delta path at startup). *)
+
+  val set_enabled : bool -> unit
+  (** Flip the kill switch at runtime (used by tests and the oracle
+      bench to compare both paths in one process). *)
+end
+
 (** What a partitioner is asked to do: one record instead of the
     optional-argument soup that accreted on [run] across releases. Build
     one with {!Request.make}; unspecified fields keep today's ambient
-    behaviour (ambient budget, no label). *)
+    behaviour (ambient budget, no label, full re-costing). *)
 module Request : sig
   type t = {
     workload : Workload.t;
@@ -41,16 +88,26 @@ module Request : sig
     label : string option;
         (** Instrumentation tag, echoed into the response provenance and
             (on traced runs) the algorithm span's args. *)
+    delta : Delta.factory option;
+        (** Optional incremental-oracle factory. Must price exactly the
+            same cost model as [cost]; algorithms built with
+            {!timed_run_delta} use it for neighbor probes when present
+            and the kill switch is on. *)
   }
 
   val make :
     ?budget:Vp_robust.Budget.t ->
     ?label:string ->
+    ?delta:Delta.factory ->
     cost:cost_fn ->
     Workload.t ->
     t
 
   val workload : t -> Workload.t
+
+  val delta : t -> Delta.factory option
+  (** The request's delta factory, or [None] when absent or globally
+      disabled via {!Delta.set_enabled} / [VP_NO_DELTA]. *)
 
   val effective_budget : t -> Vp_robust.Budget.t
   (** The explicit budget if any, else the ambient one. *)
@@ -96,6 +153,14 @@ module Counted : sig
   val cost : oracle -> Partitioning.t -> float
   (** Evaluates and counts one cost call. *)
 
+  val probe : oracle -> (unit -> float) -> float
+  (** [probe o thunk] accounts one cost evaluation — same fault site,
+      same call/candidate counters, same order as {!cost} — but obtains
+      the number from [thunk] (an incremental {!Delta.session} probe)
+      instead of the wrapped full oracle. Using [probe] for delta
+      evaluations keeps budgets, statistics and fault-injection indices
+      byte-identical between the delta and full-cost paths. *)
+
   val note_candidate : oracle -> unit
   (** Records a candidate that was considered without a (new) cost call. *)
 
@@ -127,3 +192,19 @@ val timed_run_budgeted :
     request's budget, else the ambient one) and is expected to
     {!Vp_robust.Budget.tick} as it searches, returning its best-so-far
     partitioning when the budget runs out. *)
+
+val timed_run_delta :
+  name:string ->
+  short_name:string ->
+  (budget:Vp_robust.Budget.t ->
+  delta:Delta.session option ->
+  Workload.t ->
+  Counted.oracle ->
+  Partitioning.t * int) ->
+  t
+(** Like {!timed_run_budgeted}, but the body additionally receives a
+    fresh delta session built from the request's factory — [None] when
+    the request has no factory or the {!Delta} kill switch is off, in
+    which case the body must fall back to full re-costing through the
+    counted oracle. Delta probes must go through {!Counted.probe} so the
+    two paths stay observationally identical. *)

@@ -78,6 +78,10 @@ let group_index_of p i =
   in
   go 0
 
+let iter_groups f p = Array.iter f p.groups
+
+let mem_group p g = Array.exists (fun h -> Attr_set.equal h g) p.groups
+
 let referenced_groups p refs =
   Array.fold_left
     (fun acc g -> if Attr_set.intersects g refs then g :: acc else acc)

@@ -41,6 +41,14 @@ val group_of : t -> int -> Attr_set.t
 val group_index_of : t -> int -> int
 (** Index (in canonical order) of the group containing attribute [i]. *)
 
+val iter_groups : (Attr_set.t -> unit) -> t -> unit
+(** [iter_groups f p] applies [f] to every group in canonical order
+    without building an intermediate list (hot-path variant of
+    {!groups}). *)
+
+val mem_group : t -> Attr_set.t -> bool
+(** [mem_group p g] is [true] iff [g] is exactly one of [p]'s groups. *)
+
 val referenced_groups : t -> Attr_set.t -> Attr_set.t list
 (** [referenced_groups p refs] lists the groups that contain at least one
     attribute of [refs] — the partitions a query with footprint [refs] must

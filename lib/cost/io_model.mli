@@ -59,6 +59,75 @@ val workload_cost : Disk.t -> Workload.t -> Partitioning.t -> float
 val oracle : Disk.t -> Workload.t -> Partitioner.cost_fn
 (** Cost oracle closure for feeding algorithms. *)
 
+(** Incremental cost-delta oracle for the optimizer hot path (DESIGN.md
+    section 12). A session is based at one partitioning and prices the
+    canonical search moves — merge two partitions, split a partition,
+    move one attribute — by re-costing only the queries whose
+    referenced-partition set changes (found via a flat per-attribute
+    query index built once per session) and re-summing the weighted
+    total over all queries in {!workload_cost}'s exact fold order.
+    Every cost returned is therefore bit-identical to
+    [workload_cost disk w p'] of the moved-to partitioning, and every
+    delta is exactly the difference of two such full costs: search
+    trajectories, and hence layouts, match the full-cost path byte for
+    byte. Sessions are single-threaded; build one per domain via
+    {!Incremental.factory}. The [VP_NO_DELTA] kill switch
+    ({!Vp_core.Partitioner.Delta.set_enabled}) routes algorithms back to
+    full re-costing. *)
+module Incremental : sig
+  type t
+  (** A mutable delta session: base partitioning + cached per-query
+      costs + peek scratch. *)
+
+  val create : Disk.t -> Workload.t -> t
+  (** A session with no meaningful base yet: the first {!goto} (or any
+      costing call) prices its partitioning in full. *)
+
+  val base : t -> Partitioning.t
+  (** The partitioning the session is currently based at. *)
+
+  val base_cost : t -> float
+  (** Full workload cost of {!base}, bit-identical to
+      {!workload_cost}. *)
+
+  val goto : t -> Partitioning.t -> float
+  (** Rebase at an arbitrary partitioning and return its cost. Only
+      queries touching attributes whose group changed are re-costed;
+      a [goto] to the current base recomputes nothing. *)
+
+  val cost_merge : t -> Attr_set.t -> Attr_set.t -> float
+  (** Cost after merging two distinct base groups, without rebasing.
+      Raises [Invalid_argument] exactly where
+      {!Partitioning.merge_groups} would (e.g. self-merge). *)
+
+  val cost_split : t -> group:Attr_set.t -> sub:Attr_set.t -> float
+  (** Cost after splitting [sub] out of base group [group], without
+      rebasing. Raises like {!Partitioning.split_group} (e.g. a
+      singleton split where [sub = group]). *)
+
+  val cost_move : t -> attr:int -> dst:Attr_set.t -> float
+  (** Cost after moving attribute [attr] into base group [dst], without
+      rebasing. Moving an attribute into its own group returns the base
+      cost; a singleton source group dissolves into [dst].
+      @raise Invalid_argument if [dst] is not a group or [attr] is out
+      of range. *)
+
+  val delta_merge : t -> Attr_set.t -> Attr_set.t -> float
+  (** [cost_merge - base_cost]: exactly the full re-cost difference. *)
+
+  val delta_split : t -> group:Attr_set.t -> sub:Attr_set.t -> float
+
+  val delta_move : t -> attr:int -> dst:Attr_set.t -> float
+
+  val session : t -> Partitioner.Delta.session
+  (** The algorithm-facing view of a session. *)
+
+  val factory : Disk.t -> Workload.t -> Partitioner.Delta.factory
+  (** [factory disk w] makes fresh sessions for
+      {!Partitioner.Request.make}'s [?delta]; it must be paired with a
+      cost oracle pricing the same [disk] and [w]. *)
+end
+
 val pmv_cost : Disk.t -> Workload.t -> float
 (** Cost of the perfect-materialized-views layout: each query reads one
     dedicated partition containing exactly its referenced attributes, with

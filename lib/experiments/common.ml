@@ -38,7 +38,13 @@ let run_algorithms_on profile workloads algos =
         List.map
           (fun workload ->
             let oracle = cached_oracle profile workload in
-            { workload; result = Partitioner.exec algo (Partitioner.Request.make ~cost:oracle workload) })
+            let delta = Vp_cost.Io_model.Incremental.factory profile workload in
+            {
+              workload;
+              result =
+                Partitioner.exec algo
+                  (Partitioner.Request.make ~delta ~cost:oracle workload);
+            })
           workloads
       in
       {

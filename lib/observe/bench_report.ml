@@ -1,4 +1,4 @@
-let schema_version = 5
+let schema_version = 6
 
 type algo_entry = {
   algorithm : string;
@@ -46,6 +46,19 @@ type server_entry = {
   latency_p99_ms : float;
 }
 
+type oracle_entry = {
+  phase : string;
+  table : string;
+  attributes : int;
+  atoms : int;
+  full_evals_per_sec : float;
+  delta_evals_per_sec : float;
+  full_query_costs : int;
+  delta_query_costs : int;
+  query_cost_ratio : float;
+  wall_seconds : float;
+}
+
 type t = {
   benchmark : string;
   scale_factor : float;
@@ -54,6 +67,7 @@ type t = {
   algorithms : algo_entry list;
   online : online_entry list;
   server : server_entry list;
+  oracle : oracle_entry list;
   counters : (string * int) list;
   host : host;
 }
@@ -106,7 +120,7 @@ let online_json e =
       ("oneshot_algorithm", Json.String e.oneshot_algorithm);
     ]
 
-let server_json e =
+let server_json (e : server_entry) =
   Json.Obj
     [
       ("phase", Json.String e.phase);
@@ -120,6 +134,21 @@ let server_json e =
       ("latency_p50_ms", Json.Float e.latency_p50_ms);
       ("latency_p95_ms", Json.Float e.latency_p95_ms);
       ("latency_p99_ms", Json.Float e.latency_p99_ms);
+    ]
+
+let oracle_json (e : oracle_entry) =
+  Json.Obj
+    [
+      ("phase", Json.String e.phase);
+      ("table", Json.String e.table);
+      ("attributes", Json.Int e.attributes);
+      ("atoms", Json.Int e.atoms);
+      ("full_evals_per_sec", Json.Float e.full_evals_per_sec);
+      ("delta_evals_per_sec", Json.Float e.delta_evals_per_sec);
+      ("full_query_costs", Json.Int e.full_query_costs);
+      ("delta_query_costs", Json.Int e.delta_query_costs);
+      ("query_cost_ratio", Json.Float e.query_cost_ratio);
+      ("wall_seconds", Json.Float e.wall_seconds);
     ]
 
 let host_json h =
@@ -144,6 +173,7 @@ let to_json r =
       ("algorithms", Json.List (List.map algo_json r.algorithms));
       ("online", Json.List (List.map online_json r.online));
       ("server", Json.List (List.map server_json r.server));
+      ("oracle", Json.List (List.map oracle_json r.oracle));
       ( "counters",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters) );
       ("host", host_json r.host);
@@ -200,6 +230,7 @@ let validate doc =
           ("algorithms", Flist);
           ("online", Flist);
           ("server", Flist);
+          ("oracle", Flist);
           ("counters", Fobj);
           ("host", Fobj);
         ]
@@ -323,6 +354,45 @@ let validate doc =
                   | _ -> errors)
                 errors
                 [ "server_jobs"; "clients"; "requests"; "shed"; "errors" ])
+            errors
+            (List.mapi (fun i e -> (i, e)) entries)
+      | _ -> errors
+    in
+    let errors =
+      (* [oracle] may be empty (modes that skip the oracle microbench),
+         but every entry must be well-typed with non-negative counts. *)
+      match Json.member "oracle" doc with
+      | Some (Json.List entries) ->
+          List.fold_left
+            (fun errors (i, entry) ->
+              let path = Printf.sprintf "$.oracle[%d]" i in
+              let errors =
+                match entry with
+                | Json.Obj _ ->
+                    check_fields ~path
+                      [
+                        ("phase", Fstring);
+                        ("table", Fstring);
+                        ("attributes", Fint);
+                        ("atoms", Fint);
+                        ("full_evals_per_sec", Fnumber);
+                        ("delta_evals_per_sec", Fnumber);
+                        ("full_query_costs", Fint);
+                        ("delta_query_costs", Fint);
+                        ("query_cost_ratio", Fnumber);
+                        ("wall_seconds", Fnumber);
+                      ]
+                      entry errors
+                | _ -> Printf.sprintf "%s: expected an object" path :: errors
+              in
+              List.fold_left
+                (fun errors name ->
+                  match Json.member name entry with
+                  | Some (Json.Int v) when v < 0 ->
+                      Printf.sprintf "%s.%s: must be >= 0" path name :: errors
+                  | _ -> errors)
+                errors
+                [ "attributes"; "atoms"; "full_query_costs"; "delta_query_costs" ])
             errors
             (List.mapi (fun i e -> (i, e)) entries)
       | _ -> errors

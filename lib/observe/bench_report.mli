@@ -13,10 +13,11 @@
 
 val schema_version : int
 (** Bumped whenever a field is renamed, retyped or removed (adding
-    fields is compatible). Currently [5]: v5 adds the required [server]
-    section (the layout daemon's closed-loop load-generator outcomes)
-    emitted into [BENCH_5.json] by [bench --mode server]; v4 added the
-    [online] section. *)
+    fields is compatible). Currently [6]: v6 adds the required [oracle]
+    section (full-vs-incremental cost-oracle microbenchmark outcomes)
+    emitted into [BENCH_6.json] by [bench --mode oracle]; v5 added the
+    required [server] section (the layout daemon's closed-loop
+    load-generator outcomes); v4 added the [online] section. *)
 
 type algo_entry = {
   algorithm : string;
@@ -69,6 +70,23 @@ type server_entry = {
 (** One phase of [bench --mode server]'s load generator: N client
     domains each issuing M requests against a live daemon. *)
 
+type oracle_entry = {
+  phase : string;  (** e.g. ["microbench"], ["hillclimb-sweep"] *)
+  table : string;
+  attributes : int;
+  atoms : int;  (** primary-partition atoms the phase searched over *)
+  full_evals_per_sec : float;  (** full re-costs per second *)
+  delta_evals_per_sec : float;  (** incremental evaluations per second *)
+  full_query_costs : int;
+      (** [cost.query_costs] increments on the full path *)
+  delta_query_costs : int;  (** same counter on the delta path *)
+  query_cost_ratio : float;  (** [full / delta]; CI asserts >= 5 *)
+  wall_seconds : float;
+}
+(** One phase of [bench --mode oracle]: the full-vs-incremental
+    cost-oracle comparison (throughput microbench, the HillClimb TPC-H
+    counter sweep, and the BruteForce 15-attribute wall-time check). *)
+
 type t = {
   benchmark : string;   (** e.g. ["tpch"] *)
   scale_factor : float;
@@ -80,6 +98,9 @@ type t = {
           stream. *)
   server : server_entry list;
       (** Load-generator phases; [[]] for modes that start no daemon. *)
+  oracle : oracle_entry list;
+      (** Cost-oracle comparison phases; [[]] for modes that skip the
+          oracle microbench. *)
   counters : (string * int) list;  (** merged snapshot, sorted *)
   host : host;
 }

@@ -49,8 +49,10 @@ let run ~(config : Service.config) ?oneshot ?warmup w =
   let prefix = Workload.prefix w warmup in
   let oneshot_layout =
     let oracle = Vp_cost.Io_model.oracle disk prefix in
+    let delta = Vp_cost.Io_model.Incremental.factory disk prefix in
     (Partitioner.exec oneshot
-       (Partitioner.Request.make ~label:"online:oneshot" ~cost:oracle prefix))
+       (Partitioner.Request.make ~label:"online:oneshot" ~delta ~cost:oracle
+          prefix))
       .Partitioner.Response.partitioning
   in
   let service = Service.create config table in

@@ -158,13 +158,16 @@ let reoptimize t ~trigger =
     Vp_parallel.Pool.map pool
       (fun (algo : Partitioner.t) ->
         let oracle = Vp_cost.Io_model.oracle disk w in
+        (* One session per (algo, run): the factory is invoked inside the
+           worker domain, so sessions are never shared across domains. *)
+        let delta = Vp_cost.Io_model.Incremental.factory disk w in
         let request =
           match budget_steps with
           | Some max_steps ->
               Partitioner.Request.make
                 ~budget:(Vp_robust.Budget.create ~max_steps ())
-                ~label ~cost:oracle w
-          | None -> Partitioner.Request.make ~label ~cost:oracle w
+                ~label ~delta ~cost:oracle w
+          | None -> Partitioner.Request.make ~label ~delta ~cost:oracle w
         in
         Partitioner.exec algo request)
       panel

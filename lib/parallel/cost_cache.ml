@@ -113,6 +113,17 @@ let counted t ~fingerprint oracle p =
         v
     | `Miss v -> v
 
+let counted_via t ~fingerprint oracle ~compute p =
+  if not (Atomic.get enabled) then Partitioner.Counted.probe oracle compute
+  else
+    match lookup t (key_of ~fingerprint p) (fun () ->
+              Partitioner.Counted.probe oracle compute)
+    with
+    | `Hit v ->
+        Partitioner.Counted.note_candidate oracle;
+        v
+    | `Miss v -> v
+
 let oracle ?(cache = global) disk workload =
   let fp = fingerprint disk workload in
   memoize cache ~fingerprint:fp (Vp_cost.Io_model.oracle disk workload)

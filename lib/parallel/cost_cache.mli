@@ -70,6 +70,21 @@ val counted :
     [stats.candidates - stats.cost_calls] of a run is its cache-hit
     count. *)
 
+val counted_via :
+  t ->
+  fingerprint:string ->
+  Vp_core.Partitioner.Counted.oracle ->
+  compute:(unit -> float) ->
+  Vp_core.Partitioning.t ->
+  float
+(** Like {!counted}, but a miss obtains the number from [compute] — an
+    incremental {!Vp_core.Partitioner.Delta.session} probe — through
+    {!Vp_core.Partitioner.Counted.probe}, instead of re-pricing [p] with
+    the wrapped full oracle. [compute] must return exactly what the full
+    oracle would for [p] (the delta oracle's contract), so cache
+    contents, hit/miss sequences and counters stay byte-identical
+    between the delta and full paths. *)
+
 val oracle : ?cache:t -> Vp_cost.Disk.t -> Vp_core.Workload.t ->
   Vp_core.Partitioner.cost_fn
 (** A memoized {!Vp_cost.Io_model.oracle}: the workload fingerprint is

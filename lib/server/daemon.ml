@@ -97,10 +97,11 @@ let partition_reply ~workload ~algorithm ~buffer_mb ~budget =
           (Vp_cost.Disk.mb buffer_mb)
       in
       let cost = Vp_cost.Io_model.oracle disk workload in
+      let delta = Vp_cost.Io_model.Incremental.factory disk workload in
       let request =
         Partitioner.Request.make
           ?budget:(Protocol.budget_of_spec budget)
-          ~label:"server" ~cost workload
+          ~label:"server" ~delta ~cost workload
       in
       let resp = Partitioner.exec algo request in
       Protocol.ok_reply

@@ -1,0 +1,393 @@
+(* Differential and property tests for the incremental cost-delta oracle
+   (Vp_cost.Io_model.Incremental). The contract under test is exactness:
+   every cost a delta session returns — for rebases and for merge/split/
+   move peeks — must equal a from-scratch [Io_model.workload_cost] of the
+   target partitioning TO THE LAST BIT, so all comparisons here are on
+   [Int64.bits_of_float], never within an epsilon. *)
+
+open Vp_core
+module Inc = Vp_cost.Io_model.Incremental
+
+let disk = Vp_cost.Disk.default
+
+let full_cost w p = Vp_cost.Io_model.workload_cost disk w p
+
+let bits = Int64.bits_of_float
+
+let check_bits msg expected actual =
+  Alcotest.(check int64) msg (bits expected) (bits actual)
+
+(* --- seeded-random moves --------------------------------------------- *)
+
+type move =
+  | Merge of Attr_set.t * Attr_set.t
+  | Split of Attr_set.t * Attr_set.t  (* group, proper nonempty subset *)
+  | Move of int * Attr_set.t  (* attribute, destination group *)
+
+let describe = function
+  | Merge (a, b) ->
+      Printf.sprintf "merge %s %s" (Attr_set.to_string a)
+        (Attr_set.to_string b)
+  | Split (g, sub) ->
+      Printf.sprintf "split %s out of %s" (Attr_set.to_string sub)
+        (Attr_set.to_string g)
+  | Move (a, dst) ->
+      Printf.sprintf "move %d into %s" a (Attr_set.to_string dst)
+
+(* A random legal move on [p], or None if [p] admits none (single
+   singleton group). [rand k] must return a uniform int in [0, k). *)
+let random_move rand p =
+  let groups = Partitioning.group_array p in
+  let k = Array.length groups in
+  let merge () =
+    if k < 2 then None
+    else
+      let i = rand k in
+      let j = (i + 1 + rand (k - 1)) mod k in
+      Some (Merge (groups.(i), groups.(j)))
+  in
+  let split () =
+    let wide =
+      Array.to_list groups
+      |> List.filter (fun g -> Attr_set.cardinal g >= 2)
+    in
+    match wide with
+    | [] -> None
+    | _ ->
+        let g = List.nth wide (rand (List.length wide)) in
+        let attrs = Attr_set.to_list g in
+        (* A uniformly random proper nonempty subset: keep each attribute
+           with probability 1/2, then repair the two illegal outcomes. *)
+        let sub = List.filter (fun _ -> rand 2 = 0) attrs in
+        let sub =
+          match sub with
+          | [] -> [ List.nth attrs (rand (List.length attrs)) ]
+          | l when List.length l = List.length attrs -> List.tl l
+          | l -> l
+        in
+        Some (Split (g, Attr_set.of_list sub))
+  in
+  let move () =
+    if k < 2 then None
+    else
+      let attr = rand (Partitioning.attribute_count p) in
+      let src = Partitioning.group_of p attr in
+      let dsts =
+        Array.to_list groups
+        |> List.filter (fun g -> not (Attr_set.equal g src))
+      in
+      Some (Move (attr, List.nth dsts (rand (List.length dsts))))
+  in
+  match rand 3 with
+  | 0 -> ( match merge () with Some m -> Some m | None -> split ())
+  | 1 -> ( match split () with Some m -> Some m | None -> move ())
+  | _ -> ( match move () with Some m -> Some m | None -> split ())
+
+(* The target partitioning of a move, built WITHOUT the session — for
+   moves, by editing the group list directly rather than through the
+   split-then-merge composition [cost_move] uses internally. *)
+let apply_move p = function
+  | Merge (a, b) -> Partitioning.merge_groups p a b
+  | Split (g, sub) -> Partitioning.split_group p g sub
+  | Move (attr, dst) ->
+      let groups =
+        Partitioning.groups p
+        |> List.filter_map (fun g ->
+               if Attr_set.equal g dst then
+                 Some (Attr_set.add attr g)
+               else
+                 let g' = Attr_set.remove attr g in
+                 if Attr_set.is_empty g' then None else Some g')
+      in
+      Partitioning.of_groups ~n:(Partitioning.attribute_count p) groups
+
+let peek_cost t = function
+  | Merge (a, b) -> Inc.cost_merge t a b
+  | Split (g, sub) -> Inc.cost_split t ~group:g ~sub
+  | Move (attr, dst) -> Inc.cost_move t ~attr ~dst
+
+let peek_delta t = function
+  | Merge (a, b) -> Inc.delta_merge t a b
+  | Split (g, sub) -> Inc.delta_split t ~group:g ~sub
+  | Move (attr, dst) -> Inc.delta_move t ~attr ~dst
+
+let random_base rand w =
+  Enumeration.random_partitioning rand
+    (Table.attribute_count (Workload.table w))
+
+(* --- the workload corpus --------------------------------------------- *)
+
+let corpus () =
+  let synth seed attributes queries =
+    ( Printf.sprintf "synthetic-%Ld-%d" seed attributes,
+      Vp_benchmarks.Synthetic.workload ~seed ~rows:50_000 ~attributes
+        ~clusters:3 ~queries ~scatter:0.2 () )
+  in
+  List.map
+    (fun w -> (Table.name (Workload.table w), w))
+    (Vp_benchmarks.Tpch.workloads ~sf:1.0 @ Vp_benchmarks.Ssb.workloads ~sf:1.0)
+  @ [ synth 3L 10 14; synth 17L 14 20; synth 23L 7 9 ]
+
+(* --- differential suite ---------------------------------------------- *)
+
+(* For every workload: [bases] seeded-random base partitionings, each
+   rebased into a fresh session and probed with [moves_per_base] random
+   moves; every peeked cost and delta must match the full re-cost of the
+   independently constructed target, bit for bit. Runs thousands of
+   cases across TPC-H, SSB and the synthetic generator. *)
+let test_differential () =
+  List.iter
+    (fun (name, w) ->
+      let state = Random.State.make [| 0x5eed; Hashtbl.hash name |] in
+      let rand k = Random.State.int state k in
+      for base_no = 1 to 40 do
+        let p0 = random_base rand w in
+        let t = Inc.create disk w in
+        check_bits
+          (Printf.sprintf "%s base %d: goto = full re-cost" name base_no)
+          (full_cost w p0) (Inc.goto t p0);
+        for _ = 1 to 4 do
+          match random_move rand p0 with
+          | None -> ()
+          | Some m ->
+              let target = apply_move p0 m in
+              let full = full_cost w target in
+              let label =
+                Printf.sprintf "%s base %d: %s" name base_no (describe m)
+              in
+              check_bits label full (peek_cost t m);
+              check_bits (label ^ " (delta)")
+                (full -. full_cost w p0)
+                (peek_delta t m);
+              (* Peeks must not have moved the base. *)
+              check_bits (label ^ " (base intact)") (full_cost w p0)
+                (Inc.base_cost t)
+        done
+      done)
+    (corpus ())
+
+(* Rebasing mid-session (rather than into a fresh session) must recost
+   only what changed yet return the same bits as a fresh full costing. *)
+let test_goto_chain () =
+  List.iter
+    (fun (name, w) ->
+      let state = Random.State.make [| 0xcafe; Hashtbl.hash name |] in
+      let rand k = Random.State.int state k in
+      let t = Inc.create disk w in
+      let p = ref (random_base rand w) in
+      ignore (Inc.goto t !p : float);
+      for step = 1 to 25 do
+        (match random_move rand !p with
+        | Some m -> p := apply_move !p m
+        | None -> p := random_base rand w);
+        check_bits
+          (Printf.sprintf "%s step %d: goto = full re-cost" name step)
+          (full_cost w !p) (Inc.goto t !p)
+      done)
+    (corpus ())
+
+(* --- degenerate moves ------------------------------------------------ *)
+
+let test_degenerate () =
+  let w = Testutil.partsupp_workload in
+  let n = Table.attribute_count (Workload.table w) in
+  (* Moving the last attribute out of a singleton group empties the
+     source: the result is exactly a merge of the two groups. *)
+  let p =
+    Partitioning.of_groups ~n
+      [ Attr_set.singleton 0; Attr_set.of_list [ 1; 2; 3; 4 ] ]
+  in
+  let t = Inc.create disk w in
+  ignore (Inc.goto t p : float);
+  let dst = Attr_set.of_list [ 1; 2; 3; 4 ] in
+  check_bits "singleton-source move = merge"
+    (full_cost w (Partitioning.merge_groups p (Attr_set.singleton 0) dst))
+    (Inc.cost_move t ~attr:0 ~dst);
+  (* Moving an attribute into its own group is a no-op: the exact base
+     cost, and a delta of exactly +0.0. *)
+  check_bits "move into own group = base cost" (full_cost w p)
+    (Inc.cost_move t ~attr:2 ~dst);
+  check_bits "move into own group: delta = 0" 0.0
+    (Inc.delta_move t ~attr:2 ~dst);
+  (* Self-merge and whole-group splits are illegal exactly as they are
+     for Partitioning itself. *)
+  Alcotest.check_raises "self-merge raises"
+    (Invalid_argument "Partitioning.merge_groups: same group") (fun () ->
+      ignore (Inc.cost_merge t dst dst : float));
+  Alcotest.check_raises "splitting a whole group raises"
+    (Invalid_argument "Partitioning.split_group: subset equals the group")
+    (fun () ->
+      ignore (Inc.cost_split t ~group:dst ~sub:dst : float));
+  Alcotest.check_raises "splitting a singleton raises"
+    (Invalid_argument "Partitioning.split_group: subset equals the group")
+    (fun () ->
+      ignore
+        (Inc.cost_split t ~group:(Attr_set.singleton 0)
+           ~sub:(Attr_set.singleton 0)
+          : float));
+  Alcotest.check_raises "empty split subset raises"
+    (Invalid_argument "Partitioning.split_group: empty subset") (fun () ->
+      ignore (Inc.cost_split t ~group:dst ~sub:Attr_set.empty : float));
+  (* Moving into a non-group is rejected. *)
+  (match Inc.cost_move t ~attr:0 ~dst:(Attr_set.of_list [ 1; 2 ]) with
+  | exception Invalid_argument _ -> ()
+  | c -> Alcotest.failf "move into non-group returned %g" c);
+  (* A split peeked on a two-attribute group leaves two singletons. *)
+  let pair = Partitioning.of_groups ~n [ Attr_set.of_list [ 0; 1 ]; Attr_set.of_list [ 2; 3; 4 ] ] in
+  ignore (Inc.goto t pair : float);
+  check_bits "pair split = full re-cost"
+    (full_cost w
+       (Partitioning.split_group pair (Attr_set.of_list [ 0; 1 ])
+          (Attr_set.singleton 0)))
+    (Inc.cost_split t ~group:(Attr_set.of_list [ 0; 1 ])
+       ~sub:(Attr_set.singleton 0))
+
+(* --- move algebra properties ----------------------------------------- *)
+
+(* A move followed by its inverse restores the base cost bits exactly. *)
+let test_move_inverse () =
+  List.iter
+    (fun (name, w) ->
+      let state = Random.State.make [| 0x1234; Hashtbl.hash name |] in
+      let rand k = Random.State.int state k in
+      for case = 1 to 20 do
+        let p0 = random_base rand w in
+        match random_move rand p0 with
+        | None -> ()
+        | Some m ->
+            let t = Inc.create disk w in
+            let c0 = Inc.goto t p0 in
+            let p1 = apply_move p0 m in
+            ignore (Inc.goto t p1 : float);
+            check_bits
+              (Printf.sprintf "%s case %d: %s then back" name case
+                 (describe m))
+              c0 (Inc.goto t p0)
+      done)
+    (corpus ())
+
+(* A random walk of rebases, each step's delta checked against the full
+   re-cost difference, must end with the base cost equal to one full
+   [workload_cost] of the final partitioning — exact equality, no
+   epsilon, despite dozens of intermediate re-costings. *)
+let test_random_walk () =
+  List.iter
+    (fun (name, w) ->
+      let state = Random.State.make [| 0x9e37; Hashtbl.hash name |] in
+      let rand k = Random.State.int state k in
+      let t = Inc.create disk w in
+      let p = ref (random_base rand w) in
+      let c = ref (Inc.goto t !p) in
+      for step = 1 to 60 do
+        match random_move rand !p with
+        | None -> ()
+        | Some m ->
+            let next = apply_move !p m in
+            let full_next = full_cost w next in
+            let delta = peek_delta t m in
+            check_bits
+              (Printf.sprintf "%s walk %d: delta = full difference" name step)
+              (full_next -. !c) delta;
+            p := next;
+            c := Inc.goto t next
+      done;
+      check_bits
+        (Printf.sprintf "%s: walk end = one full re-cost" name)
+        (full_cost w !p) !c)
+    (corpus ())
+
+(* --- session closures & factory -------------------------------------- *)
+
+let test_session_closures () =
+  let w = Vp_benchmarks.Tpch.workload ~sf:1.0 "partsupp" in
+  let n = Table.attribute_count (Workload.table w) in
+  let s = (Vp_cost.Io_model.Incremental.factory disk w) () in
+  let p =
+    Partitioning.of_groups ~n
+      [ Attr_set.of_list [ 0; 1 ]; Attr_set.of_list [ 2; 3 ]; Attr_set.singleton 4 ]
+  in
+  check_bits "session goto" (full_cost w p) (s.Partitioner.Delta.goto p);
+  check_bits "session base_cost" (full_cost w p)
+    (s.Partitioner.Delta.base_cost ());
+  check_bits "session cost_merge"
+    (full_cost w
+       (Partitioning.merge_groups p (Attr_set.of_list [ 0; 1 ])
+          (Attr_set.singleton 4)))
+    (s.Partitioner.Delta.cost_merge (Attr_set.of_list [ 0; 1 ])
+       (Attr_set.singleton 4));
+  check_bits "session cost_split"
+    (full_cost w
+       (Partitioning.split_group p (Attr_set.of_list [ 2; 3 ])
+          (Attr_set.singleton 2)))
+    (s.Partitioner.Delta.cost_split ~group:(Attr_set.of_list [ 2; 3 ])
+       ~sub:(Attr_set.singleton 2));
+  check_bits "session cost_move"
+    (full_cost w
+       (Partitioning.of_groups ~n
+          [ Attr_set.singleton 0; Attr_set.of_list [ 1; 2; 3 ]; Attr_set.singleton 4 ]))
+    (s.Partitioner.Delta.cost_move ~attr:1 ~dst:(Attr_set.of_list [ 2; 3 ]))
+
+(* The kill switch gates [Request.delta], not the sessions themselves. *)
+let test_kill_switch () =
+  let w = Testutil.partsupp_workload in
+  let delta = Vp_cost.Io_model.Incremental.factory disk w in
+  let r =
+    Partitioner.Request.make ~delta
+      ~cost:(Vp_cost.Io_model.oracle disk w)
+      w
+  in
+  let was = Partitioner.Delta.enabled () in
+  Fun.protect
+    ~finally:(fun () -> Partitioner.Delta.set_enabled was)
+    (fun () ->
+      Partitioner.Delta.set_enabled true;
+      Alcotest.(check bool)
+        "factory visible when enabled" true
+        (Option.is_some (Partitioner.Request.delta r));
+      Partitioner.Delta.set_enabled false;
+      Alcotest.(check bool)
+        "factory hidden when disabled" true
+        (Option.is_none (Partitioner.Request.delta r)))
+
+(* --- qcheck: random workloads, random bases, random moves ------------ *)
+
+let prop_random_workloads =
+  QCheck2.Test.make ~name:"delta oracle exact on random workloads"
+    ~count:150
+    QCheck2.Gen.(
+      let* w = Testutil.gen_workload 8 6 in
+      let* p_seed = int in
+      let* m_seed = small_nat in
+      return (w, p_seed, m_seed))
+    (fun (w, p_seed, m_seed) ->
+      let state = Random.State.make [| p_seed; m_seed |] in
+      let rand k = Random.State.int state k in
+      let p0 = random_base rand w in
+      let t = Inc.create disk w in
+      let c0 = Inc.goto t p0 in
+      bits c0 = bits (full_cost w p0)
+      &&
+      match random_move rand p0 with
+      | None -> true
+      | Some m ->
+          let target = apply_move p0 m in
+          bits (peek_cost t m) = bits (full_cost w target)
+          && bits (Inc.goto t target) = bits (full_cost w target))
+
+let suite =
+  [
+    Alcotest.test_case "differential: peeks = full re-cost" `Quick
+      test_differential;
+    Alcotest.test_case "differential: goto chain = full re-cost" `Quick
+      test_goto_chain;
+    Alcotest.test_case "degenerate moves" `Quick test_degenerate;
+    Alcotest.test_case "move + inverse restores cost bits" `Quick
+      test_move_inverse;
+    Alcotest.test_case "random walk ends at one full re-cost" `Quick
+      test_random_walk;
+    Alcotest.test_case "session closures mirror the module" `Quick
+      test_session_closures;
+    Alcotest.test_case "kill switch gates Request.delta" `Quick
+      test_kill_switch;
+    Testutil.qtest prop_random_workloads;
+  ]

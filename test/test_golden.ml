@@ -272,6 +272,21 @@ let golden_report =
           latency_p99_ms = 512.0;
         };
       ];
+    oracle =
+      [
+        {
+          Vp_observe.Bench_report.phase = "hillclimb-sweep";
+          table = "lineitem";
+          attributes = 16;
+          atoms = 11;
+          full_evals_per_sec = 4096.0;
+          delta_evals_per_sec = 65536.0;
+          full_query_costs = 15360;
+          delta_query_costs = 1536;
+          query_cost_ratio = 10.0;
+          wall_seconds = 0.25;
+        };
+      ];
     counters = [ ("cost.oracle_calls", 42); ("pool.tasks_run", 7) ];
     host =
       {

@@ -114,6 +114,7 @@ let test_budget_monotonicity () =
   for i = 0 to 14 do
     let w = random_workload root i in
     let oracle = Vp_cost.Io_model.oracle disk w in
+    let delta = Vp_cost.Io_model.Incremental.factory disk w in
     List.iter
       (fun (a : Partitioner.t) ->
         let costs =
@@ -124,7 +125,10 @@ let test_budget_monotonicity () =
                 Printf.sprintf "%s on pair %d, %d steps" a.Partitioner.name i
                   max_steps
               in
-              let r = Partitioner.exec a (Partitioner.Request.make ~budget ~cost:oracle w) in
+              let r =
+                Partitioner.exec a
+                  (Partitioner.Request.make ~budget ~delta ~cost:oracle w)
+              in
               check_valid_partitioning ~ctx w r.Partitioner.Response.partitioning;
               (match r.Partitioner.Response.status with
               | Partitioner.Complete ->
@@ -156,6 +160,54 @@ let test_budget_monotonicity () =
       (Vp_algorithms.Registry.six @ [ Vp_experiments.Common.brute_force disk ])
   done
 
+(* Delta probes must charge the budget exactly like full re-costs: under
+   any step budget, the delta and full paths must agree on layout, cost
+   bits, status (including the step count at exhaustion) AND the counted
+   oracle stats. If a delta probe skipped a tick, double-charged one, or
+   dodged the fault/counter bookkeeping of [Partitioner.Counted], the
+   exhaustion point would shift and one of these renderings would
+   diverge. *)
+let test_budget_delta_parity () =
+  let root = Vp_datagen.Prng.create 0xDE17AL in
+  let was = Partitioner.Delta.enabled () in
+  Fun.protect
+    ~finally:(fun () -> Partitioner.Delta.set_enabled was)
+    (fun () ->
+      for i = 0 to 14 do
+        let w = random_workload root i in
+        List.iter
+          (fun (a : Partitioner.t) ->
+            List.iter
+              (fun max_steps ->
+                let run enabled =
+                  Partitioner.Delta.set_enabled enabled;
+                  let budget = Vp_robust.Budget.create ~max_steps () in
+                  let oracle = Vp_cost.Io_model.oracle disk w in
+                  let delta = Vp_cost.Io_model.Incremental.factory disk w in
+                  let r =
+                    Partitioner.exec a
+                      (Partitioner.Request.make ~budget ~delta ~cost:oracle w)
+                  in
+                  Printf.sprintf "%s cost=%Lx status=%s calls=%d candidates=%d"
+                    (Partitioning.to_string r.Partitioner.Response.partitioning)
+                    (Int64.bits_of_float r.Partitioner.Response.cost)
+                    (match r.Partitioner.Response.status with
+                    | Partitioner.Complete -> "complete"
+                    | Partitioner.Timed_out { steps; _ } ->
+                        Printf.sprintf "timed_out:%d" steps)
+                    r.Partitioner.Response.stats.Partitioner.cost_calls
+                    r.Partitioner.Response.stats.Partitioner.candidates
+                in
+                let full = run false in
+                let with_delta = run true in
+                Alcotest.(check string)
+                  (Printf.sprintf "%s on pair %d, %d steps: delta = full"
+                     a.Partitioner.name i max_steps)
+                  full with_delta)
+              budget_ladder)
+          (Vp_algorithms.Registry.six @ [ Vp_experiments.Common.brute_force disk ])
+      done)
+
 let test_algorithm_registry_errors () =
   Alcotest.(check bool) "find_opt unknown" true
     (Vp_algorithms.Registry.find_opt "nope" = None);
@@ -185,4 +237,6 @@ let suite =
     Alcotest.test_case "algorithm registry errors" `Quick
       test_algorithm_registry_errors;
     Alcotest.test_case "budget monotonicity" `Quick test_budget_monotonicity;
+    Alcotest.test_case "budget parity: delta = full" `Quick
+      test_budget_delta_parity;
   ]

@@ -8,6 +8,7 @@ let () =
       ("partitioning", Test_partitioning.suite);
       ("enumeration", Test_enumeration.suite);
       ("cost", Test_cost.suite);
+      ("delta_oracle", Test_delta_oracle.suite);
       ("algorithms", Test_algorithms.suite);
       ("substrates", Test_substrates.suite);
       ("benchmarks", Test_benchmarks.suite);
