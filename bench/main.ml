@@ -36,6 +36,13 @@
                   attributes must not be slower than 12 full-costed
                   ones. Outcomes land in the JSON report's "oracle"
                   section.
+     recovery     the durable session registry: WAL-on vs WAL-off ingest
+                  overhead (CI asserts <= 1.15x), wall time to recover
+                  100 spilled sessions, and eviction/re-attach churn
+                  under a resident cap — each phase also asserting the
+                  recovered histories byte-identical to the
+                  uninterrupted run's. Outcomes land in the JSON
+                  report's "recovery" section.
      json         nothing but the machine-readable report (see --json).
 
    --json PATH    additionally run every algorithm over the TPC-H line-up
@@ -912,6 +919,252 @@ let oracle_section () =
   let scale = oracle_bruteforce () in
   micro :: sweep :: scale
 
+(* --- durable sessions: WAL ingest overhead, spill/restore latency and
+   LRU eviction/re-attach churn. Every phase runs at the Sessions level
+   (no TCP) so the numbers measure durability, not the socket stack, and
+   every phase double-checks the headline invariant: recovered histories
+   byte-identical to the uninterrupted run's. --- *)
+
+let recovery_spec ~session table =
+  {
+    Vp_server.Protocol.session;
+    table;
+    panel = [ "HillClimb" ];
+    drift_ratio = 2.0;
+    min_window = 8;
+    epoch = 64;
+    memory = 32;
+    horizon = 1.0;
+    budget_steps = None;
+    buffer_mb = 1.0;
+  }
+
+let counter_delta name (before : Vp_observe.Stats.snapshot)
+    (after : Vp_observe.Stats.snapshot) =
+  let get (s : Vp_observe.Stats.snapshot) =
+    match List.assoc_opt name s.Vp_observe.Stats.counters with
+    | Some v -> v
+    | None -> 0
+  in
+  get after - get before
+
+let rec remove_tree path =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> ()
+  | true ->
+      Array.iter
+        (fun f -> remove_tree (Filename.concat path f))
+        (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+
+let with_temp_dir tag f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vp-bench-%s-%d" tag (Unix.getpid ()))
+  in
+  remove_tree dir;
+  Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
+
+let recovery_open reg spec =
+  match Vp_server.Sessions.open_session reg spec with
+  | Ok _ -> ()
+  | Error msg -> failwith msg
+
+let recovery_ingest_all reg ~session table queries =
+  List.iteri
+    (fun i q ->
+      match
+        Vp_server.Sessions.ingest reg session ~seq:(i + 1)
+          ~attributes:(Table.names_of_attr_set table (Query.references q))
+          ~weight:(Query.weight q) ~name:(Query.name q) ()
+      with
+      | Ok _ -> ()
+      | Error msg -> failwith msg)
+    queries
+
+let recovery_history reg name =
+  match Vp_server.Sessions.view reg name Vp_online.Service.history with
+  | Ok h -> h
+  | Error msg -> failwith msg
+
+let recovery_stream ~seed ~queries =
+  Vp_benchmarks.Synthetic.drift_workload ~seed ~attributes:8 ~clusters:3
+    ~rows:50_000 ~queries ~scatter:0.05 ~drift_at:0.5 ()
+
+(* WAL-on vs WAL-off: the same 400-query stream ingested into an
+   in-memory registry and a durable one. Only the ingest loop is timed —
+   registry setup and the (fsynced) open-time meta write are one-offs,
+   not per-query cost — and each variant takes the best of three runs so
+   the ratio measures the append path, not scheduler noise. *)
+let recovery_wal_overhead () =
+  let w = recovery_stream ~seed:71L ~queries:400 in
+  let table = Workload.table w in
+  let queries = Array.to_list (Workload.queries w) in
+  let run reg =
+    recovery_open reg (recovery_spec ~session:"overhead" table);
+    let (), seconds =
+      time (fun () -> recovery_ingest_all reg ~session:"overhead" table queries)
+    in
+    (recovery_history reg "overhead", seconds)
+  in
+  let best_of_3 mk =
+    let runs = List.init 3 (fun _ -> mk ()) in
+    let hist = fst (List.hd runs) in
+    (hist, List.fold_left (fun acc (_, s) -> Float.min acc s) infinity runs)
+  in
+  let hist_off, t_off = best_of_3 (fun () -> run (Vp_server.Sessions.create ())) in
+  let before = Vp_observe.Stats.snapshot () in
+  let hist_on, t_on =
+    best_of_3 (fun () ->
+        with_temp_dir "wal" (fun dir ->
+            run (Vp_server.Sessions.create ~data_dir:dir ())))
+  in
+  let after = Vp_observe.Stats.snapshot () in
+  let ratio = if t_off > 0.0 then t_on /. t_off else 0.0 in
+  let identical = String.equal hist_off hist_on in
+  Printf.printf
+    "  WAL overhead: off %.4fs, on %.4fs, ratio %.3f, histories %s\n%!" t_off
+    t_on ratio
+    (if identical then "identical" else "DIVERGED");
+  {
+    Vp_observe.Bench_report.phase = "wal-overhead";
+    sessions = 1;
+    queries = List.length queries;
+    wal_appends = counter_delta "server.wal_appends" before after;
+    evictions = counter_delta "server.evictions" before after;
+    reattaches = counter_delta "server.reattaches" before after;
+    recovered = 0;
+    seconds = t_on;
+    wal_overhead_ratio = ratio;
+    byte_identical = identical;
+  }
+
+(* 100 sessions ingested, drained to disk, then recovered by a fresh
+   registry: [seconds] is the wall time to restore all 100 histories. *)
+let recovery_spill_restore () =
+  with_temp_dir "spill" (fun dir ->
+      let w = recovery_stream ~seed:72L ~queries:20 in
+      let table = Workload.table w in
+      let queries = Array.to_list (Workload.queries w) in
+      let n = 100 in
+      let name i = Printf.sprintf "s%03d" i in
+      let reg = Vp_server.Sessions.create ~data_dir:dir () in
+      let expected =
+        Array.init n (fun i ->
+            let s = name i in
+            recovery_open reg (recovery_spec ~session:s table);
+            recovery_ingest_all reg ~session:s table queries;
+            recovery_history reg s)
+      in
+      Vp_server.Sessions.drain reg;
+      let before = Vp_observe.Stats.snapshot () in
+      let reg2 = Vp_server.Sessions.create ~data_dir:dir () in
+      let histories, seconds =
+        time (fun () -> Array.init n (fun i -> recovery_history reg2 (name i)))
+      in
+      let after = Vp_observe.Stats.snapshot () in
+      let identical = Array.for_all2 String.equal expected histories in
+      Printf.printf
+        "  Spill/restore: %d sessions recovered in %.4fs (%.2f ms/session), \
+         histories %s\n\
+         %!"
+        n seconds
+        (seconds *. 1000.0 /. float_of_int n)
+        (if identical then "identical" else "DIVERGED");
+      {
+        Vp_observe.Bench_report.phase = "spill-restore";
+        sessions = n;
+        queries = n * List.length queries;
+        wal_appends = counter_delta "server.wal_appends" before after;
+        evictions = counter_delta "server.evictions" before after;
+        reattaches = counter_delta "server.reattaches" before after;
+        recovered = Vp_server.Sessions.recovered_count reg2;
+        seconds;
+        wal_overhead_ratio = 0.0;
+        byte_identical = identical;
+      })
+
+(* 32 sessions round-robin under a cap of 8 residents: every touch of a
+   spilled session re-attaches and pushes the LRU resident out — maximal
+   churn — while an uncapped in-memory registry provides the reference
+   histories. *)
+let recovery_evict_reattach () =
+  with_temp_dir "evict" (fun dir ->
+      let w = recovery_stream ~seed:73L ~queries:30 in
+      let table = Workload.table w in
+      let queries = Array.to_list (Workload.queries w) in
+      let n = 32 in
+      let name i = Printf.sprintf "e%02d" i in
+      let reg = Vp_server.Sessions.create ~data_dir:dir ~max_resident:8 () in
+      let reference = Vp_server.Sessions.create () in
+      for i = 0 to n - 1 do
+        recovery_open reg (recovery_spec ~session:(name i) table);
+        recovery_open reference (recovery_spec ~session:(name i) table)
+      done;
+      let before = Vp_observe.Stats.snapshot () in
+      let (), seconds =
+        time (fun () ->
+            List.iteri
+              (fun j q ->
+                let attributes =
+                  Table.names_of_attr_set table (Query.references q)
+                in
+                for i = 0 to n - 1 do
+                  List.iter
+                    (fun reg ->
+                      match
+                        Vp_server.Sessions.ingest reg (name i) ~seq:(j + 1)
+                          ~attributes ~weight:(Query.weight q)
+                          ~name:(Query.name q) ()
+                      with
+                      | Ok _ -> ()
+                      | Error msg -> failwith msg)
+                    [ reg; reference ]
+                done)
+              queries)
+      in
+      let after = Vp_observe.Stats.snapshot () in
+      let identical =
+        List.for_all
+          (fun i ->
+            String.equal
+              (recovery_history reg (name i))
+              (recovery_history reference (name i)))
+          (List.init n Fun.id)
+      in
+      let evictions = counter_delta "server.evictions" before after in
+      let reattaches = counter_delta "server.reattaches" before after in
+      Printf.printf
+        "  Evict/re-attach: %d sessions, cap 8: %d evictions, %d re-attaches \
+         in %.4fs, histories %s\n\
+         %!"
+        n evictions reattaches seconds
+        (if identical then "identical" else "DIVERGED");
+      {
+        Vp_observe.Bench_report.phase = "evict-reattach";
+        sessions = n;
+        queries = n * List.length queries;
+        wal_appends = counter_delta "server.wal_appends" before after;
+        evictions;
+        reattaches;
+        recovered = 0;
+        seconds;
+        wal_overhead_ratio = 0.0;
+        byte_identical = identical;
+      })
+
+let recovery_section () =
+  Vp_observe.Switch.(raise_to Stats);
+  print_string
+    (Vp_experiments.Common.heading
+       "Durable sessions: WAL overhead, spill/restore, evict/re-attach");
+  let overhead = recovery_wal_overhead () in
+  let spill = recovery_spill_restore () in
+  let churn = recovery_evict_reattach () in
+  [ overhead; spill; churn ]
+
 (* --- machine-readable bench report (--json): every algorithm over the
    TPC-H line-up with counters on, each with a fresh query-grained cache
    so its hit rate is its own. The counter snapshot merges everything the
@@ -927,9 +1180,10 @@ let mode_name = function
   | `Online -> "online"
   | `Server -> "server"
   | `Oracle -> "oracle"
+  | `Recovery -> "recovery"
   | `Json -> "json"
 
-let json_section ~mode ~jobs ~online ~server ~oracle path =
+let json_section ~mode ~jobs ~online ~server ~oracle ~recovery path =
   Vp_observe.Switch.(raise_to Stats);
   let disk = Vp_experiments.Common.disk in
   let workloads = Vp_benchmarks.Tpch.workloads ~sf:Vp_experiments.Common.sf in
@@ -975,6 +1229,7 @@ let json_section ~mode ~jobs ~online ~server ~oracle path =
       online;
       server;
       oracle;
+      recovery;
       counters = snapshot.Vp_observe.Stats.counters;
       host = Vp_observe.Bench_report.current_host ();
     }
@@ -992,7 +1247,7 @@ let json_section ~mode ~jobs ~online ~server ~oracle path =
 let usage () =
   prerr_endline
     "usage: main.exe [--mode \
-     all|experiments|bechamel|parallel|budget|online|server|oracle|json] \
+     all|experiments|bechamel|parallel|budget|online|server|oracle|recovery|json] \
      [--jobs N] [--json PATH]";
   exit 2
 
@@ -1011,6 +1266,7 @@ let parse_args () =
            | "online" -> `Online
            | "server" -> `Server
            | "oracle" -> `Oracle
+           | "recovery" -> `Recovery
            | "json" -> `Json
            | _ -> usage ());
         go rest
@@ -1032,7 +1288,7 @@ let parse_args () =
   let json =
     match (!json, !mode) with
     | Some path, _ -> Some path
-    | None, (`Json | `Online | `Server | `Oracle) ->
+    | None, (`Json | `Online | `Server | `Oracle | `Recovery) ->
         Some
           (Printf.sprintf "BENCH_%d.json"
              Vp_observe.Bench_report.schema_version)
@@ -1052,30 +1308,31 @@ let () =
        "Unified setting: TPC-H SF %g, %s"
        Vp_experiments.Common.sf
        (Format.asprintf "%a" Vp_cost.Disk.pp Vp_experiments.Common.disk));
-  let online, server, oracle =
+  let online, server, oracle, recovery =
     match mode with
     | `All ->
         run_experiments ();
         if not skip_slow then bechamel_section ();
-        ([], [], [])
+        ([], [], [], [])
     | `Experiments ->
         run_experiments ();
-        ([], [], [])
+        ([], [], [], [])
     | `Bechamel ->
         bechamel_section ();
-        ([], [], [])
+        ([], [], [], [])
     | `Parallel ->
         parallel_section jobs;
-        ([], [], [])
+        ([], [], [], [])
     | `Budget ->
         budget_section ();
-        ([], [], [])
-    | `Online -> (online_section ~jobs, [], [])
-    | `Server -> ([], server_section (), [])
-    | `Oracle -> ([], [], oracle_section ())
-    | `Json -> ([], [], [])
+        ([], [], [], [])
+    | `Online -> (online_section ~jobs, [], [], [])
+    | `Server -> ([], server_section (), [], [])
+    | `Oracle -> ([], [], oracle_section (), [])
+    | `Recovery -> ([], [], [], recovery_section ())
+    | `Json -> ([], [], [], [])
   in
   (match json with
-  | Some path -> json_section ~mode ~jobs ~online ~server ~oracle path
+  | Some path -> json_section ~mode ~jobs ~online ~server ~oracle ~recovery path
   | None -> ());
   print_endline "\nAll experiments completed."

@@ -735,23 +735,88 @@ let serve_cmd =
              are answered with one $(i,overloaded) reply carrying a \
              retry-after hint and closed, instead of queueing silently.")
   in
-  let run host port jobs max_pending =
+  let data_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:
+            "Make sessions durable: persist every session's open spec, \
+             write-ahead log and eviction snapshots under $(docv) \
+             (created if missing), and recover whatever a previous \
+             server life left there on startup. Without it, session \
+             state lives in memory and dies with the process.")
+  in
+  let max_resident_arg =
+    Arg.(
+      value
+      & opt (some positive_int) None
+      & info [ "max-resident" ] ~docv:"N"
+          ~doc:
+            "Cap on in-memory sessions (requires $(b,--data-dir)): past \
+             it, the least-recently-used idle session is spilled to disk \
+             and transparently restored on its next touch. Default: \
+             unlimited.")
+  in
+  let fsync_arg =
+    let fsync_conv =
+      let parse = function
+        | "never" -> Ok Vp_robust.Journal.Never
+        | "always" -> Ok Vp_robust.Journal.Always
+        | s -> (
+            match int_of_string_opt s with
+            | Some n when n >= 1 -> Ok (Vp_robust.Journal.Interval n)
+            | _ ->
+                Error
+                  (`Msg
+                     (Printf.sprintf
+                        "invalid fsync policy %S (expected never, always, \
+                         or a record interval >= 1)"
+                        s)))
+      in
+      let print ppf = function
+        | Vp_robust.Journal.Never -> Format.pp_print_string ppf "never"
+        | Vp_robust.Journal.Always -> Format.pp_print_string ppf "always"
+        | Vp_robust.Journal.Interval n -> Format.fprintf ppf "%d" n
+      in
+      Arg.conv ~docv:"POLICY" (parse, print)
+    in
+    Arg.(
+      value
+      & opt fsync_conv Vp_robust.Journal.Never
+      & info [ "fsync" ] ~docv:"POLICY"
+          ~doc:
+            "WAL durability policy: $(b,never) (flush to the OS per \
+             record, never force the disk), $(b,always) (fsync every \
+             record), or an integer $(i,N) (fsync every N records and \
+             on drain).")
+  in
+  let run host port jobs max_pending data_dir max_resident fsync =
     (* The daemon multiplexes blocking connection handlers, so its job
        count is a concurrency choice, not a core count — default 4 even
        on small hosts (see Vp_parallel.Pool's clamp escape hatch). *)
     let jobs = match jobs with Some n -> n | None -> 4 in
+    if max_resident <> None && data_dir = None then (
+      prerr_endline "vp serve: --max-resident requires --data-dir";
+      exit 2);
     (* A server whose [stats] op always answers zero is lying; counters
        are part of the protocol here, so pay for them. *)
     Vp_observe.Switch.(raise_to Stats);
-    let d = Vp_server.Daemon.create ~host ~port ~jobs ~max_pending () in
+    let d =
+      Vp_server.Daemon.create ~host ~port ~jobs ~max_pending ?data_dir
+        ?max_resident ~fsync ()
+    in
     Vp_server.Daemon.install_signal_handlers d;
     Printf.printf
-      "vp layout server listening on %s:%d (%d job(s), max %d in flight); \
+      "vp layout server listening on %s:%d (%d job(s), max %d in flight%s); \
        SIGTERM drains\n\
        %!"
       host
       (Vp_server.Daemon.port d)
-      (Vp_server.Daemon.jobs d) max_pending;
+      (Vp_server.Daemon.jobs d) max_pending
+      (match data_dir with
+      | None -> ""
+      | Some dir -> Printf.sprintf ", durable in %s" dir);
     Vp_server.Daemon.serve d;
     print_endline "drained; bye.";
     0
@@ -761,7 +826,9 @@ let serve_cmd =
        ~doc:
          "Run the layout server: a TCP daemon serving the partitioner \
           panel and online layout sessions over newline-delimited JSON")
-    Term.(const run $ host_arg $ port_arg $ jobs_arg $ max_pending_arg)
+    Term.(
+      const run $ host_arg $ port_arg $ jobs_arg $ max_pending_arg
+      $ data_dir_arg $ max_resident_arg $ fsync_arg)
 
 let client_cmd =
   let ping_arg =

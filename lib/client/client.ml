@@ -4,10 +4,25 @@ module Protocol = Vp_server.Protocol
 
 type conn = { fd : Unix.file_descr; buf : Buffer.t }
 
-type t = { host : string; port : int; mutable conn : conn option }
+type t = {
+  host : string;
+  port : int;
+  retry_seed : int64;
+  mutable retry_draws : int;  (* next jitter index — one per backoff sleep *)
+  mutable conn : conn option;
+}
 
-let create ?(host = "127.0.0.1") ?(port = Protocol.default_port) () =
-  { host; port; conn = None }
+let create ?(host = "127.0.0.1") ?(port = Protocol.default_port)
+    ?(retry_seed = 0L) () =
+  { host; port; retry_seed; retry_draws = 0; conn = None }
+
+(* Jittered backoff: the server's [retry_after_ms] hint scaled into
+   [0.5x, 1.0x) by a deterministic draw, so a herd of shed clients
+   spreads out instead of reconnecting in lockstep — without giving up
+   reproducibility (the sleep sequence is a pure function of the seed). *)
+let retry_delay_ms ~seed ~index ~retry_after_ms =
+  let u = Vp_robust.Mix.u01 ~seed ~site:"client.retry" ~index in
+  float_of_int retry_after_ms *. (0.5 +. (0.5 *. u))
 
 let host t = t.host
 
@@ -115,7 +130,10 @@ let request_retry ?(attempts = 20) t frame =
       let ms =
         match Protocol.retry_after_ms reply with Some ms -> ms | None -> 50
       in
-      Unix.sleepf (float_of_int ms /. 1000.0);
+      let index = t.retry_draws in
+      t.retry_draws <- index + 1;
+      Unix.sleepf
+        (retry_delay_ms ~seed:t.retry_seed ~index ~retry_after_ms:ms /. 1000.0);
       go (n - 1)
     end
   in
@@ -156,6 +174,8 @@ let partition ?algorithm ?buffer_mb ?deadline_ms ?budget_steps t w =
     (Protocol.partition_request ?algorithm ?buffer_mb ?deadline_ms
        ?budget_steps w)
 
+type opened = { created : bool; restored : bool; generation : int }
+
 let open_session ?panel ?drift_ratio ?min_window ?epoch ?memory ?horizon
     ?budget_steps ?buffer_mb t ~session table =
   let* reply =
@@ -163,15 +183,43 @@ let open_session ?panel ?drift_ratio ?min_window ?epoch ?memory ?horizon
       (Protocol.open_request ?panel ?drift_ratio ?min_window ?epoch ?memory
          ?horizon ?budget_steps ?buffer_mb ~session table)
   in
-  match Json.member "created" reply with
-  | Some (Json.Bool b) -> Ok b
-  | _ -> Error (missing "created")
-
-let ingest ?deadline_ms ?budget_steps t ~session table q =
-  let* reply =
-    checked t (Protocol.ingest_request ?deadline_ms ?budget_steps ~session table q)
+  let* created =
+    match Json.member "created" reply with
+    | Some (Json.Bool b) -> Ok b
+    | _ -> Error (missing "created")
   in
-  int_of "generation" reply
+  let restored =
+    (* Absent on pre-durability servers: nothing was on disk to restore. *)
+    match Json.member "restored" reply with
+    | Some (Json.Bool b) -> b
+    | _ -> false
+  in
+  let* generation = int_of "generation" reply in
+  Ok { created; restored; generation }
+
+let ingest ?deadline_ms ?budget_steps ?seq t ~session table q =
+  let frame =
+    Protocol.ingest_request ?deadline_ms ?budget_steps ?seq ~session table q
+  in
+  (* With a [seq] the request is idempotent across retries — a replayed
+     apply comes back as a duplicate ack — so a lost reply (connection
+     cut, server restarted mid-exchange) is safe to resend. Without one,
+     resending could double-ingest; fail to the caller instead. *)
+  let transport_attempts = match seq with Some _ -> 3 | None -> 1 in
+  let rec go n =
+    match request_retry t frame with
+    | Error _ when n > 1 -> go (n - 1)
+    | Error _ as e -> e
+    | Ok reply -> (
+        match Protocol.reply_status reply with
+        | "ok" -> int_of "generation" reply
+        | "error" -> (
+            match Protocol.reply_error reply with
+            | Some msg -> Error msg
+            | None -> Error "server answered an error without a message")
+        | other -> Error (Printf.sprintf "unexpected reply status %S" other))
+  in
+  go transport_attempts
 
 let layout t ~session = checked t (Protocol.layout_request ~session)
 
@@ -198,15 +246,18 @@ let replay_script ?(progress = fun _ -> ()) t file =
       let replay_table w =
         let table = Workload.table w in
         let session = Table.name table in
-        let* _created = open_session t ~session table in
+        let* _opened = open_session t ~session table in
         let queries = Array.to_list (Workload.queries w) in
-        let* () =
+        let* _count =
+          (* Sequenced ingests: position [i+1] is the idempotent request
+             id, so a dropped connection (or a server restart) mid-script
+             resumes without double-counting a query. *)
           List.fold_left
             (fun acc q ->
-              let* () = acc in
-              let* _generation = ingest t ~session table q in
-              Ok ())
-            (Ok ()) queries
+              let* i = acc in
+              let* _generation = ingest ~seq:(i + 1) t ~session table q in
+              Ok (i + 1))
+            (Ok 0) queries
         in
         let* hist = close_session t ~session in
         progress

@@ -15,9 +15,20 @@ open Vp_core
 
 type t
 
-val create : ?host:string -> ?port:int -> unit -> t
+val create : ?host:string -> ?port:int -> ?retry_seed:int64 -> unit -> t
 (** No I/O happens here; the connection opens on first use. [host]
-    defaults to ["127.0.0.1"], [port] to {!Vp_server.Protocol.default_port}. *)
+    defaults to ["127.0.0.1"], [port] to {!Vp_server.Protocol.default_port}.
+    [retry_seed] (default [0L]) seeds the deterministic backoff jitter —
+    give each client of a fleet its own seed so a mass shed does not
+    reconnect in lockstep. *)
+
+val retry_delay_ms :
+  seed:int64 -> index:int -> retry_after_ms:int -> float
+(** The jittered backoff sleep, in milliseconds: [retry_after_ms]
+    scaled by a deterministic factor in [0.5, 1.0) drawn from
+    {!Vp_robust.Mix.u01} at [(seed, index)]. Pure — exposed so the
+    jitter bounds are unit-testable; {!request_retry} draws [index]
+    from a per-client counter. *)
 
 val host : t -> string
 
@@ -35,10 +46,11 @@ val request : t -> Vp_observe.Json.t -> (Vp_observe.Json.t, string) result
 val request_retry :
   ?attempts:int -> t -> Vp_observe.Json.t -> (Vp_observe.Json.t, string) result
 (** Like {!request}, but an [overloaded] reply sleeps for its
-    [retry_after_ms] hint and retries on a fresh connection, up to
-    [attempts] times in total (default [20]) before giving up with an
-    [Error]. This is the polite way to talk to a loaded server: clients
-    back off instead of hanging. *)
+    [retry_after_ms] hint (scaled by {!retry_delay_ms} jitter) and
+    retries on a fresh connection, up to [attempts] times in total
+    (default [20]) before giving up with an [Error]. This is the polite
+    way to talk to a loaded server: clients back off instead of
+    hanging. *)
 
 (** {2 Typed helpers}
 
@@ -63,6 +75,15 @@ val partition :
 (** A one-shot panel run; the [ok] reply carries [layout], [cost],
     [status] and [algorithm] fields (see {!Vp_server.Protocol}). *)
 
+type opened = {
+  created : bool;  (** [false] when re-attaching to an existing session. *)
+  restored : bool;
+      (** The server rebuilt the session from disk (it had been evicted,
+          drained, or left behind by a crash). Always [false] from
+          servers without durability. *)
+  generation : int;
+}
+
 val open_session :
   ?panel:string list ->
   ?drift_ratio:float ->
@@ -75,19 +96,23 @@ val open_session :
   t ->
   session:string ->
   Table.t ->
-  (bool, string) result
-(** [Ok created] — [false] when re-attaching to an existing session. *)
+  (opened, string) result
 
 val ingest :
   ?deadline_ms:int ->
   ?budget_steps:int ->
+  ?seq:int ->
   t ->
   session:string ->
   Table.t ->
   Query.t ->
   (int, string) result
 (** Feeds one query; [Ok generation] (the layout generation after the
-    ingest, so a caller can watch adoptions happen). *)
+    ingest, so a caller can watch adoptions happen). [seq] — the query's
+    1-based stream position — makes the request idempotent: the server
+    acknowledges a replayed position without re-ingesting, so with a
+    [seq] the client resends on transport failure (lost reply, server
+    restart) instead of giving up. *)
 
 val layout : t -> session:string -> (Vp_observe.Json.t, string) result
 

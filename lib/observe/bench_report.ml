@@ -1,4 +1,6 @@
-let schema_version = 6
+(* v7: adds the [recovery] section (durable-session benchmarks: WAL
+   overhead, spill/restore latency, eviction + re-attach rates). *)
+let schema_version = 7
 
 type algo_entry = {
   algorithm : string;
@@ -59,6 +61,19 @@ type oracle_entry = {
   wall_seconds : float;
 }
 
+type recovery_entry = {
+  phase : string;
+  sessions : int;
+  queries : int;
+  wal_appends : int;
+  evictions : int;
+  reattaches : int;
+  recovered : int;
+  seconds : float;
+  wal_overhead_ratio : float;
+  byte_identical : bool;
+}
+
 type t = {
   benchmark : string;
   scale_factor : float;
@@ -68,6 +83,7 @@ type t = {
   online : online_entry list;
   server : server_entry list;
   oracle : oracle_entry list;
+  recovery : recovery_entry list;
   counters : (string * int) list;
   host : host;
 }
@@ -151,6 +167,21 @@ let oracle_json (e : oracle_entry) =
       ("wall_seconds", Json.Float e.wall_seconds);
     ]
 
+let recovery_json (e : recovery_entry) =
+  Json.Obj
+    [
+      ("phase", Json.String e.phase);
+      ("sessions", Json.Int e.sessions);
+      ("queries", Json.Int e.queries);
+      ("wal_appends", Json.Int e.wal_appends);
+      ("evictions", Json.Int e.evictions);
+      ("reattaches", Json.Int e.reattaches);
+      ("recovered", Json.Int e.recovered);
+      ("seconds", Json.Float e.seconds);
+      ("wal_overhead_ratio", Json.Float e.wal_overhead_ratio);
+      ("byte_identical", Json.Bool e.byte_identical);
+    ]
+
 let host_json h =
   Json.Obj
     [
@@ -174,6 +205,7 @@ let to_json r =
       ("online", Json.List (List.map online_json r.online));
       ("server", Json.List (List.map server_json r.server));
       ("oracle", Json.List (List.map oracle_json r.oracle));
+      ("recovery", Json.List (List.map recovery_json r.recovery));
       ( "counters",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters) );
       ("host", host_json r.host);
@@ -181,12 +213,13 @@ let to_json r =
 
 (* --- schema checker --- *)
 
-type field_kind = Fint | Fnumber | Fstring | Flist | Fobj
+type field_kind = Fint | Fnumber | Fstring | Fbool | Flist | Fobj
 
 let kind_name = function
   | Fint -> "an int"
   | Fnumber -> "a number"
   | Fstring -> "a string"
+  | Fbool -> "a bool"
   | Flist -> "an array"
   | Fobj -> "an object"
 
@@ -195,6 +228,7 @@ let has_kind kind (v : Json.t) =
   | Fint, Json.Int _ -> true
   | Fnumber, (Json.Int _ | Json.Float _) -> true
   | Fstring, Json.String _ -> true
+  | Fbool, Json.Bool _ -> true
   | Flist, Json.List _ -> true
   | Fobj, Json.Obj _ -> true
   | _ -> false
@@ -231,6 +265,7 @@ let validate doc =
           ("online", Flist);
           ("server", Flist);
           ("oracle", Flist);
+          ("recovery", Flist);
           ("counters", Fobj);
           ("host", Fobj);
         ]
@@ -393,6 +428,53 @@ let validate doc =
                   | _ -> errors)
                 errors
                 [ "attributes"; "atoms"; "full_query_costs"; "delta_query_costs" ])
+            errors
+            (List.mapi (fun i e -> (i, e)) entries)
+      | _ -> errors
+    in
+    let errors =
+      (* [recovery] may be empty (modes that skip the durability
+         benchmarks), but every entry must be well-typed with
+         non-negative counts. *)
+      match Json.member "recovery" doc with
+      | Some (Json.List entries) ->
+          List.fold_left
+            (fun errors (i, entry) ->
+              let path = Printf.sprintf "$.recovery[%d]" i in
+              let errors =
+                match entry with
+                | Json.Obj _ ->
+                    check_fields ~path
+                      [
+                        ("phase", Fstring);
+                        ("sessions", Fint);
+                        ("queries", Fint);
+                        ("wal_appends", Fint);
+                        ("evictions", Fint);
+                        ("reattaches", Fint);
+                        ("recovered", Fint);
+                        ("seconds", Fnumber);
+                        ("wal_overhead_ratio", Fnumber);
+                        ("byte_identical", Fbool);
+                      ]
+                      entry errors
+                | _ -> Printf.sprintf "%s: expected an object" path :: errors
+              in
+              List.fold_left
+                (fun errors name ->
+                  match Json.member name entry with
+                  | Some (Json.Int v) when v < 0 ->
+                      Printf.sprintf "%s.%s: must be >= 0" path name :: errors
+                  | _ -> errors)
+                errors
+                [
+                  "sessions";
+                  "queries";
+                  "wal_appends";
+                  "evictions";
+                  "reattaches";
+                  "recovered";
+                ])
             errors
             (List.mapi (fun i e -> (i, e)) entries)
       | _ -> errors

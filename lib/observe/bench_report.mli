@@ -13,10 +13,12 @@
 
 val schema_version : int
 (** Bumped whenever a field is renamed, retyped or removed (adding
-    fields is compatible). Currently [6]: v6 adds the required [oracle]
-    section (full-vs-incremental cost-oracle microbenchmark outcomes)
-    emitted into [BENCH_6.json] by [bench --mode oracle]; v5 added the
-    required [server] section (the layout daemon's closed-loop
+    fields is compatible). Currently [7]: v7 adds the required
+    [recovery] section (durable-session outcomes — WAL ingest overhead,
+    spill/restore latency, eviction and re-attach rates — emitted into
+    [BENCH_7.json] by [bench --mode recovery]); v6 added the [oracle]
+    section (full-vs-incremental cost-oracle microbenchmark outcomes);
+    v5 added the [server] section (the layout daemon's closed-loop
     load-generator outcomes); v4 added the [online] section. *)
 
 type algo_entry = {
@@ -87,6 +89,27 @@ type oracle_entry = {
     cost-oracle comparison (throughput microbench, the HillClimb TPC-H
     counter sweep, and the BruteForce 15-attribute wall-time check). *)
 
+type recovery_entry = {
+  phase : string;
+      (** e.g. ["wal-overhead"], ["spill-restore"], ["evict-reattach"] *)
+  sessions : int;  (** sessions the phase exercised *)
+  queries : int;  (** queries ingested across them *)
+  wal_appends : int;  (** [server.wal_appends] delta *)
+  evictions : int;  (** [server.evictions] delta *)
+  reattaches : int;  (** [server.reattaches] delta *)
+  recovered : int;  (** sessions rebuilt by the registry's startup scan *)
+  seconds : float;  (** phase wall time (recovery latency phases) *)
+  wal_overhead_ratio : float;
+      (** WAL-on / WAL-off ingest wall time; [0.] for phases that do
+          not measure it. CI asserts [<= 1.15] on the overhead phase. *)
+  byte_identical : bool;
+      (** The phase's recovered histories matched the uninterrupted
+          run's byte-for-byte. *)
+}
+(** One phase of [bench --mode recovery]: the durable-session
+    benchmarks (WAL ingest overhead, restore latency over spilled
+    sessions, eviction/re-attach churn under a resident cap). *)
+
 type t = {
   benchmark : string;   (** e.g. ["tpch"] *)
   scale_factor : float;
@@ -101,6 +124,9 @@ type t = {
   oracle : oracle_entry list;
       (** Cost-oracle comparison phases; [[]] for modes that skip the
           oracle microbench. *)
+  recovery : recovery_entry list;
+      (** Durable-session phases; [[]] for modes that skip the
+          durability benchmarks. *)
   counters : (string * int) list;  (** merged snapshot, sorted *)
   host : host;
 }

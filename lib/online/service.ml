@@ -298,3 +298,277 @@ let event_line (e : event) =
 
 let history t =
   String.concat "" (List.map (fun e -> event_line e ^ "\n") (events t))
+
+(* --- snapshot / restore ---
+
+   Every float crosses the snapshot as its IEEE-754 bit pattern in hex,
+   never as a decimal rendering: [restore] must rebuild the exact values
+   the live service held, or the byte-identical-history contract breaks
+   on the first post-restore decision. The affinity matrix and workload
+   are not stored — they are rebuilt by re-adding the serialized queries
+   in ingest order, which reproduces the same float accumulation
+   order. *)
+
+module Json = Vp_observe.Json
+
+let snapshot_version = 1
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt msg)) fmt
+
+let bits_of_float f =
+  Json.String (Printf.sprintf "%Lx" (Int64.bits_of_float f))
+
+let float_of_bits name = function
+  | Some (Json.String s) -> (
+      match Int64.of_string_opt ("0x" ^ s) with
+      | Some b -> Int64.float_of_bits b
+      | None -> corrupt "field %S is not a float bit pattern" name)
+  | _ -> corrupt "missing or non-string field %S" name
+
+let int_field name doc =
+  match Json.member name doc with
+  | Some (Json.Int i) -> i
+  | _ -> corrupt "missing or non-integer field %S" name
+
+let string_field name doc =
+  match Json.member name doc with
+  | Some (Json.String s) -> s
+  | _ -> corrupt "missing or non-string field %S" name
+
+let list_field name doc =
+  match Json.member name doc with
+  | Some (Json.List l) -> l
+  | _ -> corrupt "missing or non-array field %S" name
+
+let datatype_to_json = function
+  | Attribute.Int32 -> [ ("type", Json.String "int32") ]
+  | Attribute.Decimal -> [ ("type", Json.String "decimal") ]
+  | Attribute.Date -> [ ("type", Json.String "date") ]
+  | Attribute.Char w ->
+      [ ("type", Json.String "char"); ("width", Json.Int w) ]
+  | Attribute.Varchar w ->
+      [ ("type", Json.String "varchar"); ("width", Json.Int w) ]
+
+let datatype_of_json doc =
+  match string_field "type" doc with
+  | "int32" -> Attribute.Int32
+  | "decimal" -> Attribute.Decimal
+  | "date" -> Attribute.Date
+  | "char" -> Attribute.Char (int_field "width" doc)
+  | "varchar" -> Attribute.Varchar (int_field "width" doc)
+  | other -> corrupt "unknown attribute type %S" other
+
+let table_to_json table =
+  Json.Obj
+    [
+      ("name", Json.String (Table.name table));
+      ("rows", Json.Int (Table.row_count table));
+      ( "attributes",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun a ->
+                  Json.Obj
+                    (("name", Json.String (Attribute.name a))
+                    :: datatype_to_json (Attribute.datatype a)))
+                (Table.attributes table))) );
+    ]
+
+let table_of_json doc =
+  let attributes =
+    List.map
+      (fun a -> Attribute.make (string_field "name" a) (datatype_of_json a))
+      (list_field "attributes" doc)
+  in
+  try
+    Table.make ~name:(string_field "name" doc) ~attributes
+      ~row_count:(int_field "rows" doc)
+  with Invalid_argument msg -> corrupt "invalid table: %s" msg
+
+let query_to_json q =
+  Json.Obj
+    [
+      ("name", Json.String (Query.name q));
+      ( "refs",
+        Json.List
+          (List.map (fun i -> Json.Int i) (Attr_set.to_list (Query.references q)))
+      );
+      ("w", bits_of_float (Query.weight q));
+    ]
+
+let query_of_json table doc =
+  let n = Table.attribute_count table in
+  let refs =
+    List.map
+      (function
+        | Json.Int i when i >= 0 && i < n -> i
+        | Json.Int i -> corrupt "query references attribute %d of %d" i n
+        | _ -> corrupt "query refs must be integers")
+      (list_field "refs" doc)
+  in
+  let weight = float_of_bits "w" (Json.member "w" doc) in
+  try
+    Query.make ~weight ~name:(string_field "name" doc)
+      ~references:(Attr_set.of_list refs) ()
+  with Invalid_argument msg -> corrupt "invalid query: %s" msg
+
+let trigger_to_json = function
+  | Epoch -> [ ("trigger", Json.String "epoch") ]
+  | Drift r -> [ ("trigger", Json.String "drift"); ("ratio", bits_of_float r) ]
+
+let event_to_json (e : event) =
+  Json.Obj
+    ([
+       ("generation", Json.Int e.generation);
+       ("at", Json.Int e.trigger_query);
+     ]
+    @ trigger_to_json e.trigger
+    @ [
+        ("algorithm", Json.String e.algorithm);
+        ("cost_before", bits_of_float e.cost_before);
+        ("cost_after", bits_of_float e.cost_after);
+        ("migration", bits_of_float e.migration);
+        ("payoff", bits_of_float e.payoff);
+        ( "verdict",
+          Json.String
+            (match e.verdict with
+            | Adopted -> "adopted"
+            | Rejected -> "rejected") );
+      ])
+
+let event_of_json doc : event =
+  {
+    generation = int_field "generation" doc;
+    trigger_query = int_field "at" doc;
+    trigger =
+      (match string_field "trigger" doc with
+      | "epoch" -> Epoch
+      | "drift" -> Drift (float_of_bits "ratio" (Json.member "ratio" doc))
+      | other -> corrupt "unknown trigger %S" other);
+    algorithm = string_field "algorithm" doc;
+    cost_before = float_of_bits "cost_before" (Json.member "cost_before" doc);
+    cost_after = float_of_bits "cost_after" (Json.member "cost_after" doc);
+    migration = float_of_bits "migration" (Json.member "migration" doc);
+    payoff = float_of_bits "payoff" (Json.member "payoff" doc);
+    verdict =
+      (match string_field "verdict" doc with
+      | "adopted" -> Adopted
+      | "rejected" -> Rejected
+      | other -> corrupt "unknown verdict %S" other);
+  }
+
+let snapshot t =
+  Json.to_string
+    (Json.Obj
+       [
+         ("version", Json.Int snapshot_version);
+         ("table", table_to_json t.table);
+         ("generation", Json.Int t.generation);
+         ("ingested", Json.Int t.ingested);
+         ("query_cost", bits_of_float t.query_cost);
+         ("migration_cost", bits_of_float t.migration_cost);
+         ( "ring",
+           Json.List
+             (Array.to_list
+                (Array.map
+                   (fun (c, l) -> Json.List [ bits_of_float c; bits_of_float l ])
+                   t.ring)) );
+         ("ring_len", Json.Int t.ring_len);
+         ("ring_pos", Json.Int t.ring_pos);
+         ("since_decision", Json.Int t.since_decision);
+         ( "layout",
+           Json.List
+             (List.map
+                (fun g ->
+                  Json.List
+                    (List.map (fun i -> Json.Int i) (Attr_set.to_list g)))
+                (Partitioning.groups t.layout)) );
+         ( "queries",
+           Json.List
+             (Array.to_list (Array.map query_to_json (Workload.queries t.workload)))
+         );
+         ("events", Json.List (List.map event_to_json (events t)));
+       ])
+
+let restore config s =
+  match Json.of_string ~max_size:(1 lsl 26) s with
+  | Error msg -> Error (Printf.sprintf "unparseable snapshot: %s" msg)
+  | Ok doc -> (
+      try
+        (match Json.member "version" doc with
+        | Some (Json.Int v) when v = snapshot_version -> ()
+        | Some (Json.Int v) -> corrupt "unsupported snapshot version %d" v
+        | _ -> corrupt "missing snapshot version");
+        let table =
+          match Json.member "table" doc with
+          | Some tdoc -> table_of_json tdoc
+          | None -> corrupt "missing field \"table\""
+        in
+        let n = Table.attribute_count table in
+        let queries =
+          List.map (query_of_json table) (list_field "queries" doc)
+        in
+        let ingested = int_field "ingested" doc in
+        if List.length queries <> ingested then
+          corrupt "snapshot holds %d queries but ingested=%d"
+            (List.length queries) ingested;
+        let layout =
+          let groups =
+            List.map
+              (fun g ->
+                Attr_set.of_list
+                  (List.map
+                     (function
+                       | Json.Int i -> i
+                       | _ -> corrupt "layout groups must be integer lists")
+                     (match g with
+                     | Json.List l -> l
+                     | _ -> corrupt "layout must be a list of groups")))
+              (list_field "layout" doc)
+          in
+          try Partitioning.of_groups ~n groups
+          with Invalid_argument msg -> corrupt "invalid layout: %s" msg
+        in
+        let ring_spec =
+          List.map
+            (function
+              | Json.List [ c; l ] ->
+                  ( float_of_bits "ring cost" (Some c),
+                    float_of_bits "ring lower" (Some l) )
+              | _ -> corrupt "ring entries must be [cost, lower] pairs")
+            (list_field "ring" doc)
+        in
+        if List.length ring_spec <> config.min_window then
+          corrupt "snapshot ring has %d slots but config.min_window is %d"
+            (List.length ring_spec) config.min_window;
+        let events = List.rev_map event_of_json (list_field "events" doc) in
+        let t = create config table in
+        List.iter
+          (fun q ->
+            t.workload <- Workload.add_query t.workload q;
+            Affinity.add_query t.affinity q)
+          queries;
+        t.layout <- layout;
+        t.generation <- int_field "generation" doc;
+        t.ingested <- ingested;
+        t.query_cost <- float_of_bits "query_cost" (Json.member "query_cost" doc);
+        t.migration_cost <-
+          float_of_bits "migration_cost" (Json.member "migration_cost" doc);
+        List.iteri (fun i cl -> t.ring.(i) <- cl) ring_spec;
+        t.ring_len <- int_field "ring_len" doc;
+        t.ring_pos <- int_field "ring_pos" doc;
+        t.since_decision <- int_field "since_decision" doc;
+        t.events <- events;
+        if
+          t.ring_len < 0
+          || t.ring_len > config.min_window
+          || t.ring_pos < 0
+          || t.ring_pos >= config.min_window
+          || t.since_decision < 0
+        then corrupt "ring bookkeeping out of range";
+        Ok t
+      with
+      | Corrupt msg -> Error (Printf.sprintf "corrupt snapshot: %s" msg)
+      | Invalid_argument msg -> Error (Printf.sprintf "corrupt snapshot: %s" msg))

@@ -179,3 +179,41 @@ val history : t -> string
 (** All decisions, one {!event_line} per line (newline-terminated;
     [""] when there are none). The determinism tests compare this
     byte-for-byte across replays. *)
+
+(** {2 Snapshot / restore}
+
+    The durability layer's primitives: {!snapshot} captures every piece
+    of mutable state — schema, ingested queries, layout, generation,
+    drift-window ring, pay-off accounting, decision events — as a JSON
+    document in which {e every float travels as its IEEE-754 bit
+    pattern}, and {!restore} rebuilds a service whose subsequent
+    behaviour is bit-identical to the original's: restoring a snapshot
+    taken after query [k] and then ingesting queries [k+1 .. n] yields
+    the same {!history} bytes and {!generation} as ingesting all [n]
+    into one long-lived service (proved in [test_durability.ml]). The
+    affinity matrix and workload are not serialized; they are rebuilt by
+    re-adding the stored queries in ingest order, which reproduces the
+    same float-accumulation order. *)
+
+val snapshot : t -> string
+(** The service's full mutable state as one JSON line. *)
+
+val restore : config -> string -> (t, string) result
+(** Rebuild a service from {!snapshot} output under the given config
+    (the config — panel, disk, trigger parameters — is not serialized;
+    the caller persists whatever it needs to rebuild it, e.g.
+    [Vp_server.Sessions] keeps the open spec). Fails with a descriptive
+    message on a corrupt document or a config whose [min_window]
+    disagrees with the snapshot's ring. *)
+
+val query_to_json : Query.t -> Vp_observe.Json.t
+(** One query as snapshot-grade JSON (bit-exact weight) — the record
+    format of the per-session write-ahead log. *)
+
+val query_of_json : Table.t -> Vp_observe.Json.t -> Query.t
+(** Inverse of {!query_to_json}, validated against the table.
+    @raise Corrupt on malformed input. *)
+
+exception Corrupt of string
+(** Raised by the snapshot decoders on malformed input ({!restore}
+    catches it; {!query_of_json} lets it escape). *)

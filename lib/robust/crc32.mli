@@ -1,0 +1,17 @@
+(** CRC-32 (IEEE) checksums for journal record integrity.
+
+    The standard reflected-polynomial CRC every file format uses (zlib,
+    PNG, ethernet). Checksums are carried in the journal as 8-digit
+    lowercase hex. *)
+
+val string : string -> int
+(** CRC-32 of the whole string, in [0 .. 0xFFFFFFFF]. *)
+
+val update : int -> string -> int
+(** [update crc s] extends a running checksum ([string s = update 0 s]). *)
+
+val to_hex : int -> string
+(** 8-digit lowercase hex. *)
+
+val of_hex : string -> int option
+(** Inverse of {!to_hex}; [None] unless exactly 8 hex digits. *)

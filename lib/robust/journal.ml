@@ -1,25 +1,70 @@
-type t = { oc : out_channel; lock : Mutex.t }
+type fsync = Never | Interval of int | Always
 
-let open_ path =
-  let fd =
-    Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
-  in
-  { oc = Unix.out_channel_of_descr fd; lock = Mutex.create () }
+type t = {
+  path : string;
+  fsync : fsync;
+  rotate_bytes : int option;
+  lock : Mutex.t;
+  mutable fd : Unix.file_descr;
+  mutable oc : out_channel;
+  mutable bytes : int;  (* current file size; appends are serialized *)
+  mutable unsynced : int;  (* records since the last fsync *)
+}
 
-let record t ~key ~payload =
-  Mutex.protect t.lock (fun () ->
-      output_string t.oc key;
-      output_char t.oc '\t';
-      output_string t.oc (String.escaped payload);
-      output_char t.oc '\n';
-      flush t.oc)
+let fsync_fd fd = try Unix.fsync fd with Unix.Unix_error _ -> ()
 
-let close t = Mutex.protect t.lock (fun () -> close_out t.oc)
+let open_fd path =
+  Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+
+let open_ ?(fsync = Never) ?rotate_bytes path =
+  (match fsync with
+  | Interval n when n < 1 -> invalid_arg "Journal.open_: Interval < 1"
+  | _ -> ());
+  (match rotate_bytes with
+  | Some n when n < 1 -> invalid_arg "Journal.open_: rotate_bytes < 1"
+  | _ -> ());
+  let fd = open_fd path in
+  let bytes = (Unix.fstat fd).Unix.st_size in
+  {
+    path;
+    fsync;
+    rotate_bytes;
+    lock = Mutex.create ();
+    fd;
+    oc = Unix.out_channel_of_descr fd;
+    bytes;
+    unsynced = 0;
+  }
+
+let path t = t.path
+
+(* [key TAB escaped-payload TAB crc32], CRC over the first two fields. *)
+let encode ~key ~payload =
+  let body = key ^ "\t" ^ String.escaped payload in
+  body ^ "\t" ^ Crc32.to_hex (Crc32.string body) ^ "\n"
+
+(* One parsed line. Payloads are escaped, so they contain no raw tabs —
+   fields split cleanly. Two fields is the pre-CRC format, still
+   accepted; [`Bad] is anything else, including a checksum mismatch. *)
+let parse_line line =
+  match String.split_on_char '\t' line with
+  | [ key; enc ] -> (
+      match Scanf.unescaped enc with
+      | payload -> `Record (key, payload)
+      | exception _ -> `Bad)
+  | [ key; enc; crc ] -> (
+      match Crc32.of_hex crc with
+      | Some c when c = Crc32.string (key ^ "\t" ^ enc) -> (
+          match Scanf.unescaped enc with
+          | payload -> `Record (key, payload)
+          | exception _ -> `Bad)
+      | _ -> `Bad)
+  | _ -> `Bad
 
 let load path =
   if not (Sys.file_exists path) then []
   else begin
-    let ic = open_in path in
+    let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
@@ -27,16 +72,132 @@ let load path =
           match input_line ic with
           | exception End_of_file -> List.rev acc
           | line -> (
-              match String.index_opt line '\t' with
-              | None -> go acc (* malformed: skip *)
-              | Some i -> (
-                  let key = String.sub line 0 i in
-                  let enc =
-                    String.sub line (i + 1) (String.length line - i - 1)
-                  in
-                  match Scanf.unescaped enc with
-                  | payload -> go ((key, payload) :: acc)
-                  | exception _ -> go acc (* truncated escape: skip *)))
+              match parse_line line with
+              | `Record r -> go (r :: acc)
+              | `Bad -> go acc)
         in
         go [])
   end
+
+(* The WAL reader: trust the longest valid prefix, cut the rest. A line
+   missing its trailing newline is torn by definition; [input_line]
+   returns it anyway, so track whether the read consumed a newline by
+   comparing positions. *)
+let recover path =
+  if not (Sys.file_exists path) then ([], 0)
+  else begin
+    let size = (Unix.stat path).Unix.st_size in
+    let records, valid_end =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go acc valid_end =
+            match input_line ic with
+            | exception End_of_file -> (acc, valid_end)
+            | line -> (
+                let pos = pos_in ic in
+                (* The newline is consumed iff the channel advanced past
+                   the line's own bytes. *)
+                let terminated = pos = valid_end + String.length line + 1 in
+                if not terminated then (acc, valid_end)
+                else
+                  match parse_line line with
+                  | `Record r -> go (r :: acc) pos
+                  | `Bad -> (acc, valid_end))
+          in
+          go [] 0)
+    in
+    let truncated = size - valid_end in
+    if truncated > 0 then begin
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.ftruncate fd valid_end;
+          fsync_fd fd)
+    end;
+    (List.rev records, truncated)
+  end
+
+(* Keep the last record per key, in last-occurrence order, and swap the
+   rewrite in atomically: a crash before the rename leaves the original
+   untouched, after it the compacted file — never a mix. *)
+let write_compacted ~src ~dst =
+  let records = load src in
+  let last = Hashtbl.create 64 in
+  List.iteri (fun i (k, _) -> Hashtbl.replace last k i) records;
+  let keep =
+    List.filteri (fun i (k, _) -> Hashtbl.find last k = i) records
+  in
+  let fd =
+    Unix.openfile dst [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let oc = Unix.out_channel_of_descr fd in
+  List.iter (fun (key, payload) -> output_string oc (encode ~key ~payload)) keep;
+  flush oc;
+  fsync_fd fd;
+  close_out oc
+
+let compact path =
+  if Sys.file_exists path then begin
+    let tmp = path ^ ".tmp" in
+    write_compacted ~src:path ~dst:tmp;
+    Sys.rename tmp path
+  end
+
+let apply_fsync t =
+  match t.fsync with
+  | Never -> ()
+  | Always ->
+      fsync_fd t.fd;
+      t.unsynced <- 0
+  | Interval n ->
+      if t.unsynced >= n then begin
+        fsync_fd t.fd;
+        t.unsynced <- 0
+      end
+
+let rotate_locked t =
+  flush t.oc;
+  let tmp = t.path ^ ".tmp" in
+  write_compacted ~src:t.path ~dst:tmp;
+  Sys.rename tmp t.path;
+  (* The old fd still points at the replaced inode; reopen. *)
+  close_out_noerr t.oc;
+  t.fd <- open_fd t.path;
+  t.oc <- Unix.out_channel_of_descr t.fd;
+  t.bytes <- (Unix.fstat t.fd).Unix.st_size;
+  t.unsynced <- 0
+
+let record t ~key ~payload =
+  Mutex.protect t.lock (fun () ->
+      let line = encode ~key ~payload in
+      output_string t.oc line;
+      flush t.oc;
+      t.bytes <- t.bytes + String.length line;
+      t.unsynced <- t.unsynced + 1;
+      apply_fsync t;
+      match t.rotate_bytes with
+      | Some cap when t.bytes > cap -> rotate_locked t
+      | _ -> ())
+
+let sync t =
+  Mutex.protect t.lock (fun () ->
+      flush t.oc;
+      fsync_fd t.fd;
+      t.unsynced <- 0)
+
+let reset t =
+  Mutex.protect t.lock (fun () ->
+      flush t.oc;
+      Unix.ftruncate t.fd 0;
+      fsync_fd t.fd;
+      t.bytes <- 0;
+      t.unsynced <- 0)
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      flush t.oc;
+      (match t.fsync with Never -> () | Interval _ | Always -> fsync_fd t.fd);
+      close_out_noerr t.oc)

@@ -1,25 +1,73 @@
-(** Line-delimited checkpoint journal for resumable sweeps.
+(** Crash-tolerant append-only journal: checkpoint log for resumable
+    sweeps and write-ahead log for durable server sessions.
 
-    Each completed unit of work appends one record — [key TAB payload],
-    with the payload [String.escaped] so it stays on one line — and the
-    channel is flushed per record, so a crash loses at most the record
-    being written. {!load} is tolerant: malformed or truncated lines
-    (e.g. from a crash mid-write) are skipped, not fatal, so a resume can
-    always make progress. *)
+    Each record is one line — [key TAB payload TAB crc32] — with the
+    payload [String.escaped] so it stays on one line and a CRC-32 of
+    [key TAB payload] so a torn or bit-flipped record is detectable, not
+    silently wrong. The channel is flushed per record; {!fsync} chooses
+    how often the OS is asked to make records durable.
+
+    Two readers with different contracts:
+    - {!load} is the lenient checkpoint reader: malformed or corrupt
+      lines anywhere are skipped and the rest kept (a resume can always
+      make progress).
+    - {!recover} is the WAL reader: records are trusted only up to the
+      first invalid one, and the file is truncated there — the standard
+      torn-tail rule, so a crash mid-write never leaves garbage that a
+      later append would bury mid-file.
+
+    Journals written before the CRC field (two-field records) still load
+    and recover; their records simply carry no checksum to verify. *)
+
+type fsync =
+  | Never  (** Flush to the OS per record; never force the disk. *)
+  | Interval of int
+      (** [fsync] every N records (and on {!close}/{!sync}). *)
+  | Always  (** [fsync] after every record — maximum durability. *)
 
 type t
 
-val open_ : string -> t
-(** Open (creating if needed) a journal for appending. *)
+val open_ : ?fsync:fsync -> ?rotate_bytes:int -> string -> t
+(** Open (creating if needed) a journal for appending. [fsync] defaults
+    to [Never] (the pre-WAL behaviour). When [rotate_bytes] is given and
+    an append grows the file past it, the journal is compacted in place
+    — rewritten atomically (write-temp + rename) keeping only the last
+    record per key, in last-occurrence order.
+    @raise Invalid_argument if [rotate_bytes < 1] or [Interval n] with
+    [n < 1]. *)
 
 val record : t -> key:string -> payload:string -> unit
-(** Append one record and flush. Thread-safe. Keys must not contain tabs
-    or newlines (callers use experiment ids, which don't); the payload may
-    contain anything. *)
+(** Append one record, flush, and apply the fsync policy. Thread-safe.
+    Keys must not contain tabs or newlines (callers use experiment ids
+    and record indices, which don't); the payload may contain
+    anything. *)
+
+val sync : t -> unit
+(** Flush and [fsync] now, whatever the policy. *)
+
+val reset : t -> unit
+(** Truncate the journal to empty (e.g. after its state was captured in
+    a snapshot) and [fsync] the truncation. *)
+
+val path : t -> string
 
 val close : t -> unit
+(** Flushes, applies a final [fsync] unless the policy is [Never], and
+    closes. *)
 
 val load : string -> (string * string) list
-(** All well-formed records, in file order. [] if the file does not
-    exist. Later records with a duplicate key are kept (callers decide;
+(** All well-formed records in file order; CRC-carrying records with a
+    mismatching checksum are skipped. [] if the file does not exist.
+    Later records with a duplicate key are kept (callers decide;
     [Vp_experiments.Sweep] keeps the last). *)
+
+val recover : string -> (string * string) list * int
+(** [recover path] is [(records, truncated)]: the longest valid prefix
+    of the journal, with the file truncated to exactly that prefix.
+    [truncated] is the number of bytes cut (0 on a clean file). A line
+    that does not parse, fails its CRC, or lacks its final newline ends
+    the prefix. [([], 0)] if the file does not exist. *)
+
+val compact : string -> unit
+(** Rewrite the journal keeping only the last record per key (in
+    last-occurrence order), atomically. A missing file is a no-op. *)

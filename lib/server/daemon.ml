@@ -20,7 +20,7 @@ type t = {
 }
 
 let create ?(host = "127.0.0.1") ?(port = Protocol.default_port) ?(jobs = 4)
-    ?(max_pending = 64) () =
+    ?(max_pending = 64) ?data_dir ?max_resident ?fsync () =
   if jobs < 1 then invalid_arg "Daemon.create: jobs must be >= 1";
   if max_pending < 1 then invalid_arg "Daemon.create: max_pending must be >= 1";
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
@@ -46,7 +46,7 @@ let create ?(host = "127.0.0.1") ?(port = Protocol.default_port) ?(jobs = 4)
     in_flight = Atomic.make 0;
     conns = Hashtbl.create 16;
     conns_mutex = Mutex.create ();
-    sessions = Sessions.create ();
+    sessions = Sessions.create ?data_dir ?max_resident ?fsync ();
   }
 
 let port t = t.port
@@ -119,38 +119,9 @@ let partition_reply ~workload ~algorithm ~buffer_mb ~budget =
         ]
 
 let with_named_session t session f =
-  match Sessions.find t.sessions session with
-  | None -> Protocol.error_reply (Printf.sprintf "unknown session %S" session)
-  | Some s -> Sessions.with_session s f
-
-let ingest_reply t ~session ~attributes ~weight ~name ~budget =
-  with_named_session t session (fun svc ->
-      let table = Vp_online.Service.table svc in
-      match Table.attr_set_of_names table attributes with
-      | exception Not_found ->
-          Protocol.error_reply
-            (Printf.sprintf
-               "query references an attribute table %S does not have"
-               (Table.name table))
-      | references -> (
-          let name =
-            match name with
-            | Some n -> n
-            | None ->
-                Printf.sprintf "Q%d" (Vp_online.Service.ingested svc + 1)
-          in
-          match Query.make ~weight ~name ~references () with
-          | exception Invalid_argument msg -> Protocol.error_reply msg
-          | q ->
-              let run () = Vp_online.Service.ingest svc q in
-              (match Protocol.budget_of_spec budget with
-              | None -> run ()
-              | Some b -> Vp_robust.Budget.with_current b run);
-              Protocol.ok_reply
-                [
-                  ("ingested", Json.Int (Vp_online.Service.ingested svc));
-                  ("generation", Json.Int (Vp_online.Service.generation svc));
-                ]))
+  match Sessions.view t.sessions session f with
+  | Error msg -> Protocol.error_reply msg
+  | Ok reply -> reply
 
 let dispatch t req =
   match (req : Protocol.request) with
@@ -162,15 +133,28 @@ let dispatch t req =
   | Open spec -> (
       match Sessions.open_session t.sessions spec with
       | Error msg -> Protocol.error_reply msg
-      | Ok (s, created) ->
-          Sessions.with_session s (fun svc ->
-              Protocol.ok_reply
-                [
-                  ("created", Json.Bool created);
-                  ("generation", Json.Int (Vp_online.Service.generation svc));
-                ]))
-  | Ingest { session; attributes; weight; name; budget } ->
-      ingest_reply t ~session ~attributes ~weight ~name ~budget
+      | Ok { Sessions.created; restored; generation } ->
+          Protocol.ok_reply
+            [
+              ("created", Json.Bool created);
+              ("restored", Json.Bool restored);
+              ("generation", Json.Int generation);
+            ])
+  | Ingest { session; attributes; weight; name; seq; budget } -> (
+      match
+        Sessions.ingest t.sessions session ?seq
+          ?deadline_ms:budget.Protocol.deadline_ms
+          ?budget_steps:budget.Protocol.budget_steps ~attributes ~weight ?name
+          ()
+      with
+      | Error msg -> Protocol.error_reply msg
+      | Ok { Sessions.ingested; generation; duplicate } ->
+          Protocol.ok_reply
+            [
+              ("ingested", Json.Int ingested);
+              ("generation", Json.Int generation);
+              ("duplicate", Json.Bool duplicate);
+            ])
   | Layout { session } ->
       with_named_session t session (fun svc ->
           Protocol.ok_reply

@@ -29,12 +29,25 @@
 type t
 
 val create :
-  ?host:string -> ?port:int -> ?jobs:int -> ?max_pending:int -> unit -> t
+  ?host:string ->
+  ?port:int ->
+  ?jobs:int ->
+  ?max_pending:int ->
+  ?data_dir:string ->
+  ?max_resident:int ->
+  ?fsync:Vp_robust.Journal.fsync ->
+  unit ->
+  t
 (** Binds and listens immediately (so {!port} is known before {!serve}
     runs, which is how the tests use ephemeral ports). [host] defaults to
     ["127.0.0.1"], [port] to {!Protocol.default_port} ([0] asks the
     kernel for an ephemeral port), [jobs] to [4], [max_pending] to [64].
-    @raise Invalid_argument if [jobs < 1] or [max_pending < 1].
+    [data_dir]/[max_resident]/[fsync] configure session durability —
+    write-ahead logging, idle-session spilling and crash recovery — and
+    are passed to {!Sessions.create} verbatim (no [data_dir] means the
+    pre-durability in-memory registry).
+    @raise Invalid_argument if [jobs < 1], [max_pending < 1] or
+    [max_resident < 1].
     @raise Unix.Unix_error if the address cannot be bound. *)
 
 val port : t -> int

@@ -1,7 +1,10 @@
 open Vp_core
 module Json = Vp_observe.Json
 
-let protocol_version = 1
+(* v2: [ingest] accepts an idempotent [seq], [open] replies carry
+   [restored], and the daemon may answer [duplicate] on a replayed
+   ingest. All additive; v1 clients keep working. *)
+let protocol_version = 2
 
 let default_port = 7171
 
@@ -50,6 +53,10 @@ type request =
       attributes : string list;
       weight : float;
       name : string option;
+      seq : int option;
+          (** Idempotent request id: the 1-based stream position this
+              query should land at. A retry of an already-applied seq is
+              acknowledged without re-ingesting. *)
       budget : budget_spec;
     }
   | Layout of { session : string }
@@ -266,6 +273,10 @@ let request_of_json doc =
                       attributes = attr_names_of_json query;
                       weight = opt_float ~default:1.0 "weight" query;
                       name = string_field "name" query;
+                      seq =
+                        (match opt_int_option "seq" doc with
+                        | Some s when s < 1 -> bad "\"seq\" must be >= 1"
+                        | s -> s);
                       budget = budget_spec_of doc;
                     }
               | "layout" -> Layout { session = req_string "session" doc }
@@ -327,6 +338,74 @@ let query_to_json table q =
       ("weight", Json.Float (Query.weight q));
     ]
 
+(* --- open-spec persistence (the session meta file) ---
+
+   The durable registry stores each session's open spec so crash
+   recovery can rebuild the service config without the client
+   re-supplying it. Floats travel as IEEE-754 bit patterns: the restored
+   config must drive the cost model with the {e exact} values the
+   original open parsed off the wire, or post-recovery decisions drift
+   from the uninterrupted run's. *)
+
+let float_bits f = Json.String (Printf.sprintf "%Lx" (Int64.bits_of_float f))
+
+let req_float_bits name doc =
+  match Json.member name doc with
+  | Some (Json.String s) -> (
+      match Int64.of_string_opt ("0x" ^ s) with
+      | Some b -> Int64.float_of_bits b
+      | None -> bad "field %S is not a float bit pattern" name)
+  | _ -> bad "missing or non-string field %S" name
+
+let open_spec_to_json (s : open_spec) =
+  Json.Obj
+    ([
+       ("session", Json.String s.session);
+       ("table", table_to_json s.table);
+       ("panel", Json.List (List.map (fun n -> Json.String n) s.panel));
+       ("drift_ratio_bits", float_bits s.drift_ratio);
+       ("min_window", Json.Int s.min_window);
+       ("epoch", Json.Int s.epoch);
+       ("memory", Json.Int s.memory);
+       ("horizon_bits", float_bits s.horizon);
+       ("buffer_mb_bits", float_bits s.buffer_mb);
+     ]
+    @
+    match s.budget_steps with
+    | Some n -> [ ("budget_steps", Json.Int n) ]
+    | None -> [])
+
+let open_spec_of_json doc =
+  match doc with
+  | Json.Obj _ -> (
+      try
+        Ok
+          {
+            session = req_string "session" doc;
+            table =
+              (match Json.member "table" doc with
+              | Some t -> table_of_json t
+              | None -> bad "missing field \"table\"");
+            panel =
+              (match list_field "panel" doc with
+              | None -> bad "missing field \"panel\""
+              | Some names ->
+                  List.map
+                    (function
+                      | Json.String s -> s
+                      | _ -> bad "panel members must be strings")
+                    names);
+            drift_ratio = req_float_bits "drift_ratio_bits" doc;
+            min_window = req_int "min_window" doc;
+            epoch = req_int "epoch" doc;
+            memory = req_int "memory" doc;
+            horizon = req_float_bits "horizon_bits" doc;
+            budget_steps = opt_int_option "budget_steps" doc;
+            buffer_mb = req_float_bits "buffer_mb_bits" doc;
+          }
+      with Bad msg -> Error msg)
+  | _ -> Error "session meta must be a JSON object"
+
 let budget_fields ?deadline_ms ?budget_steps () =
   (match deadline_ms with
   | Some ms -> [ ("deadline_ms", Json.Int ms) ]
@@ -374,13 +453,14 @@ let open_request ?panel ?drift_ratio ?min_window ?epoch ?memory ?horizon
     @ opt "budget_steps" (fun v -> Json.Int v) budget_steps
     @ opt "buffer_mb" (fun v -> Json.Float v) buffer_mb)
 
-let ingest_request ?deadline_ms ?budget_steps ~session table q =
+let ingest_request ?deadline_ms ?budget_steps ?seq ~session table q =
   Json.Obj
     ([
        ("op", Json.String "ingest");
        ("session", Json.String session);
        ("query", query_to_json table q);
      ]
+    @ (match seq with Some s -> [ ("seq", Json.Int s) ] | None -> [])
     @ budget_fields ?deadline_ms ?budget_steps ())
 
 let session_only op session =

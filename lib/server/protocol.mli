@@ -85,6 +85,12 @@ type request =
       attributes : string list;
       weight : float;
       name : string option;
+      seq : int option;
+          (** Idempotent request id: the 1-based stream position this
+              query should land at. A retry of an already-applied seq is
+              acknowledged ([duplicate:true]) without re-ingesting, so a
+              client that lost a reply — e.g. across a server restart —
+              can resend safely. *)
       budget : budget_spec;
     }
   | Layout of { session : string }
@@ -135,10 +141,23 @@ val open_request :
 val ingest_request :
   ?deadline_ms:int ->
   ?budget_steps:int ->
+  ?seq:int ->
   session:string ->
   Table.t ->
   Query.t ->
   Vp_observe.Json.t
+
+(** {2 Open-spec persistence}
+
+    The durable session registry ({!Sessions}) stores each session's
+    open spec on disk so crash recovery can rebuild the service config
+    without the client re-supplying it. Floats are serialized as
+    IEEE-754 bit patterns — the recovered config must be bit-identical
+    or post-recovery decisions drift from the uninterrupted run's. *)
+
+val open_spec_to_json : open_spec -> Vp_observe.Json.t
+
+val open_spec_of_json : Vp_observe.Json.t -> (open_spec, string) result
 
 val layout_request : session:string -> Vp_observe.Json.t
 

@@ -1,4 +1,5 @@
-(** The daemon's registry of named online-layout sessions.
+(** The daemon's registry of named online-layout sessions, with
+    optional durability.
 
     A session is one {!Vp_online.Service.t} (one table's evolving
     layout) plus the mutex that serializes its ingests. Sessions are
@@ -9,38 +10,128 @@
     sessions can interleave freely without perturbing a session's
     decision history (proved in [test_server.ml]).
 
+    {2 Durability}
+
+    With a [data_dir], every session becomes crash-tolerant:
+
+    - The open spec is persisted to [<name>.meta] (hex-encoded session
+      name, floats as IEEE-754 bit patterns) so recovery can rebuild
+      the service config without the client.
+    - Every applied ingest is appended to a per-session write-ahead log
+      [<name>.wal] {e before} the service mutates — keys are absolute
+      1-based stream indices, payloads the bit-exact query JSON
+      ({!Vp_online.Service.query_to_json}).
+    - Idle sessions past the [max_resident] cap are {e evicted}: their
+      full state is spilled to [<name>.snap] ({!Vp_online.Service.snapshot},
+      written atomically: temp + fsync + rename) and the WAL is reset;
+      the next touch transparently restores them. Eviction picks the
+      least-recently-used resident by a logical touch clock (never
+      wall-clock — determinism) and skips sessions whose mutex is held,
+      so it never blocks an in-flight ingest and never deadlocks.
+    - {!create} scans [data_dir] for [.meta] files and re-registers
+      every session found as spilled; its first touch replays
+      [restore snapshot] then the WAL tail (records with index beyond
+      the snapshot's ingest count), reconstructing byte-identical
+      history and generation counters. Torn WAL tails are truncated by
+      {!Vp_robust.Journal.recover} on the way in.
+
+    The crash contract, proved in [test_durability.ml]: killing the
+    process at {e any} journaled ingest boundary and restarting yields
+    the same per-session {!Vp_online.Service.history} bytes as an
+    uninterrupted run. Step budgets carried by individual ingest
+    requests are journaled and replayed; wall-clock deadlines are not
+    (they are documented as non-deterministic in {!Protocol}).
+
     Registry operations take a global mutex; per-query work only takes
     the session's own lock, so ingests into different sessions run
-    concurrently on different pool workers. *)
+    concurrently on different pool workers. Restores run under the
+    registry lock (a restore must not race another open of the same
+    name). *)
 
 type t
 
-type session
-
-val create : unit -> t
+val create :
+  ?data_dir:string ->
+  ?max_resident:int ->
+  ?fsync:Vp_robust.Journal.fsync ->
+  unit ->
+  t
+(** An empty registry — or, when [data_dir] holds session state from a
+    previous life, a registry with every persisted session registered
+    as spilled (counted by {!recovered_count}). Without [data_dir] the
+    registry is purely in-memory: no WAL, no spilling, state dies with
+    the process (the pre-durability behaviour). [max_resident] (default
+    unlimited) caps the number of in-memory sessions; [fsync] (default
+    [Never]) is the WAL durability policy. The directory is created if
+    missing.
+    @raise Invalid_argument if [max_resident < 1]. *)
 
 val count : t -> int
-(** Live sessions (also published as the [server.active_sessions]
-    gauge when stats are on). *)
+(** Registered sessions, resident + spilled (also published as the
+    [server.active_sessions] gauge when stats are on). *)
 
-val open_session :
-  t -> Protocol.open_spec -> (session * bool, string) result
+val resident_count : t -> int
+(** Sessions currently holding in-memory state (the
+    [server.resident_sessions] gauge). *)
+
+val recovered_count : t -> int
+(** Sessions found on disk when the registry was created. *)
+
+type opened = {
+  created : bool;  (** A fresh session was created by this open. *)
+  restored : bool;
+      (** The open had to rebuild state from disk — the session was
+          spilled (evicted, drained, or left by a crash). *)
+  generation : int;
+}
+
+val open_session : t -> Protocol.open_spec -> (opened, string) result
 (** Opens (or re-attaches to) the named session. A fresh name creates a
-    service per the spec and returns [true]; an existing name returns
-    the existing session and [false], provided the spec's table has the
-    same name and attribute names — otherwise an error. Unknown panel
+    service per the spec (persisting the spec when durable); an
+    existing name re-attaches, provided the spec's table has the same
+    name and attribute names — otherwise an error. Unknown panel
     algorithm names and invalid config values are reported as errors,
     and no session is created (a malformed open must not leak state). *)
 
-val find : t -> string -> session option
+type ingested = {
+  ingested : int;  (** Stream position after this request. *)
+  generation : int;
+  duplicate : bool;
+      (** The request's [seq] was already applied; nothing was
+          re-ingested. *)
+}
+
+val ingest :
+  t ->
+  string ->
+  ?seq:int ->
+  ?deadline_ms:int ->
+  ?budget_steps:int ->
+  attributes:string list ->
+  weight:float ->
+  ?name:string ->
+  unit ->
+  (ingested, string) result
+(** Accounts one query into the named session: WAL append first (when
+    durable), then {!Vp_online.Service.ingest} under the session lock.
+    [seq] makes the request idempotent: [seq <= ingested] is
+    acknowledged as a [duplicate] without touching anything,
+    [seq = ingested + 1] applies, anything further ahead is an error
+    (the client skipped a query). [budget_steps] is journaled with the
+    record and re-applied on replay; [deadline_ms] is not (wall-clock).
+    [name] defaults to [Q<position>]. Errors: unknown session, unknown
+    attribute, invalid query, seq gap, corrupt on-disk state. *)
+
+val view : t -> string -> (Vp_online.Service.t -> 'a) -> ('a, string) result
+(** Runs a read under the named session's lock (layout / history /
+    generation requests), restoring it first if spilled. *)
 
 val close : t -> string -> (string, string) result
 (** Removes the session, returning its final history (flushed under the
-    session lock, so an in-flight ingest completes first). *)
-
-val with_session : session -> (Vp_online.Service.t -> 'a) -> 'a
-(** Runs under the session's lock — every [ingest]/[layout]/[history]
-    request path goes through here. *)
+    session lock, so an in-flight ingest completes first), and {e
+    deletes} its on-disk state — close means the stream is finished. *)
 
 val drain : t -> unit
-(** Closes every session (graceful-shutdown flush). *)
+(** Graceful shutdown: durable sessions are spilled to disk (snapshot +
+    WAL reset) so a later registry re-attaches to them; in-memory
+    sessions are simply dropped. *)

@@ -287,6 +287,33 @@ let golden_report =
           wall_seconds = 0.25;
         };
       ];
+    recovery =
+      [
+        {
+          Vp_observe.Bench_report.phase = "wal-overhead";
+          sessions = 1;
+          queries = 200;
+          wal_appends = 200;
+          evictions = 0;
+          reattaches = 0;
+          recovered = 0;
+          seconds = 0.5;
+          wal_overhead_ratio = 1.0625;
+          byte_identical = true;
+        };
+        {
+          Vp_observe.Bench_report.phase = "spill-restore";
+          sessions = 100;
+          queries = 2000;
+          wal_appends = 0;
+          evictions = 0;
+          reattaches = 100;
+          recovered = 100;
+          seconds = 0.25;
+          wal_overhead_ratio = 0.0;
+          byte_identical = true;
+        };
+      ];
     counters = [ ("cost.oracle_calls", 42); ("pool.tasks_run", 7) ];
     host =
       {

@@ -27,4 +27,5 @@ let () =
       ("observe", Test_observe.suite);
       ("online", Test_online.suite);
       ("server", Test_server.suite);
+      ("durability", Test_durability.suite);
     ]

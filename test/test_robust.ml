@@ -187,6 +187,74 @@ let test_journal_roundtrip () =
   Alcotest.(check (list (pair string string))) "missing file loads empty" []
     (Journal.load path)
 
+let test_journal_recover () =
+  (* The WAL reader's torn-tail rule, against hand-damaged files: records
+     are trusted only up to the first invalid one and the file is
+     physically truncated there — unlike the lenient [load], which skips
+     damage and keeps reading. *)
+  let path = Filename.temp_file "vp_wal" ".tsv" in
+  let j = Journal.open_ path in
+  Journal.record j ~key:"1" ~payload:"alpha";
+  Journal.record j ~key:"2" ~payload:"beta";
+  Journal.record j ~key:"3" ~payload:"gamma";
+  Journal.close j;
+  let clean = [ ("1", "alpha"); ("2", "beta"); ("3", "gamma") ] in
+  let clean_size = (Unix.stat path).Unix.st_size in
+  let records, truncated = Journal.recover path in
+  Alcotest.(check (list (pair string string))) "clean file intact" clean records;
+  Alcotest.(check int) "clean file cuts nothing" 0 truncated;
+  (* A crash mid-append leaves half a record with no newline. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "4\tdel";
+  close_out oc;
+  let records, truncated = Journal.recover path in
+  Alcotest.(check (list (pair string string))) "torn tail dropped" clean records;
+  Alcotest.(check int) "torn bytes counted" 5 truncated;
+  Alcotest.(check int)
+    "file truncated back to the valid prefix" clean_size
+    (Unix.stat path).Unix.st_size;
+  (* A flipped bit mid-file: the CRC catches it, and everything from the
+     damaged record on is untrusted — a later append must never bury
+     garbage mid-file. *)
+  let j = Journal.open_ path in
+  Journal.record j ~key:"4" ~payload:"delta";
+  Journal.record j ~key:"5" ~payload:"epsilon";
+  Journal.close j;
+  let bytes =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Bytes.of_string s
+  in
+  let target = Bytes.index_from bytes clean_size 'd' in
+  Bytes.set bytes target 'D';
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  close_out oc;
+  Alcotest.(check (list (pair string string)))
+    "lenient load skips the bad record but keeps the rest"
+    (clean @ [ ("5", "epsilon") ])
+    (Journal.load path);
+  let records, truncated = Journal.recover path in
+  Alcotest.(check (list (pair string string)))
+    "recover trusts only the prefix before the damage" clean records;
+  Alcotest.(check bool) "corrupt suffix measured" true (truncated > 0);
+  Alcotest.(check int)
+    "corrupt suffix cut from the file" clean_size
+    (Unix.stat path).Unix.st_size;
+  (* The recovered journal is append-ready. *)
+  let j = Journal.open_ path in
+  Journal.record j ~key:"4" ~payload:"delta again";
+  Journal.close j;
+  let records, truncated = Journal.recover path in
+  Alcotest.(check int) "no damage after re-append" 0 truncated;
+  Alcotest.(check (pair string string))
+    "appended record survives recovery" ("4", "delta again")
+    (List.nth records 3);
+  Sys.remove path;
+  Alcotest.(check (pair (list (pair string string)) int))
+    "missing file recovers empty" ([], 0) (Journal.recover path)
+
 (* {2 Fault plans} *)
 
 let test_fault_decide () =
@@ -489,6 +557,8 @@ let suite =
     Alcotest.test_case "retry determinism" `Quick test_retry_determinism;
     Alcotest.test_case "retry policies" `Quick test_retry_policies;
     Alcotest.test_case "journal roundtrip" `Quick test_journal_roundtrip;
+    Alcotest.test_case "journal recover truncation" `Quick
+      test_journal_recover;
     Alcotest.test_case "fault decisions" `Quick test_fault_decide;
     Alcotest.test_case "fault plan from env" `Quick test_fault_from_env;
     Alcotest.test_case "pool under faults" `Quick test_pool_faults;

@@ -122,10 +122,12 @@ let test_open_validation () =
             (Protocol.int_field "sessions" stats);
           Alcotest.(check bool)
             "fresh open creates" true
-            (unwrap (Client.open_session c ~session:"s" table));
+            (unwrap (Client.open_session c ~session:"s" table)).Client.created;
+          let reopened = unwrap (Client.open_session c ~session:"s" table) in
+          Alcotest.(check bool) "re-open reattaches" false reopened.Client.created;
           Alcotest.(check bool)
-            "re-open reattaches" false
-            (unwrap (Client.open_session c ~session:"s" table));
+            "re-open of a live session is not a restore" false
+            reopened.Client.restored;
           let other =
             Table.make ~name:"other"
               ~attributes:[ Attribute.make "x" Attribute.Int32 ]
@@ -171,10 +173,11 @@ let replay_over_wire ~server_jobs () =
         with_client port (fun c ->
             let session = Printf.sprintf "s%d" i in
             let table = Workload.table w in
-            let created =
+            let opened =
               unwrap (Client.open_session ~buffer_mb:1.0 c ~session table)
             in
-            if not created then Alcotest.failf "session %s existed" session;
+            if not opened.Client.created then
+              Alcotest.failf "session %s existed" session;
             Array.iter
               (fun q -> ignore (unwrap (Client.ingest c ~session table q)))
               (Workload.queries w);
