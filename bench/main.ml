@@ -5,7 +5,7 @@
    runner + cost cache against the plain sequential, uncached execution.
 
    Usage:
-     bench/main.exe [--mode all|experiments|bechamel|parallel|budget|online|server|oracle|json]
+     bench/main.exe [--mode all|experiments|bechamel|parallel|budget|online|server|oracle|recovery|cluster|json]
                     [--jobs N] [--json PATH]
 
    Modes:
@@ -43,6 +43,13 @@
                   recovered histories byte-identical to the
                   uninterrupted run's. Outcomes land in the JSON
                   report's "recovery" section.
+     cluster      the sharded layout cluster: a consistent-hash router in
+                  front of 3 shard daemons under a closed-loop 10,000-
+                  session workload (shed rate, p50/p99 latency), then a
+                  mid-run ring change timing the cross-shard session
+                  handoff — every served history checked byte-for-byte
+                  against the local replay (any divergence exits 1).
+                  Outcomes land in the JSON report's "cluster" section.
      json         nothing but the machine-readable report (see --json).
 
    --json PATH    additionally run every algorithm over the TPC-H line-up
@@ -59,6 +66,10 @@
      VP_RESULTS_DIR=dir   additionally write each experiment's output to
                           dir/<id>.txt (the directory must exist).
      VP_JOBS=N            default for --jobs. *)
+
+(* Shard workers are re-execs of this very binary; the sentinel check
+   must run before anything else looks at argv. *)
+let () = Vp_router.Worker.maybe_run ()
 
 open Vp_core
 
@@ -1165,6 +1176,344 @@ let recovery_section () =
   let churn = recovery_evict_reattach () in
   [ overhead; spill; churn ]
 
+(* --- Sharded cluster benchmark (--mode cluster): the consistent-hash
+   router in front of 3 shard daemons (separate processes, re-execs of
+   this binary — see the [maybe_run] hook at the top of the file).
+
+   closed-loop   8 client domains drive 10,000 shallow sessions (open +
+                 3 sequenced ingests + close) through the router; every
+                 close returns the session's decision history, checked
+                 byte-for-byte against one locally replayed expectation.
+                 Scores throughput, shed rate and client-side p50/p99.
+
+   handoff       48 deep drift sessions ingest concurrently; once every
+                 worker passes the halfway mark a shard is added
+                 ([cluster_add]), so live sessions spill, move between
+                 data dirs and are adopted mid-stream while the ingest
+                 loops ride out the shed window on seq-idempotent
+                 retries. Scores the ring-change wall time, sessions
+                 moved, and — again — byte-identity of every history.
+
+   Any determinism violation exits 1 (the CI gate greps for the
+   "determinism violations: 0" line). --- *)
+
+let cluster_shards = 3
+
+let cluster_clients = 8
+
+let with_cluster ~tag ?(shards = 3) f =
+  with_temp_dir tag (fun dir ->
+      let r =
+        Vp_router.Router.create ~port:0 ~shards ~shard_jobs:4 ~data_dir:dir ()
+      in
+      let server = Domain.spawn (fun () -> Vp_router.Router.serve r) in
+      Fun.protect
+        ~finally:(fun () ->
+          Vp_router.Router.stop r;
+          Domain.join server)
+        (fun () -> f r (Vp_router.Router.port r)))
+
+(* The fleet-wide value of a counter, from the router's aggregated
+   [stats] reply (the shards are separate processes — their counters
+   are not in this process's snapshot). *)
+let cluster_counter reply name =
+  match Vp_observe.Json.member "counters" reply with
+  | Some (Vp_observe.Json.Obj fields) -> (
+      match List.assoc_opt name fields with
+      | Some (Vp_observe.Json.Int n) -> n
+      | _ -> 0)
+  | _ -> 0
+
+let cluster_fleet_shed port =
+  let c = Vp_client.Client.create ~port () in
+  Fun.protect
+    ~finally:(fun () -> Vp_client.Client.close c)
+    (fun () ->
+      match Vp_client.Client.server_stats c with
+      | Ok reply -> cluster_counter reply "server.shed"
+      | Error _ -> 0)
+
+(* The local expectation every served history is compared against:
+   the same stream replayed in-process under the daemon's default
+   session spec (HillClimb panel, 1 MiB buffer) — the pattern proven
+   by [wire_replay_check] above. *)
+let cluster_expected_history w =
+  let config =
+    Vp_online.Service.default_config ~jobs:1 ~disk:online_disk
+      ~panel:[ Vp_algorithms.Hillclimb.algorithm ]
+      ()
+  in
+  (Vp_online.Replay.run ~config w).Vp_online.Replay.history
+
+let cluster_entry ~phase ~shards ~clients ~sessions ~requests ~shed ~errors
+    ~seconds ~handoffs ~handoff_seconds ~restarts ~violations =
+  {
+    Vp_observe.Bench_report.phase;
+    shards;
+    clients;
+    sessions;
+    requests;
+    shed;
+    errors;
+    seconds;
+    throughput_rps =
+      (if seconds > 0.0 then float_of_int requests /. seconds else 0.0);
+    shed_rate =
+      (let total = requests + shed in
+       if total > 0 then float_of_int shed /. float_of_int total else 0.0);
+    latency_p50_ms = quantile_ms ~phase 0.5;
+    latency_p99_ms = quantile_ms ~phase 0.99;
+    handoffs;
+    handoff_seconds;
+    restarts;
+    determinism_violations = violations;
+  }
+
+(* One request, timed into the phase histogram; [Ok]s count, [Error]s
+   are the caller's to score. *)
+let cluster_timed hist ok errors f =
+  let t0 = Unix.gettimeofday () in
+  match f () with
+  | Ok v ->
+      incr ok;
+      Vp_observe.Stats.observe hist ((Unix.gettimeofday () -. t0) *. 1000.0);
+      Some v
+  | Error _ ->
+      incr errors;
+      None
+
+let cluster_closed_loop () =
+  let phase = "closed-loop" in
+  let hist = Vp_observe.Stats.histogram ("server.bench." ^ phase) in
+  let w =
+    Vp_benchmarks.Synthetic.workload ~seed:21L ~rows:50_000 ~attributes:8
+      ~clusters:3 ~queries:3 ~scatter:0.05 ()
+  in
+  let table = Workload.table w in
+  let queries = Array.to_list (Workload.queries w) in
+  let expected = cluster_expected_history w in
+  let sessions = 10_000 in
+  let per = sessions / cluster_clients in
+  let shed0 = counter_now "router.shed" in
+  let restarts0 = counter_now "router.restarts" in
+  with_cluster ~tag:"cluster-closed" ~shards:cluster_shards (fun _r port ->
+      let worker k () =
+        let c =
+          Vp_client.Client.create ~port ~retry_seed:(Int64.of_int k) ()
+        in
+        Fun.protect
+          ~finally:(fun () -> Vp_client.Client.close c)
+          (fun () ->
+            let ok = ref 0 and errors = ref 0 and violations = ref 0 in
+            for s = k * per to ((k + 1) * per) - 1 do
+              let session = Printf.sprintf "c%05d" s in
+              match
+                cluster_timed hist ok errors (fun () ->
+                    Vp_client.Client.open_session c ~session ~buffer_mb:1.0
+                      table)
+              with
+              | None -> ()
+              | Some _opened -> (
+                  List.iteri
+                    (fun j q ->
+                      ignore
+                        (cluster_timed hist ok errors (fun () ->
+                             Vp_client.Client.ingest ~seq:(j + 1) c ~session
+                               table q)))
+                    queries;
+                  match
+                    cluster_timed hist ok errors (fun () ->
+                        Vp_client.Client.close_session c ~session)
+                  with
+                  | Some h when String.equal h expected -> ()
+                  | Some _ -> incr violations
+                  | None -> ())
+            done;
+            (!ok, !errors, !violations))
+      in
+      let outcomes, seconds =
+        time (fun () ->
+            List.map Domain.join
+              (List.init cluster_clients (fun k -> Domain.spawn (worker k))))
+      in
+      let shard_shed = cluster_fleet_shed port in
+      let requests = List.fold_left (fun a (ok, _, _) -> a + ok) 0 outcomes in
+      let errors = List.fold_left (fun a (_, e, _) -> a + e) 0 outcomes in
+      let violations =
+        List.fold_left (fun a (_, _, v) -> a + v) 0 outcomes
+      in
+      let shed = counter_now "router.shed" - shed0 + shard_shed in
+      let restarts = counter_now "router.restarts" - restarts0 in
+      let e =
+        cluster_entry ~phase ~shards:cluster_shards ~clients:cluster_clients
+          ~sessions ~requests ~shed ~errors ~seconds ~handoffs:0
+          ~handoff_seconds:0.0 ~restarts ~violations
+      in
+      Printf.printf
+        "  %-12s %d shards, %d clients, %d sessions: %d ok, %d errors, %d \
+         shed, %6.2f s (%8.1f req/s, p50 %.1f ms, p99 %.1f ms)\n\
+         %!"
+        phase cluster_shards cluster_clients sessions requests errors shed
+        seconds e.Vp_observe.Bench_report.throughput_rps
+        e.Vp_observe.Bench_report.latency_p50_ms
+        e.Vp_observe.Bench_report.latency_p99_ms;
+      e)
+
+let cluster_handoff () =
+  let phase = "handoff" in
+  let hist = Vp_observe.Stats.histogram ("server.bench." ^ phase) in
+  let w =
+    Vp_benchmarks.Synthetic.drift_workload ~seed:22L ~attributes:8 ~clusters:3
+      ~rows:50_000 ~queries:50 ~scatter:0.05 ~drift_at:0.5 ()
+  in
+  let table = Workload.table w in
+  let queries = Array.to_list (Workload.queries w) in
+  let half = List.length queries / 2 in
+  let expected = cluster_expected_history w in
+  let sessions = 48 in
+  let per = sessions / cluster_clients in
+  let shed0 = counter_now "router.shed" in
+  let restarts0 = counter_now "router.restarts" in
+  with_cluster ~tag:"cluster-handoff" ~shards:cluster_shards (fun r port ->
+      (* Workers bump this once their sessions pass the halfway mark;
+         the main thread then changes the ring under live traffic.
+         Workers hold their sessions open until [handoff_done] so every
+         session in the ring's deterministic moving set is still
+         resident when the handoff runs — otherwise the moved count
+         (and the handoff cost it prices) depends on worker speed. *)
+      let at_half = Atomic.make 0 in
+      let handoff_done = Atomic.make false in
+      let worker k () =
+        let ok = ref 0 and errors = ref 0 and violations = ref 0 in
+        let mine =
+          List.init per (fun i -> Printf.sprintf "h%03d" ((k * per) + i))
+        in
+        let with_conn seed f =
+          let c =
+            Vp_client.Client.create ~port ~retry_seed:(Int64.of_int seed) ()
+          in
+          Fun.protect ~finally:(fun () -> Vp_client.Client.close c) (fun () -> f c)
+        in
+        with_conn
+          (100 + k)
+          (fun c ->
+            List.iter
+              (fun session ->
+                ignore
+                  (cluster_timed hist ok errors (fun () ->
+                       Vp_client.Client.open_session c ~session ~buffer_mb:1.0
+                         table)))
+              mine;
+            List.iteri
+              (fun j q ->
+                if j = half then Atomic.incr at_half;
+                List.iter
+                  (fun session ->
+                    ignore
+                      (cluster_timed hist ok errors (fun () ->
+                           Vp_client.Client.ingest ~seq:(j + 1) c ~session
+                             table q)))
+                  mine)
+              queries);
+        (* The connection is gone (freeing a router slot for the control
+           client and the slower workers) but the sessions are not: they
+           live on the shards until closed. Wait out the ring change so
+           every session in its deterministic moving set is still
+           resident when the handoff runs, then close over a fresh
+           connection. *)
+        while not (Atomic.get handoff_done) do
+          Unix.sleepf 0.002
+        done;
+        with_conn
+          (200 + k)
+          (fun c ->
+            List.iter
+              (fun session ->
+                match
+                  cluster_timed hist ok errors (fun () ->
+                      Vp_client.Client.close_session c ~session)
+                with
+                | Some h when String.equal h expected -> ()
+                | Some _ -> incr violations
+                | None -> ())
+              mine);
+        (!ok, !errors, !violations)
+      in
+      let t0 = Unix.gettimeofday () in
+      let domains =
+        List.init cluster_clients (fun k -> Domain.spawn (worker k))
+      in
+      (* Ring change under load: wait for every worker to reach the
+         halfway mark, then add a shard. The request returns once every
+         moving session has been spilled, renamed and adopted — its
+         duration IS the handoff cost. *)
+      while Atomic.get at_half < cluster_clients do
+        Unix.sleepf 0.005
+      done;
+      let moved, handoff_seconds =
+        let c = Vp_client.Client.create ~port () in
+        Fun.protect
+          ~finally:(fun () ->
+            Atomic.set handoff_done true;
+            Vp_client.Client.close c)
+          (fun () ->
+            let reply, dt =
+              time (fun () ->
+                  Vp_client.Client.request_retry c
+                    (Vp_observe.Json.Obj
+                       [ ("op", Vp_observe.Json.String "cluster_add") ]))
+            in
+            match reply with
+            | Ok reply
+              when Vp_server.Protocol.reply_status reply = "ok" ->
+                ( Option.value ~default:0
+                    (Vp_server.Protocol.int_field "moved" reply),
+                  dt )
+            | Ok _ | Error _ -> (-1, dt))
+      in
+      let outcomes = List.map Domain.join domains in
+      let seconds = Unix.gettimeofday () -. t0 in
+      let shard_shed = cluster_fleet_shed port in
+      let requests = List.fold_left (fun a (ok, _, _) -> a + ok) 0 outcomes in
+      let errors =
+        List.fold_left (fun a (_, e, _) -> a + e) 0 outcomes
+        + if moved < 0 then 1 else 0
+      in
+      let violations =
+        List.fold_left (fun a (_, _, v) -> a + v) 0 outcomes
+      in
+      let shed = counter_now "router.shed" - shed0 + shard_shed in
+      let restarts = counter_now "router.restarts" - restarts0 in
+      let e =
+        cluster_entry ~phase ~shards:(Vp_router.Router.shard_count r)
+          ~clients:cluster_clients ~sessions ~requests ~shed ~errors ~seconds
+          ~handoffs:(max moved 0) ~handoff_seconds ~restarts ~violations
+      in
+      Printf.printf
+        "  %-12s shard added mid-stream (now %d): %d sessions, %d moved in \
+         %.3f s, %d ok, %d errors, %d shed, histories %s\n\
+         %!"
+        phase
+        (Vp_router.Router.shard_count r)
+        sessions (max moved 0) handoff_seconds requests errors shed
+        (if violations = 0 then "identical" else "DIVERGED");
+      e)
+
+let cluster_section () =
+  Vp_observe.Switch.(raise_to Stats);
+  print_string
+    (Vp_experiments.Common.heading
+       "Sharded cluster: consistent-hash router, closed loop + handoff");
+  let closed = cluster_closed_loop () in
+  let handoff = cluster_handoff () in
+  let violations =
+    closed.Vp_observe.Bench_report.determinism_violations
+    + handoff.Vp_observe.Bench_report.determinism_violations
+  in
+  Printf.printf "  determinism violations: %d\n%!" violations;
+  if violations > 0 then exit 1;
+  [ closed; handoff ]
+
 (* --- machine-readable bench report (--json): every algorithm over the
    TPC-H line-up with counters on, each with a fresh query-grained cache
    so its hit rate is its own. The counter snapshot merges everything the
@@ -1181,9 +1530,10 @@ let mode_name = function
   | `Server -> "server"
   | `Oracle -> "oracle"
   | `Recovery -> "recovery"
+  | `Cluster -> "cluster"
   | `Json -> "json"
 
-let json_section ~mode ~jobs ~online ~server ~oracle ~recovery path =
+let json_section ~mode ~jobs ~online ~server ~oracle ~recovery ~cluster path =
   Vp_observe.Switch.(raise_to Stats);
   let disk = Vp_experiments.Common.disk in
   let workloads = Vp_benchmarks.Tpch.workloads ~sf:Vp_experiments.Common.sf in
@@ -1230,6 +1580,7 @@ let json_section ~mode ~jobs ~online ~server ~oracle ~recovery path =
       server;
       oracle;
       recovery;
+      cluster;
       counters = snapshot.Vp_observe.Stats.counters;
       host = Vp_observe.Bench_report.current_host ();
     }
@@ -1247,7 +1598,7 @@ let json_section ~mode ~jobs ~online ~server ~oracle ~recovery path =
 let usage () =
   prerr_endline
     "usage: main.exe [--mode \
-     all|experiments|bechamel|parallel|budget|online|server|oracle|recovery|json] \
+     all|experiments|bechamel|parallel|budget|online|server|oracle|recovery|cluster|json] \
      [--jobs N] [--json PATH]";
   exit 2
 
@@ -1267,6 +1618,7 @@ let parse_args () =
            | "server" -> `Server
            | "oracle" -> `Oracle
            | "recovery" -> `Recovery
+           | "cluster" -> `Cluster
            | "json" -> `Json
            | _ -> usage ());
         go rest
@@ -1288,7 +1640,7 @@ let parse_args () =
   let json =
     match (!json, !mode) with
     | Some path, _ -> Some path
-    | None, (`Json | `Online | `Server | `Oracle | `Recovery) ->
+    | None, (`Json | `Online | `Server | `Oracle | `Recovery | `Cluster) ->
         Some
           (Printf.sprintf "BENCH_%d.json"
              Vp_observe.Bench_report.schema_version)
@@ -1308,31 +1660,33 @@ let () =
        "Unified setting: TPC-H SF %g, %s"
        Vp_experiments.Common.sf
        (Format.asprintf "%a" Vp_cost.Disk.pp Vp_experiments.Common.disk));
-  let online, server, oracle, recovery =
+  let online, server, oracle, recovery, cluster =
     match mode with
     | `All ->
         run_experiments ();
         if not skip_slow then bechamel_section ();
-        ([], [], [], [])
+        ([], [], [], [], [])
     | `Experiments ->
         run_experiments ();
-        ([], [], [], [])
+        ([], [], [], [], [])
     | `Bechamel ->
         bechamel_section ();
-        ([], [], [], [])
+        ([], [], [], [], [])
     | `Parallel ->
         parallel_section jobs;
-        ([], [], [], [])
+        ([], [], [], [], [])
     | `Budget ->
         budget_section ();
-        ([], [], [], [])
-    | `Online -> (online_section ~jobs, [], [], [])
-    | `Server -> ([], server_section (), [], [])
-    | `Oracle -> ([], [], oracle_section (), [])
-    | `Recovery -> ([], [], [], recovery_section ())
-    | `Json -> ([], [], [], [])
+        ([], [], [], [], [])
+    | `Online -> (online_section ~jobs, [], [], [], [])
+    | `Server -> ([], server_section (), [], [], [])
+    | `Oracle -> ([], [], oracle_section (), [], [])
+    | `Recovery -> ([], [], [], recovery_section (), [])
+    | `Cluster -> ([], [], [], [], cluster_section ())
+    | `Json -> ([], [], [], [], [])
   in
   (match json with
-  | Some path -> json_section ~mode ~jobs ~online ~server ~oracle ~recovery path
+  | Some path ->
+      json_section ~mode ~jobs ~online ~server ~oracle ~recovery ~cluster path
   | None -> ());
   print_endline "\nAll experiments completed."

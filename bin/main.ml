@@ -7,8 +7,14 @@
      vp experiment fig3                               one paper experiment
      vp simulate   -t customer --codec varlen         storage-simulator run
      vp serve      -p 7171 -j 4                       layout server (TCP daemon)
+     vp cluster    --shards 3 --data-dir DIR          sharded serving cluster
      vp client     --ping | --script FILE             talk to a running server
      vp list                                          algorithms + experiments *)
+
+(* Must run before anything looks at argv: when this binary was spawned
+   by a cluster router as a shard worker, it becomes a shard daemon
+   here and never returns. *)
+let () = Vp_router.Worker.maybe_run ()
 
 open Vp_core
 open Cmdliner
@@ -724,17 +730,61 @@ let port_arg =
     & info [ "p"; "port" ] ~docv:"PORT"
         ~doc:"TCP port (serve: 0 asks the kernel for an ephemeral one).")
 
-let serve_cmd =
-  let max_pending_arg =
-    Arg.(
-      value
-      & opt positive_int 64
-      & info [ "max-pending" ] ~docv:"N"
-          ~doc:
-            "Bound on in-flight connections: beyond it, new connections \
-             are answered with one $(i,overloaded) reply carrying a \
-             retry-after hint and closed, instead of queueing silently.")
+let max_pending_arg =
+  Arg.(
+    value
+    & opt positive_int 64
+    & info [ "max-pending" ] ~docv:"N"
+        ~doc:
+          "Bound on in-flight connections: beyond it, new connections \
+           are answered with one $(i,overloaded) reply carrying a \
+           retry-after hint and closed, instead of queueing silently.")
+
+let max_resident_arg =
+  Arg.(
+    value
+    & opt (some positive_int) None
+    & info [ "max-resident" ] ~docv:"N"
+        ~doc:
+          "Cap on in-memory sessions (requires $(b,--data-dir)): past \
+           it, the least-recently-used idle session is spilled to disk \
+           and transparently restored on its next touch. Default: \
+           unlimited.")
+
+let fsync_arg =
+  let fsync_conv =
+    let parse = function
+      | "never" -> Ok Vp_robust.Journal.Never
+      | "always" -> Ok Vp_robust.Journal.Always
+      | s -> (
+          match int_of_string_opt s with
+          | Some n when n >= 1 -> Ok (Vp_robust.Journal.Interval n)
+          | _ ->
+              Error
+                (`Msg
+                   (Printf.sprintf
+                      "invalid fsync policy %S (expected never, always, \
+                       or a record interval >= 1)"
+                      s)))
+    in
+    let print ppf = function
+      | Vp_robust.Journal.Never -> Format.pp_print_string ppf "never"
+      | Vp_robust.Journal.Always -> Format.pp_print_string ppf "always"
+      | Vp_robust.Journal.Interval n -> Format.fprintf ppf "%d" n
+    in
+    Arg.conv ~docv:"POLICY" (parse, print)
   in
+  Arg.(
+    value
+    & opt fsync_conv Vp_robust.Journal.Never
+    & info [ "fsync" ] ~docv:"POLICY"
+        ~doc:
+          "WAL durability policy: $(b,never) (flush to the OS per \
+           record, never force the disk), $(b,always) (fsync every \
+           record), or an integer $(i,N) (fsync every N records and \
+           on drain).")
+
+let serve_cmd =
   let data_dir_arg =
     Arg.(
       value
@@ -746,50 +796,6 @@ let serve_cmd =
              (created if missing), and recover whatever a previous \
              server life left there on startup. Without it, session \
              state lives in memory and dies with the process.")
-  in
-  let max_resident_arg =
-    Arg.(
-      value
-      & opt (some positive_int) None
-      & info [ "max-resident" ] ~docv:"N"
-          ~doc:
-            "Cap on in-memory sessions (requires $(b,--data-dir)): past \
-             it, the least-recently-used idle session is spilled to disk \
-             and transparently restored on its next touch. Default: \
-             unlimited.")
-  in
-  let fsync_arg =
-    let fsync_conv =
-      let parse = function
-        | "never" -> Ok Vp_robust.Journal.Never
-        | "always" -> Ok Vp_robust.Journal.Always
-        | s -> (
-            match int_of_string_opt s with
-            | Some n when n >= 1 -> Ok (Vp_robust.Journal.Interval n)
-            | _ ->
-                Error
-                  (`Msg
-                     (Printf.sprintf
-                        "invalid fsync policy %S (expected never, always, \
-                         or a record interval >= 1)"
-                        s)))
-      in
-      let print ppf = function
-        | Vp_robust.Journal.Never -> Format.pp_print_string ppf "never"
-        | Vp_robust.Journal.Always -> Format.pp_print_string ppf "always"
-        | Vp_robust.Journal.Interval n -> Format.fprintf ppf "%d" n
-      in
-      Arg.conv ~docv:"POLICY" (parse, print)
-    in
-    Arg.(
-      value
-      & opt fsync_conv Vp_robust.Journal.Never
-      & info [ "fsync" ] ~docv:"POLICY"
-          ~doc:
-            "WAL durability policy: $(b,never) (flush to the OS per \
-             record, never force the disk), $(b,always) (fsync every \
-             record), or an integer $(i,N) (fsync every N records and \
-             on drain).")
   in
   let run host port jobs max_pending data_dir max_resident fsync =
     (* The daemon multiplexes blocking connection handlers, so its job
@@ -829,6 +835,65 @@ let serve_cmd =
     Term.(
       const run $ host_arg $ port_arg $ jobs_arg $ max_pending_arg
       $ data_dir_arg $ max_resident_arg $ fsync_arg)
+
+(* --- vp cluster --- *)
+
+let cluster_cmd =
+  let shards_arg =
+    Arg.(
+      value
+      & opt positive_int 3
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Shard daemons to spawn and supervise.")
+  in
+  let data_dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:
+            "Root directory for shard state (one subdirectory per \
+             shard, created if missing). Mandatory: cross-shard session \
+             handoff and crash recovery move session state as files.")
+  in
+  let shard_jobs_arg =
+    Arg.(
+      value
+      & opt positive_int 4
+      & info [ "shard-jobs" ] ~docv:"N"
+          ~doc:"Connection workers per shard daemon.")
+  in
+  let run host port jobs max_pending shards shard_jobs data_dir max_resident
+      fsync =
+    let jobs = match jobs with Some n -> n | None -> 4 in
+    Vp_observe.Switch.(raise_to Stats);
+    let r =
+      Vp_router.Router.create ~host ~port ~jobs ~max_pending ~shards
+        ~shard_jobs ?max_resident ~fsync ~data_dir ()
+    in
+    Vp_router.Router.install_signal_handlers r;
+    Printf.printf
+      "vp layout cluster listening on %s:%d (%d shard(s), %d router job(s), \
+       durable in %s); SIGTERM drains\n\
+       %!"
+      host
+      (Vp_router.Router.port r)
+      (Vp_router.Router.shard_count r)
+      jobs data_dir;
+    Vp_router.Router.serve r;
+    print_endline "cluster drained; bye.";
+    0
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Run a sharded layout-serving cluster: a consistent-hash router \
+          in front of N supervised shard daemons, speaking the same \
+          protocol as $(b,vp serve)")
+    Term.(
+      const run $ host_arg $ port_arg $ jobs_arg $ max_pending_arg
+      $ shards_arg $ shard_jobs_arg $ data_dir_arg $ max_resident_arg
+      $ fsync_arg)
 
 let client_cmd =
   let ping_arg =
@@ -927,7 +992,8 @@ let main_cmd =
     (Cmd.info "vp" ~version:"1.0.0" ~doc)
     [
       partition_cmd; compare_cmd; layouts_cmd; experiment_cmd; simulate_cmd;
-      workload_cmd; analyze_cmd; online_cmd; serve_cmd; client_cmd; list_cmd;
+      workload_cmd; analyze_cmd; online_cmd; serve_cmd; cluster_cmd;
+      client_cmd; list_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

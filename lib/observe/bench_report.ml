@@ -1,6 +1,8 @@
-(* v7: adds the [recovery] section (durable-session benchmarks: WAL
+(* v8: adds the [cluster] section (sharded-serving benchmarks: closed-loop
+   shed rate, tail latency, handoff count/cost, determinism violations).
+   v7: adds the [recovery] section (durable-session benchmarks: WAL
    overhead, spill/restore latency, eviction + re-attach rates). *)
-let schema_version = 7
+let schema_version = 8
 
 type algo_entry = {
   algorithm : string;
@@ -74,6 +76,25 @@ type recovery_entry = {
   byte_identical : bool;
 }
 
+type cluster_entry = {
+  phase : string;
+  shards : int;
+  clients : int;
+  sessions : int;
+  requests : int;
+  shed : int;
+  errors : int;
+  seconds : float;
+  throughput_rps : float;
+  shed_rate : float;
+  latency_p50_ms : float;
+  latency_p99_ms : float;
+  handoffs : int;
+  handoff_seconds : float;
+  restarts : int;
+  determinism_violations : int;
+}
+
 type t = {
   benchmark : string;
   scale_factor : float;
@@ -84,6 +105,7 @@ type t = {
   server : server_entry list;
   oracle : oracle_entry list;
   recovery : recovery_entry list;
+  cluster : cluster_entry list;
   counters : (string * int) list;
   host : host;
 }
@@ -182,6 +204,27 @@ let recovery_json (e : recovery_entry) =
       ("byte_identical", Json.Bool e.byte_identical);
     ]
 
+let cluster_json (e : cluster_entry) =
+  Json.Obj
+    [
+      ("phase", Json.String e.phase);
+      ("shards", Json.Int e.shards);
+      ("clients", Json.Int e.clients);
+      ("sessions", Json.Int e.sessions);
+      ("requests", Json.Int e.requests);
+      ("shed", Json.Int e.shed);
+      ("errors", Json.Int e.errors);
+      ("seconds", Json.Float e.seconds);
+      ("throughput_rps", Json.Float e.throughput_rps);
+      ("shed_rate", Json.Float e.shed_rate);
+      ("latency_p50_ms", Json.Float e.latency_p50_ms);
+      ("latency_p99_ms", Json.Float e.latency_p99_ms);
+      ("handoffs", Json.Int e.handoffs);
+      ("handoff_seconds", Json.Float e.handoff_seconds);
+      ("restarts", Json.Int e.restarts);
+      ("determinism_violations", Json.Int e.determinism_violations);
+    ]
+
 let host_json h =
   Json.Obj
     [
@@ -206,6 +249,7 @@ let to_json r =
       ("server", Json.List (List.map server_json r.server));
       ("oracle", Json.List (List.map oracle_json r.oracle));
       ("recovery", Json.List (List.map recovery_json r.recovery));
+      ("cluster", Json.List (List.map cluster_json r.cluster));
       ( "counters",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters) );
       ("host", host_json r.host);
@@ -266,6 +310,7 @@ let validate doc =
           ("server", Flist);
           ("oracle", Flist);
           ("recovery", Flist);
+          ("cluster", Flist);
           ("counters", Fobj);
           ("host", Fobj);
         ]
@@ -474,6 +519,61 @@ let validate doc =
                   "evictions";
                   "reattaches";
                   "recovered";
+                ])
+            errors
+            (List.mapi (fun i e -> (i, e)) entries)
+      | _ -> errors
+    in
+    let errors =
+      (* [cluster] may be empty (modes that run no sharded fleet), but
+         every entry must be well-typed with non-negative counts. *)
+      match Json.member "cluster" doc with
+      | Some (Json.List entries) ->
+          List.fold_left
+            (fun errors (i, entry) ->
+              let path = Printf.sprintf "$.cluster[%d]" i in
+              let errors =
+                match entry with
+                | Json.Obj _ ->
+                    check_fields ~path
+                      [
+                        ("phase", Fstring);
+                        ("shards", Fint);
+                        ("clients", Fint);
+                        ("sessions", Fint);
+                        ("requests", Fint);
+                        ("shed", Fint);
+                        ("errors", Fint);
+                        ("seconds", Fnumber);
+                        ("throughput_rps", Fnumber);
+                        ("shed_rate", Fnumber);
+                        ("latency_p50_ms", Fnumber);
+                        ("latency_p99_ms", Fnumber);
+                        ("handoffs", Fint);
+                        ("handoff_seconds", Fnumber);
+                        ("restarts", Fint);
+                        ("determinism_violations", Fint);
+                      ]
+                      entry errors
+                | _ -> Printf.sprintf "%s: expected an object" path :: errors
+              in
+              List.fold_left
+                (fun errors name ->
+                  match Json.member name entry with
+                  | Some (Json.Int v) when v < 0 ->
+                      Printf.sprintf "%s.%s: must be >= 0" path name :: errors
+                  | _ -> errors)
+                errors
+                [
+                  "shards";
+                  "clients";
+                  "sessions";
+                  "requests";
+                  "shed";
+                  "errors";
+                  "handoffs";
+                  "restarts";
+                  "determinism_violations";
                 ])
             errors
             (List.mapi (fun i e -> (i, e)) entries)

@@ -13,12 +13,14 @@
 
 val schema_version : int
 (** Bumped whenever a field is renamed, retyped or removed (adding
-    fields is compatible). Currently [7]: v7 adds the required
-    [recovery] section (durable-session outcomes — WAL ingest overhead,
-    spill/restore latency, eviction and re-attach rates — emitted into
-    [BENCH_7.json] by [bench --mode recovery]); v6 added the [oracle]
-    section (full-vs-incremental cost-oracle microbenchmark outcomes);
-    v5 added the [server] section (the layout daemon's closed-loop
+    fields is compatible). Currently [8]: v8 adds the required
+    [cluster] section (the sharded-cluster closed-loop and handoff
+    outcomes — shed rate, latency percentiles, handoff cost and the
+    determinism-violation count — emitted into [BENCH_8.json] by
+    [bench --mode cluster]); v7 added the [recovery] section
+    (durable-session outcomes); v6 added the [oracle] section
+    (full-vs-incremental cost-oracle microbenchmark outcomes); v5 added
+    the [server] section (the layout daemon's closed-loop
     load-generator outcomes); v4 added the [online] section. *)
 
 type algo_entry = {
@@ -110,6 +112,32 @@ type recovery_entry = {
     benchmarks (WAL ingest overhead, restore latency over spilled
     sessions, eviction/re-attach churn under a resident cap). *)
 
+type cluster_entry = {
+  phase : string;  (** e.g. ["closed-loop"], ["handoff"] *)
+  shards : int;  (** shard daemons behind the router *)
+  clients : int;  (** concurrent closed-loop client domains *)
+  sessions : int;  (** sessions the phase opened *)
+  requests : int;  (** requests completed (excluding sheds) *)
+  shed : int;  (** [overloaded] replies observed (router + shards) *)
+  errors : int;  (** [error] replies + transport failures *)
+  seconds : float;  (** phase wall time *)
+  throughput_rps : float;  (** [requests / seconds] *)
+  shed_rate : float;  (** [shed / (requests + shed)], [0.] when idle *)
+  latency_p50_ms : float;
+  latency_p99_ms : float;
+  handoffs : int;  (** sessions moved between shards *)
+  handoff_seconds : float;
+      (** wall time the ring change held the cluster reconfiguring;
+          [0.] for phases without a ring change *)
+  restarts : int;  (** shard restarts the supervisor performed *)
+  determinism_violations : int;
+      (** sessions whose served history diverged from the local replay;
+          CI asserts [= 0] *)
+}
+(** One phase of [bench --mode cluster]: the sharded router's
+    closed-loop load generator and the mid-run ring-change (handoff)
+    benchmark. *)
+
 type t = {
   benchmark : string;   (** e.g. ["tpch"] *)
   scale_factor : float;
@@ -127,6 +155,9 @@ type t = {
   recovery : recovery_entry list;
       (** Durable-session phases; [[]] for modes that skip the
           durability benchmarks. *)
+  cluster : cluster_entry list;
+      (** Sharded-cluster phases; [[]] for modes that start no
+          router. *)
   counters : (string * int) list;  (** merged snapshot, sorted *)
   host : host;
 }

@@ -1,0 +1,74 @@
+(* FNV-1a over the bytes, then a SplitMix64 finisher for avalanche:
+   FNV alone clusters nearby keys ("s1", "s2", ...) on nearby points. *)
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let hash64 s = Vp_robust.Mix.mix64 (fnv1a64 s)
+
+let default_replicas = 64
+
+type t = {
+  replicas : int;
+  ids : string list;  (* sorted, unique *)
+  points : (int64 * string) array;  (* sorted by (unsigned point, id) *)
+}
+
+let point_compare (h1, id1) (h2, id2) =
+  match Int64.unsigned_compare h1 h2 with
+  | 0 -> String.compare id1 id2
+  | c -> c
+
+let build ~replicas ids =
+  let points =
+    List.concat_map
+      (fun id ->
+        List.init replicas (fun i ->
+            (hash64 (Printf.sprintf "%s#%d" id i), id)))
+      ids
+    |> Array.of_list
+  in
+  Array.sort point_compare points;
+  { replicas; ids; points }
+
+let make ?(replicas = default_replicas) ids =
+  if replicas < 1 then invalid_arg "Ring.make: replicas must be >= 1";
+  build ~replicas (List.sort_uniq String.compare ids)
+
+let add t id =
+  if List.mem id t.ids then t
+  else build ~replicas:t.replicas (List.sort String.compare (id :: t.ids))
+
+let remove t id =
+  if not (List.mem id t.ids) then t
+  else build ~replicas:t.replicas (List.filter (fun x -> x <> id) t.ids)
+
+let members t = t.ids
+
+let size t = List.length t.ids
+
+(* First point at or clockwise of the key's hash, wrapping to 0. *)
+let lookup_opt t key =
+  let n = Array.length t.points in
+  if n = 0 then None
+  else begin
+    let h = hash64 key in
+    (* Binary search for the smallest index whose point >= h. *)
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Int64.unsigned_compare (fst t.points.(mid)) h < 0 then lo := mid + 1
+      else hi := mid
+    done;
+    let idx = if !lo = n then 0 else !lo in
+    Some (snd t.points.(idx))
+  end
+
+let lookup t key =
+  match lookup_opt t key with
+  | Some id -> id
+  | None -> invalid_arg "Ring.lookup: empty ring"

@@ -1,0 +1,48 @@
+(** The consistent-hash ring that places sessions on shards.
+
+    Each shard id contributes [replicas] virtual points on a 64-bit
+    ring; a session name hashes to a point and is owned by the first
+    shard point at or clockwise of it. The two properties the cluster's
+    handoff protocol leans on (proved in [test_cluster.ml]):
+
+    - {b Removing} a shard only remaps the sessions that shard owned —
+      every other session keeps its owner.
+    - {b Adding} a shard only moves sessions {e onto} the new shard —
+      a session either stays put or lands on the newcomer.
+
+    So a ring change names exactly the sessions that must hand off, and
+    nothing else moves.
+
+    The hash is an explicit FNV-1a finished with SplitMix64
+    ({!Vp_robust.Mix.mix64}) — never [Hashtbl.hash] — so lookups are
+    deterministic {e across processes} regardless of
+    [OCAMLRUNPARAM=R]-style hash randomization: the router and every
+    test agree on placement by construction. *)
+
+type t
+
+val hash64 : string -> int64
+(** The ring's key hash, exposed so tests can pin its values. *)
+
+val default_replicas : int
+
+val make : ?replicas:int -> string list -> t
+(** A ring over the given shard ids. Duplicate ids collapse.
+    @raise Invalid_argument if [replicas < 1]. *)
+
+val add : t -> string -> t
+(** The ring with one more shard (no-op if already present). *)
+
+val remove : t -> string -> t
+(** The ring without the given shard (no-op if absent). *)
+
+val members : t -> string list
+(** The shard ids on the ring, sorted. *)
+
+val size : t -> int
+
+val lookup : t -> string -> string
+(** The shard that owns a key. Total for every key on a non-empty ring.
+    @raise Invalid_argument on an empty ring. *)
+
+val lookup_opt : t -> string -> string option

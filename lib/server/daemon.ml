@@ -177,6 +177,22 @@ let dispatch t req =
       match Sessions.close t.sessions session with
       | Error msg -> Protocol.error_reply msg
       | Ok history -> Protocol.ok_reply [ ("history", Json.String history) ])
+  | Detach { session } -> (
+      match Sessions.detach t.sessions session with
+      | Error msg -> Protocol.error_reply msg
+      | Ok () -> Protocol.ok_reply [ ("detached", Json.Bool true) ])
+  | Adopt { session } -> (
+      match Sessions.adopt t.sessions session with
+      | Error msg -> Protocol.error_reply msg
+      | Ok fresh -> Protocol.ok_reply [ ("adopted", Json.Bool fresh) ])
+  | Session_list ->
+      Protocol.ok_reply
+        [
+          ( "sessions",
+            Json.List
+              (List.map (fun n -> Json.String n) (Sessions.names t.sessions))
+          );
+        ]
   | Sleep { ms } ->
       Unix.sleepf (float_of_int ms /. 1000.0);
       Protocol.ok_reply [ ("slept_ms", Json.Int ms) ]

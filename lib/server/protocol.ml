@@ -1,10 +1,15 @@
 open Vp_core
 module Json = Vp_observe.Json
 
-(* v2: [ingest] accepts an idempotent [seq], [open] replies carry
+(* v3: adds the shard-management ops the cluster router drives during
+   session handoff — [detach] (spill a session to disk and forget it,
+   leaving its files), [adopt] (register a session from its on-disk
+   meta) and [sessions] (list registered names). All additive; v2
+   clients keep working.
+   v2: [ingest] accepts an idempotent [seq], [open] replies carry
    [restored], and the daemon may answer [duplicate] on a replayed
-   ingest. All additive; v1 clients keep working. *)
-let protocol_version = 2
+   ingest. *)
+let protocol_version = 3
 
 let default_port = 7171
 
@@ -62,6 +67,9 @@ type request =
   | Layout of { session : string }
   | History of { session : string }
   | Close of { session : string }
+  | Detach of { session : string }
+  | Adopt of { session : string }
+  | Session_list
   | Sleep of { ms : int }
   | Shutdown
 
@@ -74,6 +82,9 @@ let op_name = function
   | Layout _ -> "layout"
   | History _ -> "history"
   | Close _ -> "close"
+  | Detach _ -> "detach"
+  | Adopt _ -> "adopt"
+  | Session_list -> "sessions"
   | Sleep _ -> "sleep"
   | Shutdown -> "shutdown"
 
@@ -282,6 +293,9 @@ let request_of_json doc =
               | "layout" -> Layout { session = req_string "session" doc }
               | "history" -> History { session = req_string "session" doc }
               | "close" -> Close { session = req_string "session" doc }
+              | "detach" -> Detach { session = req_string "session" doc }
+              | "adopt" -> Adopt { session = req_string "session" doc }
+              | "sessions" -> Session_list
               | "sleep" ->
                   let ms = req_int "ms" doc in
                   if ms < 0 || ms > 60_000 then
@@ -471,6 +485,12 @@ let layout_request ~session = session_only "layout" session
 let history_request ~session = session_only "history" session
 
 let close_request ~session = session_only "close" session
+
+let detach_request ~session = session_only "detach" session
+
+let adopt_request ~session = session_only "adopt" session
+
+let sessions_request = Json.Obj [ ("op", Json.String "sessions") ]
 
 (* --- replies --- *)
 

@@ -26,6 +26,12 @@ open Vp_core
       deliberate backpressure.
     - [shutdown] — ask the daemon to drain gracefully (the network
       equivalent of SIGTERM).
+    - [detach]/[adopt]/[sessions] — shard-management ops (protocol v3)
+      driven by the cluster router during session handoff: [detach]
+      spills a session to disk and forgets it {e without} deleting its
+      files, [adopt] registers a session from its on-disk [.meta], and
+      [sessions] lists the registered names. Ordinary clients never
+      need them; the router rejects them at its own front door.
 
     Hostile input is bounded: frames longer than {!max_frame_bytes} or
     nested deeper than {!max_depth} are answered with a clean [error]
@@ -96,6 +102,9 @@ type request =
   | Layout of { session : string }
   | History of { session : string }
   | Close of { session : string }
+  | Detach of { session : string }
+  | Adopt of { session : string }
+  | Session_list
   | Sleep of { ms : int }
   | Shutdown
 
@@ -164,6 +173,12 @@ val layout_request : session:string -> Vp_observe.Json.t
 val history_request : session:string -> Vp_observe.Json.t
 
 val close_request : session:string -> Vp_observe.Json.t
+
+val detach_request : session:string -> Vp_observe.Json.t
+
+val adopt_request : session:string -> Vp_observe.Json.t
+
+val sessions_request : Vp_observe.Json.t
 
 (** {2 Reply builders (the server side)} *)
 

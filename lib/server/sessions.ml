@@ -538,6 +538,108 @@ let close t name =
           remove_quietly (wal_path dir name));
       Ok history)
 
+let names t =
+  List.sort compare
+    (locked t (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) t.table []))
+
+(* --- shard handoff: detach / adopt ---
+
+   The cluster router moves a session between shards as files: the
+   losing shard [detach]es (spill + forget, files kept), the router
+   renames <hex>.{meta,snap,wal} into the gaining shard's data dir, and
+   the gaining shard [adopt]s (register as spilled from the meta). The
+   first touch on the gainer replays snapshot + WAL tail exactly like
+   crash recovery, so the decision history stays byte-identical. *)
+
+let detach t name =
+  if t.data_dir = None then
+    Error "detach requires a durable registry (start the daemon with a data dir)"
+  else
+    let rec go () =
+      let found =
+        locked t (fun () ->
+            match Hashtbl.find_opt t.table name with
+            | None -> `Unknown
+            | Some (Spilled _) ->
+                (* Already on disk: just forget the registration. *)
+                Hashtbl.remove t.table name;
+                publish_locked t;
+                `Done
+            | Some (Resident r) -> `Resident r)
+      in
+      match found with
+      | `Unknown -> Error (Printf.sprintf "unknown session %S" name)
+      | `Done -> Ok ()
+      | `Resident r ->
+          (* Blocking lock: like drain, wait for an in-flight ingest to
+             land in the WAL and the service before spilling. *)
+          Mutex.lock r.mutex;
+          if not r.live then begin
+            Mutex.unlock r.mutex;
+            go ()
+          end
+          else
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock r.mutex)
+              (fun () ->
+                locked t (fun () ->
+                    spill_locked t name r;
+                    Hashtbl.remove t.table name;
+                    publish_locked t);
+                Ok ())
+    in
+    go ()
+
+let adopt t name =
+  match t.data_dir with
+  | None ->
+      Error "adopt requires a durable registry (start the daemon with a data dir)"
+  | Some dir ->
+      locked t (fun () ->
+          match Hashtbl.find_opt t.table name with
+          | Some _ -> Ok false
+          | None -> (
+              match read_file (meta_path dir name) with
+              | None ->
+                  Error
+                    (Printf.sprintf "no on-disk state to adopt for session %S"
+                       name)
+              | Some content -> (
+                  match Json.of_string content with
+                  | Error msg ->
+                      Error
+                        (Printf.sprintf "corrupt meta for %S: %s" name msg)
+                  | Ok doc -> (
+                      match Protocol.open_spec_of_json doc with
+                      | Error msg ->
+                          Error
+                            (Printf.sprintf "corrupt meta for %S: %s" name msg)
+                      | Ok spec when spec.Protocol.session <> name ->
+                          Error
+                            (Printf.sprintf
+                               "meta for %S names a different session (%S)"
+                               name spec.Protocol.session)
+                      | Ok spec ->
+                          Hashtbl.replace t.table name (Spilled spec);
+                          publish_locked t;
+                          Ok true))))
+
+let file_prefix = hex_of_name
+
+let on_disk_sessions dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files ->
+      List.sort compare
+        (Array.fold_left
+           (fun acc file ->
+             if Filename.check_suffix file ".meta" then
+               match name_of_hex (Filename.chop_suffix file ".meta") with
+               | Some name -> name :: acc
+               | None -> acc
+             else acc)
+           [] files)
+
 let drain t =
   let names =
     locked t (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) t.table [])

@@ -135,3 +135,37 @@ val drain : t -> unit
 (** Graceful shutdown: durable sessions are spilled to disk (snapshot +
     WAL reset) so a later registry re-attaches to them; in-memory
     sessions are simply dropped. *)
+
+(** {2 Shard handoff}
+
+    The cluster router ({!Vp_router.Router}) moves a session between
+    shard daemons as files: the losing shard {!detach}es, the router
+    renames [<hex>.{meta,snap,wal}] into the gaining shard's data dir,
+    and the gaining shard {!adopt}s. The first touch on the gainer
+    replays snapshot + WAL tail exactly like crash recovery, so the
+    decision history stays byte-identical across the move (proved in
+    [test_cluster.ml]). *)
+
+val names : t -> string list
+(** All registered session names (resident and spilled), sorted. *)
+
+val detach : t -> string -> (unit, string) result
+(** Spills the named session to disk (waiting out an in-flight ingest,
+    like {!drain}) and removes it from the registry {e without}
+    deleting its files — the inverse of {!adopt}. Errors on an unknown
+    session or an in-memory registry. *)
+
+val adopt : t -> string -> (bool, string) result
+(** Registers the named session from its on-disk [.meta], as spilled.
+    [Ok false] when the name is already registered (adopt is
+    idempotent); errors when no meta exists, the meta is corrupt, or
+    the registry is in-memory. *)
+
+val file_prefix : string -> string
+(** The filename stem (hex-encoded session name) under which a
+    session's [.meta]/[.snap]/[.wal] live — what the router renames
+    between shard data dirs during handoff. *)
+
+val on_disk_sessions : string -> string list
+(** The session names persisted in a data directory (decoded from its
+    [.meta] files), sorted; [[]] when the directory is unreadable. *)

@@ -17,16 +17,9 @@ module Sessions = Vp_server.Sessions
 module Protocol = Vp_server.Protocol
 module Client = Vp_client.Client
 
-let unwrap = function
-  | Ok v -> v
-  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+let unwrap = Testutil.unwrap
 
-let contains haystack needle =
-  let nh = String.length haystack and nn = String.length needle in
-  let rec go i =
-    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
-  in
-  go 0
+let contains = Testutil.contains
 
 (* The 50-query script: a drifting synthetic stream, so the reference
    run adopts at least one re-optimized layout and recovery has real
@@ -62,24 +55,7 @@ let service_config () =
     ~panel:[ Vp_algorithms.Hillclimb.algorithm ]
     ()
 
-let rec remove_tree path =
-  match Sys.is_directory path with
-  | exception Sys_error _ -> ()
-  | true ->
-      Array.iter
-        (fun f -> remove_tree (Filename.concat path f))
-        (Sys.readdir path);
-      (try Unix.rmdir path with Unix.Unix_error _ -> ())
-  | false -> ( try Sys.remove path with Sys_error _ -> ())
-
-let with_temp_dir tag f =
-  let dir =
-    Filename.concat
-      (Filename.get_temp_dir_name ())
-      (Printf.sprintf "vp-durability-%s-%d" tag (Unix.getpid ()))
-  in
-  remove_tree dir;
-  Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
+let with_temp_dir tag = Testutil.with_temp_dir ("durability-" ^ tag)
 
 let ingest_seq reg ~session table i q =
   Sessions.ingest reg session ~seq:(i + 1)

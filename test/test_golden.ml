@@ -314,6 +314,45 @@ let golden_report =
           byte_identical = true;
         };
       ];
+    cluster =
+      [
+        {
+          Vp_observe.Bench_report.phase = "closed-loop";
+          shards = 3;
+          clients = 8;
+          sessions = 10000;
+          requests = 50000;
+          shed = 16;
+          errors = 0;
+          seconds = 12.5;
+          throughput_rps = 4000.0;
+          shed_rate = 0.0003125;
+          latency_p50_ms = 0.5;
+          latency_p99_ms = 16.0;
+          handoffs = 0;
+          handoff_seconds = 0.0;
+          restarts = 0;
+          determinism_violations = 0;
+        };
+        {
+          Vp_observe.Bench_report.phase = "handoff";
+          shards = 4;
+          clients = 8;
+          sessions = 48;
+          requests = 2496;
+          shed = 12;
+          errors = 0;
+          seconds = 0.5;
+          throughput_rps = 4992.0;
+          shed_rate = 0.0048828125;
+          latency_p50_ms = 0.25;
+          latency_p99_ms = 32.0;
+          handoffs = 11;
+          handoff_seconds = 0.0625;
+          restarts = 0;
+          determinism_violations = 0;
+        };
+      ];
     counters = [ ("cost.oracle_calls", 42); ("pool.tasks_run", 7) ];
     host =
       {

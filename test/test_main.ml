@@ -1,5 +1,10 @@
 (* Test entry point: one alcotest suite per module area. *)
 
+(* The cluster tests spawn shard daemons by re-execing this very
+   binary; the worker sentinel must be checked before alcotest ever
+   sees argv. *)
+let () = Vp_router.Worker.maybe_run ()
+
 let () =
   Alcotest.run "vertpart"
     [
@@ -28,4 +33,5 @@ let () =
       ("online", Test_online.suite);
       ("server", Test_server.suite);
       ("durability", Test_durability.suite);
+      ("cluster", Test_cluster.suite);
     ]

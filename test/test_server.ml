@@ -15,27 +15,15 @@ module Json = Vp_observe.Json
 module Protocol = Vp_server.Protocol
 module Client = Vp_client.Client
 
-let with_daemon ?(jobs = 2) ?(max_pending = 64) f =
-  let d = Vp_server.Daemon.create ~port:0 ~jobs ~max_pending () in
-  let server = Domain.spawn (fun () -> Vp_server.Daemon.serve d) in
-  Fun.protect
-    ~finally:(fun () ->
-      Vp_server.Daemon.stop d;
-      Domain.join server)
-    (fun () -> f (Vp_server.Daemon.port d))
+(* Daemons bind port 0 and report the bound port — see the port
+   discipline note in [Testutil]. *)
+let with_daemon = Testutil.with_daemon
 
-let with_client port f =
-  let c = Client.create ~port () in
-  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+let with_client = Testutil.with_client
 
-let unwrap = function
-  | Ok v -> v
-  | Error msg -> Alcotest.failf "unexpected client error: %s" msg
+let unwrap = Testutil.unwrap
 
-let contains haystack needle =
-  let nh = String.length haystack and nn = String.length needle in
-  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
-  go 0
+let contains = Testutil.contains
 
 let small_workload =
   lazy
@@ -216,51 +204,13 @@ let test_concurrent_determinism_traced () =
 
 (* --- hostile input --- *)
 
-let connect_raw port =
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  fd
+let connect_raw = Testutil.connect_raw
 
-let send_raw fd s =
-  let len = String.length s in
-  let rec go off =
-    if off < len then go (off + Unix.write_substring fd s off (len - off))
-  in
-  go 0
+let send_raw = Testutil.send_raw
 
-let read_reply fd =
-  let buf = Buffer.create 256 in
-  let chunk = Bytes.create 1024 in
-  let rec go () =
-    match Unix.read fd chunk 0 1024 with
-    | 0 -> Alcotest.fail "server closed the connection instead of replying"
-    | n ->
-        let stop = ref None in
-        for i = 0 to n - 1 do
-          if !stop = None && Bytes.get chunk i = '\n' then stop := Some i
-        done;
-        (match !stop with
-        | Some i -> Buffer.add_subbytes buf chunk 0 i
-        | None ->
-            Buffer.add_subbytes buf chunk 0 n;
-            go ())
-  in
-  go ();
-  match Json.of_string (Buffer.contents buf) with
-  | Ok doc -> doc
-  | Error msg -> Alcotest.failf "unparseable reply: %s" msg
+let read_reply = Testutil.read_reply
 
-let expect_error fd what frame =
-  send_raw fd frame;
-  let reply = read_reply fd in
-  Alcotest.(check string)
-    (what ^ " answered with a clean error")
-    "error"
-    (Protocol.reply_status reply);
-  match Protocol.reply_error reply with
-  | Some msg ->
-      Alcotest.(check bool) (what ^ " error is descriptive") true (msg <> "")
-  | None -> Alcotest.failf "%s: error reply without a message" what
+let expect_error = Testutil.expect_error
 
 let test_protocol_robustness () =
   with_daemon (fun port ->

@@ -1,5 +1,6 @@
 (* Shared helpers for the test suite: alcotest testables, qcheck generators
-   for workloads and partitionings, and small fixture tables. *)
+   for workloads and partitionings, small fixture tables, and the
+   server-test fixtures (temp dirs, daemons, ports, clients). *)
 
 open Vp_core
 
@@ -92,3 +93,120 @@ let valid_partitioning_of_workload p w =
   Attr_set.equal union (Attr_set.full n)
 
 let qtest = QCheck_alcotest.to_alcotest
+
+(* --- server fixtures --- *)
+
+let unwrap = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+let rec remove_tree path =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> ()
+  | true ->
+      Array.iter
+        (fun f -> remove_tree (Filename.concat path f))
+        (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+
+let with_temp_dir tag f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vp-test-%s-%d" tag (Unix.getpid ()))
+  in
+  remove_tree dir;
+  Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
+
+(* Port allocation, the race-free way: every server in the tree can
+   bind port 0 and report the port the kernel actually gave it
+   ([Daemon.create ~port:0] + [Daemon.port], same for the router), so
+   tests NEVER pick a number and hope it is still free by the time the
+   server binds it. [with_daemon] below is that pattern packaged.
+
+   [ephemeral_port] is for the one legitimate exception — a test that
+   must know a port BEFORE the server exists (e.g. restarting a daemon
+   on the address a previous life owned). It still asks the kernel
+   (bind 0, read back the name) rather than guessing from a range, and
+   the server that reuses it binds with SO_REUSEADDR, so the window
+   between close and re-bind does not 50/50 the suite the way a
+   hardcoded port shared across parallel test runners would. *)
+let ephemeral_port () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, port) -> port
+      | _ -> assert false)
+
+let with_daemon ?(jobs = 2) ?(max_pending = 64) ?data_dir f =
+  let d = Vp_server.Daemon.create ~port:0 ~jobs ~max_pending ?data_dir () in
+  let server = Domain.spawn (fun () -> Vp_server.Daemon.serve d) in
+  Fun.protect
+    ~finally:(fun () ->
+      Vp_server.Daemon.stop d;
+      Domain.join server)
+    (fun () -> f (Vp_server.Daemon.port d))
+
+let with_client port f =
+  let c = Vp_client.Client.create ~port () in
+  Fun.protect ~finally:(fun () -> Vp_client.Client.close c) (fun () -> f c)
+
+(* --- raw-socket fuzz helpers: hostile bytes, not the typed client --- *)
+
+let connect_raw port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let send_raw fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring fd s off (len - off))
+  in
+  go 0
+
+let read_reply fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    match Unix.read fd chunk 0 1024 with
+    | 0 -> Alcotest.fail "server closed the connection instead of replying"
+    | n ->
+        let stop = ref None in
+        for i = 0 to n - 1 do
+          if !stop = None && Bytes.get chunk i = '\n' then stop := Some i
+        done;
+        (match !stop with
+        | Some i -> Buffer.add_subbytes buf chunk 0 i
+        | None ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ())
+  in
+  go ();
+  match Vp_observe.Json.of_string (Buffer.contents buf) with
+  | Ok doc -> doc
+  | Error msg -> Alcotest.failf "unparseable reply: %s" msg
+
+let expect_error fd what frame =
+  send_raw fd frame;
+  let reply = read_reply fd in
+  Alcotest.(check string)
+    (what ^ " answered with a clean error")
+    "error"
+    (Vp_server.Protocol.reply_status reply);
+  match Vp_server.Protocol.reply_error reply with
+  | Some msg ->
+      Alcotest.(check bool) (what ^ " error is descriptive") true (msg <> "")
+  | None -> Alcotest.failf "%s: error reply without a message" what
