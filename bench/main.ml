@@ -1514,6 +1514,110 @@ let cluster_section () =
   if violations > 0 then exit 1;
   [ closed; handoff ]
 
+(* --- Racing portfolio benchmark (--mode portfolio): the meta-
+   partitioner against every single entrant under one equal,
+   deterministic step budget per table. The gate is the portfolio's
+   construction guarantee — each entrant races on a [Budget.spawn] of
+   the request budget, i.e. exactly a solo run's allowance, and the
+   winner is the cheapest response — so the race's layout must never
+   cost more than the best single entrant's. Wall time is reported but
+   not gated (steps are the deterministic currency). --- *)
+
+let portfolio_steps = 20_000
+
+let portfolio_run algo w =
+  let disk = Vp_experiments.Common.disk in
+  let oracle = Vp_experiments.Common.cached_oracle disk w in
+  let delta = Vp_cost.Io_model.Incremental.factory disk w in
+  let budget = Vp_robust.Budget.create ~max_steps:portfolio_steps () in
+  Partitioner.exec algo
+    (Partitioner.Request.make ~budget ~delta ~cost:oracle w)
+
+let portfolio_section () =
+  Vp_observe.Switch.(raise_to Stats);
+  print_string
+    (Vp_experiments.Common.heading
+       "Racing portfolio: never worse than the best single entrant");
+  let disk = Vp_experiments.Common.disk in
+  let workloads = Vp_benchmarks.Tpch.workloads ~sf:Vp_experiments.Common.sf in
+  let singles =
+    Vp_algorithms.Registry.with_brute_force
+      ~brute_force:(Vp_experiments.Common.brute_force disk) ()
+    @ [
+        Vp_algorithms.Ilp.with_bound disk;
+        Vp_algorithms.Hypergraph.algorithm;
+      ]
+    @ Vp_algorithms.Registry.baselines
+  in
+  let race = Vp_algorithms.Portfolio.with_bound disk in
+  let entries =
+    List.map
+      (fun w ->
+        let table = Table.name (Workload.table w) in
+        let r, race_seconds = time (fun () -> portfolio_run race w) in
+        let entrants = r.Partitioner.Response.provenance.entrants in
+        let winner =
+          match
+            List.find_opt
+              (fun (e : Partitioner.Response.entrant) -> e.winner)
+              entrants
+          with
+          | Some e -> e.Partitioner.Response.entrant
+          | None -> "-"
+        in
+        let timed_out =
+          List.length
+            (List.filter
+               (fun (e : Partitioner.Response.entrant) ->
+                 match e.entrant_status with
+                 | Partitioner.Timed_out _ -> true
+                 | Partitioner.Complete -> false)
+               entrants)
+        in
+        let best_single, best_single_cost =
+          List.fold_left
+            (fun acc (a : Partitioner.t) ->
+              let r = portfolio_run a w in
+              match acc with
+              | Some (_, c) when c <= r.Partitioner.Response.cost -> acc
+              | _ -> Some (a.Partitioner.name, r.Partitioner.Response.cost))
+            None singles
+          |> Option.get
+        in
+        let e =
+          {
+            Vp_observe.Bench_report.table;
+            winner;
+            portfolio_cost = r.Partitioner.Response.cost;
+            best_single;
+            best_single_cost;
+            entrants_run = List.length entrants;
+            timed_out;
+            race_seconds;
+            never_worse =
+              r.Partitioner.Response.cost <= best_single_cost +. 1e-9;
+          }
+        in
+        Printf.printf
+          "  %-10s winner %-10s cost %10.3f  best single %-10s %10.3f  \
+           (%d entrants, %d timed out, %.3f s)  %s\n\
+           %!"
+          table winner e.Vp_observe.Bench_report.portfolio_cost best_single
+          best_single_cost e.Vp_observe.Bench_report.entrants_run timed_out
+          race_seconds
+          (if e.Vp_observe.Bench_report.never_worse then "ok" else "WORSE");
+        e)
+      workloads
+  in
+  let worse =
+    List.filter
+      (fun (e : Vp_observe.Bench_report.portfolio_entry) -> not e.never_worse)
+      entries
+  in
+  Printf.printf "  never-worse violations: %d\n%!" (List.length worse);
+  if worse <> [] then exit 1;
+  entries
+
 (* --- machine-readable bench report (--json): every algorithm over the
    TPC-H line-up with counters on, each with a fresh query-grained cache
    so its hit rate is its own. The counter snapshot merges everything the
@@ -1531,9 +1635,11 @@ let mode_name = function
   | `Oracle -> "oracle"
   | `Recovery -> "recovery"
   | `Cluster -> "cluster"
+  | `Portfolio -> "portfolio"
   | `Json -> "json"
 
-let json_section ~mode ~jobs ~online ~server ~oracle ~recovery ~cluster path =
+let json_section ~mode ~jobs ~online ~server ~oracle ~recovery ~cluster
+    ~portfolio path =
   Vp_observe.Switch.(raise_to Stats);
   let disk = Vp_experiments.Common.disk in
   let workloads = Vp_benchmarks.Tpch.workloads ~sf:Vp_experiments.Common.sf in
@@ -1581,6 +1687,7 @@ let json_section ~mode ~jobs ~online ~server ~oracle ~recovery ~cluster path =
       oracle;
       recovery;
       cluster;
+      portfolio;
       counters = snapshot.Vp_observe.Stats.counters;
       host = Vp_observe.Bench_report.current_host ();
     }
@@ -1598,7 +1705,7 @@ let json_section ~mode ~jobs ~online ~server ~oracle ~recovery ~cluster path =
 let usage () =
   prerr_endline
     "usage: main.exe [--mode \
-     all|experiments|bechamel|parallel|budget|online|server|oracle|recovery|cluster|json] \
+     all|experiments|bechamel|parallel|budget|online|server|oracle|recovery|cluster|portfolio|json] \
      [--jobs N] [--json PATH]";
   exit 2
 
@@ -1619,6 +1726,7 @@ let parse_args () =
            | "oracle" -> `Oracle
            | "recovery" -> `Recovery
            | "cluster" -> `Cluster
+           | "portfolio" -> `Portfolio
            | "json" -> `Json
            | _ -> usage ());
         go rest
@@ -1640,7 +1748,8 @@ let parse_args () =
   let json =
     match (!json, !mode) with
     | Some path, _ -> Some path
-    | None, (`Json | `Online | `Server | `Oracle | `Recovery | `Cluster) ->
+    | None, (`Json | `Online | `Server | `Oracle | `Recovery | `Cluster
+            | `Portfolio) ->
         Some
           (Printf.sprintf "BENCH_%d.json"
              Vp_observe.Bench_report.schema_version)
@@ -1660,33 +1769,35 @@ let () =
        "Unified setting: TPC-H SF %g, %s"
        Vp_experiments.Common.sf
        (Format.asprintf "%a" Vp_cost.Disk.pp Vp_experiments.Common.disk));
-  let online, server, oracle, recovery, cluster =
+  let online, server, oracle, recovery, cluster, portfolio =
     match mode with
     | `All ->
         run_experiments ();
         if not skip_slow then bechamel_section ();
-        ([], [], [], [], [])
+        ([], [], [], [], [], [])
     | `Experiments ->
         run_experiments ();
-        ([], [], [], [], [])
+        ([], [], [], [], [], [])
     | `Bechamel ->
         bechamel_section ();
-        ([], [], [], [], [])
+        ([], [], [], [], [], [])
     | `Parallel ->
         parallel_section jobs;
-        ([], [], [], [], [])
+        ([], [], [], [], [], [])
     | `Budget ->
         budget_section ();
-        ([], [], [], [], [])
-    | `Online -> (online_section ~jobs, [], [], [], [])
-    | `Server -> ([], server_section (), [], [], [])
-    | `Oracle -> ([], [], oracle_section (), [], [])
-    | `Recovery -> ([], [], [], recovery_section (), [])
-    | `Cluster -> ([], [], [], [], cluster_section ())
-    | `Json -> ([], [], [], [], [])
+        ([], [], [], [], [], [])
+    | `Online -> (online_section ~jobs, [], [], [], [], [])
+    | `Server -> ([], server_section (), [], [], [], [])
+    | `Oracle -> ([], [], oracle_section (), [], [], [])
+    | `Recovery -> ([], [], [], recovery_section (), [], [])
+    | `Cluster -> ([], [], [], [], cluster_section (), [])
+    | `Portfolio -> ([], [], [], [], [], portfolio_section ())
+    | `Json -> ([], [], [], [], [], [])
   in
   (match json with
   | Some path ->
-      json_section ~mode ~jobs ~online ~server ~oracle ~recovery ~cluster path
+      json_section ~mode ~jobs ~online ~server ~oracle ~recovery ~cluster
+        ~portfolio path
   | None -> ());
   print_endline "\nAll experiments completed."

@@ -135,15 +135,20 @@ let workloads_of benchmark sf table =
             (String.concat ", "
                (List.map (fun w -> Table.name (Workload.table w)) all)))
 
+(* The disk-aware spellings: when the profile is known, BruteForce and
+   ILP get the I/O pruning bound and the portfolio gets the pmv cost
+   floor that enables early cancellation. *)
 let algorithm_of disk name =
-  if String.lowercase_ascii name = "bruteforce" then
-    Vp_experiments.Common.brute_force disk
-  else
+  match String.lowercase_ascii name with
+  | "bruteforce" -> Vp_experiments.Common.brute_force disk
+  | "ilp" -> Vp_algorithms.Ilp.with_bound disk
+  | "portfolio" -> Vp_algorithms.Portfolio.with_bound disk
+  | _ -> (
     match Vp_algorithms.Registry.find_opt name with
     | Some a -> a
     | None ->
         Fmt.failwith "unknown algorithm %S (try: %s)" name
-          (String.concat ", " Vp_algorithms.Registry.names)
+          (String.concat ", " Vp_algorithms.Registry.names))
 
 (* --- vp partition --- *)
 
@@ -325,7 +330,7 @@ let experiment_cmd =
         Fmt.epr "unknown experiment%s %s; known: %s@."
           (if List.length unknown > 1 then "s" else "")
           (String.concat ", " (List.map (Printf.sprintf "%S") unknown))
-          (String.concat ", " Vp_experiments.Registry.ids);
+          (String.concat ", " Vp_experiments.Registry.names);
         1
     | [] -> (
         (* Fan the experiments across domains; cells come back in
@@ -924,11 +929,34 @@ let client_cmd =
       value & flag
       & info [ "shutdown" ] ~doc:"Ask the server to drain gracefully.")
   in
-  let run host port ping stats script shutdown_server =
-    if not (ping || stats || shutdown_server || script <> None) then
+  let partition_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "partition" ] ~docv:"TABLE"
+          ~doc:
+            "Ask the server for a one-shot layout of a benchmark table \
+             (see $(b,--benchmark)/$(b,--sf)). With $(b,--algorithm) \
+             portfolio (the default) the server races every registered \
+             entrant and the reply's race audit is printed.")
+  in
+  let client_algo_arg =
+    Arg.(
+      value
+      & opt string "portfolio"
+      & info [ "a"; "algorithm" ] ~docv:"ALGO"
+          ~doc:"Algorithm for $(b,--partition) (default portfolio).")
+  in
+  let run host port benchmark sf ping stats partition_table client_algo
+      script shutdown_server =
+    if
+      not
+        (ping || stats || shutdown_server || script <> None
+        || partition_table <> None)
+    then
       Fmt.failwith
-        "nothing to do: pass --ping, --stats, --script FILE and/or \
-         --shutdown";
+        "nothing to do: pass --ping, --stats, --partition TABLE, \
+         --script FILE and/or --shutdown";
     let c = Vp_client.Client.create ~host ~port () in
     Fun.protect
       ~finally:(fun () -> Vp_client.Client.close c)
@@ -943,6 +971,30 @@ let client_cmd =
         if stats then
           print_endline
             (Vp_observe.Json.to_string (check (Vp_client.Client.server_stats c)));
+        (match partition_table with
+        | Some tname ->
+            let w = List.hd (workloads_of benchmark sf (Some tname)) in
+            let reply =
+              check
+                (Vp_client.Client.partition ~algorithm:client_algo c w)
+            in
+            let str name =
+              Option.value ~default:"?"
+                (Vp_server.Protocol.string_field name reply)
+            in
+            Printf.printf "%s on %s: cost %.3f s (%s)\n" (str "algorithm")
+              tname
+              (Option.value ~default:Float.nan
+                 (Vp_server.Protocol.float_field "cost" reply))
+              (str "run_status");
+            List.iter
+              (fun (e : Vp_server.Protocol.entrant_summary) ->
+                Printf.printf "  %c %-12s %-10s cost %8.3f  cost calls %d\n"
+                  (if e.entrant_winner then '*' else ' ')
+                  e.entrant e.entrant_status e.entrant_cost
+                  e.entrant_cost_calls)
+              (Vp_server.Protocol.reply_entrants reply)
+        | None -> ());
         (match script with
         | Some file ->
             let results =
@@ -962,9 +1014,12 @@ let client_cmd =
   in
   Cmd.v
     (Cmd.info "client"
-       ~doc:"Talk to a running layout server (ping, stats, script replay)")
+       ~doc:
+         "Talk to a running layout server (ping, stats, one-shot \
+          partition, script replay)")
     Term.(
-      const run $ host_arg $ port_arg $ ping_arg $ stats_arg $ script_arg
+      const run $ host_arg $ port_arg $ benchmark_arg $ sf_arg $ ping_arg
+      $ stats_arg $ partition_arg $ client_algo_arg $ script_arg
       $ shutdown_arg)
 
 (* --- vp list --- *)

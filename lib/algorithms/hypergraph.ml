@@ -1,0 +1,174 @@
+open Vp_core
+
+(* Hypergraph partitioner (arXiv:1309.1556 style): the workload is a
+   hypergraph whose vertices are the primary-partition atoms and whose
+   hyperedges are the queries — a query pins every atom it references,
+   weighted by its frequency. A fragment layout is a vertex partition,
+   and the classic connectivity metric
+
+     cut(P) = sum_q w_q * (lambda_q - 1)
+
+   (lambda_q = number of blocks query q touches) counts exactly the
+   extra seeks the layout charges the workload. The search is the
+   standard two-phase shape: heavy-edge coarsening (merge the pair of
+   blocks with the heaviest connecting hyperedge weight) followed by
+   FM-style boundary refinement (move one atom across the cut) — but
+   every candidate is priced by the request's cost oracle and committed
+   only when the true cost improves, so the connectivity heuristic
+   steers the search while the paper's cost model keeps the score. *)
+
+let connectivity_cut workload partitioning =
+  let queries = Workload.queries workload in
+  Array.fold_left
+    (fun acc q ->
+      let refs = Query.references q in
+      let lambda =
+        List.fold_left
+          (fun k g -> if Attr_set.intersects g refs then k + 1 else k)
+          0
+          (Partitioning.groups partitioning)
+      in
+      acc +. (Query.weight q *. float_of_int (max 0 (lambda - 1))))
+    0.0 queries
+
+(* Total weight of the hyperedges pinning both blocks. *)
+let edge_weight queries a b =
+  Array.fold_left
+    (fun acc q ->
+      let refs = Query.references q in
+      if Attr_set.intersects a refs && Attr_set.intersects b refs then
+        acc +. Query.weight q
+      else acc)
+    0.0 queries
+
+let sort_blocks = List.sort Attr_set.compare
+
+let search ~budget ~delta workload oracle =
+  let n = Table.attribute_count (Workload.table workload) in
+  let queries = Workload.queries workload in
+  let atoms = sort_blocks (Workload.primary_partitions workload) in
+  let cache = Vp_parallel.Cost_cache.create () in
+  let cost_of =
+    match delta with
+    | None -> Vp_parallel.Cost_cache.counted cache ~fingerprint:"" oracle
+    | Some s ->
+        fun p ->
+          Vp_parallel.Cost_cache.counted_via cache ~fingerprint:"" oracle
+            ~compute:(fun () -> s.Partitioner.Delta.goto p)
+            p
+  in
+  (* The start layout is costed before anything can tick, so even a
+     zero-step (or already-cancelled) budget answers with a valid
+     incumbent. *)
+  let blocks = ref atoms in
+  let best = ref (Partitioning.of_groups ~n !blocks) in
+  let best_cost = ref (cost_of !best) in
+  let commits = ref 0 in
+  let try_candidate groups =
+    Vp_robust.Budget.tick budget;
+    let candidate = Partitioning.of_groups ~n (sort_blocks groups) in
+    let cost = cost_of candidate in
+    if cost < !best_cost then begin
+      best := candidate;
+      best_cost := cost;
+      blocks := sort_blocks groups;
+      incr commits;
+      true
+    end
+    else false
+  in
+  (* Coarsening: candidate merges in descending connecting-hyperedge
+     weight (canonical block order breaks ties), committing the first
+     that improves the oracle cost; rescore and repeat. Zero-weight
+     pairs are never tried — merging blocks no query co-accesses only
+     adds scan waste. *)
+  let coarsen () =
+    let improved = ref true in
+    let progress = ref false in
+    while !improved do
+      improved := false;
+      let bs = Array.of_list !blocks in
+      let k = Array.length bs in
+      let pairs = ref [] in
+      for i = 0 to k - 2 do
+        for j = i + 1 to k - 1 do
+          let w = edge_weight queries bs.(i) bs.(j) in
+          if w > 0.0 then pairs := (w, i, j) :: !pairs
+        done
+      done;
+      let pairs =
+        List.sort
+          (fun (wa, ia, ja) (wb, ib, jb) ->
+            match compare wb wa with
+            | 0 -> compare (ia, ja) (ib, jb)
+            | c -> c)
+          !pairs
+      in
+      (try
+         List.iter
+           (fun (_, i, j) ->
+             let merged = Attr_set.union bs.(i) bs.(j) in
+             let rest =
+               Array.to_list bs
+               |> List.filteri (fun idx _ -> idx <> i && idx <> j)
+             in
+             if try_candidate (merged :: rest) then raise Exit)
+           pairs
+       with Exit ->
+         improved := true;
+         progress := true)
+    done;
+    !progress
+  in
+  (* Refinement: FM-style single-atom moves across the cut. An atom is a
+     boundary vertex when some query references both its block and
+     another one; moving it to each block a shared hyperedge connects it
+     to is a candidate. Passes repeat until none improves. *)
+  let refine () =
+    let improved = ref true in
+    let progress = ref false in
+    while !improved do
+      improved := false;
+      let bs = Array.of_list !blocks in
+      (try
+         Array.iteri
+           (fun i src ->
+             List.iter
+               (fun atom ->
+                 Array.iteri
+                   (fun j dst ->
+                     if j <> i && edge_weight queries atom dst > 0.0 then begin
+                       let src' = Attr_set.diff src atom in
+                       let groups =
+                         Attr_set.union dst atom
+                         :: (if Attr_set.is_empty src' then [] else [ src' ])
+                         @ (Array.to_list bs
+                           |> List.filteri (fun idx _ -> idx <> i && idx <> j))
+                       in
+                       if try_candidate groups then raise Exit
+                     end)
+                   bs)
+               (List.filter (fun a -> Attr_set.subset a src) atoms))
+           bs
+       with Exit ->
+         improved := true;
+         progress := true)
+    done;
+    !progress
+  in
+  (try
+     let continue_ = ref true in
+     while !continue_ do
+       let a = coarsen () in
+       let b = refine () in
+       continue_ := a || b
+     done
+   with Vp_robust.Budget.Exhausted -> ());
+  (!best, !commits)
+
+let make () =
+  Partitioner.timed_run_delta ~name:"Hypergraph" ~short_name:"HG"
+    (fun ~budget ~delta workload oracle ->
+      search ~budget ~delta workload oracle)
+
+let algorithm = make ()

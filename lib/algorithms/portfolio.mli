@@ -1,0 +1,57 @@
+open Vp_core
+
+(** Portfolio: the racing meta-partitioner (ROADMAP item 2). One request
+    fans every entrant across a domain {!Vp_parallel.Pool} under one
+    shared deadline — each entrant gets a {!Vp_robust.Budget.spawn} of
+    the request's budget, i.e. the same allowance a solo run under that
+    deadline would get — and the response is the cheapest layout any
+    entrant produced, with a per-entrant audit in
+    {!Partitioner.Response.provenance.entrants}.
+
+    {b Winner determinism.} The winner is a pure function of the
+    entrant responses: minimum cost, ties to the lowest registration
+    index. Early cancellation (the [lower_bound] floor) only ever
+    cancels entrants that could at best tie a completed lower-indexed
+    layout — so the winning (layout, cost, entrant) triple is
+    byte-identical at any [--jobs]. Because each entrant's budget is at
+    least what a solo run under the same limits would get, the portfolio
+    never returns a costlier layout than any single entrant granted an
+    equal budget.
+
+    {b Cancellation.} Stragglers are cancelled cooperatively through
+    per-entrant {!Vp_robust.Budget} cancel signals: a cancelled entrant
+    stops at its next tick and surfaces its valid best-so-far layout as
+    {!Partitioner.Timed_out} — those responses still compete (and can
+    win). An entrant that raises instead (e.g. an unbudgeted exact
+    search refusing a hopeless space) is dropped from the race; injected
+    faults still propagate. *)
+
+val default_entrants : unit -> Partitioner.t list
+(** The registry line-up minus the portfolio itself: the six,
+    BruteForce, ILP, Hypergraph, Row, Column — in registration order
+    (which is the tie-break and cancellation order). *)
+
+val make :
+  ?jobs:int ->
+  ?entrants:Partitioner.t list ->
+  ?lower_bound:(Workload.t -> float) ->
+  unit ->
+  Partitioner.t
+(** [jobs] sizes the racing pool (default
+    {!Vp_parallel.Pool.default_jobs}). [entrants] defaults to
+    {!default_entrants}. [lower_bound] is the optional cost floor
+    enabling early cancellation: it must under-estimate the cost of
+    every layout under the request's oracle (e.g.
+    {!Vp_cost.Io_model.pmv_cost} for the disk I/O model); without it the
+    race only ends by entrants finishing or the shared deadline.
+    @raise Invalid_argument on an empty entrant list or when no entrant
+    produces a layout. *)
+
+val with_bound : ?jobs:int -> Vp_cost.Disk.t -> Partitioner.t
+(** The disk-I/O-tuned portfolio: BruteForce and ILP entrants wired with
+    the {!Vp_cost.Bounds.io_brute_force} pruning bound and the race
+    floored at {!Vp_cost.Io_model.pmv_cost}. Only sound when the
+    request's oracle prices that same disk model. *)
+
+val algorithm : Partitioner.t
+(** [make ()] — registered as ["Portfolio"] (short name ["PF"]). *)

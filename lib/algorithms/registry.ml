@@ -22,7 +22,9 @@ include Vp_core.Registry.Make (struct
 
   let key (p : Partitioner.t) = p.name
 
-  let all = six @ [ Brute_force.algorithm ] @ baselines
+  let all =
+    six
+    @ [ Brute_force.algorithm; Ilp.algorithm; Hypergraph.algorithm ]
+    @ baselines
+    @ [ Portfolio.algorithm ]
 end)
-
-let names = list_names

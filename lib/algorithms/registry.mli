@@ -16,10 +16,10 @@ val baselines : Partitioner.t list
 (** Row and Column. *)
 
 include Vp_core.Registry.S with type elt := Partitioner.t
-(** {!find}/{!find_opt} look up any algorithm (the six, BruteForce, Row,
-    Column) by case-insensitive name; {!find} raises [Invalid_argument]
-    on unknown names, listing the valid ones. {!list_names} preserves
-    registration order: the six, then BruteForce, then the baselines. *)
-
-val names : string list
-(** Alias of {!list_names}. *)
+(** {!find}/{!find_opt} look up any algorithm (the six, BruteForce, ILP,
+    Hypergraph, Row, Column, Portfolio) by case-insensitive name;
+    {!find} raises [Invalid_argument] on unknown names, listing the
+    valid ones. {!names} — the one canonical name list, shared with
+    every other registry through {!Vp_core.Registry.S} — preserves
+    registration order: the six, then BruteForce, ILP and Hypergraph,
+    then the baselines, then Portfolio. *)

@@ -109,11 +109,15 @@ let algorithm =
   Partitioner.timed_run_budgeted ~name:"Trojan" ~short_name:"Tr"
     (fun ~budget workload oracle ->
       let best = ref None in
-      (* Under a budget, seed the incumbent with the row layout (priced
+      (* Under a budget — or any cancellable one, which can exhaust at its
+         very first tick — seed the incumbent with the row layout (priced
          before any tick) so exhaustion mid-threshold still leaves a valid
          answer; thresholds complete in a deterministic order, so a larger
          budget only ever adds candidates to the min. *)
-      if Vp_robust.Budget.is_limited budget then begin
+      if
+        Vp_robust.Budget.is_limited budget
+        || Vp_robust.Budget.cancellable budget
+      then begin
         let n = Table.attribute_count (Workload.table workload) in
         let row = Partitioning.row n in
         best := Some (row, Partitioner.Counted.cost oracle row)

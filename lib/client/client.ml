@@ -174,6 +174,15 @@ let partition ?algorithm ?buffer_mb ?deadline_ms ?budget_steps t w =
     (Protocol.partition_request ?algorithm ?buffer_mb ?deadline_ms
        ?budget_steps w)
 
+let partition_race ?buffer_mb ?deadline_ms ?budget_steps t w =
+  let* reply =
+    partition ~algorithm:"portfolio" ?buffer_mb ?deadline_ms ?budget_steps t w
+  in
+  match Protocol.reply_winner reply with
+  | Some winner -> Ok (winner, Protocol.reply_entrants reply)
+  | None ->
+      Error "reply carries no race audit (server predates protocol v4?)"
+
 type opened = { created : bool; restored : bool; generation : int }
 
 let open_session ?panel ?drift_ratio ?min_window ?epoch ?memory ?horizon

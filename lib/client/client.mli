@@ -73,7 +73,22 @@ val partition :
   Workload.t ->
   (Vp_observe.Json.t, string) result
 (** A one-shot panel run; the [ok] reply carries [layout], [cost],
-    [status] and [algorithm] fields (see {!Vp_server.Protocol}). *)
+    [status] and [algorithm] fields (see {!Vp_server.Protocol}).
+    [~algorithm:"portfolio"] (protocol v4) races every registered
+    entrant server-side; the reply then also carries the [winner] and
+    [entrants] race audit — or use {!partition_race} for the decoded
+    form. *)
+
+val partition_race :
+  ?buffer_mb:float ->
+  ?deadline_ms:int ->
+  ?budget_steps:int ->
+  t ->
+  Workload.t ->
+  (string * Vp_server.Protocol.entrant_summary list, string) result
+(** {!partition} with [~algorithm:"portfolio"], plus decoding of the v4
+    race audit: [Ok (winner, entrants)]. [Error] when the server
+    predates protocol v4 (no audit in the reply). *)
 
 type opened = {
   created : bool;  (** [false] when re-attaching to an existing session. *)

@@ -39,26 +39,46 @@ module Request = struct
     budget : Vp_robust.Budget.t option;
     label : string option;
     delta : Delta.factory option;
+    cancel : bool Atomic.t option;
   }
 
-  let make ?budget ?label ?delta ~cost workload =
-    { workload; cost; budget; label; delta }
+  let make ?budget ?cancel ?label ?delta ~cost workload =
+    { workload; cost; budget; label; delta; cancel }
 
   let workload r = r.workload
 
   let delta r = if Delta.enabled () then r.delta else None
 
+  let cancel r = r.cancel
+
   let effective_budget r =
-    match r.budget with Some b -> b | None -> Vp_robust.Budget.current ()
+    let base =
+      match r.budget with Some b -> b | None -> Vp_robust.Budget.current ()
+    in
+    match r.cancel with
+    | None -> base
+    | Some c -> Vp_robust.Budget.with_cancel base c
 end
 
 module Response = struct
+  type entrant = {
+    entrant : string;
+    entrant_short : string;
+    entrant_cost : float;
+    entrant_status : status;
+    entrant_stats : stats;
+    winner : bool;
+  }
+
   type provenance = {
     algorithm : string;
     short_name : string;
     label : string option;
+    entrants : entrant list;
   }
 
+  (* Declared [private] in the interface, so outside this library every
+     construction goes through {!make}. *)
   type t = {
     partitioning : Partitioning.t;
     cost : float;
@@ -66,6 +86,19 @@ module Response = struct
     status : status;
     provenance : provenance;
   }
+
+  (* The one and only constructor: [t] is private, so every producer —
+     the [timed_run*] builders and the portfolio — goes through here and
+     cannot leave the provenance half-initialized. *)
+  let make ~partitioning ~cost ~stats ~status ~algorithm ~short_name ?label
+      ?(entrants = []) () =
+    {
+      partitioning;
+      cost;
+      stats;
+      status;
+      provenance = { algorithm; short_name; label; entrants };
+    }
 end
 
 type t = { name : string; short_name : string; exec : Request.t -> Response.t }
@@ -94,7 +127,8 @@ module Counted = struct
   let candidates o = o.candidates
 end
 
-let finish ~budget ~cost_fn ~oracle ~t0 ~provenance (partitioning, iterations) =
+let finish ~budget ~cost_fn ~oracle ~t0 ~algorithm ~short_name ~label
+    (partitioning, iterations) =
   let elapsed_seconds = Unix.gettimeofday () -. t0 in
   let status =
     if Vp_robust.Budget.exhausted budget then
@@ -103,19 +137,15 @@ let finish ~budget ~cost_fn ~oracle ~t0 ~provenance (partitioning, iterations) =
           elapsed_seconds = Vp_robust.Budget.elapsed_seconds budget }
     else Complete
   in
-  {
-    Response.partitioning;
-    cost = cost_fn partitioning;
-    stats =
+  Response.make ~partitioning ~cost:(cost_fn partitioning)
+    ~stats:
       {
         cost_calls = Counted.calls oracle;
         candidates = Counted.candidates oracle;
         iterations;
         elapsed_seconds;
-      };
-    status;
-    provenance;
-  }
+      }
+    ~status ~algorithm ~short_name ?label ()
 
 let c_algo_runs = Vp_observe.Stats.counter "algo.runs"
 
@@ -126,12 +156,9 @@ let run_builder ~name ~short_name ~session body =
       if Vp_observe.Switch.stats_on () then Vp_observe.Stats.incr c_algo_runs;
       let budget = Request.effective_budget request in
       let oracle = Counted.make request.Request.cost in
-      let provenance =
-        { Response.algorithm = name; short_name;
-          label = request.Request.label }
-      in
       let t0 = Unix.gettimeofday () in
-      finish ~budget ~cost_fn:request.Request.cost ~oracle ~t0 ~provenance
+      finish ~budget ~cost_fn:request.Request.cost ~oracle ~t0 ~algorithm:name
+        ~short_name ~label:request.Request.label
         (body ~budget ~delta:(session request) request.Request.workload oracle)
     in
     (* The span args are only built on the traced path; untraced runs take

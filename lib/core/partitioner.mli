@@ -93,10 +93,18 @@ module Request : sig
             same cost model as [cost]; algorithms built with
             {!timed_run_delta} use it for neighbor probes when present
             and the kill switch is on. *)
+    cancel : bool Atomic.t option;
+        (** Optional shared cancellation signal. It is attached to the
+            effective budget ({!Vp_robust.Budget.with_cancel}), so it is
+            checked at exactly the sites that already
+            {!Vp_robust.Budget.tick} — cancellation is cooperative and
+            deterministic in effect: a cancelled run stops at a tick and
+            returns its valid best-so-far layout tagged {!Timed_out}. *)
   }
 
   val make :
     ?budget:Vp_robust.Budget.t ->
+    ?cancel:bool Atomic.t ->
     ?label:string ->
     ?delta:Delta.factory ->
     cost:cost_fn ->
@@ -109,26 +117,61 @@ module Request : sig
   (** The request's delta factory, or [None] when absent or globally
       disabled via {!Delta.set_enabled} / [VP_NO_DELTA]. *)
 
+  val cancel : t -> bool Atomic.t option
+
   val effective_budget : t -> Vp_robust.Budget.t
-  (** The explicit budget if any, else the ambient one. *)
+  (** The explicit budget if any, else the ambient one — with the
+      request's [cancel] signal (if any) attached. *)
 end
 
 (** What a partitioner answers: the layout plus everything needed to audit
     where it came from. *)
 module Response : sig
+  type entrant = {
+    entrant : string;  (** {!t.name} of the racing entrant. *)
+    entrant_short : string;
+    entrant_cost : float;
+        (** Cost of the entrant's (possibly best-so-far) layout. *)
+    entrant_status : status;
+        (** {!Timed_out} for entrants the race cancelled. *)
+    entrant_stats : stats;
+    winner : bool;  (** Exactly one entrant of a portfolio run wins. *)
+  }
+  (** One line of a portfolio race audit: what each entrant returned
+      before the meta-partitioner picked the winner. *)
+
   type provenance = {
     algorithm : string;  (** {!t.name} of the algorithm that ran. *)
     short_name : string;
     label : string option;  (** The request's label, echoed back. *)
+    entrants : entrant list;
+        (** Per-entrant audit of a portfolio race, in registration
+            order; [[]] for ordinary single-algorithm runs. *)
   }
 
-  type t = {
+  type t = private {
     partitioning : Partitioning.t;
     cost : float;  (** Cost of [partitioning] under the request's oracle. *)
     stats : stats;
     status : status;
     provenance : provenance;
   }
+  (** Private: read fields freely, but construct only through {!make},
+      so no call site can leave the provenance half-initialized. *)
+
+  val make :
+    partitioning:Partitioning.t ->
+    cost:float ->
+    stats:stats ->
+    status:status ->
+    algorithm:string ->
+    short_name:string ->
+    ?label:string ->
+    ?entrants:entrant list ->
+    unit ->
+    t
+  (** The single smart constructor for responses. [entrants] defaults to
+      [[]]; [label] to [None]. *)
 end
 
 type t = { name : string; short_name : string; exec : Request.t -> Response.t }

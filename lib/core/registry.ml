@@ -13,7 +13,7 @@ module type S = sig
 
   val all : elt list
 
-  val list_names : string list
+  val names : string list
 
   val find_opt : string -> elt option
 
@@ -25,13 +25,13 @@ module Make (Spec : SPEC) : S with type elt = Spec.t = struct
 
   let all = Spec.all
 
-  let list_names = List.map Spec.key all
+  let names = List.map Spec.key all
 
   let () =
     let sorted = List.sort_uniq String.compare
-        (List.map String.lowercase_ascii list_names)
+        (List.map String.lowercase_ascii names)
     in
-    if List.length sorted <> List.length list_names then
+    if List.length sorted <> List.length names then
       invalid_arg
         (Printf.sprintf "Registry.Make: duplicate %s names" Spec.kind)
 
@@ -46,5 +46,5 @@ module Make (Spec : SPEC) : S with type elt = Spec.t = struct
         invalid_arg
           (Printf.sprintf "unknown %s %S (valid %ss: %s)" Spec.kind name
              Spec.kind
-             (String.concat ", " list_names))
+             (String.concat ", " names))
 end

@@ -6,9 +6,12 @@
     - lookups are case-insensitive;
     - {!S.find} raises [Invalid_argument] with the uniform message
       ["unknown <kind> \"name\" (valid <kind>s: a, b, ...)"];
-    - {!S.list_names} returns the registered names (original casing) in
+    - {!S.names} is the one canonical name list (original casing) in
       registration order — the order of [SPEC.all] — which callers may
-      rely on for rendering and for deterministic iteration;
+      rely on for rendering and for deterministic iteration. The
+      per-registry aliases that used to shadow it ([names] in
+      [Vp_algorithms.Registry], [ids] in [Vp_experiments.Registry]) are
+      gone: every registry exposes exactly this list under this name;
     - duplicate names (case-insensitive) are rejected at functor
       application time. *)
 
@@ -22,7 +25,7 @@ module type SPEC = sig
   (** The name an entry is registered under. *)
 
   val all : t list
-  (** Every entry, in the order {!S.list_names} must preserve. *)
+  (** Every entry, in the order {!S.names} must preserve. *)
 end
 
 module type S = sig
@@ -31,7 +34,7 @@ module type S = sig
   val all : elt list
   (** The entries, in registration order. *)
 
-  val list_names : string list
+  val names : string list
   (** Names of {!all}, same order (the ordering guarantee). *)
 
   val find_opt : string -> elt option

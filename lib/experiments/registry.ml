@@ -168,6 +168,14 @@ let catalogue =
       description = "Ablations: HillClimb dictionary, HYRISE K, Trojan threshold, clustering order";
       run = Exp_ablations.all;
     };
+    {
+      id = "portfolio";
+      paper_ref = "ROADMAP item 2 / paper section 4";
+      description =
+        "Racing portfolio: ILP + hypergraph entrants vs the six, with \
+         fragility and pay-off for the new entrants";
+      run = Exp_portfolio.run;
+    };
   ]
 
 include Vp_core.Registry.Make (struct
@@ -179,5 +187,3 @@ include Vp_core.Registry.Make (struct
 
   let all = catalogue
 end)
-
-let ids = list_names

@@ -10,10 +10,8 @@ type experiment = {
 }
 
 include Vp_core.Registry.S with type elt := experiment
-(** {!all} and {!list_names} are in presentation order (Tables 1-2,
-    Figures 1-14, Tables 3-7, extensions, ablations); {!find} is a
-    case-insensitive lookup raising [Invalid_argument] on unknown ids,
-    listing the valid ones. *)
-
-val ids : string list
-(** Alias of {!list_names}. *)
+(** {!all} and {!names} are in presentation order (Tables 1-2,
+    Figures 1-14, Tables 3-7, extensions, ablations, portfolio); {!find}
+    is a case-insensitive lookup raising [Invalid_argument] on unknown
+    ids, listing the valid ones. The [ids] alias is gone — {!names} is
+    the one canonical list every registry exposes. *)

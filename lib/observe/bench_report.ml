@@ -1,8 +1,11 @@
-(* v8: adds the [cluster] section (sharded-serving benchmarks: closed-loop
+(* v9: adds the [portfolio] section (racing meta-partitioner: per-table
+   winner, portfolio vs best-single-entrant cost under an equal step
+   budget, and the never-worse gate flag).
+   v8: adds the [cluster] section (sharded-serving benchmarks: closed-loop
    shed rate, tail latency, handoff count/cost, determinism violations).
    v7: adds the [recovery] section (durable-session benchmarks: WAL
    overhead, spill/restore latency, eviction + re-attach rates). *)
-let schema_version = 8
+let schema_version = 9
 
 type algo_entry = {
   algorithm : string;
@@ -95,6 +98,18 @@ type cluster_entry = {
   determinism_violations : int;
 }
 
+type portfolio_entry = {
+  table : string;
+  winner : string;
+  portfolio_cost : float;
+  best_single : string;
+  best_single_cost : float;
+  entrants_run : int;
+  timed_out : int;
+  race_seconds : float;
+  never_worse : bool;
+}
+
 type t = {
   benchmark : string;
   scale_factor : float;
@@ -106,6 +121,7 @@ type t = {
   oracle : oracle_entry list;
   recovery : recovery_entry list;
   cluster : cluster_entry list;
+  portfolio : portfolio_entry list;
   counters : (string * int) list;
   host : host;
 }
@@ -225,6 +241,20 @@ let cluster_json (e : cluster_entry) =
       ("determinism_violations", Json.Int e.determinism_violations);
     ]
 
+let portfolio_json (e : portfolio_entry) =
+  Json.Obj
+    [
+      ("table", Json.String e.table);
+      ("winner", Json.String e.winner);
+      ("portfolio_cost", Json.Float e.portfolio_cost);
+      ("best_single", Json.String e.best_single);
+      ("best_single_cost", Json.Float e.best_single_cost);
+      ("entrants_run", Json.Int e.entrants_run);
+      ("timed_out", Json.Int e.timed_out);
+      ("race_seconds", Json.Float e.race_seconds);
+      ("never_worse", Json.Bool e.never_worse);
+    ]
+
 let host_json h =
   Json.Obj
     [
@@ -250,6 +280,7 @@ let to_json r =
       ("oracle", Json.List (List.map oracle_json r.oracle));
       ("recovery", Json.List (List.map recovery_json r.recovery));
       ("cluster", Json.List (List.map cluster_json r.cluster));
+      ("portfolio", Json.List (List.map portfolio_json r.portfolio));
       ( "counters",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters) );
       ("host", host_json r.host);
@@ -311,6 +342,7 @@ let validate doc =
           ("oracle", Flist);
           ("recovery", Flist);
           ("cluster", Flist);
+          ("portfolio", Flist);
           ("counters", Fobj);
           ("host", Fobj);
         ]
@@ -575,6 +607,44 @@ let validate doc =
                   "restarts";
                   "determinism_violations";
                 ])
+            errors
+            (List.mapi (fun i e -> (i, e)) entries)
+      | _ -> errors
+    in
+    let errors =
+      (* [portfolio] may be empty (modes that run no race), but every
+         entry must be well-typed with non-negative counts. *)
+      match Json.member "portfolio" doc with
+      | Some (Json.List entries) ->
+          List.fold_left
+            (fun errors (i, entry) ->
+              let path = Printf.sprintf "$.portfolio[%d]" i in
+              let errors =
+                match entry with
+                | Json.Obj _ ->
+                    check_fields ~path
+                      [
+                        ("table", Fstring);
+                        ("winner", Fstring);
+                        ("portfolio_cost", Fnumber);
+                        ("best_single", Fstring);
+                        ("best_single_cost", Fnumber);
+                        ("entrants_run", Fint);
+                        ("timed_out", Fint);
+                        ("race_seconds", Fnumber);
+                        ("never_worse", Fbool);
+                      ]
+                      entry errors
+                | _ -> Printf.sprintf "%s: expected an object" path :: errors
+              in
+              List.fold_left
+                (fun errors name ->
+                  match Json.member name entry with
+                  | Some (Json.Int v) when v < 0 ->
+                      Printf.sprintf "%s.%s: must be >= 0" path name :: errors
+                  | _ -> errors)
+                errors
+                [ "entrants_run"; "timed_out" ])
             errors
             (List.mapi (fun i e -> (i, e)) entries)
       | _ -> errors

@@ -13,15 +13,18 @@
 
 val schema_version : int
 (** Bumped whenever a field is renamed, retyped or removed (adding
-    fields is compatible). Currently [8]: v8 adds the required
-    [cluster] section (the sharded-cluster closed-loop and handoff
-    outcomes — shed rate, latency percentiles, handoff cost and the
-    determinism-violation count — emitted into [BENCH_8.json] by
-    [bench --mode cluster]); v7 added the [recovery] section
-    (durable-session outcomes); v6 added the [oracle] section
-    (full-vs-incremental cost-oracle microbenchmark outcomes); v5 added
-    the [server] section (the layout daemon's closed-loop
-    load-generator outcomes); v4 added the [online] section. *)
+    fields is compatible). Currently [9]: v9 adds the required
+    [portfolio] section (per-table racing-portfolio outcomes — winner,
+    portfolio vs best-single-entrant cost under an equal step budget,
+    and the never-worse gate flag — emitted into [BENCH_9.json] by
+    [bench --mode portfolio]); v8 added the required [cluster] section
+    (the sharded-cluster closed-loop and handoff outcomes — shed rate,
+    latency percentiles, handoff cost and the determinism-violation
+    count); v7 added the [recovery] section (durable-session outcomes);
+    v6 added the [oracle] section (full-vs-incremental cost-oracle
+    microbenchmark outcomes); v5 added the [server] section (the layout
+    daemon's closed-loop load-generator outcomes); v4 added the
+    [online] section. *)
 
 type algo_entry = {
   algorithm : string;
@@ -138,6 +141,22 @@ type cluster_entry = {
     closed-loop load generator and the mid-run ring-change (handoff)
     benchmark. *)
 
+type portfolio_entry = {
+  table : string;  (** raced TPC-H table *)
+  winner : string;  (** winning entrant's algorithm name *)
+  portfolio_cost : float;  (** the race's layout cost *)
+  best_single : string;  (** cheapest entrant run solo, same budget *)
+  best_single_cost : float;
+  entrants_run : int;  (** entrants that produced a layout *)
+  timed_out : int;  (** entrants that degraded (cancelled or spent) *)
+  race_seconds : float;  (** race wall time (informational) *)
+  never_worse : bool;
+      (** [portfolio_cost <= best_single_cost] (up to rounding); CI
+          asserts this on every table *)
+}
+(** One raced table of [bench --mode portfolio]: the portfolio against
+    every single entrant under the same deterministic step budget. *)
+
 type t = {
   benchmark : string;   (** e.g. ["tpch"] *)
   scale_factor : float;
@@ -158,6 +177,8 @@ type t = {
   cluster : cluster_entry list;
       (** Sharded-cluster phases; [[]] for modes that start no
           router. *)
+  portfolio : portfolio_entry list;
+      (** Racing-portfolio tables; [[]] for modes that run no race. *)
   counters : (string * int) list;  (** merged snapshot, sorted *)
   host : host;
 }

@@ -7,10 +7,12 @@ type t = {
   created : float;
   steps : int Atomic.t;
   spent : bool Atomic.t;
+  cancels : bool Atomic.t list;  (* shared cooperative cancel signals *)
 }
 
 (* The shared no-op budget. It must never be mutated: [try_tick] and
-   [exhaust] both short-circuit on [limited = false]. *)
+   [exhaust] both short-circuit on it, and {!with_cancel}/{!spawn} hand
+   out private copies instead of attaching a signal to it. *)
 let unlimited =
   {
     limited = false;
@@ -19,9 +21,10 @@ let unlimited =
     created = 0.0;
     steps = Atomic.make 0;
     spent = Atomic.make false;
+    cancels = [];
   }
 
-let create ?deadline_seconds ?max_steps () =
+let create ?cancel ?deadline_seconds ?max_steps () =
   (match deadline_seconds with
   | Some d when d <= 0.0 ->
       invalid_arg "Budget.create: non-positive deadline"
@@ -38,13 +41,56 @@ let create ?deadline_seconds ?max_steps () =
     created = now;
     steps = Atomic.make 0;
     spent = Atomic.make false;
+    cancels = Option.to_list cancel;
   }
 
 let is_limited t = t.limited
 
-let exhausted t = Atomic.get t.spent
+let cancellable t = t.cancels <> []
 
-let exhaust t = if t.limited then Atomic.set t.spent true
+let cancelled t =
+  match t.cancels with
+  | [] -> false
+  | cancels -> List.exists Atomic.get cancels
+
+let exhausted t = Atomic.get t.spent || cancelled t
+
+let exhaust t = if t != unlimited then Atomic.set t.spent true
+
+(* Attach a cancel signal without forking the allowance: the copy shares
+   the step/spent cells, so ticks on either count against the same
+   limits, and every attached signal (old and new) keeps being checked.
+   The shared [unlimited] is never extended in place — it gets a private
+   cancel-only copy that stays un-[limited] (space guards still apply;
+   nothing is counted) but whose ticks observe the signal. *)
+let with_cancel t cancel =
+  if t == unlimited then
+    {
+      unlimited with
+      created = Unix.gettimeofday ();
+      steps = Atomic.make 0;
+      spent = Atomic.make false;
+      cancels = [ cancel ];
+    }
+  else { t with cancels = cancel :: t.cancels }
+
+(* A child budget with the parent's absolute deadline and step allowance
+   but fresh counters — what a racing portfolio hands each entrant so
+   every entrant gets the budget a solo run under the same deadline
+   would. The child also watches the parent's cancel signals (plus its
+   own), and is born exhausted if the parent already is. *)
+let spawn ?cancel parent =
+  if parent == unlimited && cancel = None then parent
+  else
+    {
+      limited = parent.limited;
+      deadline = parent.deadline;
+      max_steps = parent.max_steps;
+      created = Unix.gettimeofday ();
+      steps = Atomic.make 0;
+      spent = Atomic.make (exhausted parent);
+      cancels = Option.to_list cancel @ parent.cancels;
+    }
 
 let steps t = Atomic.get t.steps
 
@@ -56,7 +102,13 @@ let elapsed_seconds t =
 let c_steps = Vp_observe.Stats.counter "budget.steps"
 
 let try_tick t =
-  if not t.limited then true
+  if cancelled t then begin
+    (* Any budget carrying a cancel signal is a private copy (the shared
+       [unlimited] never carries one), so marking it spent is safe. *)
+    Atomic.set t.spent true;
+    false
+  end
+  else if not t.limited then true
   else if Atomic.get t.spent then false
   else begin
     if Vp_observe.Switch.stats_on () then Vp_observe.Stats.incr c_steps;

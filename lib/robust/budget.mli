@@ -33,16 +33,54 @@ val unlimited : t
 (** The no-op budget: never exhausts, counts nothing. This is the ambient
     default, so un-budgeted runs pay (almost) nothing. *)
 
-val create : ?deadline_seconds:float -> ?max_steps:int -> unit -> t
+val create :
+  ?cancel:bool Atomic.t ->
+  ?deadline_seconds:float ->
+  ?max_steps:int ->
+  unit ->
+  t
 (** A fresh budget. [deadline_seconds] is relative to now; [max_steps]
     bounds the number of {!tick}s. With neither, the budget never
     exhausts on its own but can still be {!exhaust}ed externally (fault
-    injection, cooperative cancellation).
+    injection, cooperative cancellation). [cancel] is a shared
+    cancellation signal checked at every tick: once somebody sets it,
+    the next tick marks the budget exhausted — the cancelled search
+    stops at exactly a tick site and degrades to its best-so-far answer,
+    the same contract as natural exhaustion.
     @raise Invalid_argument on a non-positive deadline or negative step
     count. *)
 
 val is_limited : t -> bool
-(** [false] only for {!unlimited}. *)
+(** [false] only for {!unlimited}-derived budgets (including cancel-only
+    copies made by {!with_cancel}), which count nothing. *)
+
+val with_cancel : t -> bool Atomic.t -> t
+(** [with_cancel t c] is [t] with the cancel signal [c] attached in
+    addition to any already-attached signals (all are checked). The copy
+    shares [t]'s step and exhaustion state, so ticks on either count
+    against the same limits. {!unlimited} is never mutated: attaching a
+    signal to it returns a private cancel-only budget that stays
+    un-{!is_limited}. *)
+
+val spawn : ?cancel:bool Atomic.t -> t -> t
+(** A child budget with the parent's absolute deadline and step
+    allowance but fresh counters, optionally with its own cancel signal
+    — the parent's signals keep being watched either way. This is how a
+    racing portfolio gives each entrant the budget a solo run under the
+    same shared deadline would get, while keeping each entrant
+    individually cancellable. A child of an already-exhausted parent is
+    born exhausted. [spawn unlimited] with no signal is {!unlimited}
+    itself. *)
+
+val cancellable : t -> bool
+(** Whether at least one cancel signal is attached. A cancellable budget
+    can exhaust at any tick even when un-{!is_limited}, so searches that
+    seed a best-so-far incumbent only under limited budgets must also
+    seed it when this holds. *)
+
+val cancelled : t -> bool
+(** Whether the attached cancel signal (if any) has been raised.
+    Passive; does not count a step. *)
 
 val try_tick : t -> bool
 (** Counts one step. Returns [false] (and marks the budget exhausted) when
@@ -56,7 +94,9 @@ val exhaust : t -> unit
 (** Force exhaustion (sticky). No-op on {!unlimited}. *)
 
 val exhausted : t -> bool
-(** Passive check; does not count a step. *)
+(** Passive check; does not count a step. Also [true] once the attached
+    cancel signal is raised, so a cancelled run reports [Timed_out] even
+    if it never reached another tick. *)
 
 val steps : t -> int
 (** Ticks consumed so far (0 for {!unlimited}). *)

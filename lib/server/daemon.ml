@@ -85,17 +85,42 @@ let stats_reply t =
       ("gauges", ints snap.Vp_observe.Stats.gauges);
     ]
 
+(* When the request names an algorithm with a disk-aware spelling —
+   BruteForce/ILP take the I/O pruning bound, the portfolio takes the
+   pmv cost floor that makes early cancellation sound — use it; the
+   request's buffer size selects the disk the bound prices. *)
+let resolve_algorithm disk name =
+  match String.lowercase_ascii name with
+  | "bruteforce" ->
+      Some
+        (Vp_algorithms.Brute_force.make
+           ~lower_bound:(Vp_cost.Bounds.io_brute_force disk) ())
+  | "ilp" -> Some (Vp_algorithms.Ilp.with_bound disk)
+  | "portfolio" -> Some (Vp_algorithms.Portfolio.with_bound disk)
+  | _ -> Vp_algorithms.Registry.find_opt name
+
+let entrant_json (e : Partitioner.Response.entrant) =
+  Json.Obj
+    [
+      ("name", Json.String e.entrant);
+      ("short", Json.String e.entrant_short);
+      ("cost", Json.Float e.entrant_cost);
+      ("run_status", Json.String (status_string e.entrant_status));
+      ("cost_calls", Json.Int e.entrant_stats.Partitioner.cost_calls);
+      ("winner", Json.Bool e.winner);
+    ]
+
 let partition_reply ~workload ~algorithm ~buffer_mb ~budget =
-  match Vp_algorithms.Registry.find_opt algorithm with
+  let disk =
+    Vp_cost.Disk.with_buffer_size Vp_cost.Disk.default
+      (Vp_cost.Disk.mb buffer_mb)
+  in
+  match resolve_algorithm disk algorithm with
   | None ->
       Protocol.error_reply
         (Printf.sprintf "unknown algorithm %S (try: %s)" algorithm
            (String.concat ", " Vp_algorithms.Registry.names))
   | Some algo ->
-      let disk =
-        Vp_cost.Disk.with_buffer_size Vp_cost.Disk.default
-          (Vp_cost.Disk.mb buffer_mb)
-      in
       let cost = Vp_cost.Io_model.oracle disk workload in
       let delta = Vp_cost.Io_model.Incremental.factory disk workload in
       let request =
@@ -104,19 +129,34 @@ let partition_reply ~workload ~algorithm ~buffer_mb ~budget =
           ~label:"server" ~delta ~cost workload
       in
       let resp = Partitioner.exec algo request in
+      let race_fields =
+        match resp.Partitioner.Response.provenance.entrants with
+        | [] -> []
+        | entrants ->
+            let winner =
+              List.find_opt
+                (fun (e : Partitioner.Response.entrant) -> e.winner)
+                entrants
+            in
+            (match winner with
+            | Some e -> [ ("winner", Json.String e.entrant) ]
+            | None -> [])
+            @ [ ("entrants", Json.List (List.map entrant_json entrants)) ]
+      in
       Protocol.ok_reply
-        [
-          ( "layout",
-            Protocol.layout_to_json (Workload.table workload)
-              resp.Partitioner.Response.partitioning );
-          ("cost", Json.Float resp.Partitioner.Response.cost);
-          ( "run_status",
-            Json.String (status_string resp.Partitioner.Response.status) );
-          ( "algorithm",
-            Json.String resp.Partitioner.Response.provenance.algorithm );
-          ( "cost_calls",
-            Json.Int resp.Partitioner.Response.stats.Partitioner.cost_calls );
-        ]
+        ([
+           ( "layout",
+             Protocol.layout_to_json (Workload.table workload)
+               resp.Partitioner.Response.partitioning );
+           ("cost", Json.Float resp.Partitioner.Response.cost);
+           ( "run_status",
+             Json.String (status_string resp.Partitioner.Response.status) );
+           ( "algorithm",
+             Json.String resp.Partitioner.Response.provenance.algorithm );
+           ( "cost_calls",
+             Json.Int resp.Partitioner.Response.stats.Partitioner.cost_calls );
+         ]
+        @ race_fields)
 
 let with_named_session t session f =
   match Sessions.view t.sessions session f with

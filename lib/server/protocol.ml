@@ -1,7 +1,12 @@
 open Vp_core
 module Json = Vp_observe.Json
 
-(* v3: adds the shard-management ops the cluster router drives during
+(* v4: [partition] accepts ["algorithm":"portfolio"] (the racing
+   meta-partitioner) — the reply then also carries the winning entrant's
+   name in [winner] and a per-entrant [entrants] audit array (name,
+   short, cost, run_status, cost_calls, winner flag). Additive; v3
+   clients keep working and non-portfolio replies are unchanged.
+   v3: adds the shard-management ops the cluster router drives during
    session handoff — [detach] (spill a session to disk and forget it,
    leaving its files), [adopt] (register a session from its on-disk
    meta) and [sessions] (list registered names). All additive; v2
@@ -9,7 +14,7 @@ module Json = Vp_observe.Json
    v2: [ingest] accepts an idempotent [seq], [open] replies carry
    [restored], and the daemon may answer [duplicate] on a replayed
    ingest. *)
-let protocol_version = 3
+let protocol_version = 4
 
 let default_port = 7171
 
@@ -523,3 +528,45 @@ let reply_status doc =
 let reply_error doc = string_field "error" doc
 
 let retry_after_ms doc = int_field "retry_after_ms" doc
+
+(* --- the v4 race audit --- *)
+
+type entrant_summary = {
+  entrant : string;
+  entrant_short : string;
+  entrant_cost : float;
+  entrant_status : string;
+  entrant_cost_calls : int;
+  entrant_winner : bool;
+}
+
+let reply_winner doc = string_field "winner" doc
+
+let reply_entrants doc =
+  match list_field "entrants" doc with
+  | None -> []
+  | Some l ->
+      List.filter_map
+        (fun e ->
+          match e with
+          | Json.Obj _ ->
+              Option.map
+                (fun name ->
+                  {
+                    entrant = name;
+                    entrant_short =
+                      Option.value ~default:"" (string_field "short" e);
+                    entrant_cost =
+                      Option.value ~default:Float.nan (float_field "cost" e);
+                    entrant_status =
+                      Option.value ~default:"" (string_field "run_status" e);
+                    entrant_cost_calls =
+                      Option.value ~default:0 (int_field "cost_calls" e);
+                    entrant_winner =
+                      (match Json.member "winner" e with
+                      | Some (Json.Bool b) -> b
+                      | _ -> false);
+                  })
+                (string_field "name" e)
+          | _ -> None)
+        l

@@ -17,7 +17,10 @@ open Vp_core
     - [partition] — a one-shot panel run: an inline table + query
       footprints, an algorithm name, an optional deadline/step budget;
       answers the layout, its cost and the degradation status
-      ({!Vp_core.Partitioner.status}).
+      ({!Vp_core.Partitioner.status}). The name ["portfolio"] (v4)
+      races every registered entrant under the shared budget; the reply
+      then also carries [winner] and the [entrants] audit (see
+      {!entrant_summary}).
     - [open]/[ingest]/[layout]/[history]/[close] — a named
       {!Vp_online.Service} session per table, ingesting one query per
       request and answering generation/decision state.
@@ -200,6 +203,24 @@ val reply_error : Vp_observe.Json.t -> string option
 
 val retry_after_ms : Vp_observe.Json.t -> int option
 (** The backoff hint of an [overloaded] reply. *)
+
+(** One row of the race audit a v4 portfolio [partition] reply carries
+    in its ["entrants"] array. *)
+type entrant_summary = {
+  entrant : string;
+  entrant_short : string;
+  entrant_cost : float;  (** [nan] when the field is absent. *)
+  entrant_status : string;  (** ["complete"] or ["timed_out"]. *)
+  entrant_cost_calls : int;
+  entrant_winner : bool;
+}
+
+val reply_winner : Vp_observe.Json.t -> string option
+(** The winning entrant's algorithm name ([None] on non-portfolio
+    replies and pre-v4 servers). *)
+
+val reply_entrants : Vp_observe.Json.t -> entrant_summary list
+(** The per-entrant audit of a portfolio reply; [[]] when absent. *)
 
 val string_field : string -> Vp_observe.Json.t -> string option
 

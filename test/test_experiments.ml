@@ -4,7 +4,7 @@ let contains haystack needle =
   n = 0 || go 0
 
 let test_registry_ids_unique () =
-  let ids = Vp_experiments.Registry.ids in
+  let ids = Vp_experiments.Registry.names in
   Alcotest.(check int) "no duplicates"
     (List.length ids)
     (List.length (List.sort_uniq compare ids))
@@ -26,7 +26,7 @@ let test_registry_find () =
 
 let test_registry_covers_paper () =
   (* Every table (1-7) and figure (1-14) of the paper is present. *)
-  let ids = Vp_experiments.Registry.ids in
+  let ids = Vp_experiments.Registry.names in
   List.iter
     (fun id ->
       Alcotest.(check bool) (id ^ " present") true (List.mem id ids))

@@ -353,6 +353,20 @@ let golden_report =
           determinism_violations = 0;
         };
       ];
+    portfolio =
+      [
+        {
+          Vp_observe.Bench_report.table = "customer";
+          winner = "HillClimb";
+          portfolio_cost = 410.25;
+          best_single = "HillClimb";
+          best_single_cost = 410.25;
+          entrants_run = 11;
+          timed_out = 2;
+          race_seconds = 0.25;
+          never_worse = true;
+        };
+      ];
     counters = [ ("cost.oracle_calls", 42); ("pool.tasks_run", 7) ];
     host =
       {

@@ -157,7 +157,12 @@ let test_budget_monotonicity () =
           | [ _ ] | [] -> ()
         in
         pairs costs)
-      (Vp_algorithms.Registry.six @ [ Vp_experiments.Common.brute_force disk ])
+      (Vp_algorithms.Registry.six
+      @ [
+          Vp_experiments.Common.brute_force disk;
+          Vp_algorithms.Ilp.with_bound disk;
+          Vp_algorithms.Hypergraph.algorithm;
+        ])
   done
 
 (* Delta probes must charge the budget exactly like full re-costs: under
@@ -205,7 +210,12 @@ let test_budget_delta_parity () =
                      a.Partitioner.name i max_steps)
                   full with_delta)
               budget_ladder)
-          (Vp_algorithms.Registry.six @ [ Vp_experiments.Common.brute_force disk ])
+          (Vp_algorithms.Registry.six
+      @ [
+          Vp_experiments.Common.brute_force disk;
+          Vp_algorithms.Ilp.with_bound disk;
+          Vp_algorithms.Hypergraph.algorithm;
+        ])
       done)
 
 let test_algorithm_registry_errors () =

@@ -28,6 +28,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("determinism", Test_determinism.suite);
       ("invariants", Test_invariants.suite);
+      ("portfolio", Test_portfolio.suite);
       ("robust", Test_robust.suite);
       ("observe", Test_observe.suite);
       ("online", Test_online.suite);
