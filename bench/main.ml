@@ -5,7 +5,7 @@
    runner + cost cache against the plain sequential, uncached execution.
 
    Usage:
-     bench/main.exe [--mode all|experiments|bechamel|parallel|budget|online|server|oracle|recovery|cluster|json]
+     bench/main.exe [--mode all|experiments|bechamel|parallel|budget|online|server|oracle|recovery|cluster|portfolio|scale|json]
                     [--jobs N] [--json PATH]
 
    Modes:
@@ -50,6 +50,17 @@
                   handoff — every served history checked byte-for-byte
                   against the local replay (any divergence exits 1).
                   Outcomes land in the JSON report's "cluster" section.
+     scale        the streaming substrate at SF 100: a bounded-prefix
+                  generation throughput probe with O(chunk) tail access,
+                  the out-of-core row-to-column transform and a virtual
+                  query scan over 600M rows — gated at <= 512 MiB peak
+                  heap — then the SF 0.1 streamed-vs-materialized
+                  identity check (digests, transform accounting, build
+                  accounting and per-query device stats, byte for byte)
+                  and the per-partition format selector over the TPC-H
+                  line-up (chosen vector never costlier than all-Plain).
+                  Any violation exits 1. Outcomes land in the JSON
+                  report's "scale" section.
      json         nothing but the machine-readable report (see --json).
 
    --json PATH    additionally run every algorithm over the TPC-H line-up
@@ -1618,6 +1629,296 @@ let portfolio_section () =
   if worse <> [] then exit 1;
   entries
 
+(* --- Streaming-substrate benchmark (--mode scale): the chunked
+   generator, the out-of-core storage simulation and the per-partition
+   format selector at a scale factor the materializing path could not
+   hold. [Gc.quick_stat ()].top_heap_words is a process-wide high-water
+   mark, so the dispatch runs this section before anything else builds a
+   table: the <= 512 MiB gate taken after the SF100 phases then really
+   bounds the streaming pipeline's working set. The small-SF identity
+   phase (streamed vs materialized, device stats byte for byte) and the
+   format-selection phase follow once the gate value is captured. --- *)
+
+let scale_sf = 100.0
+
+let scale_identity_sf = 0.1
+
+let scale_heap_gate_mb = 512.0
+
+let peak_heap_mb () =
+  float_of_int (Gc.quick_stat ()).Gc.top_heap_words
+  *. float_of_int (Sys.word_size / 8)
+  /. (1024.0 *. 1024.0)
+
+let zero_io =
+  { Vp_storage.Device.elapsed = 0.0; seeks = 0; blocks_read = 0;
+    blocks_written = 0 }
+
+let scale_entry ~phase ~table ~sf ~rows ~jobs ~seconds ?(io = zero_io)
+    ?(rows_per_sec = 0.0) ~identical ?(cost_plain = 0.0)
+    ?(cost_chosen = 0.0) ~detail () =
+  {
+    Vp_observe.Bench_report.phase;
+    table;
+    sf;
+    rows;
+    jobs;
+    seconds;
+    rows_per_sec;
+    peak_heap_mb = peak_heap_mb ();
+    io_elapsed = io.Vp_storage.Device.elapsed;
+    seeks = io.Vp_storage.Device.seeks;
+    blocks_read = io.Vp_storage.Device.blocks_read;
+    blocks_written = io.Vp_storage.Device.blocks_written;
+    identical;
+    cost_plain;
+    cost_chosen;
+    detail;
+  }
+
+(* A bounded prefix of the SF100 lineitem stream, timed for throughput;
+   then the last chunk by index — random access near row 600M costs the
+   same O(chunk) as chunk 0, the property the pool fan-out builds on.
+   Determinism cross-checks: a second generator with the same seed
+   reproduces both ends of the stream, and the full SF0.1 digest is
+   bitwise equal at jobs 1 and jobs 4. *)
+let scale_generate () =
+  let gen = Vp_datagen.Rowgen.create () in
+  let big = Vp_benchmarks.Tpch.table ~sf:scale_sf "lineitem" in
+  let source = Vp_stream.Source.of_rowgen gen big in
+  let chunks = Vp_stream.Source.chunk_count source in
+  let prefix = 4 in
+  let prefix_rows, seconds =
+    time (fun () ->
+        let rows = ref 0 in
+        for c = 0 to prefix - 1 do
+          rows := !rows + Array.length (Vp_stream.Source.chunk source c)
+        done;
+        !rows)
+  in
+  let last, last_seconds =
+    time (fun () -> Vp_stream.Source.chunk source (chunks - 1))
+  in
+  let source2 =
+    Vp_stream.Source.of_rowgen (Vp_datagen.Rowgen.create ()) big
+  in
+  let replayed =
+    Vp_stream.Source.chunk source2 0 = Vp_stream.Source.chunk source 0
+    && Vp_stream.Source.chunk source2 (chunks - 1) = last
+  in
+  let small = Vp_benchmarks.Tpch.table ~sf:scale_identity_sf "lineitem" in
+  let digest_at jobs =
+    Vp_parallel.Pool.with_pool ~jobs @@ fun pool ->
+    Vp_stream.Source.digest ~pool (Vp_stream.Source.of_rowgen gen small)
+  in
+  let identical = replayed && digest_at 1 = digest_at 4 in
+  let rows_per_sec =
+    if seconds > 0.0 then float_of_int prefix_rows /. seconds else 0.0
+  in
+  Printf.printf
+    "  generate   %d of %d chunks in %.2f s (%.0f rows/s), tail chunk in \
+     %.3f s, jobs 1 = jobs 4 %s\n\
+     %!"
+    prefix chunks seconds rows_per_sec last_seconds
+    (if identical then "ok" else "DIVERGED");
+  scale_entry ~phase:"generate" ~table:"lineitem" ~sf:scale_sf
+    ~rows:prefix_rows ~jobs:4 ~seconds:(seconds +. last_seconds)
+    ~rows_per_sec ~identical
+    ~detail:
+      (Printf.sprintf "%d-chunk prefix + O(chunk) access to chunk %d" prefix
+         (chunks - 1))
+    ()
+
+(* Row-to-column transform of SF100 lineitem: pure block-geometry
+   accounting (the virtual fast path), so it finishes in seconds without
+   touching 90 GB of rows — and a second run replays the identical
+   request sequence. *)
+let scale_transform () =
+  let disk = Vp_experiments.Common.disk in
+  let gen = Vp_datagen.Rowgen.create () in
+  let table = Vp_benchmarks.Tpch.table ~sf:scale_sf "lineitem" in
+  let source = Vp_stream.Source.of_rowgen gen table in
+  let layout = Partitioning.column (Table.attribute_count table) in
+  let r, seconds =
+    time (fun () -> Vp_storage.Creation.transform ~disk table source layout)
+  in
+  let r2 = Vp_storage.Creation.transform ~disk table source layout in
+  let identical = r = r2 in
+  Printf.printf
+    "  transform  %d -> %d blocks, %.1f simulated s in %.2f wall s  %s\n%!"
+    r.Vp_storage.Creation.source_blocks r.Vp_storage.Creation.written_blocks
+    r.Vp_storage.Creation.io.Vp_storage.Device.elapsed seconds
+    (if identical then "ok" else "DIVERGED");
+  scale_entry ~phase:"transform" ~table:"lineitem" ~sf:scale_sf
+    ~rows:(Table.row_count table) ~jobs:1 ~seconds
+    ~io:r.Vp_storage.Creation.io ~identical
+    ~detail:
+      (Printf.sprintf "%d source blocks -> %d partition blocks"
+         r.Vp_storage.Creation.source_blocks
+         r.Vp_storage.Creation.written_blocks)
+    ()
+
+(* Build SF100 lineitem as virtual (accounting-only) partition files and
+   run the first lineitem query: the executor replays the materialized
+   scan's refill schedule without decoding, so the whole thing stays in a
+   fixed working set. *)
+let scale_scan () =
+  let disk = Vp_experiments.Common.disk in
+  let gen = Vp_datagen.Rowgen.create () in
+  let table = Vp_benchmarks.Tpch.table ~sf:scale_sf "lineitem" in
+  let w = Vp_benchmarks.Tpch.workload ~sf:scale_sf "lineitem" in
+  let source = Vp_stream.Source.of_rowgen gen table in
+  let layout = Partitioning.column (Table.attribute_count table) in
+  let db, build_seconds =
+    time (fun () ->
+        Vp_storage.Database.build ~retain:false ~disk
+          ~codec:Vp_storage.Codec.Plain table source layout)
+  in
+  let q = (Workload.queries w).(0) in
+  let r, scan_seconds =
+    time (fun () -> Vp_storage.Database.run_query db q)
+  in
+  let r2 = Vp_storage.Database.run_query db q in
+  let identical =
+    r = r2 && r.Vp_storage.Database.checksum = 0
+    && r.Vp_storage.Database.rows_out = Table.row_count table
+  in
+  Printf.printf
+    "  scan       Q1 over %d rows: %d partitions, %d blocks, %.1f simulated \
+     s in %.2f wall s  %s\n\
+     %!"
+    r.Vp_storage.Database.rows_out r.Vp_storage.Database.partitions_read
+    r.Vp_storage.Database.io.Vp_storage.Device.blocks_read
+    r.Vp_storage.Database.io.Vp_storage.Device.elapsed scan_seconds
+    (if identical then "ok" else "DIVERGED");
+  scale_entry ~phase:"scan" ~table:"lineitem" ~sf:scale_sf
+    ~rows:r.Vp_storage.Database.rows_out ~jobs:1
+    ~seconds:(build_seconds +. scan_seconds) ~io:r.Vp_storage.Database.io
+    ~identical
+    ~detail:
+      (Printf.sprintf "virtual replay, %d partitions read"
+         r.Vp_storage.Database.partitions_read)
+    ()
+
+(* The identity phase at SF 0.1: the streamed and the materialized paths
+   must agree byte for byte — stream digest vs materialized digest,
+   transform accounting, build accounting, and a query's device stats
+   under the virtual executor vs the decoding one. *)
+let scale_identity () =
+  let disk = Vp_experiments.Common.disk in
+  let gen = Vp_datagen.Rowgen.create () in
+  let table = Vp_benchmarks.Tpch.table ~sf:scale_identity_sf "lineitem" in
+  let w = Vp_benchmarks.Tpch.workload ~sf:scale_identity_sf "lineitem" in
+  let streamed = Vp_stream.Source.of_rowgen gen table in
+  let layout = Partitioning.column (Table.attribute_count table) in
+  let rows, seconds = time (fun () -> Vp_datagen.Rowgen.rows gen table) in
+  let materialized = Vp_stream.Source.of_rows table rows in
+  let digest_ok =
+    Vp_stream.Source.digest streamed = Vp_stream.Source.digest materialized
+  in
+  let t_s = Vp_storage.Creation.transform ~disk table streamed layout in
+  let t_m = Vp_storage.Creation.transform ~disk table materialized layout in
+  let db_v =
+    Vp_storage.Database.build ~retain:false ~disk
+      ~codec:Vp_storage.Codec.Plain table streamed layout
+  in
+  let db_m =
+    Vp_storage.Database.build ~disk ~codec:Vp_storage.Codec.Plain table
+      materialized layout
+  in
+  let q = (Workload.queries w).(0) in
+  let rv = Vp_storage.Database.run_query db_v q in
+  let rm = Vp_storage.Database.run_query db_m q in
+  let identical =
+    digest_ok && t_s = t_m
+    && Vp_storage.Database.load_stats db_v
+       = Vp_storage.Database.load_stats db_m
+    && rv.Vp_storage.Database.io = rm.Vp_storage.Database.io
+    && rv.Vp_storage.Database.values_decoded
+       = rm.Vp_storage.Database.values_decoded
+    && rv.Vp_storage.Database.checksum = 0
+  in
+  Printf.printf
+    "  identity   %d rows: digests %s, transform %s, load %s, query io %s\n%!"
+    (Array.length rows)
+    (if digest_ok then "equal" else "DIVERGED")
+    (if t_s = t_m then "equal" else "DIVERGED")
+    (if
+       Vp_storage.Database.load_stats db_v
+       = Vp_storage.Database.load_stats db_m
+     then "equal"
+     else "DIVERGED")
+    (if rv.Vp_storage.Database.io = rm.Vp_storage.Database.io then "equal"
+     else "DIVERGED");
+  scale_entry ~phase:"identity" ~table:"lineitem" ~sf:scale_identity_sf
+    ~rows:(Array.length rows) ~jobs:1 ~seconds
+    ~io:rm.Vp_storage.Database.io ~identical
+    ~detail:"streamed vs materialized: digest, transform, build, query io"
+    ()
+
+(* Per-partition format selection over the TPC-H line-up: the chosen
+   vector must never cost more than all-Plain (choose starts there and
+   keeps strict improvements only). *)
+let scale_formats () =
+  let disk = Vp_experiments.Common.disk in
+  let workloads = Vp_benchmarks.Tpch.workloads ~sf:Vp_experiments.Common.sf in
+  List.map
+    (fun w ->
+      let table = Workload.table w in
+      let layout = Partitioning.column (Table.attribute_count table) in
+      let stats = Vp_storage.Format.schema_stats table in
+      let chosen, seconds =
+        time (fun () -> Vp_storage.Format.choose disk table w layout stats)
+      in
+      let plain = Vp_storage.Format.plain table layout in
+      let cost_plain =
+        Vp_storage.Format.scan_cost disk table w layout plain
+      in
+      let cost_chosen =
+        Vp_storage.Format.scan_cost disk table w layout chosen
+      in
+      let identical = cost_chosen <= cost_plain +. 1e-9 in
+      Printf.printf
+        "  formats    %-10s plain %12.3f -> chosen %12.3f  %s\n%!"
+        (Table.name table) cost_plain cost_chosen
+        (if identical then "ok" else "WORSE");
+      scale_entry ~phase:"formats" ~table:(Table.name table)
+        ~sf:Vp_experiments.Common.sf ~rows:(Table.row_count table) ~jobs:1
+        ~seconds ~identical ~cost_plain ~cost_chosen
+        ~detail:(Vp_storage.Format.to_string chosen) ())
+    workloads
+
+let scale_section () =
+  Vp_observe.Switch.(raise_to Stats);
+  print_string
+    (Vp_experiments.Common.heading
+       "Streaming substrate: constant-memory SF100, identity, formats");
+  let generate = scale_generate () in
+  let transform = scale_transform () in
+  let scan = scale_scan () in
+  let sf100_peak = scan.Vp_observe.Bench_report.peak_heap_mb in
+  Printf.printf "  SF100 peak heap: %.1f MiB (gate %.0f MiB)\n%!" sf100_peak
+    scale_heap_gate_mb;
+  let identity = scale_identity () in
+  let formats = scale_formats () in
+  let entries = generate :: transform :: scan :: identity :: formats in
+  let bad =
+    List.filter
+      (fun (e : Vp_observe.Bench_report.scale_entry) -> not e.identical)
+      entries
+  in
+  List.iter
+    (fun (e : Vp_observe.Bench_report.scale_entry) ->
+      Printf.printf "  VIOLATION in phase %s (%s)\n%!" e.phase e.table)
+    bad;
+  if sf100_peak > scale_heap_gate_mb then begin
+    Printf.printf "  HEAP GATE EXCEEDED: %.1f MiB > %.0f MiB\n%!" sf100_peak
+      scale_heap_gate_mb;
+    exit 1
+  end;
+  if bad <> [] then exit 1;
+  entries
+
 (* --- machine-readable bench report (--json): every algorithm over the
    TPC-H line-up with counters on, each with a fresh query-grained cache
    so its hit rate is its own. The counter snapshot merges everything the
@@ -1636,10 +1937,11 @@ let mode_name = function
   | `Recovery -> "recovery"
   | `Cluster -> "cluster"
   | `Portfolio -> "portfolio"
+  | `Scale -> "scale"
   | `Json -> "json"
 
 let json_section ~mode ~jobs ~online ~server ~oracle ~recovery ~cluster
-    ~portfolio path =
+    ~portfolio ~scale path =
   Vp_observe.Switch.(raise_to Stats);
   let disk = Vp_experiments.Common.disk in
   let workloads = Vp_benchmarks.Tpch.workloads ~sf:Vp_experiments.Common.sf in
@@ -1688,6 +1990,7 @@ let json_section ~mode ~jobs ~online ~server ~oracle ~recovery ~cluster
       recovery;
       cluster;
       portfolio;
+      scale;
       counters = snapshot.Vp_observe.Stats.counters;
       host = Vp_observe.Bench_report.current_host ();
     }
@@ -1705,7 +2008,7 @@ let json_section ~mode ~jobs ~online ~server ~oracle ~recovery ~cluster
 let usage () =
   prerr_endline
     "usage: main.exe [--mode \
-     all|experiments|bechamel|parallel|budget|online|server|oracle|recovery|cluster|portfolio|json] \
+     all|experiments|bechamel|parallel|budget|online|server|oracle|recovery|cluster|portfolio|scale|json] \
      [--jobs N] [--json PATH]";
   exit 2
 
@@ -1727,6 +2030,7 @@ let parse_args () =
            | "recovery" -> `Recovery
            | "cluster" -> `Cluster
            | "portfolio" -> `Portfolio
+           | "scale" -> `Scale
            | "json" -> `Json
            | _ -> usage ());
         go rest
@@ -1749,7 +2053,7 @@ let parse_args () =
     match (!json, !mode) with
     | Some path, _ -> Some path
     | None, (`Json | `Online | `Server | `Oracle | `Recovery | `Cluster
-            | `Portfolio) ->
+            | `Portfolio | `Scale) ->
         Some
           (Printf.sprintf "BENCH_%d.json"
              Vp_observe.Bench_report.schema_version)
@@ -1769,35 +2073,39 @@ let () =
        "Unified setting: TPC-H SF %g, %s"
        Vp_experiments.Common.sf
        (Format.asprintf "%a" Vp_cost.Disk.pp Vp_experiments.Common.disk));
-  let online, server, oracle, recovery, cluster, portfolio =
+  let online, server, oracle, recovery, cluster, portfolio, scale =
     match mode with
     | `All ->
         run_experiments ();
         if not skip_slow then bechamel_section ();
-        ([], [], [], [], [], [])
+        ([], [], [], [], [], [], [])
     | `Experiments ->
         run_experiments ();
-        ([], [], [], [], [], [])
+        ([], [], [], [], [], [], [])
     | `Bechamel ->
         bechamel_section ();
-        ([], [], [], [], [], [])
+        ([], [], [], [], [], [], [])
     | `Parallel ->
         parallel_section jobs;
-        ([], [], [], [], [], [])
+        ([], [], [], [], [], [], [])
     | `Budget ->
         budget_section ();
-        ([], [], [], [], [], [])
-    | `Online -> (online_section ~jobs, [], [], [], [], [])
-    | `Server -> ([], server_section (), [], [], [], [])
-    | `Oracle -> ([], [], oracle_section (), [], [], [])
-    | `Recovery -> ([], [], [], recovery_section (), [], [])
-    | `Cluster -> ([], [], [], [], cluster_section (), [])
-    | `Portfolio -> ([], [], [], [], [], portfolio_section ())
-    | `Json -> ([], [], [], [], [], [])
+        ([], [], [], [], [], [], [])
+    | `Online -> (online_section ~jobs, [], [], [], [], [], [])
+    | `Server -> ([], server_section (), [], [], [], [], [])
+    | `Oracle -> ([], [], oracle_section (), [], [], [], [])
+    | `Recovery -> ([], [], [], recovery_section (), [], [], [])
+    | `Cluster -> ([], [], [], [], cluster_section (), [], [])
+    | `Portfolio -> ([], [], [], [], [], portfolio_section (), [])
+    | `Scale ->
+        (* Must be the first thing the process does that touches tables:
+           the peak-heap gate reads a process-wide high-water mark. *)
+        ([], [], [], [], [], [], scale_section ())
+    | `Json -> ([], [], [], [], [], [], [])
   in
   (match json with
   | Some path ->
       json_section ~mode ~jobs ~online ~server ~oracle ~recovery ~cluster
-        ~portfolio path
+        ~portfolio ~scale path
   | None -> ());
   print_endline "\nAll experiments completed."

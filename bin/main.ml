@@ -467,7 +467,11 @@ let simulate_cmd =
     List.iter
       (fun w ->
         let tbl = Workload.table w in
-        let rows = Vp_datagen.Rowgen.rows gen tbl in
+        let source = Vp_stream.Source.of_rowgen gen tbl in
+        (* Past a few million rows, materializing blocks is pointless:
+           build virtual (accounting-only) files and replay the scan
+           schedule — identical I/O stats in fixed memory. *)
+        let retain = Table.row_count tbl <= 2_000_000 in
         let oracle = Vp_cost.Io_model.oracle disk w in
         let delta = Vp_cost.Io_model.Incremental.factory disk w in
         let layout =
@@ -475,7 +479,9 @@ let simulate_cmd =
              (Partitioner.Request.make ~delta ~cost:oracle w))
             .Partitioner.Response.partitioning
         in
-        let db = Vp_storage.Database.build ~disk ~codec tbl rows layout in
+        let db =
+          Vp_storage.Database.build ~retain ~disk ~codec tbl source layout
+        in
         let results, total = Vp_storage.Database.run_workload db w in
         Format.printf "@[<v>%s via %s codec, layout %a@," (Table.name tbl)
           (Vp_storage.Codec.kind_name codec)
@@ -501,6 +507,54 @@ let simulate_cmd =
        ~doc:"Generate data and execute the workload in the storage simulator")
     Term.(const run $ benchmark_arg $ sf_arg $ buffer_mb_arg $ table_arg
           $ codec_arg $ algo_arg)
+
+(* --- vp datagen --- *)
+
+let datagen_cmd =
+  let chunk_rows_arg =
+    Arg.(
+      value
+      & opt positive_int Vp_datagen.Rowgen.default_chunk_rows
+      & info [ "chunk-rows" ] ~docv:"N" ~doc:"Rows per generated chunk.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int64 42L
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+  in
+  let run benchmark sf table jobs chunk_rows seed =
+    let gen = Vp_datagen.Rowgen.create ~seed () in
+    let jobs = jobs_of jobs in
+    Vp_parallel.Pool.with_pool ~jobs @@ fun pool ->
+    List.iter
+      (fun w ->
+        let tbl = Workload.table w in
+        let source = Vp_stream.Source.of_rowgen ~chunk_rows gen tbl in
+        let t0 = Sys.time () in
+        let digest = Vp_stream.Source.digest ~pool source in
+        let dt = Sys.time () -. t0 in
+        (* The digest line goes to stdout and is identical for every
+           --jobs value (chunk digests combine in index order);
+           throughput goes to stderr so outputs stay cmp-able. *)
+        Printf.printf "%s rows=%d chunk_rows=%d digest=%08x\n"
+          (Table.name tbl)
+          (Vp_stream.Source.row_count source)
+          chunk_rows digest;
+        Printf.eprintf "# %s: %.2fs cpu, %.0f rows/s (jobs=%d)\n"
+          (Table.name tbl) dt
+          (float_of_int (Vp_stream.Source.row_count source) /. max 1e-9 dt)
+          jobs)
+      (workloads_of benchmark sf table);
+    0
+  in
+  Cmd.v
+    (Cmd.info "datagen"
+       ~doc:
+         "Stream-generate benchmark data in constant memory and print \
+          per-table digests (stable across $(b,--jobs))")
+    Term.(
+      const run $ benchmark_arg $ sf_arg $ table_arg $ jobs_arg
+      $ chunk_rows_arg $ seed_arg)
 
 (* --- vp analyze --- *)
 
@@ -673,8 +727,17 @@ let online_cmd =
             "Also print the layout-generation history, one line per \
              decision (stable across runs and $(b,--jobs) values).")
   in
+  let formats_arg =
+    Arg.(
+      value & flag
+      & info [ "formats" ]
+          ~doc:
+            "Also re-pick per-partition storage formats (plain / \
+             dictionary / varlen) after each layout decision, under the \
+             same pay-off gate.")
+  in
   let run benchmark sf buffer_mb table jobs algos trace_in synthetic drift_at
-      drift_ratio epoch memory horizon budget_steps history =
+      drift_ratio epoch memory horizon budget_steps history formats =
     let disk = disk_of buffer_mb in
     let algos = if algos = [] then [ "HillClimb" ] else algos in
     let panel = List.map (algorithm_of disk) algos in
@@ -682,7 +745,7 @@ let online_cmd =
     if memory < 0 then Fmt.failwith "--memory must be >= 0";
     let config =
       Vp_online.Service.default_config ~drift_ratio ~epoch ~memory ~horizon
-        ?budget_steps ~jobs:(jobs_of jobs) ~disk ~panel ()
+        ?budget_steps ~jobs:(jobs_of jobs) ~formats ~disk ~panel ()
     in
     let streams =
       match (synthetic, trace_in) with
@@ -717,7 +780,7 @@ let online_cmd =
       const run $ benchmark_arg $ sf_arg $ buffer_mb_arg $ table_arg
       $ jobs_arg $ algo_arg $ trace_in_arg $ synthetic_arg $ drift_at_arg
       $ drift_ratio_arg $ epoch_arg $ memory_arg $ horizon_arg
-      $ budget_steps_arg $ history_arg)
+      $ budget_steps_arg $ history_arg $ formats_arg)
 
 (* --- vp serve / vp client --- *)
 
@@ -1047,8 +1110,8 @@ let main_cmd =
     (Cmd.info "vp" ~version:"1.0.0" ~doc)
     [
       partition_cmd; compare_cmd; layouts_cmd; experiment_cmd; simulate_cmd;
-      workload_cmd; analyze_cmd; online_cmd; serve_cmd; cluster_cmd;
-      client_cmd; list_cmd;
+      datagen_cmd; workload_cmd; analyze_cmd; online_cmd; serve_cmd;
+      cluster_cmd; client_cmd; list_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

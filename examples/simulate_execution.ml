@@ -22,9 +22,10 @@ let () =
   let workload = Vp_benchmarks.Tpch.workload ~sf table_name in
   let table = Workload.table workload in
   let gen = Vp_datagen.Rowgen.create () in
-  let rows = Vp_datagen.Rowgen.rows gen table in
+  let source = Vp_stream.Source.of_rowgen gen table in
   Format.printf "%s at SF %g: %d rows generated deterministically@.@."
-    table_name sf (Array.length rows);
+    table_name sf
+    (Vp_stream.Source.row_count source);
   let n = Table.attribute_count table in
   let oracle = Vp_cost.Io_model.oracle disk workload in
   let hc =
@@ -40,7 +41,7 @@ let () =
     (fun (name, layout) ->
       let db =
         Vp_storage.Database.build ~disk ~codec:Vp_storage.Codec.Plain table
-          rows layout
+          source layout
       in
       let results, total = Vp_storage.Database.run_workload db workload in
       let io =

@@ -109,6 +109,22 @@ let query_cost_groups disk table referenced =
   if stats then Vp_observe.Stats.add c_bytes_read !bytes;
   cost
 
+let query_cost_sized disk ~rows sizes =
+  (* Same fold as [query_cost_groups] with explicit per-partition row
+     sizes instead of schema subset sizes — the costing entry point for
+     per-partition formats, where a partition's stored width depends on
+     its codec, not only on its attribute set. With every size equal to
+     [Table.subset_size] the float additions happen in the exact order
+     of [query_cost_groups], so the two agree bit for bit. *)
+  let total_s = List.fold_left ( + ) 0 sizes in
+  List.fold_left
+    (fun acc s ->
+      let seek, scan, _, _ =
+        partition_read_cost disk ~rows ~row_size:s ~total_row_size:total_s
+      in
+      acc +. seek +. scan)
+    0.0 sizes
+
 let query_cost disk table partitioning query =
   query_cost_groups disk table
     (Partitioning.referenced_groups partitioning (Query.references query))

@@ -49,6 +49,15 @@ val query_cost_groups : Disk.t -> Table.t -> Attr_set.t list -> float
     touches; this is the memoization unit of
     {!Vp_parallel.Cost_cache.query_oracle}. *)
 
+val query_cost_sized : Disk.t -> rows:int -> int list -> float
+(** [seek_cost + scan_cost] of concurrently reading one partition per
+    listed row size — {!query_cost_groups} with the stored widths given
+    explicitly instead of derived from the schema. The entry point for
+    per-partition format selection ({!Vp_storage.Format}), where a
+    partition's width depends on its codec. Coincides bit for bit with
+    {!query_cost_groups} when each size equals the group's
+    {!Vp_core.Table.subset_size}. *)
+
 val query_cost : Disk.t -> Table.t -> Partitioning.t -> Query.t -> float
 (** [seek_cost + scan_cost] for one execution: {!query_cost_groups} of the
     partitions containing at least one referenced attribute. *)

@@ -19,6 +19,34 @@ val row : t -> Table.t -> int -> Value.t array
     order and datatypes. Unknown tables get generic type-driven values.
     @raise Invalid_argument if [i] is out of range. *)
 
+val default_chunk_rows : int
+(** Rows per chunk when none is given (65536). *)
+
+val chunk_count : ?chunk_rows:int -> Table.t -> int
+(** Number of chunks covering the table ([0] for an empty table).
+    @raise Invalid_argument if [chunk_rows < 1]. *)
+
+val chunk : t -> ?chunk_rows:int -> Table.t -> int -> Value.t array array
+(** [chunk gen table c] is rows [c * chunk_rows .. min ((c+1) * chunk_rows,
+    row_count) - 1] of the table — the last chunk may be short. Every
+    row's PRNG stream is derived from (seed, table, row index), so a
+    chunk is fully determined by (seed, table, chunk index): chunks
+    generate independently, in any order, on any domain, in O(chunk)
+    time regardless of their position — chunk [c] of an SF100 table
+    costs the same whether [c] is 0 or the last one.
+    @raise Invalid_argument if the index is out of range. *)
+
+val iter_chunks :
+  ?chunk_rows:int ->
+  t ->
+  Table.t ->
+  (first_row:int -> Value.t array array -> unit) ->
+  unit
+(** Streams every chunk in table order through [f]: the bounded-memory
+    pull API. Concatenating the chunks is byte-identical to {!rows}
+    (property-tested). *)
+
 val rows : t -> Table.t -> Value.t array array
-(** All rows of the table (intended for the scaled-down datasets used in
-    tests and storage experiments). *)
+(** All rows of the table — a thin materializing wrapper over
+    {!iter_chunks} (intended for the scaled-down datasets used in tests
+    and storage experiments). *)

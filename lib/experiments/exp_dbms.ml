@@ -47,7 +47,7 @@ let drop_excluded workload =
 
 let run_layout ~codec layouts =
   List.fold_left
-    (fun acc (workload, partitioning, rows) ->
+    (fun acc (workload, partitioning, source) ->
       let workload = drop_excluded workload in
       (* The block-by-block simulation is the slowest part of the
          catalogue; skip the remaining tables once the cell's budget is
@@ -57,7 +57,7 @@ let run_layout ~codec layouts =
       else begin
         let db =
           Vp_storage.Database.build ~disk:sim_disk ~codec
-            (Workload.table workload) rows partitioning
+            (Workload.table workload) source partitioning
         in
         let _, total = Vp_storage.Database.run_workload db workload in
         acc +. total
@@ -67,15 +67,15 @@ let run_layout ~codec layouts =
 let table7 () =
   let gen = Vp_datagen.Rowgen.create () in
   let workloads = Vp_benchmarks.Tpch.workloads ~sf:sim_sf in
-  let with_rows =
+  let with_sources =
     List.map
-      (fun w -> (w, Vp_datagen.Rowgen.rows gen (Workload.table w)))
+      (fun w -> (w, Vp_stream.Source.of_rowgen gen (Workload.table w)))
       workloads
   in
   let layouts name =
     List.map
-      (fun (w, rows) -> (w, layout_for name w, rows))
-      with_rows
+      (fun (w, source) -> (w, layout_for name w, source))
+      with_sources
   in
   let cell codec name = run_layout ~codec (layouts name) in
   let render v = Printf.sprintf "%.3f" v in

@@ -1,11 +1,15 @@
-(* v9: adds the [portfolio] section (racing meta-partitioner: per-table
+(* v10: adds the [scale] section (streaming-substrate benchmarks:
+   constant-memory generation throughput, out-of-core transform/scan with
+   the peak-heap gate, streamed-vs-materialized identity, per-partition
+   format selection wins).
+   v9: adds the [portfolio] section (racing meta-partitioner: per-table
    winner, portfolio vs best-single-entrant cost under an equal step
    budget, and the never-worse gate flag).
    v8: adds the [cluster] section (sharded-serving benchmarks: closed-loop
    shed rate, tail latency, handoff count/cost, determinism violations).
    v7: adds the [recovery] section (durable-session benchmarks: WAL
    overhead, spill/restore latency, eviction + re-attach rates). *)
-let schema_version = 9
+let schema_version = 10
 
 type algo_entry = {
   algorithm : string;
@@ -110,6 +114,25 @@ type portfolio_entry = {
   never_worse : bool;
 }
 
+type scale_entry = {
+  phase : string;
+  table : string;
+  sf : float;
+  rows : int;
+  jobs : int;
+  seconds : float;
+  rows_per_sec : float;
+  peak_heap_mb : float;
+  io_elapsed : float;
+  seeks : int;
+  blocks_read : int;
+  blocks_written : int;
+  identical : bool;
+  cost_plain : float;
+  cost_chosen : float;
+  detail : string;
+}
+
 type t = {
   benchmark : string;
   scale_factor : float;
@@ -122,6 +145,7 @@ type t = {
   recovery : recovery_entry list;
   cluster : cluster_entry list;
   portfolio : portfolio_entry list;
+  scale : scale_entry list;
   counters : (string * int) list;
   host : host;
 }
@@ -255,6 +279,27 @@ let portfolio_json (e : portfolio_entry) =
       ("never_worse", Json.Bool e.never_worse);
     ]
 
+let scale_json (e : scale_entry) =
+  Json.Obj
+    [
+      ("phase", Json.String e.phase);
+      ("table", Json.String e.table);
+      ("sf", Json.Float e.sf);
+      ("rows", Json.Int e.rows);
+      ("jobs", Json.Int e.jobs);
+      ("seconds", Json.Float e.seconds);
+      ("rows_per_sec", Json.Float e.rows_per_sec);
+      ("peak_heap_mb", Json.Float e.peak_heap_mb);
+      ("io_elapsed", Json.Float e.io_elapsed);
+      ("seeks", Json.Int e.seeks);
+      ("blocks_read", Json.Int e.blocks_read);
+      ("blocks_written", Json.Int e.blocks_written);
+      ("identical", Json.Bool e.identical);
+      ("cost_plain", Json.Float e.cost_plain);
+      ("cost_chosen", Json.Float e.cost_chosen);
+      ("detail", Json.String e.detail);
+    ]
+
 let host_json h =
   Json.Obj
     [
@@ -281,6 +326,7 @@ let to_json r =
       ("recovery", Json.List (List.map recovery_json r.recovery));
       ("cluster", Json.List (List.map cluster_json r.cluster));
       ("portfolio", Json.List (List.map portfolio_json r.portfolio));
+      ("scale", Json.List (List.map scale_json r.scale));
       ( "counters",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters) );
       ("host", host_json r.host);
@@ -343,6 +389,7 @@ let validate doc =
           ("recovery", Flist);
           ("cluster", Flist);
           ("portfolio", Flist);
+          ("scale", Flist);
           ("counters", Fobj);
           ("host", Fobj);
         ]
@@ -645,6 +692,52 @@ let validate doc =
                   | _ -> errors)
                 errors
                 [ "entrants_run"; "timed_out" ])
+            errors
+            (List.mapi (fun i e -> (i, e)) entries)
+      | _ -> errors
+    in
+    let errors =
+      (* [scale] may be empty (modes that skip the streaming-substrate
+         benchmarks), but every entry must be well-typed with
+         non-negative counts. *)
+      match Json.member "scale" doc with
+      | Some (Json.List entries) ->
+          List.fold_left
+            (fun errors (i, entry) ->
+              let path = Printf.sprintf "$.scale[%d]" i in
+              let errors =
+                match entry with
+                | Json.Obj _ ->
+                    check_fields ~path
+                      [
+                        ("phase", Fstring);
+                        ("table", Fstring);
+                        ("sf", Fnumber);
+                        ("rows", Fint);
+                        ("jobs", Fint);
+                        ("seconds", Fnumber);
+                        ("rows_per_sec", Fnumber);
+                        ("peak_heap_mb", Fnumber);
+                        ("io_elapsed", Fnumber);
+                        ("seeks", Fint);
+                        ("blocks_read", Fint);
+                        ("blocks_written", Fint);
+                        ("identical", Fbool);
+                        ("cost_plain", Fnumber);
+                        ("cost_chosen", Fnumber);
+                        ("detail", Fstring);
+                      ]
+                      entry errors
+                | _ -> Printf.sprintf "%s: expected an object" path :: errors
+              in
+              List.fold_left
+                (fun errors name ->
+                  match Json.member name entry with
+                  | Some (Json.Int v) when v < 0 ->
+                      Printf.sprintf "%s.%s: must be >= 0" path name :: errors
+                  | _ -> errors)
+                errors
+                [ "rows"; "jobs"; "seeks"; "blocks_read"; "blocks_written" ])
             errors
             (List.mapi (fun i e -> (i, e)) entries)
       | _ -> errors

@@ -13,11 +13,14 @@
 
 val schema_version : int
 (** Bumped whenever a field is renamed, retyped or removed (adding
-    fields is compatible). Currently [9]: v9 adds the required
-    [portfolio] section (per-table racing-portfolio outcomes — winner,
-    portfolio vs best-single-entrant cost under an equal step budget,
-    and the never-worse gate flag — emitted into [BENCH_9.json] by
-    [bench --mode portfolio]); v8 added the required [cluster] section
+    fields is compatible). Currently [10]: v10 adds the required [scale]
+    section (streaming-substrate outcomes — constant-memory generation
+    throughput, the out-of-core transform/scan peak-heap gate,
+    streamed-vs-materialized identity and per-partition format-selection
+    wins — emitted into [BENCH_10.json] by [bench --mode scale]); v9
+    added the [portfolio] section (per-table racing-portfolio outcomes —
+    winner, portfolio vs best-single-entrant cost under an equal step
+    budget, and the never-worse gate flag); v8 added the required [cluster] section
     (the sharded-cluster closed-loop and handoff outcomes — shed rate,
     latency percentiles, handoff cost and the determinism-violation
     count); v7 added the [recovery] section (durable-session outcomes);
@@ -157,6 +160,38 @@ type portfolio_entry = {
 (** One raced table of [bench --mode portfolio]: the portfolio against
     every single entrant under the same deterministic step budget. *)
 
+type scale_entry = {
+  phase : string;
+      (** e.g. ["generate"], ["transform"], ["scan"], ["identity"],
+          ["formats"] *)
+  table : string;  (** exercised table *)
+  sf : float;  (** scale factor of this phase (phases differ) *)
+  rows : int;  (** rows the phase streamed or accounted *)
+  jobs : int;  (** pool width of the phase ([1] when not fanned out) *)
+  seconds : float;  (** phase wall time *)
+  rows_per_sec : float;  (** [rows / seconds]; [0.] when not timed *)
+  peak_heap_mb : float;
+      (** [Gc] top-heap high-water mark in MiB after the phase — a
+          process-wide maximum, which is why the out-of-core SF100
+          phases run first; CI asserts [<= 512] on the scan phase *)
+  io_elapsed : float;  (** simulated device seconds; [0.] if no device *)
+  seeks : int;
+  blocks_read : int;
+  blocks_written : int;
+  identical : bool;
+      (** The phase's cross-checks held (jobs-1-vs-N digests, streamed
+          vs materialized device stats); CI asserts it on every phase *)
+  cost_plain : float;
+      (** all-[Plain] scan cost ([formats] phase; [0.] elsewhere) *)
+  cost_chosen : float;
+      (** chosen-vector scan cost; must be [<= cost_plain] *)
+  detail : string;  (** free-form, e.g. the chosen format vector *)
+}
+(** One phase of [bench --mode scale]: the streaming substrate at a
+    scale factor the materializing path could not hold (generation,
+    out-of-core transform + scan under the peak-heap gate) plus the
+    small-SF identity and format-selection phases. *)
+
 type t = {
   benchmark : string;   (** e.g. ["tpch"] *)
   scale_factor : float;
@@ -179,6 +214,8 @@ type t = {
           router. *)
   portfolio : portfolio_entry list;
       (** Racing-portfolio tables; [[]] for modes that run no race. *)
+  scale : scale_entry list;
+      (** Streaming-substrate phases; [[]] for modes that skip them. *)
   counters : (string * int) list;  (** merged snapshot, sorted *)
   host : host;
 }

@@ -10,11 +10,12 @@ type config = {
   horizon : float;
   budget_steps : int option;
   jobs : int;
+  formats : bool;
 }
 
 let default_config ?(drift_ratio = 2.0) ?(min_window = 8) ?(epoch = 64)
-    ?(memory = 32) ?(horizon = 1.0) ?budget_steps ?(jobs = 1) ~disk ~panel ()
-    =
+    ?(memory = 32) ?(horizon = 1.0) ?budget_steps ?(jobs = 1)
+    ?(formats = false) ~disk ~panel () =
   if panel = [] then invalid_arg "Service.default_config: empty panel";
   if drift_ratio <= 0.0 then
     invalid_arg "Service.default_config: drift_ratio <= 0";
@@ -33,6 +34,7 @@ let default_config ?(drift_ratio = 2.0) ?(min_window = 8) ?(epoch = 64)
     horizon;
     budget_steps;
     jobs;
+    formats;
   }
 
 type trigger = Drift of float | Epoch
@@ -49,6 +51,17 @@ type event = {
   migration : float;
   payoff : float;
   verdict : verdict;
+}
+
+type format_event = {
+  f_generation : int;
+  f_trigger_query : int;
+  f_formats : string;
+  f_cost_before : float;
+  f_cost_after : float;
+  f_migration : float;
+  f_payoff : float;
+  f_verdict : verdict;
 }
 
 type t = {
@@ -69,6 +82,10 @@ type t = {
   mutable ring_pos : int;
   mutable since_decision : int;
   mutable events : event list; (* newest first *)
+  (* Per-partition storage formats of the current layout (always the
+     all-Plain vector when [config.formats] is off). *)
+  mutable formats : Vp_storage.Format.t;
+  mutable format_events : format_event list; (* newest first *)
 }
 
 let c_ingested = Vp_observe.Stats.counter "online.ingested"
@@ -78,6 +95,10 @@ let c_reopts = Vp_observe.Stats.counter "online.reopts"
 let c_adopted = Vp_observe.Stats.counter "online.adopted"
 
 let c_rejected = Vp_observe.Stats.counter "online.rejected"
+
+let c_format_repicks = Vp_observe.Stats.counter "online.format_repicks"
+
+let c_format_adopted = Vp_observe.Stats.counter "online.format_adopted"
 
 let create config table =
   if config.panel = [] then invalid_arg "Service.create: empty panel";
@@ -98,6 +119,8 @@ let create config table =
     ring_pos = 0;
     since_decision = 0;
     events = [];
+    formats = Vp_storage.Format.plain table (Partitioning.row n);
+    format_events = [];
   }
 
 let config t = t.config
@@ -115,6 +138,13 @@ let workload t = t.workload
 let affinity t = t.affinity
 
 let events t = List.rev t.events
+
+let formats t = t.formats
+
+let format_events t = List.rev t.format_events
+
+let format_adoptions t =
+  List.length (List.filter (fun e -> e.f_verdict = Adopted) t.format_events)
 
 let reopts t = List.length t.events
 
@@ -233,9 +263,62 @@ let reoptimize t ~trigger =
     if Vp_observe.Switch.stats_on () then Vp_observe.Stats.incr c_adopted;
     t.generation <- t.generation + 1;
     t.layout <- candidate;
+    (* The adopted layout starts all-Plain (its migration estimate
+       priced a Plain rewrite); the format re-pick below reconsiders. *)
+    t.formats <- Vp_storage.Format.plain t.table candidate;
     t.migration_cost <- t.migration_cost +. event.migration
   end
   else if Vp_observe.Switch.stats_on () then Vp_observe.Stats.incr c_rejected;
+  (* Per-partition format re-pick (opt-in): after the layout verdict,
+     re-choose storage formats for the incumbent layout from schema
+     statistics (deterministic — no data pass) and apply the same
+     pay-off gate, charging fragment rewrites as migration. An adopted
+     layout starts all-Plain: its migration estimate priced a Plain
+     rewrite, and the re-pick below immediately reconsiders. *)
+  if t.config.formats then begin
+    let stats = Vp_storage.Format.schema_stats t.table in
+    let chosen =
+      Vp_storage.Format.choose disk t.table w t.layout stats
+    in
+    if not (Vp_storage.Format.equal chosen t.formats) then begin
+      if Vp_observe.Switch.stats_on () then
+        Vp_observe.Stats.incr c_format_repicks;
+      let cost_before =
+        Vp_storage.Format.scan_cost disk t.table w t.layout t.formats
+      in
+      let cost_after =
+        Vp_storage.Format.scan_cost disk t.table w t.layout chosen
+      in
+      let migration =
+        Vp_storage.Format.migration_cost disk t.table t.formats chosen
+      in
+      let improvement = cost_before -. cost_after in
+      let factor =
+        if improvement = 0.0 then infinity else migration /. improvement
+      in
+      let adopt_fmt =
+        improvement > 0.0 && factor >= 0.0 && factor <= horizon
+      in
+      t.format_events <-
+        {
+          f_generation = t.generation;
+          f_trigger_query = t.ingested - 1;
+          f_formats = Vp_storage.Format.to_string chosen;
+          f_cost_before = cost_before;
+          f_cost_after = cost_after;
+          f_migration = migration;
+          f_payoff = factor;
+          f_verdict = (if adopt_fmt then Adopted else Rejected);
+        }
+        :: t.format_events;
+      if adopt_fmt then begin
+        if Vp_observe.Switch.stats_on () then
+          Vp_observe.Stats.incr c_format_adopted;
+        t.formats <- chosen;
+        t.migration_cost <- t.migration_cost +. migration
+      end
+    end
+  end;
   (* Re-arm the window either way: a rejected candidate must not refire
      on the very next query. *)
   t.ring_len <- 0;
@@ -296,8 +379,31 @@ let event_line (e : event) =
     e.algorithm e.cost_before e.cost_after e.migration e.payoff
     (match e.verdict with Adopted -> "adopted" | Rejected -> "rejected")
 
+let format_event_line (e : format_event) =
+  Printf.sprintf
+    "gen=%d at=%d format=%s before=%.6f after=%.6f migration=%.6f \
+     payoff=%.6f verdict=%s"
+    e.f_generation e.f_trigger_query e.f_formats e.f_cost_before
+    e.f_cost_after e.f_migration e.f_payoff
+    (match e.f_verdict with Adopted -> "adopted" | Rejected -> "rejected")
+
 let history t =
-  String.concat "" (List.map (fun e -> event_line e ^ "\n") (events t))
+  (* Layout and format decisions interleave by triggering query (unique
+     per re-optimization), the format line directly after its layout
+     line. With [config.formats] off there are no format events and the
+     history bytes are exactly the pre-formats ones. *)
+  let fmts = format_events t in
+  String.concat ""
+    (List.concat_map
+       (fun e ->
+         (event_line e ^ "\n")
+         :: List.filter_map
+              (fun f ->
+                if f.f_trigger_query = e.trigger_query then
+                  Some (format_event_line f ^ "\n")
+                else None)
+              fmts)
+       (events t))
 
 (* --- snapshot / restore ---
 
@@ -438,6 +544,45 @@ let event_to_json (e : event) =
             | Rejected -> "rejected") );
       ])
 
+let format_event_to_json (e : format_event) =
+  Json.Obj
+    [
+      ("generation", Json.Int e.f_generation);
+      ("at", Json.Int e.f_trigger_query);
+      ("formats", Json.String e.f_formats);
+      ("cost_before", bits_of_float e.f_cost_before);
+      ("cost_after", bits_of_float e.f_cost_after);
+      ("migration", bits_of_float e.f_migration);
+      ("payoff", bits_of_float e.f_payoff);
+      ( "verdict",
+        Json.String
+          (match e.f_verdict with
+          | Adopted -> "adopted"
+          | Rejected -> "rejected") );
+    ]
+
+let format_event_of_json doc : format_event =
+  {
+    f_generation = int_field "generation" doc;
+    f_trigger_query = int_field "at" doc;
+    f_formats = string_field "formats" doc;
+    f_cost_before = float_of_bits "cost_before" (Json.member "cost_before" doc);
+    f_cost_after = float_of_bits "cost_after" (Json.member "cost_after" doc);
+    f_migration = float_of_bits "migration" (Json.member "migration" doc);
+    f_payoff = float_of_bits "payoff" (Json.member "payoff" doc);
+    f_verdict =
+      (match string_field "verdict" doc with
+      | "adopted" -> Adopted
+      | "rejected" -> Rejected
+      | other -> corrupt "unknown verdict %S" other);
+  }
+
+let kind_of_name = function
+  | "plain" -> Vp_storage.Codec.Plain
+  | "dictionary" -> Vp_storage.Codec.Dictionary
+  | "varlen" -> Vp_storage.Codec.Varlen
+  | other -> corrupt "unknown format kind %S" other
+
 let event_of_json doc : event =
   {
     generation = int_field "generation" doc;
@@ -490,6 +635,15 @@ let snapshot t =
              (Array.to_list (Array.map query_to_json (Workload.queries t.workload)))
          );
          ("events", Json.List (List.map event_to_json (events t)));
+         (* Additive fields (still version 1): absent in pre-formats
+            snapshots, tolerated by [restore]. *)
+         ( "formats",
+           Json.List
+             (List.map
+                (fun k -> Json.String (Vp_storage.Codec.kind_name k))
+                (Vp_storage.Format.kinds t.formats)) );
+         ( "format_events",
+           Json.List (List.map format_event_to_json (format_events t)) );
        ])
 
 let restore config s =
@@ -561,6 +715,28 @@ let restore config s =
         t.ring_pos <- int_field "ring_pos" doc;
         t.since_decision <- int_field "since_decision" doc;
         t.events <- events;
+        (match Json.member "formats" doc with
+        | None -> t.formats <- Vp_storage.Format.plain table layout
+        | Some (Json.List ks) -> (
+            let kinds =
+              List.map
+                (function
+                  | Json.String s -> kind_of_name s
+                  | _ -> corrupt "format kinds must be strings")
+                ks
+            in
+            try
+              t.formats <-
+                Vp_storage.Format.of_kinds table
+                  (Vp_storage.Format.schema_stats table)
+                  layout kinds
+            with Invalid_argument msg -> corrupt "invalid formats: %s" msg)
+        | Some _ -> corrupt "field \"formats\" must be an array");
+        (match Json.member "format_events" doc with
+        | None -> ()
+        | Some (Json.List l) ->
+            t.format_events <- List.rev_map format_event_of_json l
+        | Some _ -> corrupt "field \"format_events\" must be an array");
         if
           t.ring_len < 0
           || t.ring_len > config.min_window

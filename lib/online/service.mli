@@ -67,6 +67,14 @@ type config = {
       (** Step budget per panel member and re-optimization ([None] =
           the ambient budget). Steps, not seconds: deterministic. *)
   jobs : int;  (** Pool width for the panel fan-out. *)
+  formats : bool;
+      (** Opt-in per-partition format re-picking: after every layout
+          verdict the service re-chooses each partition's storage format
+          ({!Vp_storage.Format}) from deterministic schema statistics
+          and adopts the new vector under the same pay-off gate,
+          charging fragment rewrites as migration. Off by default — the
+          decision log and history bytes are then exactly the
+          pre-formats ones. *)
 }
 
 val default_config :
@@ -77,6 +85,7 @@ val default_config :
   ?horizon:float ->
   ?budget_steps:int ->
   ?jobs:int ->
+  ?formats:bool ->
   disk:Vp_cost.Disk.t ->
   panel:Partitioner.t list ->
   unit ->
@@ -84,7 +93,7 @@ val default_config :
 (** Defaults: [drift_ratio = 2.], [min_window = 8], [epoch = 64],
     [memory = 32], [horizon = 1.] (a migration must pay off within one
     execution of the recent workload), [budget_steps = None],
-    [jobs = 1].
+    [jobs = 1], [formats = false].
     @raise Invalid_argument if [panel] is empty, [drift_ratio <= 0],
     [min_window < 1], [epoch < 0], [memory < 0], [horizon <= 0] or
     [jobs < 1]. *)
@@ -115,6 +124,23 @@ type event = {
           worse, [infinity] when it is no better. *)
   verdict : verdict;
 }
+
+type format_event = {
+  f_generation : int;  (** Layout generation the re-pick happened under. *)
+  f_trigger_query : int;  (** Same stream index as the layout event's. *)
+  f_formats : string;  (** Proposed vector, {!Vp_storage.Format.to_string}. *)
+  f_cost_before : float;
+      (** {!Vp_storage.Format.scan_cost} of the re-optimization workload
+          under the incumbent formats. *)
+  f_cost_after : float;  (** Same, under the proposed vector. *)
+  f_migration : float;
+      (** {!Vp_storage.Format.migration_cost}: rewriting exactly the
+          fragments whose format changes. *)
+  f_payoff : float;  (** [migration / (before - after)]. *)
+  f_verdict : verdict;
+}
+(** One format re-pick decision (recorded only when the chosen vector
+    differs from the incumbent). *)
 
 type t
 
@@ -154,6 +180,16 @@ val affinity : t -> Affinity.t
 val events : t -> event list
 (** Every decision so far, oldest first. *)
 
+val formats : t -> Vp_storage.Format.t
+(** Per-partition formats of the current layout (all-[Plain] unless
+    [config.formats] adopted a re-pick); feed its
+    {!Vp_storage.Format.kinds} to {!Vp_storage.Database.build}. *)
+
+val format_events : t -> format_event list
+(** Format re-pick decisions, oldest first (empty with [formats] off). *)
+
+val format_adoptions : t -> int
+
 val reopts : t -> int
 (** Re-optimizations triggered ([= List.length (events t)]). *)
 
@@ -175,10 +211,14 @@ val event_line : event -> string
     [gen=1 at=57 drift=2.1341 algo=HillClimb before=123.456789
     after=98.765432 migration=4.321000 payoff=0.175000 verdict=adopted]. *)
 
+val format_event_line : format_event -> string
+(** One format decision as a stable line ([gen=… at=… format=… …]). *)
+
 val history : t -> string
 (** All decisions, one {!event_line} per line (newline-terminated;
-    [""] when there are none). The determinism tests compare this
-    byte-for-byte across replays. *)
+    [""] when there are none), each format re-pick line directly after
+    the layout line of the same re-optimization. The determinism tests
+    compare this byte-for-byte across replays. *)
 
 (** {2 Snapshot / restore}
 

@@ -88,6 +88,30 @@ let get_varint b pos =
 let bytes_for_cardinality n =
   if n <= 0x100 then 1 else if n <= 0x10000 then 2 else if n <= 0x1000000 then 3 else 4
 
+(* Column metadata shared by the one-shot and streaming trainers;
+   [dict c] yields the sorted distinct values of string column [c] (only
+   consulted for Dictionary string columns). *)
+let columns_of requested attrs ~dict =
+  Array.mapi
+    (fun c attr ->
+      match (requested, Attribute.datatype attr) with
+      | Dictionary, (Attribute.Char _ | Attribute.Varchar _) ->
+          let dictionary = dict c in
+          let dictionary = if dictionary = [||] then [| "" |] else dictionary in
+          {
+            attr;
+            dictionary;
+            code_width = bytes_for_cardinality (Array.length dictionary);
+          }
+      | (Plain | Dictionary), (Attribute.Int32 | Attribute.Date) ->
+          { attr; dictionary = [||]; code_width = 4 }
+      | (Plain | Dictionary), Attribute.Decimal ->
+          { attr; dictionary = [||]; code_width = 8 }
+      | Plain, (Attribute.Char w | Attribute.Varchar w) ->
+          { attr; dictionary = [||]; code_width = w }
+      | Varlen, _ -> { attr; dictionary = [||]; code_width = 0 })
+    attrs
+
 let train requested attrs column_major =
   let attrs = Array.of_list attrs in
   if Array.length attrs <> Array.length column_major then
@@ -102,40 +126,65 @@ let train requested attrs column_major =
                  (Attribute.name attrs.(c))))
         col)
     column_major;
-  let cols =
-    Array.mapi
-      (fun c attr ->
-        match (requested, Attribute.datatype attr) with
-        | Dictionary, (Attribute.Char _ | Attribute.Varchar _) ->
-            let seen = Hashtbl.create 64 in
-            Array.iter
-              (fun v ->
-                match v with
-                | Value.Str s ->
-                    if not (Hashtbl.mem seen s) then Hashtbl.add seen s ()
-                | Value.Int _ | Value.Num _ -> ())
-              column_major.(c);
-            let dictionary =
-              Hashtbl.fold (fun s () acc -> s :: acc) seen []
-              |> List.sort String.compare |> Array.of_list
-            in
-            let dictionary = if dictionary = [||] then [| "" |] else dictionary in
-            {
-              attr;
-              dictionary;
-              code_width = bytes_for_cardinality (Array.length dictionary);
-            }
-        | (Plain | Dictionary), (Attribute.Int32 | Attribute.Date) ->
-            { attr; dictionary = [||]; code_width = 4 }
-        | (Plain | Dictionary), Attribute.Decimal ->
-            { attr; dictionary = [||]; code_width = 8 }
-        | Plain, (Attribute.Char w | Attribute.Varchar w) ->
-            { attr; dictionary = [||]; code_width = w }
-        | Varlen, _ -> { attr; dictionary = [||]; code_width = 0 })
-      attrs
+  let dict c =
+    let seen = Hashtbl.create 64 in
+    Array.iter
+      (fun v ->
+        match v with
+        | Value.Str s -> if not (Hashtbl.mem seen s) then Hashtbl.add seen s ()
+        | Value.Int _ | Value.Num _ -> ())
+      column_major.(c);
+    Hashtbl.fold (fun s () acc -> s :: acc) seen []
+    |> List.sort String.compare |> Array.of_list
   in
-  let codec = { kind = requested; cols; avg_row_width = 0.0 } in
-  codec
+  { kind = requested; cols = columns_of requested attrs ~dict; avg_row_width = 0.0 }
+
+(* Streaming trainer: one pass over full-table chunks collects exactly
+   what [train] collects (distinct strings of dictionary columns), so
+   [finish] yields a codec identical to training on the materialized
+   column-major projection — dictionaries are sorted, hence insertion-
+   order independent (property-tested against [train]). *)
+module Train = struct
+  type builder = {
+    requested : kind;
+    t_attrs : Attribute.t array;
+    seen : (string, unit) Hashtbl.t array;  (** one per group column *)
+  }
+
+  let create requested attrs =
+    let t_attrs = Array.of_list attrs in
+    {
+      requested;
+      t_attrs;
+      seen = Array.map (fun _ -> Hashtbl.create 64) t_attrs;
+    }
+
+  let feed b row =
+    if Array.length row <> Array.length b.t_attrs then
+      invalid_arg "Codec.Train.feed: arity mismatch";
+    Array.iteri
+      (fun c v ->
+        if not (Value.matches (Attribute.datatype b.t_attrs.(c)) v) then
+          invalid_arg
+            (Printf.sprintf "Codec.train: value/type mismatch in column %s"
+               (Attribute.name b.t_attrs.(c)));
+        match (b.requested, v) with
+        | Dictionary, Value.Str s ->
+            if not (Hashtbl.mem b.seen.(c) s) then Hashtbl.add b.seen.(c) s ()
+        | _, (Value.Int _ | Value.Num _ | Value.Str _) -> ())
+      row
+
+  let finish b =
+    let dict c =
+      Hashtbl.fold (fun s () acc -> s :: acc) b.seen.(c) []
+      |> List.sort String.compare |> Array.of_list
+    in
+    {
+      kind = b.requested;
+      cols = columns_of b.requested b.t_attrs ~dict;
+      avg_row_width = 0.0;
+    }
+end
 
 let dict_code col s =
   (* Binary search in the sorted dictionary. *)
@@ -180,6 +229,43 @@ let encode_row codec row =
           invalid_arg "Codec.encode_row: value/type mismatch")
     row;
   Buffer.to_bytes buf
+
+let varint_len v =
+  let z = (v lsl 1) lxor (v asr 62) in
+  let rec go z n = if z land lnot 0x7F = 0 then n else go (z lsr 7) (n + 1) in
+  go z 1
+
+(* Byte length [encode_row] would produce, without allocating — the
+   accounting-only path of the streaming builders. Validates like
+   [encode_row]. *)
+let encoded_width codec row =
+  if Array.length row <> Array.length codec.cols then
+    invalid_arg "Codec.encode_row: arity mismatch";
+  let total = ref 0 in
+  Array.iteri
+    (fun c v ->
+      let col = codec.cols.(c) in
+      let w =
+        match (codec.kind, Attribute.datatype col.attr, v) with
+        | (Plain | Dictionary), (Attribute.Int32 | Attribute.Date), Value.Int _
+          ->
+            4
+        | (Plain | Dictionary), Attribute.Decimal, Value.Num _ -> 8
+        | Plain, (Attribute.Char w | Attribute.Varchar w), Value.Str _ -> w
+        | Dictionary, (Attribute.Char _ | Attribute.Varchar _), Value.Str s ->
+            ignore (dict_code col s);
+            col.code_width
+        | Varlen, (Attribute.Int32 | Attribute.Date), Value.Int i ->
+            varint_len i
+        | Varlen, Attribute.Decimal, Value.Num _ -> 8
+        | Varlen, (Attribute.Char _ | Attribute.Varchar _), Value.Str s ->
+            varint_len (String.length s) + String.length s
+        | _, _, (Value.Int _ | Value.Num _ | Value.Str _) ->
+            invalid_arg "Codec.encode_row: value/type mismatch"
+      in
+      total := !total + w)
+    row;
+  !total
 
 let decode_row codec b ~pos =
   let n = Array.length codec.cols in

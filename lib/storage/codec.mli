@@ -34,12 +34,40 @@ val train : kind -> Attribute.t list -> Value.t array array -> t
     [i]-th column holds the values [column_major.(i)] (one per row).
     @raise Invalid_argument on shape mismatch or value/type mismatch. *)
 
+(** Streaming trainer: feed rows (in group column order) chunk by chunk;
+    {!Train.finish} yields a codec identical to {!train} on the
+    materialized projection — dictionaries collect distinct values and
+    are sorted, so the result is independent of feed order. Only
+    [Dictionary] actually needs the data pass; [Plain]/[Varlen] training
+    is data-independent (bar validation). *)
+module Train : sig
+  type builder
+
+  val create : kind -> Attribute.t list -> builder
+
+  val feed : builder -> Value.t array -> unit
+  (** One row, values in group column order.
+      @raise Invalid_argument on arity or value/type mismatch. *)
+
+  val finish : builder -> t
+end
+
+val bytes_for_cardinality : int -> int
+(** Smallest fixed code width (1-4 bytes) covering that many distinct
+    values — the dictionary column width rule, exposed for the
+    {!Format} cost model. *)
+
 val kind : t -> kind
 
 val columns : t -> column list
 
 val encode_row : t -> Value.t array -> Bytes.t
 (** Encodes one row (values in group column order). *)
+
+val encoded_width : t -> Value.t array -> int
+(** [Bytes.length (encode_row c row)] without allocating the bytes — the
+    accounting-only path of the streaming storage builders. Validates
+    like {!encode_row}. *)
 
 val decode_row : t -> Bytes.t -> pos:int -> Value.t array * int
 (** [decode_row c b ~pos] decodes the row starting at [pos], returning the

@@ -6,19 +6,23 @@ type result = {
   written_blocks : int;
 }
 
-let transform ~disk table rows partitioning =
+(* The transform is pure accounting: only block counts enter the request
+   replay, so the row-layout source and every target are built as
+   virtual (accounting-only) files — with the Plain codec their geometry
+   is value-independent, which is what makes an SF100-class transform
+   O(partitions) instead of O(rows). Block counts are identical to the
+   materialized build's (property-tested), hence so is every device
+   request below. *)
+let transform ~disk table source partitioning =
+  if Table.name (Vp_stream.Source.table source) <> Table.name table then
+    invalid_arg "Creation.transform: source table mismatch";
   let n = Table.attribute_count table in
-  let source =
-    Pfile.build ~block_size:disk.Vp_cost.Disk.block_size ~codec_kind:Codec.Plain
-      table ~group:(Attr_set.full n) rows
+  let build_virtual group =
+    Pfile.build_stream ~block_size:disk.Vp_cost.Disk.block_size
+      ~codec_kind:Codec.Plain ~retain:false table ~group source
   in
-  let targets =
-    List.map
-      (fun group ->
-        Pfile.build ~block_size:disk.Vp_cost.Disk.block_size
-          ~codec_kind:Codec.Plain table ~group rows)
-      (Partitioning.groups partitioning)
-  in
+  let source_file = build_virtual (Attr_set.full n) in
+  let targets = List.map build_virtual (Partitioning.groups partitioning) in
   let device = Device.create disk in
   (* Buffer shares proportional to row sizes; the read stream participates
      at the full row size (mirrors Io_model.creation_time). *)
@@ -48,7 +52,7 @@ let transform ~disk table rows partitioning =
      change the accounted time. *)
   List.iter
     (fun (first, count) -> Device.read device ~file:0 ~first_block:first ~count)
-    (stream_requests ~row_size:row_s ~blocks:(Pfile.block_count source));
+    (stream_requests ~row_size:row_s ~blocks:(Pfile.block_count source_file));
   List.iteri
     (fun i f ->
       List.iter
@@ -60,7 +64,7 @@ let transform ~disk table rows partitioning =
     targets;
   {
     io = Device.stats device;
-    source_blocks = Pfile.block_count source;
+    source_blocks = Pfile.block_count source_file;
     written_blocks =
       List.fold_left (fun acc f -> acc + Pfile.block_count f) 0 targets;
   }

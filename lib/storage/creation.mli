@@ -9,7 +9,10 @@ open Vp_core
     partition concurrently; the I/O buffer is shared among the read stream
     and all write streams in proportion to their row sizes, and every
     sub-buffer refill or flush is one buffered request (seek +
-    transfer). *)
+    transfer). The rows arrive as a {!Vp_stream.Source.t} chunk stream
+    and only block geometry is kept, so the transform runs in a fixed
+    working set at any scale factor (with the Plain codec it is
+    value-independent: O(partitions), not O(rows)). *)
 
 type result = {
   io : Device.stats;
@@ -20,7 +23,9 @@ type result = {
 val transform :
   disk:Vp_cost.Disk.t ->
   Table.t ->
-  Value.t array array ->
+  Vp_stream.Source.t ->
   Partitioning.t ->
   result
-(** Simulates the row-to-partitioned transform of the given rows. *)
+(** Simulates the row-to-partitioned transform of the streamed rows.
+    @raise Invalid_argument if the source's table disagrees with
+    [table]. *)

@@ -6,22 +6,81 @@ type t = {
   disk : Vp_cost.Disk.t;
   files : Pfile.t array;
   load : Device.stats;
+  device : Device.t;
 }
 
-let build ?device ~disk ~codec table rows partitioning =
+let build ?device ?(retain = true) ~disk ~codec ?formats table source
+    partitioning =
+  if Table.name (Vp_stream.Source.table source) <> Table.name table then
+    invalid_arg "Database.build: source table mismatch";
   let device = match device with Some d -> d | None -> Device.create disk in
   let before = Device.stats device in
+  let groups = Partitioning.groups partitioning in
+  let kinds =
+    match formats with
+    | None -> List.map (fun _ -> codec) groups
+    | Some kinds ->
+        if List.length kinds <> List.length groups then
+          invalid_arg "Database.build: one format per group required";
+        kinds
+  in
+  let rows = Vp_stream.Source.row_count source in
+  (* Pass 1 (only when some group is dictionary-coded): train codecs. *)
+  let trainers =
+    List.map2
+      (fun group kind ->
+        let positions = Array.of_list (Attr_set.to_list group) in
+        let attrs =
+          Array.to_list (Array.map (Table.attribute table) positions)
+        in
+        match kind with
+        | Codec.Plain | Codec.Varlen ->
+            `Trained
+              (Codec.train kind attrs (Array.map (fun _ -> [||]) positions))
+        | Codec.Dictionary ->
+            `Training (positions, Codec.Train.create kind attrs))
+      groups kinds
+  in
+  if List.exists (function `Training _ -> true | _ -> false) trainers then
+    Vp_stream.Source.iter source (fun ~first_row:_ chunk ->
+        List.iter
+          (function
+            | `Trained _ -> ()
+            | `Training (positions, tb) ->
+                Array.iter
+                  (fun row ->
+                    Codec.Train.feed tb
+                      (Array.map (fun p -> row.(p)) positions))
+                  chunk)
+          trainers);
+  let codecs =
+    List.map
+      (function
+        | `Trained c -> c
+        | `Training (_, tb) -> Codec.Train.finish tb)
+      trainers
+  in
+  (* Pass 2: one streaming pass feeds every builder that needs rows. *)
+  let builders =
+    List.map2
+      (fun group codec ->
+        Pfile.builder ~block_size:disk.Vp_cost.Disk.block_size ~codec ~retain
+          ~rows table ~group)
+      groups codecs
+  in
+  if List.exists Pfile.needs_rows builders then
+    Vp_stream.Source.iter source (fun ~first_row:_ chunk ->
+        List.iter (fun b -> Pfile.feed b chunk) builders)
+  else List.iter (fun b -> Pfile.feed b [||]) builders;
   let files =
     Array.of_list
       (List.mapi
-         (fun i group ->
-           let f =
-             Pfile.build ~block_size:disk.Vp_cost.Disk.block_size
-               ~codec_kind:codec table ~group rows
-           in
-           Device.write device ~file:i ~first_block:0 ~count:(Pfile.block_count f);
+         (fun i b ->
+           let f = Pfile.finish b in
+           Device.write device ~file:i ~first_block:0
+             ~count:(Pfile.block_count f);
            f)
-         (Partitioning.groups partitioning))
+         builders)
   in
   let after = Device.stats device in
   let load =
@@ -32,7 +91,7 @@ let build ?device ~disk ~codec table rows partitioning =
       blocks_written = after.blocks_written - before.blocks_written;
     }
   in
-  { table; partitioning; disk; files; load }
+  { table; partitioning; disk; files; load; device }
 
 let table db = db.table
 
@@ -41,6 +100,8 @@ let partitioning db = db.partitioning
 let pfiles db = Array.to_list db.files
 
 let load_stats db = db.load
+
+let device db = db.device
 
 let bytes_on_disk db =
   Array.fold_left (fun acc f -> acc + Pfile.bytes_on_disk f) 0 db.files
@@ -78,10 +139,7 @@ let checksum_value acc = function
   | Value.Num f -> acc + Hashtbl.hash (Float.round (f *. 100.0))
   | Value.Str s -> acc + Hashtbl.hash s
 
-let run_query db query =
-  let device = Device.create db.disk in
-  let refs = Query.references query in
-  let rows = Table.row_count db.table in
+let make_streams db refs =
   let streams =
     Array.to_list db.files
     |> List.mapi (fun i f -> (i, f))
@@ -124,7 +182,20 @@ let run_query db query =
       next_block = 0;
     }
   in
-  let streams = List.map make_stream streams in
+  List.map make_stream streams
+
+(* Rows covered by a refill window starting at [from_row] and ending at
+   block [last_block]: everything strictly before the first row of the
+   next window. *)
+let window_rows pfile ~from_row ~last_block =
+  if last_block + 1 >= Pfile.block_count pfile then
+    Pfile.row_count pfile - from_row
+  else Pfile.first_row_of_block pfile (last_block + 1) - from_row
+
+(* The materialized executor: decode every buffered window, reconstruct
+   tuples row rank by row rank, checksum the projected values. *)
+let run_query_materialized db streams rows =
+  let device = Device.create db.disk in
   let cpu_ns = ref 0.0 in
   let values_decoded = ref 0 in
   let checksum = ref 0 in
@@ -136,22 +207,7 @@ let run_query db query =
       let count = min s.sub_buffer_blocks (total_blocks - s.next_block) in
       Device.read device ~file:s.file_id ~first_block:s.next_block ~count;
       let last_block = s.next_block + count - 1 in
-      let rows_covered =
-        if last_block + 1 >= total_blocks then Pfile.row_count s.pfile - from_row
-        else begin
-          (* rows strictly before the first row of the next window *)
-          let next_first =
-            (* first row stored in block last_block+1 *)
-            let rec find r =
-              if Pfile.block_of_row s.pfile r > last_block then r else find (r + 1)
-            in
-            (* exponential then linear is overkill; rows per block are
-               small, walk forward from from_row *)
-            find from_row
-          in
-          next_first - from_row
-        end
-      in
+      let rows_covered = window_rows s.pfile ~from_row ~last_block in
       s.buffered <- Pfile.read_rows s.pfile ~first_row:from_row ~count:rows_covered;
       s.buffered_first <- from_row;
       s.next_block <- s.next_block + count;
@@ -185,6 +241,79 @@ let run_query db query =
     values_decoded = !values_decoded;
     checksum = !checksum;
   }
+
+(* The accounting-only executor for virtual files: replays the exact
+   refill sequence the materialized loop would issue — at row [r] every
+   stream whose window is exhausted refills, streams in partition order —
+   without touching values, so the device stats (request order included,
+   hence every float accumulation) are bit-identical to the materialized
+   path (property-tested). Decode CPU follows the same refill order;
+   tuple-reconstruction CPU is added as one closed-form term, so
+   [cpu_seconds] is the same sum in a different float order. The
+   checksum of values that were never produced is 0. *)
+let run_query_virtual db streams rows =
+  let device = Device.create db.disk in
+  let cpu_ns = ref 0.0 in
+  let values_decoded = ref 0 in
+  let streams = Array.of_list streams in
+  (* next refill row per stream: the materialized loop refills exactly
+     when r reaches the end of the buffered window. *)
+  let next_row = Array.map (fun _ -> 0) streams in
+  let finished = Array.map (fun s -> Pfile.block_count s.pfile = 0) streams in
+  let remaining = ref 0 in
+  Array.iter (fun f -> if not f then incr remaining) finished;
+  while !remaining > 0 do
+    (* earliest refill row; ties resolved in stream (partition) order by
+       the stable minimum scan. *)
+    let r = ref max_int in
+    Array.iteri
+      (fun i f -> if not f && next_row.(i) < !r then r := next_row.(i))
+      finished;
+    Array.iteri
+      (fun i s ->
+        if (not finished.(i)) && next_row.(i) = !r then begin
+          let total_blocks = Pfile.block_count s.pfile in
+          let count = min s.sub_buffer_blocks (total_blocks - s.next_block) in
+          Device.read device ~file:s.file_id ~first_block:s.next_block ~count;
+          let last_block = s.next_block + count - 1 in
+          let rows_covered = window_rows s.pfile ~from_row:!r ~last_block in
+          s.next_block <- s.next_block + count;
+          let cols = Array.length s.refs_in_group in
+          let kind = Codec.kind (Pfile.codec s.pfile) in
+          let per_value = Codec.decode_ns_per_value kind ~in_group:s.in_group in
+          cpu_ns := !cpu_ns +. (per_value *. float_of_int (rows_covered * cols));
+          values_decoded := !values_decoded + (rows_covered * cols);
+          if s.next_block >= total_blocks then begin
+            finished.(i) <- true;
+            decr remaining
+          end
+          else next_row.(i) <- !r + rows_covered
+        end)
+      streams
+  done;
+  let partitions_read = Array.length streams in
+  if partitions_read > 1 then
+    cpu_ns :=
+      !cpu_ns
+      +. join_ns_per_tuple
+         *. float_of_int (partitions_read - 1)
+         *. float_of_int rows;
+  {
+    rows_out = rows;
+    io = Device.stats device;
+    cpu_seconds = !cpu_ns *. 1e-9;
+    partitions_read;
+    values_decoded = !values_decoded;
+    checksum = 0;
+  }
+
+let run_query db query =
+  let refs = Query.references query in
+  let rows = Table.row_count db.table in
+  let streams = make_streams db refs in
+  if List.exists (fun s -> Pfile.is_virtual s.pfile) streams then
+    run_query_virtual db streams rows
+  else run_query_materialized db streams rows
 
 let run_workload db workload =
   (* Polls the ambient budget between queries (one tick per query), so a

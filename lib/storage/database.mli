@@ -15,14 +15,31 @@ type t
 
 val build :
   ?device:Device.t ->
+  ?retain:bool ->
   disk:Vp_cost.Disk.t ->
   codec:Codec.kind ->
+  ?formats:Codec.kind list ->
   Table.t ->
-  Value.t array array ->
+  Vp_stream.Source.t ->
   Partitioning.t ->
   t
-(** Loads the rows into one partition file per group, accounting the
-    writes on [device] (a fresh device if omitted). *)
+(** Streams the source into one partition file per group (one training
+    pass when a group is dictionary-coded, then one encode pass feeding
+    every file — bounded by the chunk size, never the table), accounting
+    the writes on [device] (a fresh device if omitted — retrieve it with
+    {!device}; the build's own delta is {!load_stats} either way).
+
+    [retain] (default [true]) keeps the encoded blocks so queries decode
+    real values; [retain:false] builds virtual (accounting-only) files —
+    the out-of-core mode: fixed-stride groups then need no data pass at
+    all, and {!run_query} replays the exact refill schedule against the
+    device without decoding (identical {!query_result.io}, checksum 0).
+
+    [formats] assigns a per-group codec kind (one per group, in
+    {!Vp_core.Partitioning.groups} order), overriding [codec] — the
+    {!Format} selector's decision applied to storage.
+    @raise Invalid_argument on a source/table mismatch or a [formats]
+    list whose length disagrees with the partitioning. *)
 
 val table : t -> Table.t
 
@@ -32,6 +49,10 @@ val pfiles : t -> Pfile.t list
 
 val load_stats : t -> Device.stats
 (** I/O performed while building. *)
+
+val device : t -> Device.t
+(** The device the build accounted on (the fresh one if the caller did
+    not supply one — write accounting is never silently lost). *)
 
 val bytes_on_disk : t -> int
 
@@ -46,7 +67,12 @@ type query_result = {
 
 val run_query : t -> Query.t -> query_result
 (** Executes one scan/projection query against a private device (so [io]
-    reflects this query only). *)
+    reflects this query only). When any referenced file is virtual the
+    executor replays the exact refill request sequence of the
+    materialized scan without decoding: [io] is bit-identical to the
+    materialized run (property-tested), [values_decoded] equal,
+    [cpu_seconds] the same sum accumulated in a different float order,
+    and [checksum] 0. *)
 
 val run_workload : t -> Workload.t -> query_result list * float
 (** All queries (each on a fresh device, like the paper's cold-cache runs);

@@ -1,0 +1,236 @@
+open Vp_core
+
+type stats = { distinct : int; avg_len : float }
+
+let schema_distinct_cap = 4096
+
+let numeric_stats attr = { distinct = 0; avg_len = float_of_int (Attribute.width attr) }
+
+let schema_stats table =
+  let rows = Table.row_count table in
+  Array.init (Table.attribute_count table) (fun i ->
+      let attr = Table.attribute table i in
+      match Attribute.datatype attr with
+      | Attribute.Int32 | Attribute.Decimal | Attribute.Date ->
+          numeric_stats attr
+      | Attribute.Char w | Attribute.Varchar w ->
+          { distinct = min rows schema_distinct_cap; avg_len = float_of_int w })
+
+let sample_stats ?rows source =
+  let table = Vp_stream.Source.table source in
+  let n = Table.attribute_count table in
+  let cap =
+    match rows with
+    | None -> max_int
+    | Some r ->
+        if r < 1 then invalid_arg "Format.sample_stats: rows < 1";
+        r
+  in
+  let is_str =
+    Array.init n (fun i ->
+        match Attribute.datatype (Table.attribute table i) with
+        | Attribute.Char _ | Attribute.Varchar _ -> true
+        | _ -> false)
+  in
+  let seen = Array.init n (fun _ -> Hashtbl.create 16) in
+  let lengths = Array.make n 0.0 in
+  let counted = ref 0 in
+  Vp_stream.Source.iter source (fun ~first_row:_ chunk ->
+      Array.iter
+        (fun row ->
+          if !counted < cap then begin
+            incr counted;
+            for i = 0 to n - 1 do
+              if is_str.(i) then
+                match row.(i) with
+                | Value.Str s ->
+                    Hashtbl.replace seen.(i) s ();
+                    lengths.(i) <- lengths.(i) +. float_of_int (String.length s)
+                | Value.Int _ | Value.Num _ ->
+                    invalid_arg "Format.sample_stats: value/type mismatch"
+            done
+          end)
+        chunk);
+  Array.init n (fun i ->
+      let attr = Table.attribute table i in
+      if is_str.(i) && !counted > 0 then
+        {
+          distinct = Hashtbl.length seen.(i);
+          avg_len = lengths.(i) /. float_of_int !counted;
+        }
+      else if is_str.(i) then
+        { distinct = 0; avg_len = float_of_int (Attribute.width attr) }
+      else numeric_stats attr)
+
+type choice = { kind : Codec.kind; row_size : int }
+
+type t = choice list
+
+let group_size table stats group kind =
+  match kind with
+  | Codec.Plain -> Table.subset_size table group
+  | Codec.Dictionary ->
+      List.fold_left
+        (fun acc a ->
+          let attr = Table.attribute table a in
+          acc
+          +
+          match Attribute.datatype attr with
+          | Attribute.Int32 | Attribute.Date -> 4
+          | Attribute.Decimal -> 8
+          | Attribute.Char _ | Attribute.Varchar _ ->
+              Codec.bytes_for_cardinality (max 1 stats.(a).distinct))
+        0 (Attr_set.to_list group)
+  | Codec.Varlen ->
+      List.fold_left
+        (fun acc a ->
+          let attr = Table.attribute table a in
+          acc
+          +
+          match Attribute.datatype attr with
+          | Attribute.Int32 | Attribute.Date -> 3
+          | Attribute.Decimal -> 8
+          | Attribute.Char _ | Attribute.Varchar _ ->
+              1 + int_of_float (Float.ceil stats.(a).avg_len))
+        0 (Attr_set.to_list group)
+
+let plain table partitioning =
+  List.map
+    (fun g -> { kind = Codec.Plain; row_size = Table.subset_size table g })
+    (Partitioning.groups partitioning)
+
+let kinds t = List.map (fun c -> c.kind) t
+
+let of_kinds table stats partitioning ks =
+  let groups = Partitioning.groups partitioning in
+  if List.length groups <> List.length ks then
+    invalid_arg "Format.of_kinds: one kind per group required";
+  List.map2
+    (fun g kind -> { kind; row_size = group_size table stats g kind })
+    groups ks
+
+let sizes t = List.map (fun c -> c.row_size) t
+
+let to_string t =
+  String.concat "," (List.map (fun c -> Codec.kind_name c.kind) t)
+
+let equal a b = a = b
+
+(* Weighted scan cost of the workload under the given per-partition
+   formats: I/O via the sized cost model (stored widths, not schema
+   widths) plus the executor's decode CPU. Tuple-reconstruction (join)
+   CPU is excluded — it depends only on the partitioning, which is fixed
+   here, so it cancels in every comparison between format vectors. *)
+let scan_cost disk table workload partitioning t =
+  let groups = Partitioning.groups partitioning in
+  if List.length groups <> List.length t then
+    invalid_arg "Format.scan_cost: one choice per group required";
+  let tagged = List.combine groups t in
+  let rows = Table.row_count table in
+  Array.fold_left
+    (fun acc q ->
+      let refs = Query.references q in
+      let referenced =
+        List.filter (fun (g, _) -> Attr_set.intersects g refs) tagged
+      in
+      let io =
+        Vp_cost.Io_model.query_cost_sized disk ~rows
+          (List.map (fun (_, c) -> c.row_size) referenced)
+      in
+      let cpu_ns =
+        List.fold_left
+          (fun acc (g, c) ->
+            let cols = Attr_set.cardinal (Attr_set.inter g refs) in
+            let in_group = Attr_set.cardinal g > 1 in
+            acc
+            +. Codec.decode_ns_per_value c.kind ~in_group
+               *. float_of_int (rows * cols))
+          0.0 referenced
+      in
+      acc +. (Query.weight q *. (io +. (cpu_ns *. 1e-9))))
+    0.0 (Workload.queries workload)
+
+let candidate_kinds = [ Codec.Plain; Codec.Dictionary; Codec.Varlen ]
+
+(* Greedy coordinate descent from the all-Plain vector: sweep the groups
+   in partitioning order, keeping a kind change only when it strictly
+   lowers the scan cost, until a sweep changes nothing (at most four
+   sweeps — the interaction between groups is only through the buffer
+   shares, which settles fast). Deterministic, and the result never
+   costs more than all-Plain because all-Plain is the starting point. *)
+let choose disk table workload partitioning stats =
+  let groups = Array.of_list (Partitioning.groups partitioning) in
+  let current =
+    Array.map
+      (fun g -> { kind = Codec.Plain; row_size = group_size table stats g Codec.Plain })
+      groups
+  in
+  let cost_of () =
+    scan_cost disk table workload partitioning (Array.to_list current)
+  in
+  let best = ref (cost_of ()) in
+  let improved = ref true in
+  let sweeps = ref 0 in
+  while !improved && !sweeps < 4 do
+    improved := false;
+    incr sweeps;
+    Array.iteri
+      (fun i g ->
+        List.iter
+          (fun kind ->
+            let cand = { kind; row_size = group_size table stats g kind } in
+            if cand <> current.(i) then begin
+              let saved = current.(i) in
+              current.(i) <- cand;
+              let c = cost_of () in
+              if c < !best then begin
+                best := c;
+                improved := true
+              end
+              else current.(i) <- saved
+            end)
+          candidate_kinds)
+      groups
+  done;
+  Array.to_list current
+
+let ceil_div a b = (a + b - 1) / b
+
+(* Rewriting the fragments whose format changed: read each old fragment
+   and write its new encoding, all streams sharing the I/O buffer in
+   proportion to their row sizes — the same request discipline as
+   [Io_model.creation_time] and [Creation.transform]. Unchanged
+   fragments stay on disk untouched and cost nothing. *)
+let migration_cost disk table old_t new_t =
+  if List.length old_t <> List.length new_t then
+    invalid_arg "Format.migration_cost: format vectors of different layouts";
+  let changed =
+    List.filter (fun (o, n) -> o.kind <> n.kind) (List.combine old_t new_t)
+  in
+  if changed = [] then 0.0
+  else begin
+    let rows = Table.row_count table in
+    let block = disk.Vp_cost.Disk.block_size in
+    let total_s =
+      List.fold_left (fun acc (o, n) -> acc + o.row_size + n.row_size) 0 changed
+    in
+    let stream_cost ~row_size ~bandwidth =
+      let blocks = Vp_cost.Io_model.partition_blocks disk ~rows ~row_size in
+      if blocks = 0 then 0.0
+      else begin
+        let share = disk.Vp_cost.Disk.buffer_size * row_size / total_s in
+        let per_request = max 1 (share / block) in
+        let refills = ceil_div blocks per_request in
+        (disk.Vp_cost.Disk.seek_time *. float_of_int refills)
+        +. (float_of_int blocks *. float_of_int block /. bandwidth)
+      end
+    in
+    List.fold_left
+      (fun acc (o, n) ->
+        acc
+        +. stream_cost ~row_size:o.row_size
+             ~bandwidth:disk.Vp_cost.Disk.read_bandwidth
+        +. stream_cost ~row_size:n.row_size
+             ~bandwidth:disk.Vp_cost.Disk.write_bandwidth)
+      0.0 changed
+  end

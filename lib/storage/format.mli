@@ -1,0 +1,87 @@
+open Vp_core
+
+(** Cost-based per-partition format selection.
+
+    Each partition (column group) of a layout stores its fragment in one
+    of the {!Codec.kind} formats; the right choice depends on the data
+    (string cardinalities and lengths) and on the workload (narrow
+    formats save I/O, variable-stride formats cost decode CPU — the
+    trade-off behind the paper's Table 7). This module estimates stored
+    row widths per (group, format) from column statistics, prices a
+    format vector with the sized I/O model
+    ({!Vp_cost.Io_model.query_cost_sized}) plus decode CPU, and picks a
+    vector by greedy descent from all-[Plain]. The chosen vector feeds
+    {!Database.build}'s [formats] and the online service's format
+    re-pick action. *)
+
+type stats = { distinct : int;  (** Distinct values (string columns). *)
+               avg_len : float  (** Mean stored length in bytes. *) }
+(** Per-attribute column statistics, indexed by attribute position. For
+    numeric attributes [distinct] is 0 and [avg_len] the fixed width. *)
+
+val schema_stats : Table.t -> stats array
+(** Deterministic schema-only fallback (no data pass): every string
+    column is assumed to draw from at most 4096 distinct values (capped
+    at the row count) at its declared width — the regime where the
+    paper's dictionary configuration compresses every text column. *)
+
+val sample_stats : ?rows:int -> Vp_stream.Source.t -> stats array
+(** Measured statistics from (up to [rows] of) the streamed source,
+    chunk at a time in a bounded working set. Exact when the cap covers
+    the source, in which case the [Dictionary] widths below equal the
+    trained codec's real geometry.
+    @raise Invalid_argument on [rows < 1] or a value/type mismatch. *)
+
+type choice = { kind : Codec.kind; row_size : int  (** Estimated stored row width. *) }
+
+type t = choice list
+(** One choice per group, in {!Vp_core.Partitioning.groups} order. *)
+
+val plain : Table.t -> Partitioning.t -> t
+(** The all-[Plain] baseline (schema widths). *)
+
+val group_size : Table.t -> stats array -> Attr_set.t -> Codec.kind -> int
+(** Estimated stored row width of a group under a format: [Plain] is
+    the schema width; [Dictionary] keeps numerics fixed and stores
+    string codes of {!Codec.bytes_for_cardinality} bytes; [Varlen]
+    estimates varint numerics and length-prefixed unpadded strings. *)
+
+val kinds : t -> Codec.kind list
+(** In group order — the value {!Database.build} takes as [formats]. *)
+
+val of_kinds :
+  Table.t -> stats array -> Partitioning.t -> Codec.kind list -> t
+(** Rebuild a vector from its kinds (inverse of {!kinds} under the same
+    statistics) — the snapshot-restore path.
+    @raise Invalid_argument when the list's length disagrees with the
+    partitioning. *)
+
+val sizes : t -> int list
+
+val to_string : t -> string
+(** Comma-separated kind names in group order, e.g.
+    ["plain,dictionary,varlen"]. *)
+
+val equal : t -> t -> bool
+
+val scan_cost :
+  Vp_cost.Disk.t -> Table.t -> Workload.t -> Partitioning.t -> t -> float
+(** Weighted workload scan cost under the format vector: sized I/O plus
+    decode CPU. Tuple-reconstruction CPU is excluded (fixed by the
+    partitioning, it cancels between format vectors).
+    @raise Invalid_argument when the vector's length disagrees with the
+    partitioning. *)
+
+val choose :
+  Vp_cost.Disk.t -> Table.t -> Workload.t -> Partitioning.t -> stats array -> t
+(** Greedy coordinate descent from all-[Plain] (at most four sweeps in
+    group order, keeping strict improvements only): deterministic, and
+    never costlier than {!plain} under {!scan_cost}. *)
+
+val migration_cost : Vp_cost.Disk.t -> Table.t -> t -> t -> float
+(** [migration_cost disk table old new]: time to rewrite exactly the
+    fragments whose kind changed — read the old fragment, write the new
+    one, all streams sharing the buffer in proportion to row sizes (the
+    {!Vp_cost.Io_model.creation_time} request discipline). [0.] when
+    nothing changed.
+    @raise Invalid_argument on vectors of different lengths. *)

@@ -1,21 +1,260 @@
 open Vp_core
 
+(* Where a file's row ranks live: fixed-stride files (plain, dictionary)
+   need only the constant rows-per-block — O(1) metadata even at SF100 —
+   while variable-stride files carry explicit per-block tables. *)
+type rowmap =
+  | Fixed of int  (** rows per full block *)
+  | Explicit of { first : int array; rows : int array }
+
+type storage =
+  | Blocks of Bytes.t array  (** encoded block images (materialized) *)
+  | Virtual  (** accounting-only: block geometry without the bytes *)
+
 type t = {
   group : Attr_set.t;
   codec : Codec.t;
   block_size : int;
-  blocks : Bytes.t array;
-  block_first_row : int array;  (** First row stored in each block. *)
-  block_rows : int array;  (** Rows stored in each block. *)
+  storage : storage;
+  rowmap : rowmap;
+  block_count : int;
   row_count : int;
   payload : int;
 }
+
+let group f = f.group
+
+let codec f = f.codec
+
+let block_count f = f.block_count
+
+let row_count f = f.row_count
+
+let bytes_on_disk f = f.block_count * f.block_size
+
+let payload_bytes f = f.payload
+
+let is_virtual f = match f.storage with Virtual -> true | Blocks _ -> false
+
+let first_row_of_block f b =
+  if b < 0 || b >= f.block_count then
+    invalid_arg (Printf.sprintf "Pfile.first_row_of_block: block %d" b);
+  match f.rowmap with Fixed rpb -> b * rpb | Explicit m -> m.first.(b)
+
+let rows_in_block f b =
+  if b < 0 || b >= f.block_count then
+    invalid_arg (Printf.sprintf "Pfile.rows_in_block: block %d" b);
+  match f.rowmap with
+  | Fixed rpb -> min rpb (f.row_count - (b * rpb))
+  | Explicit m -> m.rows.(b)
+
+let block_of_row f row =
+  if row < 0 || row >= f.row_count then
+    invalid_arg (Printf.sprintf "Pfile.block_of_row: row %d out of range" row);
+  match f.rowmap with
+  | Fixed rpb -> row / rpb
+  | Explicit m ->
+      (* Binary search over the block-first-row table. *)
+      let lo = ref 0 and hi = ref (f.block_count - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if m.first.(mid) <= row then lo := mid else hi := mid - 1
+      done;
+      !lo
+
+let blocks_spanning f ~first_row ~count =
+  if f.row_count = 0 || count <= 0 then (0, 0)
+  else begin
+    let first_row = max 0 (min first_row (f.row_count - 1)) in
+    let last_row = min (f.row_count - 1) (first_row + count - 1) in
+    let b0 = block_of_row f first_row in
+    let b1 = block_of_row f last_row in
+    (b0, b1 - b0 + 1)
+  end
+
+(* --- building ---
+
+   One builder per target file; rows arrive as full-table chunks and are
+   projected onto the group. [retain:true] packs actual encoded bytes —
+   byte-identical to the historic materialized build. [retain:false]
+   tracks only block geometry (encoded widths, block boundaries); and
+   when the codec has a fixed stride the geometry is value-independent,
+   so feeding rows becomes unnecessary altogether ([needs_rows = false])
+   and [finish] computes the file analytically — the fast path that
+   makes SF100-class simulation O(1) per file. The streamed identity
+   tests pin all three paths to the same block counts and payload. *)
+
+type builder = {
+  b_group : Attr_set.t;
+  b_codec : Codec.t;
+  b_block_size : int;
+  b_retain : bool;
+  b_rows : int;  (** declared total row count *)
+  b_positions : int array;
+  b_arity : int;  (** full-table row arity, for validation *)
+  b_fixed : int option;  (** fixed encoded width, when the codec has one *)
+  mutable fed : int;
+  (* current (open) block *)
+  buf : Buffer.t;
+  mutable cur_len : int;
+  mutable cur_first : int;
+  mutable cur_count : int;
+  (* finished blocks, newest first *)
+  mutable blocks_rev : Bytes.t list;
+  mutable first_rev : int list;
+  mutable rows_rev : int list;
+  mutable n_blocks : int;
+  mutable payload : int;
+}
+
+let builder ~block_size ~codec ~retain ~rows table ~group =
+  if Attr_set.is_empty group then invalid_arg "Pfile.builder: empty group";
+  if rows < 0 then invalid_arg "Pfile.builder: negative row count";
+  {
+    b_group = group;
+    b_codec = codec;
+    b_block_size = block_size;
+    b_retain = retain;
+    b_rows = rows;
+    b_positions = Array.of_list (Attr_set.to_list group);
+    b_arity = Table.attribute_count table;
+    b_fixed = Codec.fixed_row_width codec;
+    fed = 0;
+    buf = Buffer.create (if retain then block_size else 0);
+    cur_len = 0;
+    cur_first = 0;
+    cur_count = 0;
+    blocks_rev = [];
+    first_rev = [];
+    rows_rev = [];
+    n_blocks = 0;
+    payload = 0;
+  }
+
+let needs_rows b = b.b_retain || b.b_fixed = None
+
+let flush b =
+  if b.cur_count > 0 then begin
+    if b.b_retain then begin
+      let blk = Bytes.make b.b_block_size '\000' in
+      Bytes.blit_string (Buffer.contents b.buf) 0 blk 0 (Buffer.length b.buf);
+      b.blocks_rev <- blk :: b.blocks_rev;
+      Buffer.clear b.buf
+    end;
+    b.first_rev <- b.cur_first :: b.first_rev;
+    b.rows_rev <- b.cur_count :: b.rows_rev;
+    b.n_blocks <- b.n_blocks + 1;
+    b.cur_len <- 0;
+    b.cur_count <- 0
+  end
+
+let feed b chunk =
+  if needs_rows b then
+    Array.iter
+      (fun row ->
+        if Array.length row <> b.b_arity then
+          invalid_arg "Pfile.build: row arity mismatch";
+        let projected = Array.map (fun p -> row.(p)) b.b_positions in
+        let len =
+          if b.b_retain then begin
+            let encoded = Codec.encode_row b.b_codec projected in
+            let len = Bytes.length encoded in
+            if len > b.b_block_size then
+              invalid_arg
+                (Printf.sprintf
+                   "Pfile.build: row of %d bytes exceeds the %d-byte block"
+                   len b.b_block_size);
+            if b.cur_len + len > b.b_block_size then flush b;
+            if b.cur_count = 0 then b.cur_first <- b.fed;
+            Buffer.add_bytes b.buf encoded;
+            len
+          end
+          else begin
+            let len = Codec.encoded_width b.b_codec projected in
+            if len > b.b_block_size then
+              invalid_arg
+                (Printf.sprintf
+                   "Pfile.build: row of %d bytes exceeds the %d-byte block"
+                   len b.b_block_size);
+            if b.cur_len + len > b.b_block_size then flush b;
+            if b.cur_count = 0 then b.cur_first <- b.fed;
+            len
+          end
+        in
+        b.cur_len <- b.cur_len + len;
+        b.cur_count <- b.cur_count + 1;
+        b.payload <- b.payload + len;
+        b.fed <- b.fed + 1)
+      chunk
+  else b.fed <- b.fed + Array.length chunk
+
+let ceil_div a n = (a + n - 1) / n
+
+let finish b =
+  if needs_rows b && b.fed <> b.b_rows then
+    invalid_arg
+      (Printf.sprintf "Pfile.finish: fed %d of %d declared rows" b.fed
+         b.b_rows);
+  let n_rows = b.b_rows in
+  if needs_rows b then begin
+    flush b;
+    let codec =
+      if n_rows = 0 then b.b_codec
+      else
+        Codec.with_avg_row_width b.b_codec
+          (float_of_int b.payload /. float_of_int n_rows)
+    in
+    {
+      group = b.b_group;
+      codec;
+      block_size = b.b_block_size;
+      storage =
+        (if b.b_retain then Blocks (Array.of_list (List.rev b.blocks_rev))
+         else Virtual);
+      rowmap =
+        Explicit
+          {
+            first = Array.of_list (List.rev b.first_rev);
+            rows = Array.of_list (List.rev b.rows_rev);
+          };
+      block_count = b.n_blocks;
+      row_count = n_rows;
+      payload = b.payload;
+    }
+  end
+  else begin
+    (* Value-independent geometry: a fixed-width row stream packs exactly
+       floor(block / width) rows per block — identical to the greedy
+       packing of the encode path. *)
+    let w = match b.b_fixed with Some w -> w | None -> assert false in
+    if w > b.b_block_size then
+      invalid_arg
+        (Printf.sprintf
+           "Pfile.build: row of %d bytes exceeds the %d-byte block" w
+           b.b_block_size);
+    let rpb = b.b_block_size / w in
+    let blocks = if n_rows = 0 then 0 else ceil_div n_rows rpb in
+    let payload = n_rows * w in
+    let codec =
+      if n_rows = 0 then b.b_codec
+      else Codec.with_avg_row_width b.b_codec (float_of_int w)
+    in
+    {
+      group = b.b_group;
+      codec;
+      block_size = b.b_block_size;
+      storage = Virtual;
+      rowmap = Fixed rpb;
+      block_count = blocks;
+      row_count = n_rows;
+      payload;
+    }
+  end
 
 let build ~block_size ~codec_kind table ~group rows =
   if Attr_set.is_empty group then invalid_arg "Pfile.build: empty group";
   let positions = Array.of_list (Attr_set.to_list group) in
   let attrs = Array.to_list (Array.map (Table.attribute table) positions) in
-  let n_rows = Array.length rows in
   (* Column-major projection for codec training. *)
   let column_major =
     Array.map
@@ -29,89 +268,50 @@ let build ~block_size ~codec_kind table ~group rows =
       positions
   in
   let codec = Codec.train codec_kind attrs column_major in
-  (* Encode rows and pack them into blocks (rows never span blocks). *)
-  let blocks = ref [] in
-  let first_rows = ref [] in
-  let block_rows = ref [] in
-  let current = Buffer.create block_size in
-  let current_first = ref 0 in
-  let current_count = ref 0 in
-  let payload = ref 0 in
-  let flush () =
-    if !current_count > 0 then begin
-      let b = Bytes.make block_size '\000' in
-      Bytes.blit_string (Buffer.contents current) 0 b 0 (Buffer.length current);
-      blocks := b :: !blocks;
-      first_rows := !current_first :: !first_rows;
-      block_rows := !current_count :: !block_rows;
-      Buffer.clear current;
-      current_count := 0
-    end
+  let b =
+    builder ~block_size ~codec ~retain:true ~rows:(Array.length rows) table
+      ~group
   in
-  for i = 0 to n_rows - 1 do
-    let projected = Array.map (fun p -> rows.(i).(p)) positions in
-    let encoded = Codec.encode_row codec projected in
-    let len = Bytes.length encoded in
-    if len > block_size then
-      invalid_arg
-        (Printf.sprintf "Pfile.build: row of %d bytes exceeds the %d-byte block"
-           len block_size);
-    if Buffer.length current + len > block_size then flush ();
-    if !current_count = 0 then current_first := i;
-    Buffer.add_bytes current encoded;
-    incr current_count;
-    payload := !payload + len
-  done;
-  flush ();
-  let codec =
-    if n_rows = 0 then codec
-    else Codec.with_avg_row_width codec (float_of_int !payload /. float_of_int n_rows)
+  feed b rows;
+  finish b
+
+let train_stream codec_kind table ~group source =
+  let positions = Array.of_list (Attr_set.to_list group) in
+  let attrs = Array.to_list (Array.map (Table.attribute table) positions) in
+  match codec_kind with
+  | Codec.Plain | Codec.Varlen ->
+      (* Data-independent: train on empty columns (validation happens at
+         encode/width time). *)
+      Codec.train codec_kind attrs
+        (Array.map (fun _ -> [||]) positions)
+  | Codec.Dictionary ->
+      let tb = Codec.Train.create codec_kind attrs in
+      Vp_stream.Source.iter source (fun ~first_row:_ chunk ->
+          Array.iter
+            (fun row ->
+              Codec.Train.feed tb (Array.map (fun p -> row.(p)) positions))
+            chunk);
+      Codec.Train.finish tb
+
+let build_stream ~block_size ~codec_kind ?(retain = true) table ~group source
+    =
+  if Attr_set.is_empty group then invalid_arg "Pfile.build: empty group";
+  let codec = train_stream codec_kind table ~group source in
+  let b =
+    builder ~block_size ~codec ~retain
+      ~rows:(Vp_stream.Source.row_count source)
+      table ~group
   in
-  {
-    group;
-    codec;
-    block_size;
-    blocks = Array.of_list (List.rev !blocks);
-    block_first_row = Array.of_list (List.rev !first_rows);
-    block_rows = Array.of_list (List.rev !block_rows);
-    row_count = n_rows;
-    payload = !payload;
-  }
-
-let group f = f.group
-
-let codec f = f.codec
-
-let block_count f = Array.length f.blocks
-
-let row_count f = f.row_count
-
-let bytes_on_disk f = block_count f * f.block_size
-
-let payload_bytes f = f.payload
-
-let block_of_row f row =
-  if row < 0 || row >= f.row_count then
-    invalid_arg (Printf.sprintf "Pfile.block_of_row: row %d out of range" row);
-  (* Binary search over block_first_row. *)
-  let lo = ref 0 and hi = ref (Array.length f.blocks - 1) in
-  while !lo < !hi do
-    let mid = (!lo + !hi + 1) / 2 in
-    if f.block_first_row.(mid) <= row then lo := mid else hi := mid - 1
-  done;
-  !lo
-
-let blocks_spanning f ~first_row ~count =
-  if f.row_count = 0 || count <= 0 then (0, 0)
-  else begin
-    let first_row = max 0 (min first_row (f.row_count - 1)) in
-    let last_row = min (f.row_count - 1) (first_row + count - 1) in
-    let b0 = block_of_row f first_row in
-    let b1 = block_of_row f last_row in
-    (b0, b1 - b0 + 1)
-  end
+  if needs_rows b then
+    Vp_stream.Source.iter source (fun ~first_row:_ chunk -> feed b chunk);
+  finish b
 
 let read_rows f ~first_row ~count =
+  let blocks =
+    match f.storage with
+    | Blocks blocks -> blocks
+    | Virtual -> invalid_arg "Pfile.read_rows: virtual (accounting-only) file"
+  in
   if f.row_count = 0 || count <= 0 then [||]
   else begin
     let first_row = max 0 first_row in
@@ -122,9 +322,9 @@ let read_rows f ~first_row ~count =
       let bi = ref (block_of_row f first_row) in
       let produced = ref 0 in
       while !produced < Array.length out do
-        let block = f.blocks.(!bi) in
-        let block_first = f.block_first_row.(!bi) in
-        let in_block = f.block_rows.(!bi) in
+        let block = blocks.(!bi) in
+        let block_first = first_row_of_block f !bi in
+        let in_block = rows_in_block f !bi in
         (* Decode sequentially from the start of the block, emitting the
            rows that fall in the requested range. *)
         let pos = ref 0 in

@@ -1,0 +1,102 @@
+open Vp_core
+
+type t = {
+  table : Table.t;
+  chunk_rows : int;
+  get : int -> Value.t array array;
+}
+
+let check_chunk_rows chunk_rows =
+  if chunk_rows < 1 then invalid_arg "Source: chunk_rows < 1"
+
+let table s = s.table
+
+let row_count s = Table.row_count s.table
+
+let chunk_rows s = s.chunk_rows
+
+let chunk_count s = (row_count s + s.chunk_rows - 1) / s.chunk_rows
+
+let first_row s i = i * s.chunk_rows
+
+let chunk s i =
+  if i < 0 || i >= chunk_count s then
+    invalid_arg (Printf.sprintf "Source.chunk: index %d out of range" i);
+  s.get i
+
+let of_rowgen ?(chunk_rows = Vp_datagen.Rowgen.default_chunk_rows) gen table =
+  check_chunk_rows chunk_rows;
+  {
+    table;
+    chunk_rows;
+    get = (fun i -> Vp_datagen.Rowgen.chunk gen ~chunk_rows table i);
+  }
+
+let of_rows ?(chunk_rows = Vp_datagen.Rowgen.default_chunk_rows) table rows =
+  check_chunk_rows chunk_rows;
+  if Array.length rows <> Table.row_count table then
+    invalid_arg "Source.of_rows: row count disagrees with the table";
+  {
+    table;
+    chunk_rows;
+    get =
+      (fun i ->
+        let first = i * chunk_rows in
+        let len = min chunk_rows (Array.length rows - first) in
+        Array.sub rows first len);
+  }
+
+(* Waves per pool pass: enough chunks to keep every domain busy while
+   bounding resident chunks to [4 * domains]. *)
+let iter ?pool s f =
+  let chunks = chunk_count s in
+  match pool with
+  | None ->
+      for i = 0 to chunks - 1 do
+        f ~first_row:(first_row s i) (s.get i)
+      done
+  | Some pool ->
+      let wave = max 1 (4 * Vp_parallel.Pool.domain_count pool) in
+      let next = ref 0 in
+      while !next < chunks do
+        let upto = min chunks (!next + wave) in
+        let indices = List.init (upto - !next) (fun k -> !next + k) in
+        let produced = Vp_parallel.Pool.map pool s.get indices in
+        List.iter2
+          (fun i c -> f ~first_row:(first_row s i) c)
+          indices produced;
+        next := upto
+      done
+
+let fold ?pool s ~init f =
+  let acc = ref init in
+  iter ?pool s (fun ~first_row c -> acc := f !acc ~first_row c);
+  !acc
+
+let materialize s =
+  let out = Array.make (row_count s) [||] in
+  iter s (fun ~first_row c -> Array.blit c 0 out first_row (Array.length c));
+  out
+
+(* Order-sensitive mixing digest; Hashtbl.hash of ints/floats/strings is
+   deterministic across runs and domains. *)
+let mix acc h = (acc * 0x01000193) lxor (h land 0x3FFFFFFF)
+
+let digest_rows rows =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left
+        (fun acc v ->
+          mix acc
+            (match v with
+            | Value.Int i -> Hashtbl.hash i
+            | Value.Num f -> Hashtbl.hash (Int64.bits_of_float f)
+            | Value.Str s -> Hashtbl.hash s))
+        (mix acc (Array.length row))
+        row)
+    (mix 0x811C9DC5 (Array.length rows))
+    rows
+
+let digest ?pool s =
+  fold ?pool s ~init:0 (fun acc ~first_row c ->
+      mix (mix acc first_row) (digest_rows c))

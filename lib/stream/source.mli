@@ -1,0 +1,72 @@
+open Vp_core
+
+(** A bounded-memory chunk source: the streaming substrate's producer
+    side. A source describes one table's rows as a sequence of fixed-size
+    chunks (the last one may be short) that can be fetched {e by index},
+    independently and in any order — the property that lets chunks be
+    generated across a {!Vp_parallel.Pool} and lets consumers re-stream a
+    source as many times as they need (codec training pass, encode pass)
+    without ever materializing the table.
+
+    Determinism contract: [chunk s i] depends only on the source
+    definition and [i] — never on which chunks were fetched before, in
+    what order, or on which domain. Consumers that deliver chunks in
+    index order are therefore byte-identical for every [jobs] value. *)
+
+type t
+
+val of_rowgen : ?chunk_rows:int -> Vp_datagen.Rowgen.t -> Table.t -> t
+(** The generated table as a chunk stream; chunks are produced on demand
+    by {!Vp_datagen.Rowgen.chunk} and never cached. *)
+
+val of_rows : ?chunk_rows:int -> Table.t -> Value.t array array -> t
+(** A materialized table as a chunk stream (chunks are copied slices) —
+    the bridge for callers that already hold rows.
+    @raise Invalid_argument if the row count disagrees with the table. *)
+
+val table : t -> Table.t
+
+val row_count : t -> int
+
+val chunk_rows : t -> int
+
+val chunk_count : t -> int
+
+val first_row : t -> int -> int
+(** First row index of a chunk. *)
+
+val chunk : t -> int -> Value.t array array
+(** Fetch one chunk by index (pure; any order; any domain).
+    @raise Invalid_argument if the index is out of range. *)
+
+val iter :
+  ?pool:Vp_parallel.Pool.t ->
+  t ->
+  (first_row:int -> Value.t array array -> unit) ->
+  unit
+(** Streams every chunk through [f] in index order. With a pool, chunks
+    are generated in waves fanned across the pool's domains and delivered
+    to [f] sequentially in index order, so the consumer sees exactly the
+    sequential stream while holding at most one wave (a few chunks per
+    domain) in memory; without one, chunks are produced inline. Byte-
+    identical for every pool width. *)
+
+val fold :
+  ?pool:Vp_parallel.Pool.t ->
+  t ->
+  init:'a ->
+  ('a -> first_row:int -> Value.t array array -> 'a) ->
+  'a
+
+val materialize : t -> Value.t array array
+(** All rows (small-SF escape hatch; allocates the whole table). *)
+
+val digest_rows : Value.t array array -> int
+(** Deterministic order-sensitive digest of a block of rows (used to
+    compare streamed and materialized paths byte for byte). *)
+
+val digest : ?pool:Vp_parallel.Pool.t -> t -> int
+(** Digest of the whole stream: chunk digests combined in index order —
+    independent of the pool width, and equal for any two sources with
+    the same rows and chunk size (e.g. [of_rows] over [materialize s]),
+    which is the streamed-vs-materialized identity check. *)

@@ -367,6 +367,45 @@ let golden_report =
           never_worse = true;
         };
       ];
+    scale =
+      [
+        {
+          Vp_observe.Bench_report.phase = "scan";
+          table = "lineitem";
+          sf = 100.0;
+          rows = 600000000;
+          jobs = 1;
+          seconds = 0.5;
+          rows_per_sec = 0.0;
+          peak_heap_mb = 96.0;
+          io_elapsed = 1024.5;
+          seeks = 40960;
+          blocks_read = 11534336;
+          blocks_written = 0;
+          identical = true;
+          cost_plain = 0.0;
+          cost_chosen = 0.0;
+          detail = "virtual replay";
+        };
+        {
+          Vp_observe.Bench_report.phase = "formats";
+          table = "customer";
+          sf = 10.0;
+          rows = 1500000;
+          jobs = 1;
+          seconds = 0.0625;
+          rows_per_sec = 0.0;
+          peak_heap_mb = 96.0;
+          io_elapsed = 0.0;
+          seeks = 0;
+          blocks_read = 0;
+          blocks_written = 0;
+          identical = true;
+          cost_plain = 512.5;
+          cost_chosen = 410.25;
+          detail = "plain,dictionary";
+        };
+      ];
     counters = [ ("cost.oracle_calls", 42); ("pool.tasks_run", 7) ];
     host =
       {

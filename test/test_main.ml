@@ -18,6 +18,7 @@ let () =
       ("substrates", Test_substrates.suite);
       ("benchmarks", Test_benchmarks.suite);
       ("datagen", Test_datagen.suite);
+      ("stream", Test_stream.suite);
       ("storage", Test_storage.suite);
       ("metrics", Test_metrics.suite);
       ("report", Test_report.suite);

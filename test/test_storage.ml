@@ -9,6 +9,9 @@ let customer = Vp_benchmarks.Tpch.table ~sf:0.001 "customer"
 
 let customer_rows = lazy (Vp_datagen.Rowgen.rows gen customer)
 
+let customer_source =
+  lazy (Vp_stream.Source.of_rows customer (Lazy.force customer_rows))
+
 (* --- Device --- *)
 
 let test_device_accounting () =
@@ -143,7 +146,8 @@ let test_pfile_varlen_blocks () =
 let workload = Vp_benchmarks.Tpch.workload ~sf:0.001 "customer"
 
 let build_db ?(codec = Vp_storage.Codec.Plain) layout =
-  Vp_storage.Database.build ~disk ~codec customer (Lazy.force customer_rows) layout
+  Vp_storage.Database.build ~disk ~codec customer (Lazy.force customer_source)
+    layout
 
 let test_database_checksums_layout_independent () =
   let n = Table.attribute_count customer in
@@ -266,7 +270,7 @@ let test_creation_matches_model () =
         [ "AcctBal"; "MktSegment" ]; [ "Comment" ] ]
   in
   let r =
-    Vp_storage.Creation.transform ~disk customer (Lazy.force customer_rows)
+    Vp_storage.Creation.transform ~disk customer (Lazy.force customer_source)
       layout
   in
   let expected = Vp_cost.Io_model.creation_time disk customer layout in
@@ -282,8 +286,8 @@ let test_creation_row_and_column () =
   List.iter
     (fun layout ->
       let r =
-        Vp_storage.Creation.transform ~disk customer (Lazy.force customer_rows)
-          layout
+        Vp_storage.Creation.transform ~disk customer
+          (Lazy.force customer_source) layout
       in
       let expected = Vp_cost.Io_model.creation_time disk customer layout in
       Alcotest.(check (Testutil.close ~eps:1e-9 ()))
